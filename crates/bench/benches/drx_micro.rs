@@ -1,0 +1,51 @@
+//! Microbenchmarks of the DRX toolchain: compiling a kernel, executing
+//! it functionally, and parsing assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmx_drx::ir::{Access, Kernel, VecStmt};
+use dmx_drx::isa::{Dtype, VectorOp};
+use dmx_drx::{asm, compile, DrxConfig, Machine};
+use std::hint::black_box;
+
+fn scale_kernel(n: u64) -> (Kernel, dmx_drx::ir::BufId) {
+    let mut k = Kernel::new("scale");
+    let a = k.buffer("a", Dtype::F32, n);
+    let b = k.buffer("b", Dtype::F32, n);
+    k.nest(
+        vec![n],
+        vec![VecStmt {
+            op: VectorOp::MulS,
+            dst: Access::row_major(b, &[n]),
+            src0: Access::row_major(a, &[n]),
+            src1: None,
+            imm: 2.0,
+        }],
+    );
+    (k, a)
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = DrxConfig::default();
+    c.bench_function("drx_compile_scale_64k", |b| {
+        let (k, _) = scale_kernel(65_536);
+        b.iter(|| compile(black_box(&k), &cfg).unwrap())
+    });
+    c.bench_function("drx_execute_scale_64k", |b| {
+        let (k, a) = scale_kernel(65_536);
+        let compiled = compile(&k, &cfg).unwrap();
+        let input: Vec<u8> = vec![0x3f; 65_536 * 4];
+        b.iter(|| {
+            let mut m = Machine::new(cfg);
+            m.write_dram(compiled.layout.addr(a), &input);
+            m.run(black_box(&compiled.program)).unwrap()
+        })
+    });
+    c.bench_function("drx_asm_roundtrip", |b| {
+        let (k, _) = scale_kernel(65_536);
+        let text = compile(&k, &cfg).unwrap().program.disassemble();
+        b.iter(|| asm::parse(black_box(&text)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

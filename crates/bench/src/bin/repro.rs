@@ -1,0 +1,35 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p dmx-bench --release --bin repro -- all
+//! cargo run -p dmx-bench --release --bin repro -- fig11 fig12
+//! ```
+
+use dmx_bench::{run_experiment, EXPERIMENTS};
+use dmx_core::experiments::Suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <experiment>... | all");
+        eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in &ids {
+        if !EXPERIMENTS.contains(id) {
+            eprintln!("unknown experiment `{id}`; expected one of: {}", EXPERIMENTS.join(" "));
+            std::process::exit(2);
+        }
+    }
+    eprintln!("building benchmark suite (compiling + executing DRX kernels)...");
+    let suite = Suite::new();
+    for id in ids {
+        println!("{}", "=".repeat(72));
+        println!("{}", run_experiment(&suite, id));
+    }
+}

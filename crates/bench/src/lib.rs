@@ -1,0 +1,48 @@
+//! # dmx-bench — reproduction harness
+//!
+//! The `repro` binary regenerates every table and figure of the paper's
+//! evaluation (`cargo run -p dmx-bench --release --bin repro -- all`),
+//! and the Criterion benches under `benches/` time the simulator and
+//! the DRX toolchain themselves.
+
+#![warn(missing_docs)]
+
+use dmx_core::experiments::{self, Suite};
+
+/// All experiment identifiers `repro` accepts.
+pub const EXPERIMENTS: [&str; 15] = [
+    "tab1", "fig3", "fig5", "fig8", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "fig18", "fig19", "ablations", "summary",
+];
+
+/// Runs one experiment by id and returns its rendered report.
+///
+/// # Panics
+///
+/// Panics on an unknown id; call with a member of [`EXPERIMENTS`].
+pub fn run_experiment(suite: &Suite, id: &str) -> String {
+    match id {
+        "tab1" => experiments::tab1::run(suite),
+        "fig3" => experiments::fig3::run(suite).render(),
+        "fig5" => experiments::fig5::run(suite).render(),
+        "fig8" => experiments::fig8::run(),
+        "fig11" => experiments::fig11::run(suite).render(),
+        "fig12" => experiments::fig12::run(suite).render(),
+        "fig13" => experiments::fig13::run(suite).render(),
+        "fig14" => experiments::fig14::run(suite).render(),
+        "fig15" => experiments::fig15::run(suite).render(),
+        "fig16" => experiments::fig16::run().render(),
+        "fig17" => experiments::fig17::run().render(),
+        "fig18" => experiments::fig18::run(suite).render(),
+        "fig19" => experiments::fig19::run(suite).render(),
+        "summary" => experiments::summary::run(suite).render(),
+        "ablations" => format!(
+            "{}\n{}\n{}\n{}",
+            experiments::ablations::irq(suite).render(),
+            experiments::ablations::spad(suite).render(),
+            experiments::ablations::queue().render(),
+            experiments::ablations::partition().render()
+        ),
+        other => panic!("unknown experiment `{other}`; expected one of {EXPERIMENTS:?}"),
+    }
+}

@@ -1,0 +1,31 @@
+//! Smoke tests of the reproduction harness: every experiment id is
+//! wired, and the cheap ones render non-empty reports.
+
+use dmx_bench::{run_experiment, EXPERIMENTS};
+use dmx_core::experiments::Suite;
+
+#[test]
+fn experiment_list_is_complete() {
+    for id in [
+        "tab1", "fig3", "fig5", "fig8", "fig11", "fig12", "fig13", "fig14", "fig15",
+        "fig16", "fig17", "fig18", "fig19", "ablations", "summary",
+    ] {
+        assert!(EXPERIMENTS.contains(&id), "missing {id}");
+    }
+}
+
+#[test]
+fn cheap_experiments_render() {
+    let suite = Suite::new();
+    for id in ["tab1", "fig8", "fig17"] {
+        let out = run_experiment(&suite, id);
+        assert!(out.len() > 100, "{id} rendered almost nothing");
+    }
+}
+
+#[test]
+#[should_panic(expected = "unknown experiment")]
+fn unknown_experiment_panics() {
+    let suite = Suite::new();
+    run_experiment(&suite, "fig99");
+}

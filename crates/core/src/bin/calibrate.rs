@@ -1,0 +1,136 @@
+//! Calibration probe: prints the raw per-benchmark component times and
+//! the headline aggregates so model constants can be tuned against the
+//! paper's targets. Not part of the reproduction harness (see
+//! `dmx-bench`'s `repro` for that).
+
+use dmx_core::apps::BenchmarkId;
+use dmx_core::placement::{Mode, Placement};
+use dmx_core::system::{simulate, SystemConfig};
+use dmx_cpu::HostCpuConfig;
+use dmx_drx::DrxConfig;
+
+fn apps(n: usize) -> Vec<dmx_core::apps::BenchmarkRef> {
+    if n == 1 {
+        // Representative single app for quick sweeps.
+        return vec![BenchmarkId::SoundDetection.build()];
+    }
+    (0..n).map(|i| BenchmarkId::FIVE[i % 5].build()).collect()
+}
+
+fn main() {
+    let cpu = HostCpuConfig::default();
+    let drx = DrxConfig::default();
+    println!("== per-edge component times ==");
+    for id in BenchmarkId::FIVE {
+        let b = id.build();
+        let mut k = 0.0;
+        for s in &b.stages {
+            k += s.kind.model().service_time(s.input_bytes).as_ms_f64();
+        }
+        for e in &b.edges {
+            let cpu_ms = cpu.restructure_core_seconds(&e.profile) * 1e3
+                / cpu.restructure_core_cap(&e.profile);
+            let drx_ms = e.drx_cost(&drx).time.as_ms_f64();
+            println!(
+                "{:28} K={:7.2}ms  Rcpu={:7.2}ms  Rdrx={:6.2}ms  ratio={:5.1}  in={:5.1}MB out={:5.1}MB",
+                b.name,
+                k,
+                cpu_ms,
+                drx_ms,
+                cpu_ms / drx_ms,
+                e.bytes_in as f64 / 1e6,
+                e.bytes_out as f64 / 1e6,
+            );
+        }
+    }
+
+    println!("\n== latency sweep (Multi-Axl vs DMX BitW) ==");
+    for n in [1usize, 5, 10, 15] {
+        let base = simulate(&SystemConfig::latency(Mode::MultiAxl, apps(n)));
+        let dmx = simulate(&SystemConfig::latency(
+            Mode::Dmx(Placement::BumpInTheWire),
+            apps(n),
+        ));
+        let bb = base.mean_breakdown();
+        let db = dmx.mean_breakdown();
+        let bt = bb.total().as_ms_f64();
+        let dt = db.total().as_ms_f64();
+        println!(
+            "n={n:2} base: K={:4.0}% R={:4.0}% M={:4.0}% tot={:7.1}ms | dmx: K={:4.0}% R={:4.0}% M={:4.0}% tot={:6.1}ms | speedup={:4.2}",
+            100.0 * bb.kernel.as_ms_f64() / bt,
+            100.0 * bb.restructure.as_ms_f64() / bt,
+            100.0 * bb.movement.as_ms_f64() / bt,
+            bt,
+            100.0 * db.kernel.as_ms_f64() / dt,
+            100.0 * db.restructure.as_ms_f64() / dt,
+            100.0 * db.movement.as_ms_f64() / dt,
+            dt,
+            bt / dt,
+        );
+    }
+
+    println!("\n== placements @ concurrency (speedup vs Multi-Axl) ==");
+    for n in [1usize, 5, 10, 15] {
+        let base = simulate(&SystemConfig::latency(Mode::MultiAxl, apps(n)))
+            .mean_latency()
+            .as_secs_f64();
+        print!("n={n:2} ");
+        for p in Placement::ALL {
+            let r = simulate(&SystemConfig::latency(Mode::Dmx(p), apps(n)))
+                .mean_latency()
+                .as_secs_f64();
+            print!("{}={:4.2}x ", p.name(), base / r);
+        }
+        println!();
+    }
+
+    println!("\n== energy reduction vs Multi-Axl ==");
+    for n in [1usize, 5, 10, 15] {
+        let base = simulate(&SystemConfig::latency(Mode::MultiAxl, apps(n)))
+            .energy
+            .total();
+        print!("n={n:2} ");
+        for p in [
+            Placement::Integrated,
+            Placement::Standalone,
+            Placement::BumpInTheWire,
+        ] {
+            let r = simulate(&SystemConfig::latency(Mode::Dmx(p), apps(n)))
+                .energy
+                .total();
+            print!("{}={:4.2}x ", p.name(), base / r);
+        }
+        println!();
+    }
+
+    println!("\n== per-app detail at n=15 (Multi-Axl) ==");
+    let r = simulate(&SystemConfig::latency(Mode::MultiAxl, apps(15)));
+    for a in r.apps.iter().take(5) {
+        println!(
+            "{:28} lat={:8.1}ms K={:7.1} R={:7.1} M={:7.1}",
+            a.name,
+            a.latency.as_ms_f64(),
+            a.breakdown.kernel.as_ms_f64(),
+            a.breakdown.restructure.as_ms_f64(),
+            a.breakdown.movement.as_ms_f64()
+        );
+    }
+
+    println!("\n== throughput improvement (DMX BitW vs Multi-Axl) ==");
+    for n in [1usize, 5, 10, 15] {
+        let base = simulate(&SystemConfig::throughput(Mode::MultiAxl, apps(n)));
+        let dmx = simulate(&SystemConfig::throughput(
+            Mode::Dmx(Placement::BumpInTheWire),
+            apps(n),
+        ));
+        println!(
+            "n={n:2} {:5.2}x (base {:6.2} rps, dmx {:6.2} rps)",
+            dmx.total_throughput() / base.total_throughput(),
+            base.total_throughput(),
+            dmx.total_throughput()
+        );
+    }
+}
+
+#[allow(dead_code)]
+fn debug_n15() {}

@@ -1,0 +1,176 @@
+//! Host driver model (Sec. V): completion notification costs.
+//!
+//! "By default, we operate accelerators and DRXs in interrupt mode ...
+//! The interrupt handling of the drivers utilizes interrupt coalescing
+//! for the bursty arrival of interrupts. If the arrival rate of
+//! interrupts exceeds a certain threshold, the drivers switch to
+//! polling. This design is similar to Linux NAPI."
+
+use crate::params::DriverParams;
+use dmx_sim::Time;
+
+/// Notification handling mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotifyMode {
+    /// Interrupt per completion.
+    Interrupt,
+    /// Busy-polling completions.
+    Polling,
+}
+
+/// Cost of handling one completion event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NotifyCost {
+    /// Host CPU work (single-core seconds) to handle the event and
+    /// program the next DMA descriptor.
+    pub cpu_seconds: f64,
+    /// Fixed signalling latency before the host reacts.
+    pub latency: Time,
+    /// Mode the driver was in.
+    pub mode: NotifyMode,
+}
+
+/// NAPI-style adaptive notification: tracks an exponential moving
+/// average of completion inter-arrival times and flips to polling when
+/// events arrive faster than the threshold.
+#[derive(Debug, Clone)]
+pub struct DriverState {
+    params: DriverParams,
+    last_event: Option<Time>,
+    ema_interval_s: f64,
+    irq_count: u64,
+    poll_count: u64,
+    /// If `true`, the driver is pinned to one mode (the abl-irq study).
+    forced: Option<NotifyMode>,
+}
+
+impl DriverState {
+    /// Creates an adaptive driver.
+    pub fn new(params: DriverParams) -> DriverState {
+        DriverState {
+            params,
+            last_event: None,
+            ema_interval_s: 1.0, // start relaxed: interrupt mode
+            irq_count: 0,
+            poll_count: 0,
+            forced: None,
+        }
+    }
+
+    /// Creates a driver pinned to one mode (ablation support).
+    pub fn forced(params: DriverParams, mode: NotifyMode) -> DriverState {
+        DriverState {
+            forced: Some(mode),
+            ..DriverState::new(params)
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> NotifyMode {
+        if let Some(m) = self.forced {
+            return m;
+        }
+        if self.ema_interval_s < self.params.polling_threshold.as_secs_f64() {
+            NotifyMode::Polling
+        } else {
+            NotifyMode::Interrupt
+        }
+    }
+
+    /// Registers a completion at `now` and returns its handling cost.
+    pub fn on_completion(&mut self, now: Time) -> NotifyCost {
+        if let Some(last) = self.last_event {
+            let dt = (now.saturating_sub(last)).as_secs_f64();
+            self.ema_interval_s = 0.7 * self.ema_interval_s + 0.3 * dt;
+        }
+        self.last_event = Some(now);
+        let mode = self.mode();
+        let cost = match mode {
+            NotifyMode::Interrupt => {
+                self.irq_count += 1;
+                NotifyCost {
+                    cpu_seconds: self.params.irq_cpu_seconds
+                        + self.params.dma_setup_cpu_seconds,
+                    latency: self.params.irq_latency,
+                    mode,
+                }
+            }
+            NotifyMode::Polling => {
+                self.poll_count += 1;
+                NotifyCost {
+                    cpu_seconds: self.params.poll_cpu_seconds
+                        + self.params.dma_setup_cpu_seconds,
+                    latency: self.params.poll_latency,
+                    mode,
+                }
+            }
+        };
+        cost
+    }
+
+    /// (interrupt, polled) event counts so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.irq_count, self.poll_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_events_use_interrupts() {
+        let mut d = DriverState::new(DriverParams::default());
+        let mut now = Time::ZERO;
+        for _ in 0..10 {
+            now += Time::from_ms(1);
+            let c = d.on_completion(now);
+            assert_eq!(c.mode, NotifyMode::Interrupt);
+        }
+        assert_eq!(d.counts().1, 0);
+    }
+
+    #[test]
+    fn bursty_events_flip_to_polling() {
+        let mut d = DriverState::new(DriverParams::default());
+        let mut now = Time::ZERO;
+        let mut saw_polling = false;
+        for _ in 0..50 {
+            now += Time::from_us(5);
+            let c = d.on_completion(now);
+            saw_polling |= c.mode == NotifyMode::Polling;
+        }
+        assert!(saw_polling, "high rate must switch to polling");
+        // Polling is cheaper per event.
+        let p = DriverParams::default();
+        assert!(p.poll_cpu_seconds < p.irq_cpu_seconds);
+    }
+
+    #[test]
+    fn driver_recovers_interrupt_mode() {
+        let mut d = DriverState::new(DriverParams::default());
+        let mut now = Time::ZERO;
+        for _ in 0..50 {
+            now += Time::from_us(5);
+            d.on_completion(now);
+        }
+        assert_eq!(d.mode(), NotifyMode::Polling);
+        for _ in 0..20 {
+            now += Time::from_ms(5);
+            d.on_completion(now);
+        }
+        assert_eq!(d.mode(), NotifyMode::Interrupt);
+    }
+
+    #[test]
+    fn forced_modes_stick() {
+        let mut a = DriverState::forced(DriverParams::default(), NotifyMode::Interrupt);
+        let mut b = DriverState::forced(DriverParams::default(), NotifyMode::Polling);
+        let mut now = Time::ZERO;
+        for _ in 0..30 {
+            now += Time::from_us(2);
+            assert_eq!(a.on_completion(now).mode, NotifyMode::Interrupt);
+            assert_eq!(b.on_completion(now).mode, NotifyMode::Polling);
+        }
+    }
+}

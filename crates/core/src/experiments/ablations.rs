@@ -1,0 +1,205 @@
+//! Ablation studies beyond the paper's figures, probing the design
+//! choices Sec. III–V call out:
+//!
+//! * **notification policy** — interrupt-only vs polling-only vs the
+//!   adaptive NAPI-style driver DMX uses;
+//! * **scratchpad size** — how the DRX tile size affects restructuring
+//!   time (the compiler re-tiles for each size);
+//! * **scalar-mode partitioning** — what running an inherently serial
+//!   restructuring step (hash partitioning) in DRX scalar mode costs
+//!   versus the vector datapath, justifying keeping partitioning out
+//!   of the critical path.
+
+use super::Suite;
+use crate::apps::{BenchmarkId, Edge};
+use crate::driver::NotifyMode;
+use crate::placement::{Mode, Placement};
+use crate::report::{ms, ratio, Table};
+use crate::system::{simulate, SystemConfig};
+use dmx_drx::DrxConfig;
+use dmx_restructure::{DbPivot, HashPartition};
+
+/// Notification-policy ablation: mean latency at 10 concurrent apps.
+#[derive(Debug, Clone)]
+pub struct IrqAblation {
+    /// `(policy name, mean latency seconds, interrupt count, poll count)`.
+    pub rows: Vec<(&'static str, f64, u64, u64)>,
+}
+
+/// Runs the notification ablation.
+pub fn irq(suite: &Suite) -> IrqAblation {
+    let n = 10;
+    let mut rows = Vec::new();
+    for (name, forced) in [
+        ("adaptive (NAPI)", None),
+        ("interrupt only", Some(NotifyMode::Interrupt)),
+        ("polling only", Some(NotifyMode::Polling)),
+    ] {
+        let mut cfg = SystemConfig::latency(Mode::Dmx(Placement::BumpInTheWire), suite.mix(n));
+        cfg.forced_driver = forced;
+        let r = simulate(&cfg);
+        rows.push((
+            name,
+            r.mean_latency().as_secs_f64(),
+            r.notify_counts.0,
+            r.notify_counts.1,
+        ));
+    }
+    IrqAblation { rows }
+}
+
+impl IrqAblation {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "policy".into(),
+            "mean latency".into(),
+            "interrupts".into(),
+            "polls".into(),
+        ]);
+        for (name, lat, irqs, polls) in &self.rows {
+            t.row(vec![
+                name.to_string(),
+                format!("{:.2}ms", lat * 1e3),
+                irqs.to_string(),
+                polls.to_string(),
+            ]);
+        }
+        format!(
+            "Ablation — completion notification policy (10 apps, DMX)\n\n{}\n\
+             Finding: with Table I's multi-megabyte batches, completion\n\
+             events are milliseconds apart, so the adaptive driver stays\n\
+             in interrupt mode and the policy barely moves end-to-end\n\
+             latency — the NAPI switchover matters for small-batch,\n\
+             high-rate workloads, not these pipelines.",
+            t.render()
+        )
+    }
+}
+
+/// Scratchpad-size ablation on the Sound Detection edge.
+#[derive(Debug, Clone)]
+pub struct SpadAblation {
+    /// `(scratchpad KiB, DRX restructure time)`.
+    pub rows: Vec<(u64, dmx_sim::Time)>,
+}
+
+/// Runs the scratchpad sweep.
+pub fn spad(suite: &Suite) -> SpadAblation {
+    // Brain Stimulation's band-power edge: no large resident tables,
+    // so it lowers at every scratchpad size in the sweep.
+    let edge = &suite.benchmarks()[2].edges[0];
+    let rows = [8u64, 16, 32, 64, 128]
+        .iter()
+        .map(|&kib| {
+            let mut cfg = DrxConfig::default();
+            cfg.scratchpad_bytes = kib << 10;
+            (kib, edge.drx_cost(&cfg).time)
+        })
+        .collect();
+    SpadAblation { rows }
+}
+
+impl SpadAblation {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["scratchpad".into(), "DRX time (band-power)".into()]);
+        for (kib, time) in &self.rows {
+            t.row(vec![format!("{kib} KiB"), ms(*time)]);
+        }
+        format!(
+            "Ablation — scratchpad size (tile re-compilation per point)\n\n{}",
+            t.render()
+        )
+    }
+}
+
+/// Scalar-mode cost of hash partitioning on the DRX versus the
+/// vector-datapath pivot on the same bytes.
+#[derive(Debug, Clone)]
+pub struct PartitionAblation {
+    /// Vectorized pivot time per MB.
+    pub pivot_ms_per_mb: f64,
+    /// Scalar-mode partition time per MB.
+    pub partition_ms_per_mb: f64,
+}
+
+/// Runs the scalar-mode ablation.
+pub fn partition() -> PartitionAblation {
+    let cfg = DrxConfig::default();
+    let mb = 1u64 << 20;
+    let pivot = Edge::new(
+        "pivot",
+        vec![(Box::new(DbPivot::new(4096, 8)), mb)],
+        mb,
+        mb,
+    );
+    let part = Edge::new(
+        "partition",
+        vec![(Box::new(HashPartition::new(4096, 16)), mb)],
+        mb,
+        mb,
+    );
+    PartitionAblation {
+        pivot_ms_per_mb: pivot.drx_cost(&cfg).time.as_ms_f64(),
+        partition_ms_per_mb: part.drx_cost(&cfg).time.as_ms_f64(),
+    }
+}
+
+impl PartitionAblation {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        format!(
+            "Ablation — DRX scalar mode vs vector datapath (per MB)\n\n\
+             row->column pivot (Transposition Engine): {:.2} ms/MB\n\
+             hash partition (scalar mode):             {:.2} ms/MB  ({} slower)\n\n\
+             Scalar mode exists for pointer-chasing serial steps\n\
+             (Sec. IV.B) but is kept off the data-motion critical path.\n",
+            self.pivot_ms_per_mb,
+            self.partition_ms_per_mb,
+            ratio(self.partition_ms_per_mb / self.pivot_ms_per_mb),
+        )
+    }
+}
+
+/// Data-queue sizing ablation: shrink the DRX RX/TX queues below the
+/// paper's 100 MB and watch batch handover segmentation appear.
+#[derive(Debug, Clone)]
+pub struct QueueAblation {
+    /// `(queue MiB, mean latency seconds)` on the Database pipeline.
+    pub rows: Vec<(u64, f64)>,
+}
+
+/// Runs the queue sweep (Database Hash Join: 16 MB batches).
+pub fn queue() -> QueueAblation {
+    let bench = BenchmarkId::DatabaseHashJoin.build();
+    let rows = [1u64, 4, 8, 16, 100]
+        .iter()
+        .map(|&mib| {
+            let mut cfg = SystemConfig::latency(
+                Mode::Dmx(Placement::BumpInTheWire),
+                vec![bench.clone()],
+            );
+            cfg.queue_bytes = mib << 20;
+            (mib, simulate(&cfg).mean_latency().as_secs_f64())
+        })
+        .collect();
+    QueueAblation { rows }
+}
+
+impl QueueAblation {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["queue size".into(), "DB mean latency".into()]);
+        for (mib, lat) in &self.rows {
+            t.row(vec![format!("{mib} MiB"), format!("{:.3}ms", lat * 1e3)]);
+        }
+        format!(
+            "Ablation — DRX data-queue sizing (Sec. V provisions 100 MB)\n\n{}\n\
+             Queues smaller than the 16 MB batch force segmented handover\n\
+             (one driver handshake per refill); at the paper's 100 MB the\n\
+             cost is zero.\n",
+            t.render()
+        )
+    }
+}

@@ -1,0 +1,155 @@
+//! Experiment runners: one module per table/figure of the paper's
+//! evaluation, plus ablations. Each `run()` is deterministic and
+//! returns both the numbers (for tests) and a rendered table (for the
+//! `repro` binary and EXPERIMENTS.md).
+
+pub mod ablations;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig3;
+pub mod fig5;
+pub mod fig8;
+pub mod summary;
+pub mod tab1;
+
+use crate::apps::{BenchmarkId, BenchmarkRef};
+use crate::placement::Mode;
+use crate::system::{simulate, RunResult, SystemConfig};
+use dmx_sim::geomean;
+
+/// The shared benchmark suite: the five Table I applications built
+/// once, so DRX cost measurements are cached across experiments.
+#[derive(Debug)]
+pub struct Suite {
+    benchmarks: Vec<BenchmarkRef>,
+}
+
+impl Default for Suite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Suite {
+    /// Builds the five benchmarks.
+    pub fn new() -> Suite {
+        Suite {
+            benchmarks: BenchmarkId::FIVE.iter().map(|id| id.build()).collect(),
+        }
+    }
+
+    /// The five benchmarks.
+    pub fn benchmarks(&self) -> &[BenchmarkRef] {
+        &self.benchmarks
+    }
+
+    /// A balanced mix of `n` concurrent applications: `n/5` copies of
+    /// each benchmark (plus the first `n % 5` benchmarks once more).
+    pub fn mix(&self, n: usize) -> Vec<BenchmarkRef> {
+        (0..n).map(|i| self.benchmarks[i % 5].clone()).collect()
+    }
+
+    /// Per-benchmark latency comparison of two modes at concurrency
+    /// `n`. For `n == 1` each benchmark runs alone; otherwise both
+    /// modes run the same balanced mix and copies of a benchmark are
+    /// averaged. Returns `(name, ratio_a_over_b)` per benchmark plus
+    /// the geometric mean.
+    pub fn latency_ratios(&self, a: Mode, b: Mode, n: usize) -> (Vec<(&'static str, f64)>, f64) {
+        let mut out = Vec::new();
+        if n == 1 {
+            for bench in &self.benchmarks {
+                let ra = simulate(&SystemConfig::latency(a, vec![bench.clone()]));
+                let rb = simulate(&SystemConfig::latency(b, vec![bench.clone()]));
+                out.push((
+                    bench.name,
+                    ra.mean_latency().as_secs_f64() / rb.mean_latency().as_secs_f64(),
+                ));
+            }
+        } else {
+            let ra = simulate(&SystemConfig::latency(a, self.mix(n)));
+            let rb = simulate(&SystemConfig::latency(b, self.mix(n)));
+            for bench in &self.benchmarks {
+                let mean = |r: &RunResult| {
+                    let xs: Vec<f64> = r
+                        .apps
+                        .iter()
+                        .filter(|x| x.name == bench.name)
+                        .map(|x| x.latency.as_secs_f64())
+                        .collect();
+                    xs.iter().sum::<f64>() / xs.len() as f64
+                };
+                out.push((bench.name, mean(&ra) / mean(&rb)));
+            }
+        }
+        let g = geomean(&out.iter().map(|(_, s)| *s).collect::<Vec<_>>()).expect("positive");
+        (out, g)
+    }
+
+    /// Runs a mode at concurrency `n` in latency mode, averaging the
+    /// per-benchmark breakdowns (for `n == 1`, each benchmark alone).
+    pub fn breakdown_runs(&self, mode: Mode, n: usize) -> Vec<RunResult> {
+        if n == 1 {
+            self.benchmarks
+                .iter()
+                .map(|b| simulate(&SystemConfig::latency(mode, vec![b.clone()])))
+                .collect()
+        } else {
+            vec![simulate(&SystemConfig::latency(mode, self.mix(n)))]
+        }
+    }
+}
+
+/// Mean breakdown fractions (kernel, restructure, movement) across runs.
+pub fn breakdown_fractions(runs: &[RunResult]) -> (f64, f64, f64) {
+    let mut k = 0.0;
+    let mut r = 0.0;
+    let mut m = 0.0;
+    let mut n = 0.0;
+    for run in runs {
+        for a in &run.apps {
+            let t = a.breakdown.total().as_secs_f64().max(1e-12);
+            k += a.breakdown.kernel.as_secs_f64() / t;
+            r += a.breakdown.restructure.as_secs_f64() / t;
+            m += a.breakdown.movement.as_secs_f64() / t;
+            n += 1.0;
+        }
+    }
+    (k / n, r / n, m / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Placement;
+
+    #[test]
+    fn suite_mixes_are_balanced() {
+        let suite = Suite::new();
+        let mix = suite.mix(10);
+        assert_eq!(mix.len(), 10);
+        let sd = mix
+            .iter()
+            .filter(|b| b.name == "Sound Detection")
+            .count();
+        assert_eq!(sd, 2);
+    }
+
+    #[test]
+    fn latency_ratios_positive() {
+        let suite = Suite::new();
+        let (per, g) =
+            suite.latency_ratios(Mode::MultiAxl, Mode::Dmx(Placement::BumpInTheWire), 1);
+        assert_eq!(per.len(), 5);
+        assert!(g > 1.0, "DMX should win: geomean {g}");
+        for (name, s) in per {
+            assert!(s > 1.0, "{name}: {s}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Table I: the benchmark inventory.
+
+use super::Suite;
+use crate::report::Table;
+
+/// Renders the Table I equivalent for this reproduction.
+pub fn run(suite: &Suite) -> String {
+    let mut t = Table::new(vec![
+        "Benchmark".into(),
+        "Kernel 1".into(),
+        "Data Restructuring".into(),
+        "Kernel 2(+)".into(),
+        "Batch".into(),
+    ]);
+    for b in suite.benchmarks() {
+        let kernels: Vec<&str> = b.stages.iter().map(|s| s.kind.name()).collect();
+        let edges: Vec<String> = b.edges.iter().map(|e| e.profile.name.clone()).collect();
+        t.row(vec![
+            b.name.to_string(),
+            kernels[0].to_string(),
+            edges.join(" / "),
+            kernels[1..].join(" / "),
+            format!("{:.1} MB", b.edges[0].bytes_in as f64 / (1 << 20) as f64),
+        ]);
+    }
+    format!("Table I — end-to-end benchmarks\n\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_all_five() {
+        let s = run(&Suite::new());
+        for name in [
+            "Video Surveillance",
+            "Sound Detection",
+            "Brain Stimulation",
+            "Personal Info Redaction",
+            "Database Hash Join",
+        ] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # dmx-core — Data Motion Acceleration, end to end
+//!
+//! A full-system reproduction of *"Data Motion Acceleration: Chaining
+//! Cross-Domain Multi Accelerators"* (HPCA 2024). DMX accelerates the
+//! *data motion* — restructuring plus movement — between chained
+//! heterogeneous accelerators by pairing them with programmable Data
+//! Restructuring Accelerators (DRXs) so the host CPU leaves the data
+//! path.
+//!
+//! This crate composes the substrates into one deterministic simulator:
+//!
+//! * [`apps`] — the five Table I benchmarks (plus the Fig. 16
+//!   three-kernel chain), with DRX costs *measured* by compiling and
+//!   executing the real restructuring kernels on the `dmx-drx`
+//!   functional simulator;
+//! * [`placement`] — the four DRX placements of Fig. 4 and the PCIe
+//!   server layouts they induce;
+//! * [`system`] — the discrete-event server model (CPU core pool, PCIe
+//!   flows, accelerator chains, driver stack, energy);
+//! * [`collectives`] — broadcast / all-reduce (Fig. 17);
+//! * [`experiments`] — one runner per table/figure of the evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dmx_core::apps::BenchmarkId;
+//! use dmx_core::placement::{Mode, Placement};
+//! use dmx_core::system::{simulate, SystemConfig};
+//!
+//! let app = BenchmarkId::SoundDetection.build();
+//! let base = simulate(&SystemConfig::latency(Mode::MultiAxl, vec![app.clone()]));
+//! let dmx = simulate(&SystemConfig::latency(
+//!     Mode::Dmx(Placement::BumpInTheWire),
+//!     vec![app],
+//! ));
+//! let speedup = base.mean_latency().as_secs_f64() / dmx.mean_latency().as_secs_f64();
+//! assert!(speedup > 1.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod apps;
+pub mod collectives;
+pub mod driver;
+pub mod experiments;
+pub mod params;
+pub mod placement;
+pub mod report;
+pub mod system;
+
+pub use apps::{Benchmark, BenchmarkId, BenchmarkRef};
+pub use placement::{Mode, Placement};
+pub use system::{simulate, Breakdown, EnergyReport, RunResult, SystemConfig};

@@ -1,0 +1,288 @@
+//! System operating modes and the PCIe server layout for each DRX
+//! placement (Sec. III, Fig. 4).
+
+use crate::apps::BenchmarkRef;
+use crate::params::{downstream_link, upstream_link, upstream_links_for_gen, SWITCH_PORTS};
+use dmx_pcie::{Gen, Lanes, LinkSpec, NodeId, NodeKind, Topology};
+
+/// Where the DRXs sit (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// One DRX engine integrated next to the CPU (Fig. 4a).
+    Integrated,
+    /// Standalone DRX PCIe cards, one per application (Fig. 4b).
+    Standalone,
+    /// A DRX in front of every accelerator (Fig. 4d) — the paper's
+    /// recommended design point.
+    BumpInTheWire,
+    /// DRX logic inside each PCIe switch (Fig. 4c).
+    PcieIntegrated,
+}
+
+impl Placement {
+    /// All placements, in the paper's Fig. 14 order.
+    pub const ALL: [Placement; 4] = [
+        Placement::Integrated,
+        Placement::Standalone,
+        Placement::BumpInTheWire,
+        Placement::PcieIntegrated,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::Integrated => "Integrated",
+            Placement::Standalone => "Standalone",
+            Placement::BumpInTheWire => "Bump-in-the-Wire",
+            Placement::PcieIntegrated => "PCIe-Integrated",
+        }
+    }
+}
+
+/// How the system executes a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Everything (kernels + restructuring) on host cores (Fig. 3's
+    /// All-CPU configuration).
+    AllCpu,
+    /// Kernels on accelerators, restructuring on the host CPU — the
+    /// paper's Multi-Axl baseline.
+    MultiAxl,
+    /// Kernels on accelerators, restructuring on DRXs at the given
+    /// placement.
+    Dmx(Placement),
+}
+
+impl Mode {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::AllCpu => "All-CPU",
+            Mode::MultiAxl => "Multi-Axl",
+            Mode::Dmx(p) => p.name(),
+        }
+    }
+}
+
+/// The built server: topology plus device-to-node maps.
+#[derive(Debug)]
+pub struct ServerLayout {
+    /// The PCIe tree.
+    pub topo: Topology,
+    /// Accelerator endpoint per `[app][stage]`.
+    pub accel_nodes: Vec<Vec<NodeId>>,
+    /// Bump-in-the-wire DRX endpoint per `[app][stage]` (empty unless
+    /// that placement).
+    pub drx_nodes: Vec<Vec<Option<NodeId>>>,
+    /// Standalone DRX card per app (empty unless that placement).
+    pub card_nodes: Vec<Option<NodeId>>,
+    /// Parent switch of each accelerator, per `[app][stage]`.
+    pub switch_of: Vec<Vec<NodeId>>,
+    /// All switch nodes (for the PCIe-Integrated DRX pools and switch
+    /// static energy).
+    pub switches: Vec<NodeId>,
+}
+
+impl ServerLayout {
+    /// Number of PCIe switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of DRX units the layout deploys.
+    pub fn drx_unit_count(&self, mode: Mode) -> usize {
+        match mode {
+            Mode::AllCpu | Mode::MultiAxl => 0,
+            Mode::Dmx(Placement::Integrated) => 1,
+            Mode::Dmx(Placement::Standalone) => {
+                self.card_nodes.iter().filter(|c| c.is_some()).count()
+            }
+            Mode::Dmx(Placement::BumpInTheWire) => self
+                .drx_nodes
+                .iter()
+                .map(|v| v.iter().filter(|d| d.is_some()).count())
+                .sum(),
+            Mode::Dmx(Placement::PcieIntegrated) => self.switch_count(),
+        }
+    }
+
+    /// Index of the switch node in `switches` (for per-switch pools).
+    pub fn switch_index(&self, node: NodeId) -> usize {
+        self.switches
+            .iter()
+            .position(|s| *s == node)
+            .expect("node is a known switch")
+    }
+}
+
+/// Builds the server for `apps` under `mode` at PCIe `gen`.
+pub fn build_layout(mode: Mode, apps: &[BenchmarkRef], gen: Gen) -> ServerLayout {
+    let mut topo = Topology::new();
+    let root = topo.root();
+    let up_base = upstream_link(gen);
+    // Newer-generation hosts expose more upstream links; model the
+    // extra link as a doubled-width uplink.
+    let up = if upstream_links_for_gen(gen) >= 2 {
+        LinkSpec::new(gen, Lanes::X16)
+    } else {
+        up_base
+    };
+    let down = downstream_link(gen);
+
+    let mut switches: Vec<NodeId> = Vec::new();
+    let mut slots_used: Vec<usize> = Vec::new();
+    let alloc_slot = |topo: &mut Topology,
+                          switches: &mut Vec<NodeId>,
+                          slots_used: &mut Vec<usize>|
+     -> NodeId {
+        if let Some(i) = slots_used.iter().position(|s| *s < SWITCH_PORTS) {
+            slots_used[i] += 1;
+            return switches[i];
+        }
+        let sw = topo.add_node(NodeKind::Switch, format!("sw{}", switches.len()), root, up);
+        switches.push(sw);
+        slots_used.push(1);
+        *switches.last().expect("just pushed")
+    };
+
+    let bitw = mode == Mode::Dmx(Placement::BumpInTheWire);
+    let standalone = mode == Mode::Dmx(Placement::Standalone);
+
+    let mut accel_nodes = Vec::with_capacity(apps.len());
+    let mut drx_nodes = Vec::with_capacity(apps.len());
+    let mut switch_of = Vec::with_capacity(apps.len());
+    let mut card_nodes = Vec::with_capacity(apps.len());
+
+    for (ai, app) in apps.iter().enumerate() {
+        let mut app_accels = Vec::new();
+        let mut app_drxs = Vec::new();
+        let mut app_switches = Vec::new();
+        for (si, _stage) in app.stages.iter().enumerate() {
+            let sw = alloc_slot(&mut topo, &mut switches, &mut slots_used);
+            app_switches.push(sw);
+            if bitw {
+                // switch -> mux -> { accel, drx }
+                let mux = topo.add_node(NodeKind::Mux, format!("mux{ai}.{si}"), sw, down);
+                let accel =
+                    topo.add_node(NodeKind::Device, format!("accel{ai}.{si}"), mux, down);
+                let drx = topo.add_node(NodeKind::Device, format!("drx{ai}.{si}"), mux, down);
+                app_accels.push(accel);
+                app_drxs.push(Some(drx));
+            } else {
+                let accel =
+                    topo.add_node(NodeKind::Device, format!("accel{ai}.{si}"), sw, down);
+                app_accels.push(accel);
+                app_drxs.push(None);
+            }
+        }
+        card_nodes.push(if standalone {
+            // Install the app's card next to its first accelerator.
+            let sw = app_switches[0];
+            Some(topo.add_node(NodeKind::Device, format!("card{ai}"), sw, down))
+        } else {
+            None
+        });
+        accel_nodes.push(app_accels);
+        drx_nodes.push(app_drxs);
+        switch_of.push(app_switches);
+    }
+
+    ServerLayout {
+        topo,
+        accel_nodes,
+        drx_nodes,
+        card_nodes,
+        switch_of,
+        switches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::BenchmarkId;
+
+    fn five(n: usize) -> Vec<BenchmarkRef> {
+        (0..n)
+            .map(|i| BenchmarkId::FIVE[i % 5].build())
+            .collect()
+    }
+
+    #[test]
+    fn one_app_fits_one_switch() {
+        let layout = build_layout(Mode::MultiAxl, &five(1), Gen::Gen3);
+        assert_eq!(layout.switch_count(), 1);
+        assert_eq!(layout.accel_nodes[0].len(), 2);
+    }
+
+    #[test]
+    fn fifteen_apps_need_multiple_switches() {
+        // 15 apps x 2 accelerators = 30 devices > 16 ports.
+        let layout = build_layout(Mode::MultiAxl, &five(15), Gen::Gen3);
+        assert!(layout.switch_count() >= 2, "{}", layout.switch_count());
+    }
+
+    #[test]
+    fn bitw_adds_one_drx_per_accelerator() {
+        let apps = five(3);
+        let layout = build_layout(Mode::Dmx(Placement::BumpInTheWire), &apps, Gen::Gen3);
+        assert_eq!(layout.drx_unit_count(Mode::Dmx(Placement::BumpInTheWire)), 6);
+        for app in &layout.drx_nodes {
+            for d in app {
+                assert!(d.is_some());
+            }
+        }
+        // The accel and its DRX share a mux: 2-hop local route.
+        let r = layout
+            .topo
+            .route(layout.accel_nodes[0][0], layout.drx_nodes[0][0].unwrap());
+        assert_eq!(r.hop_count(), 2);
+        assert_eq!(r.via.len(), 1);
+        assert_eq!(layout.topo.kind(r.via[0]), NodeKind::Mux);
+    }
+
+    #[test]
+    fn standalone_one_card_per_app() {
+        let apps = five(4);
+        let layout = build_layout(Mode::Dmx(Placement::Standalone), &apps, Gen::Gen3);
+        assert_eq!(layout.drx_unit_count(Mode::Dmx(Placement::Standalone)), 4);
+        // Card sits under a switch, reachable without crossing the root
+        // from the app's first accelerator.
+        let r = layout
+            .topo
+            .route(layout.accel_nodes[0][0], layout.card_nodes[0].unwrap());
+        assert_eq!(r.via.len(), 1);
+    }
+
+    #[test]
+    fn integrated_has_single_unit() {
+        let layout = build_layout(Mode::Dmx(Placement::Integrated), &five(5), Gen::Gen3);
+        assert_eq!(layout.drx_unit_count(Mode::Dmx(Placement::Integrated)), 1);
+    }
+
+    #[test]
+    fn pcie_integrated_units_track_switches() {
+        let layout = build_layout(Mode::Dmx(Placement::PcieIntegrated), &five(15), Gen::Gen3);
+        assert_eq!(
+            layout.drx_unit_count(Mode::Dmx(Placement::PcieIntegrated)),
+            layout.switch_count()
+        );
+    }
+
+    #[test]
+    fn gen4_widens_the_uplink() {
+        let l3 = build_layout(Mode::MultiAxl, &five(1), Gen::Gen3);
+        let l4 = build_layout(Mode::MultiAxl, &five(1), Gen::Gen4);
+        let up3 = l3.topo.route(l3.accel_nodes[0][0], l3.topo.root());
+        let up4 = l4.topo.route(l4.accel_nodes[0][0], l4.topo.root());
+        let bw3 = l3.topo.route_bottleneck(&up3).unwrap();
+        let bw4 = l4.topo.route_bottleneck(&up4).unwrap();
+        assert!(bw4 >= 4 * bw3, "Gen4 uplink should be 2x rate x 2 links");
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(Mode::AllCpu.name(), "All-CPU");
+        assert_eq!(Mode::Dmx(Placement::BumpInTheWire).name(), "Bump-in-the-Wire");
+    }
+}

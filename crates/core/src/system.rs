@@ -1,0 +1,860 @@
+//! The DMX full-system simulator.
+//!
+//! Composes the substrates into one deterministic discrete-event model
+//! of a multi-accelerator server: host CPU (processor-sharing core
+//! pool), PCIe fabric (max-min fair flows), per-app accelerator chains,
+//! the DRX fleet of the selected placement, and the driver stack.
+//!
+//! A request walks its benchmark's chain: kernel on accelerator →
+//! completion notification (driver, on the CPU) → DMA to the
+//! restructuring engine → restructure → notification + p2p DMA setup →
+//! DMA to the next accelerator → next kernel (Fig. 10's step sequence).
+//! The Multi-Axl baseline routes both DMAs through host memory and
+//! restructures on host cores (Sec. II's S1–S4); All-CPU runs even the
+//! kernels on cores (Fig. 3).
+
+use crate::apps::BenchmarkRef;
+use crate::driver::DriverState;
+use crate::params::{DriverParams, DrxFleetParams, LATENCY_REQUESTS, THROUGHPUT_INFLIGHT, THROUGHPUT_REQUESTS};
+use crate::placement::{build_layout, Mode, Placement, ServerLayout};
+use dmx_cpu::{CpuEnergyModel, HostCpuConfig};
+use dmx_drx::{DrxConfig, DrxEnergyModel};
+use dmx_pcie::{FlowId, FlowNet, Gen, NodeId, PcieEnergyModel};
+use dmx_sim::{EventQueue, FifoServer, PsJobId, PsPool, Time};
+use std::collections::HashMap;
+
+/// Cores one All-CPU kernel can use (vendor kernels are threaded).
+const KERNEL_CAP: f64 = 4.0;
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Execution mode.
+    pub mode: Mode,
+    /// One entry per concurrent application.
+    pub apps: Vec<BenchmarkRef>,
+    /// PCIe generation of every link.
+    pub gen: Gen,
+    /// DRX hardware configuration (lanes etc.).
+    pub drx: DrxConfig,
+    /// Host CPU model.
+    pub cpu: HostCpuConfig,
+    /// Driver-path costs.
+    pub driver: DriverParams,
+    /// Relative capability of the DRX placements.
+    pub fleet: DrxFleetParams,
+    /// Requests each app processes.
+    pub requests_per_app: usize,
+    /// Requests each app keeps in flight (1 = pure latency mode).
+    pub inflight_per_app: usize,
+    /// Pin the driver to one notification mode (None = adaptive NAPI).
+    pub forced_driver: Option<crate::driver::NotifyMode>,
+    /// Capacity of one DRX RX/TX data queue (Sec. V provisions 100 MB
+    /// per queue pair). Batches larger than a queue are handed over in
+    /// segments, each paying a driver handshake.
+    pub queue_bytes: u64,
+}
+
+impl SystemConfig {
+    /// Latency-mode config (one request in flight per app).
+    pub fn latency(mode: Mode, apps: Vec<BenchmarkRef>) -> SystemConfig {
+        SystemConfig {
+            mode,
+            apps,
+            gen: Gen::Gen3,
+            drx: DrxConfig::default(),
+            cpu: HostCpuConfig::default(),
+            driver: DriverParams::default(),
+            fleet: DrxFleetParams::default(),
+            requests_per_app: LATENCY_REQUESTS,
+            inflight_per_app: 1,
+            forced_driver: None,
+            queue_bytes: 100 << 20,
+        }
+    }
+
+    /// Throughput-mode config (pipelined requests per app).
+    pub fn throughput(mode: Mode, apps: Vec<BenchmarkRef>) -> SystemConfig {
+        SystemConfig {
+            requests_per_app: THROUGHPUT_REQUESTS,
+            inflight_per_app: THROUGHPUT_INFLIGHT,
+            ..SystemConfig::latency(mode, apps)
+        }
+    }
+}
+
+/// Where each request spent its time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Breakdown {
+    /// On accelerators (or CPU kernels in All-CPU mode).
+    pub kernel: Time,
+    /// Being restructured.
+    pub restructure: Time,
+    /// Moving: DMA transfers plus driver/notification handling.
+    pub movement: Time,
+}
+
+impl Breakdown {
+    /// Sum of the components.
+    pub fn total(&self) -> Time {
+        self.kernel + self.restructure + self.movement
+    }
+}
+
+/// Per-application outcome.
+#[derive(Debug, Clone)]
+pub struct AppResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Requests completed.
+    pub completed: usize,
+    /// Mean end-to-end latency.
+    pub latency: Time,
+    /// Mean per-request breakdown.
+    pub breakdown: Breakdown,
+    /// Median end-to-end latency.
+    pub latency_p50: Time,
+    /// 99th-percentile end-to-end latency.
+    pub latency_p99: Time,
+    /// Completed requests per second (throughput mode).
+    pub throughput_rps: f64,
+}
+
+/// Energy by component (Sec. VI's energy evaluation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyReport {
+    /// Host CPU package energy (RAPL-style).
+    pub cpu_j: f64,
+    /// Accelerator cards.
+    pub accel_j: f64,
+    /// DRX units (dynamic + static + bump-in-the-wire glue).
+    pub drx_j: f64,
+    /// PCIe transfer + switch energy.
+    pub pcie_j: f64,
+}
+
+impl EnergyReport {
+    /// System total.
+    pub fn total(&self) -> f64 {
+        self.cpu_j + self.accel_j + self.drx_j + self.pcie_j
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-app results, in `SystemConfig::apps` order.
+    pub apps: Vec<AppResult>,
+    /// Time of the last completion.
+    pub makespan: Time,
+    /// Energy by component.
+    pub energy: EnergyReport,
+    /// (interrupts, polled) driver event counts.
+    pub notify_counts: (u64, u64),
+}
+
+impl RunResult {
+    /// Mean of per-app mean latencies.
+    pub fn mean_latency(&self) -> Time {
+        let sum: f64 = self.apps.iter().map(|a| a.latency.as_secs_f64()).sum();
+        Time::from_secs_f64(sum / self.apps.len() as f64)
+    }
+
+    /// Aggregate throughput in requests/second.
+    pub fn total_throughput(&self) -> f64 {
+        self.apps.iter().map(|a| a.throughput_rps).sum()
+    }
+
+    /// Mean per-request breakdown across apps (for Fig. 3/12).
+    pub fn mean_breakdown(&self) -> Breakdown {
+        let n = self.apps.len() as u64;
+        let mut b = Breakdown::default();
+        for a in &self.apps {
+            b.kernel += a.breakdown.kernel;
+            b.restructure += a.breakdown.restructure;
+            b.movement += a.breakdown.movement;
+        }
+        Breakdown {
+            kernel: b.kernel / n,
+            restructure: b.restructure / n,
+            movement: b.movement / n,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- engine
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Kernel(usize),
+    DriverPost(usize),
+    ToRestr(usize),
+    Restr(usize),
+    DriverPre(usize),
+    ToNext(usize),
+}
+
+fn steps_for(app: &BenchmarkRef, mode: Mode) -> Vec<Step> {
+    let stages = app.stages.len();
+    let mut steps = Vec::new();
+    for s in 0..stages {
+        steps.push(Step::Kernel(s));
+        if s + 1 < stages {
+            match mode {
+                Mode::AllCpu => steps.push(Step::Restr(s)),
+                _ => {
+                    steps.push(Step::DriverPost(s));
+                    steps.push(Step::ToRestr(s));
+                    steps.push(Step::Restr(s));
+                    steps.push(Step::DriverPre(s));
+                    steps.push(Step::ToNext(s));
+                }
+            }
+        }
+    }
+    steps
+}
+
+#[derive(Debug)]
+struct Req {
+    app: usize,
+    start: Time,
+    step: usize,
+    step_started: Time,
+    breakdown: Breakdown,
+}
+
+#[derive(Debug)]
+enum Ev {
+    StepDone(u64),
+    CpuTick(u64),
+    FlowTick(u64),
+    SharedTick(usize, u64),
+}
+
+#[derive(Debug, Default)]
+struct AppStats {
+    completed: usize,
+    launched: usize,
+    latency_sum: f64,
+    latencies: dmx_sim::Percentiles,
+    breakdown: Breakdown,
+    last_done: Time,
+}
+
+struct Sim<'a> {
+    cfg: &'a SystemConfig,
+    layout: ServerLayout,
+    q: EventQueue<Ev>,
+    flows: FlowNet,
+    cpu: PsPool,
+    accel: Vec<Vec<FifoServer>>,
+    /// Bump-in-the-wire DRXs, one per (app, stage).
+    bitw: Vec<Vec<FifoServer>>,
+    /// Standalone cards, one per app.
+    cards: Vec<FifoServer>,
+    /// Shared DRX pools (Integrated: one; PCIe-Integrated: per switch).
+    shared: Vec<PsPool>,
+    driver: DriverState,
+    reqs: HashMap<u64, Req>,
+    steps: Vec<Vec<Step>>,
+    next_req: u64,
+    next_job: u64,
+    cpu_jobs: HashMap<PsJobId, (u64, Time)>,
+    flow_jobs: HashMap<FlowId, (u64, Time)>,
+    shared_jobs: Vec<HashMap<PsJobId, u64>>,
+    stats: Vec<AppStats>,
+    drx_dynamic_j: f64,
+    /// Per-(app, edge) in-order restructuring gate: the DRX/host data
+    /// queues process one batch at a time, in arrival order (Sec. V).
+    restr_busy: Vec<Vec<bool>>,
+    restr_queue: Vec<Vec<std::collections::VecDeque<u64>>>,
+}
+
+impl<'a> Sim<'a> {
+    fn new(cfg: &'a SystemConfig) -> Sim<'a> {
+        let layout = build_layout(cfg.mode, &cfg.apps, cfg.gen);
+        let flows = FlowNet::new(layout.topo.link_bandwidths());
+        let accel = cfg
+            .apps
+            .iter()
+            .map(|a| a.stages.iter().map(|_| FifoServer::new(1)).collect())
+            .collect();
+        let bitw = cfg
+            .apps
+            .iter()
+            .map(|a| a.stages.iter().map(|_| FifoServer::new(1)).collect())
+            .collect();
+        let cards = cfg.apps.iter().map(|_| FifoServer::new(1)).collect();
+        let shared = match cfg.mode {
+            Mode::Dmx(Placement::Integrated) => vec![PsPool::new(cfg.fleet.integrated_units)],
+            Mode::Dmx(Placement::PcieIntegrated) => (0..layout.switch_count())
+                .map(|_| PsPool::new(cfg.fleet.pcie_integrated_units))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let steps = cfg.apps.iter().map(|a| steps_for(a, cfg.mode)).collect();
+        let shared_jobs = shared.iter().map(|_| HashMap::new()).collect();
+        Sim {
+            cfg,
+            layout,
+            q: EventQueue::new(),
+            flows,
+            cpu: PsPool::new(cfg.cpu.cores as f64),
+            accel,
+            bitw,
+            cards,
+            shared,
+            driver: match cfg.forced_driver {
+                Some(mode) => DriverState::forced(cfg.driver, mode),
+                None => DriverState::new(cfg.driver),
+            },
+            reqs: HashMap::new(),
+            steps,
+            next_req: 0,
+            next_job: 0,
+            cpu_jobs: HashMap::new(),
+            flow_jobs: HashMap::new(),
+            shared_jobs,
+            stats: cfg.apps.iter().map(|_| AppStats::default()).collect(),
+            drx_dynamic_j: 0.0,
+            restr_busy: cfg.apps.iter().map(|a| vec![false; a.edges.len()]).collect(),
+            restr_queue: cfg
+                .apps
+                .iter()
+                .map(|a| {
+                    a.edges
+                        .iter()
+                        .map(|_| std::collections::VecDeque::new())
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    fn job_id(&mut self) -> u64 {
+        self.next_job += 1;
+        self.next_job
+    }
+
+    fn reschedule_cpu(&mut self) {
+        let now = self.q.now();
+        if let Some(t) = self.cpu.next_event(now) {
+            self.q.schedule_at(t, Ev::CpuTick(self.cpu.generation()));
+        }
+    }
+
+    fn reschedule_flows(&mut self) {
+        let now = self.q.now();
+        if let Some(t) = self.flows.next_event(now) {
+            self.q.schedule_at(t, Ev::FlowTick(self.flows.generation()));
+        }
+    }
+
+    fn reschedule_shared(&mut self, pool: usize) {
+        let now = self.q.now();
+        if let Some(t) = self.shared[pool].next_event(now) {
+            self.q
+                .schedule_at(t, Ev::SharedTick(pool, self.shared[pool].generation()));
+        }
+    }
+
+    fn cpu_job(&mut self, req: u64, work_secs: f64, cap: f64, extra_latency: Time) {
+        let now = self.q.now();
+        let jid = self.job_id();
+        self.cpu_jobs.insert(jid, (req, extra_latency));
+        self.cpu
+            .insert(now, jid, Time::from_secs_f64(work_secs), cap);
+        // Zero-work jobs may complete instantly.
+        self.drain_cpu_finished();
+        self.reschedule_cpu();
+    }
+
+    fn drain_cpu_finished(&mut self) {
+        let now = self.q.now();
+        for jid in self.cpu.take_finished() {
+            let (req, lat) = self.cpu_jobs.remove(&jid).expect("tracked cpu job");
+            self.q.schedule_at(now + lat, Ev::StepDone(req));
+        }
+    }
+
+    fn start_flow_with_extra(
+        &mut self,
+        req: u64,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        extra_latency: Time,
+    ) {
+        let now = self.q.now();
+        let route = self.layout.topo.route(from, to);
+        let fid = self.job_id();
+        self.flow_jobs.insert(fid, (req, route.latency + extra_latency));
+        self.flows.insert_route(now, fid, bytes, &route);
+        self.drain_flow_finished();
+        self.reschedule_flows();
+    }
+
+    /// Extra latency from segmenting a batch across DRX data-queue
+    /// refills: each additional segment costs one driver handshake
+    /// (Fig. 10 steps 3-4 re-run per segment). With the paper's 100 MB
+    /// queues and 6-16 MB batches this is zero.
+    fn queue_handshake_latency(&self, bytes: u64) -> Time {
+        if matches!(self.cfg.mode, Mode::AllCpu | Mode::MultiAxl) {
+            return Time::ZERO;
+        }
+        let segments = bytes.div_ceil(self.cfg.queue_bytes.max(1));
+        self.cfg.driver.irq_latency * segments.saturating_sub(1)
+    }
+
+    fn drain_flow_finished(&mut self) {
+        let now = self.q.now();
+        for fid in self.flows.take_finished() {
+            let (req, lat) = self.flow_jobs.remove(&fid).expect("tracked flow");
+            self.q.schedule_at(now + lat, Ev::StepDone(req));
+        }
+    }
+
+    /// The node where this edge's restructuring happens.
+    fn restr_node(&self, app: usize, stage: usize) -> NodeId {
+        match self.cfg.mode {
+            Mode::AllCpu | Mode::MultiAxl | Mode::Dmx(Placement::Integrated) => {
+                self.layout.topo.root()
+            }
+            Mode::Dmx(Placement::BumpInTheWire) => {
+                self.layout.drx_nodes[app][stage].expect("bitw drx present")
+            }
+            Mode::Dmx(Placement::Standalone) => {
+                self.layout.card_nodes[app].expect("card present")
+            }
+            Mode::Dmx(Placement::PcieIntegrated) => self.layout.switch_of[app][stage],
+        }
+    }
+
+    fn begin_step(&mut self, id: u64) {
+        let now = self.q.now();
+        let (app, step) = {
+            let r = self.reqs.get_mut(&id).expect("live request");
+            r.step_started = now;
+            (r.app, self.steps[r.app][r.step])
+        };
+        let bench = &self.cfg.apps[app];
+        match step {
+            Step::Kernel(s) => {
+                let stage = bench.stages[s];
+                let model = stage.kind.model();
+                if self.cfg.mode == Mode::AllCpu {
+                    let wall = model.cpu_time(stage.input_bytes).as_secs_f64();
+                    self.cpu_job(id, wall * KERNEL_CAP, KERNEL_CAP, Time::ZERO);
+                } else {
+                    let done = self.accel[app][s].submit(now, model.service_time(stage.input_bytes));
+                    self.q.schedule_at(done, Ev::StepDone(id));
+                }
+            }
+            Step::DriverPost(_) | Step::DriverPre(_) => {
+                let cost = self.driver.on_completion(now);
+                self.cpu_job(id, cost.cpu_seconds, 1.0, cost.latency);
+            }
+            Step::ToRestr(e) => {
+                let from = self.layout.accel_nodes[app][e];
+                let to = self.restr_node(app, e);
+                let extra = self.queue_handshake_latency(bench.edges[e].bytes_in);
+                self.start_flow_with_extra(id, from, to, bench.edges[e].bytes_in, extra);
+            }
+            Step::Restr(e) => {
+                if self.restr_busy[app][e] {
+                    self.restr_queue[app][e].push_back(id);
+                } else {
+                    self.restr_busy[app][e] = true;
+                    self.submit_restr(id, app, e);
+                }
+            }
+            Step::ToNext(e) => {
+                let from = self.restr_node(app, e);
+                let to = self.layout.accel_nodes[app][e + 1];
+                let extra = self.queue_handshake_latency(bench.edges[e].bytes_out);
+                self.start_flow_with_extra(id, from, to, bench.edges[e].bytes_out, extra);
+            }
+        }
+    }
+
+    /// Dispatches one restructuring batch to the mode's engine. Callers
+    /// hold the per-(app, edge) gate.
+    fn submit_restr(&mut self, id: u64, app: usize, e: usize) {
+        let now = self.q.now();
+        let bench = &self.cfg.apps[app];
+        {
+            {
+                let edge = &bench.edges[e];
+                match self.cfg.mode {
+                    Mode::AllCpu | Mode::MultiAxl => {
+                        let work = self.cfg.cpu.restructure_core_seconds(&edge.profile);
+                        let cap = self.cfg.cpu.restructure_core_cap(&edge.profile);
+                        self.cpu_job(id, work, cap, Time::ZERO);
+                    }
+                    Mode::Dmx(p) => {
+                        let cost = edge.drx_cost(&self.cfg.drx);
+                        let energy_model = DrxEnergyModel::for_clock(self.cfg.drx.clock);
+                        self.drx_dynamic_j += (cost.lane_ops * energy_model.pj_per_lane_op
+                            + cost.spad_bytes * energy_model.pj_per_spad_byte
+                            + cost.dram_bytes * energy_model.pj_per_dram_byte)
+                            * 1e-12;
+                        match p {
+                            Placement::BumpInTheWire => {
+                                let done = self.bitw[app][e].submit(now, cost.time);
+                                self.q.schedule_at(done, Ev::StepDone(id));
+                            }
+                            Placement::Standalone => {
+                                let service =
+                                    cost.time.scale(self.cfg.fleet.standalone_slowdown);
+                                let done = self.cards[app].submit(now, service);
+                                self.q.schedule_at(done, Ev::StepDone(id));
+                            }
+                            Placement::Integrated => {
+                                let jid = self.job_id();
+                                self.shared_jobs[0].insert(jid, id);
+                                self.shared[0].insert(now, jid, cost.time, 1.0);
+                                self.drain_shared_finished(0);
+                                self.reschedule_shared(0);
+                            }
+                            Placement::PcieIntegrated => {
+                                let sw = self.layout.switch_of[app][e];
+                                let pool = self.layout.switch_index(sw);
+                                let jid = self.job_id();
+                                self.shared_jobs[pool].insert(jid, id);
+                                self.shared[pool].insert(now, jid, cost.time, 1.0);
+                                self.drain_shared_finished(pool);
+                                self.reschedule_shared(pool);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_shared_finished(&mut self, pool: usize) {
+        let now = self.q.now();
+        for jid in self.shared[pool].take_finished() {
+            let req = self.shared_jobs[pool]
+                .remove(&jid)
+                .expect("tracked shared job");
+            self.q.schedule_at(now, Ev::StepDone(req));
+        }
+    }
+
+    fn start_request(&mut self, app: usize) {
+        let now = self.q.now();
+        self.stats[app].launched += 1;
+        let id = self.next_req;
+        self.next_req += 1;
+        self.reqs.insert(
+            id,
+            Req {
+                app,
+                start: now,
+                step: 0,
+                step_started: now,
+                breakdown: Breakdown::default(),
+            },
+        );
+        self.begin_step(id);
+    }
+
+    fn step_done(&mut self, id: u64) {
+        let now = self.q.now();
+        let (finished, release) = {
+            let r = self.reqs.get_mut(&id).expect("live request");
+            let elapsed = now - r.step_started;
+            let mut release = None;
+            match self.steps[r.app][r.step] {
+                Step::Kernel(_) => r.breakdown.kernel += elapsed,
+                Step::Restr(e) => {
+                    r.breakdown.restructure += elapsed;
+                    release = Some((r.app, e));
+                }
+                _ => r.breakdown.movement += elapsed,
+            }
+            r.step += 1;
+            (r.step == self.steps[r.app].len(), release)
+        };
+        if let Some((app, e)) = release {
+            if let Some(next) = self.restr_queue[app][e].pop_front() {
+                self.submit_restr(next, app, e);
+            } else {
+                self.restr_busy[app][e] = false;
+            }
+        }
+        if finished {
+            let r = self.reqs.remove(&id).expect("live request");
+            let st = &mut self.stats[r.app];
+            st.completed += 1;
+            st.latency_sum += (now - r.start).as_secs_f64();
+            st.latencies.record((now - r.start).as_secs_f64());
+            st.breakdown.kernel += r.breakdown.kernel;
+            st.breakdown.restructure += r.breakdown.restructure;
+            st.breakdown.movement += r.breakdown.movement;
+            st.last_done = now;
+            if st.launched < self.cfg.requests_per_app {
+                self.start_request(r.app);
+            }
+        } else {
+            self.begin_step(id);
+        }
+    }
+
+    fn run(mut self) -> RunResult {
+        for app in 0..self.cfg.apps.len() {
+            for _ in 0..self.cfg.inflight_per_app.min(self.cfg.requests_per_app) {
+                self.start_request(app);
+            }
+        }
+        while let Some(ev) = self.q.pop() {
+            match ev {
+                Ev::StepDone(id) => self.step_done(id),
+                Ev::CpuTick(gen) => {
+                    if gen == self.cpu.generation() {
+                        self.cpu.advance(self.q.now());
+                        self.drain_cpu_finished();
+                        self.reschedule_cpu();
+                    }
+                }
+                Ev::FlowTick(gen) => {
+                    if gen == self.flows.generation() {
+                        self.flows.advance(self.q.now());
+                        self.drain_flow_finished();
+                        self.reschedule_flows();
+                    }
+                }
+                Ev::SharedTick(pool, gen) => {
+                    if gen == self.shared[pool].generation() {
+                        self.shared[pool].advance(self.q.now());
+                        self.drain_shared_finished(pool);
+                        self.reschedule_shared(pool);
+                    }
+                }
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> RunResult {
+        let makespan = self
+            .stats
+            .iter()
+            .map(|s| s.last_done)
+            .max()
+            .unwrap_or(Time::ZERO);
+        let wall = makespan.as_secs_f64().max(1e-12);
+
+        let apps: Vec<AppResult> = self
+            .cfg
+            .apps
+            .iter()
+            .zip(&self.stats)
+            .map(|(bench, st)| {
+                let n = st.completed.max(1) as f64;
+                let nt = st.completed.max(1) as u64;
+                AppResult {
+                    name: bench.name,
+                    completed: st.completed,
+                    latency: Time::from_secs_f64(st.latency_sum / n),
+                    latency_p50: Time::from_secs_f64(st.latencies.p50().unwrap_or(0.0)),
+                    latency_p99: Time::from_secs_f64(st.latencies.p99().unwrap_or(0.0)),
+                    breakdown: Breakdown {
+                        kernel: st.breakdown.kernel / nt,
+                        restructure: st.breakdown.restructure / nt,
+                        movement: st.breakdown.movement / nt,
+                    },
+                    throughput_rps: st.completed as f64
+                        / st.last_done.as_secs_f64().max(1e-12),
+                }
+            })
+            .collect();
+
+        // ---- energy ------------------------------------------------
+        let cpu_model = CpuEnergyModel::default();
+        let cpu_j = cpu_model.energy(wall, self.cpu.busy_core_secs());
+
+        let mut accel_j = 0.0;
+        if self.cfg.mode != Mode::AllCpu {
+            for (bench, servers) in self.cfg.apps.iter().zip(&self.accel) {
+                for (stage, server) in bench.stages.iter().zip(servers) {
+                    let m = stage.kind.model();
+                    let busy = server.busy_time().as_secs_f64();
+                    accel_j += m.active_watts * busy + m.idle_watts * (wall - busy).max(0.0);
+                }
+            }
+        }
+
+        let drx_model = DrxEnergyModel::for_clock(self.cfg.drx.clock);
+        let units = self.layout.drx_unit_count(self.cfg.mode) as f64;
+        let glue = if self.cfg.mode == Mode::Dmx(Placement::BumpInTheWire) {
+            drx_model.glue_watts * units * wall
+        } else if self.cfg.mode == Mode::Dmx(Placement::Standalone) {
+            // One shared mux + glue per card.
+            drx_model.glue_watts * units * 0.5 * wall
+        } else {
+            0.0
+        };
+        let drx_j = if units > 0.0 {
+            self.drx_dynamic_j + drx_model.static_watts * units * wall + glue
+        } else {
+            0.0
+        };
+
+        let pcie_model = PcieEnergyModel::default().scaled_for_gen(self.cfg.gen);
+        let bytes: f64 = self.flows.link_bytes().iter().sum();
+        let pcie_j = pcie_model.transfer_energy(bytes).as_joules()
+            + pcie_model
+                .switch_static_energy(self.layout.switch_count(), makespan)
+                .as_joules();
+
+        RunResult {
+            apps,
+            makespan,
+            energy: EnergyReport {
+                cpu_j,
+                accel_j,
+                drx_j,
+                pcie_j,
+            },
+            notify_counts: self.driver.counts(),
+        }
+    }
+}
+
+/// Runs one system simulation.
+///
+/// Deterministic: identical configs produce identical results.
+///
+/// # Panics
+///
+/// Panics if the config has no applications or requests.
+pub fn simulate(cfg: &SystemConfig) -> RunResult {
+    assert!(!cfg.apps.is_empty(), "at least one application required");
+    assert!(cfg.requests_per_app > 0, "at least one request required");
+    assert!(cfg.inflight_per_app > 0, "at least one in-flight request required");
+    Sim::new(cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::BenchmarkId;
+
+    fn apps(n: usize) -> Vec<BenchmarkRef> {
+        (0..n).map(|i| BenchmarkId::FIVE[i % 5].build()).collect()
+    }
+
+    fn quick(mode: Mode, n: usize) -> RunResult {
+        let mut cfg = SystemConfig::latency(mode, apps(n));
+        cfg.requests_per_app = 3;
+        simulate(&cfg)
+    }
+
+    #[test]
+    fn all_requests_complete() {
+        for mode in [
+            Mode::AllCpu,
+            Mode::MultiAxl,
+            Mode::Dmx(Placement::BumpInTheWire),
+            Mode::Dmx(Placement::Integrated),
+            Mode::Dmx(Placement::Standalone),
+            Mode::Dmx(Placement::PcieIntegrated),
+        ] {
+            let r = quick(mode, 2);
+            for a in &r.apps {
+                assert_eq!(a.completed, 3, "{} under {:?}", a.name, mode);
+                assert!(a.latency > Time::ZERO);
+            }
+            assert!(r.makespan > Time::ZERO);
+            assert!(r.energy.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = quick(Mode::MultiAxl, 3);
+        let b = quick(Mode::MultiAxl, 3);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.mean_latency(), b.mean_latency());
+    }
+
+    #[test]
+    fn dmx_is_faster_than_baseline() {
+        let base = quick(Mode::MultiAxl, 1);
+        let dmx = quick(Mode::Dmx(Placement::BumpInTheWire), 1);
+        let speedup = base.mean_latency().as_secs_f64() / dmx.mean_latency().as_secs_f64();
+        assert!(speedup > 1.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn baseline_restructure_dominates() {
+        // Fig. 3/12a: restructuring is 57.7-73.2% of Multi-Axl runtime.
+        let r = quick(Mode::MultiAxl, 1);
+        let b = r.mean_breakdown();
+        let frac = b.restructure.as_secs_f64() / b.total().as_secs_f64();
+        assert!(frac > 0.4, "restructure fraction {frac}");
+    }
+
+    #[test]
+    fn dmx_restructure_share_is_small() {
+        let r = quick(Mode::Dmx(Placement::BumpInTheWire), 1);
+        let b = r.mean_breakdown();
+        let frac = b.restructure.as_secs_f64() / b.total().as_secs_f64();
+        assert!(frac < 0.35, "restructure fraction {frac}");
+    }
+
+    #[test]
+    fn concurrency_slows_the_baseline_more() {
+        let base1 = quick(Mode::MultiAxl, 1).mean_latency().as_secs_f64();
+        let base10 = quick(Mode::MultiAxl, 10).mean_latency().as_secs_f64();
+        let dmx1 = quick(Mode::Dmx(Placement::BumpInTheWire), 1)
+            .mean_latency()
+            .as_secs_f64();
+        let dmx10 = quick(Mode::Dmx(Placement::BumpInTheWire), 10)
+            .mean_latency()
+            .as_secs_f64();
+        let base_blowup = base10 / base1;
+        let dmx_blowup = dmx10 / dmx1;
+        assert!(
+            base_blowup > 1.5 * dmx_blowup,
+            "baseline {base_blowup} vs dmx {dmx_blowup}"
+        );
+    }
+
+    #[test]
+    fn all_cpu_is_slowest() {
+        let allcpu = quick(Mode::AllCpu, 1).mean_latency();
+        let base = quick(Mode::MultiAxl, 1).mean_latency();
+        assert!(allcpu > base);
+    }
+
+    #[test]
+    fn throughput_mode_pipelines() {
+        let mut lat = SystemConfig::latency(Mode::Dmx(Placement::BumpInTheWire), apps(1));
+        lat.requests_per_app = 8;
+        let mut thr = SystemConfig::throughput(Mode::Dmx(Placement::BumpInTheWire), apps(1));
+        thr.requests_per_app = 8;
+        let rl = simulate(&lat);
+        let rt = simulate(&thr);
+        assert!(
+            rt.total_throughput() > 1.3 * rl.total_throughput(),
+            "{} vs {}",
+            rt.total_throughput(),
+            rl.total_throughput()
+        );
+    }
+
+    #[test]
+    fn energy_components_present() {
+        let r = quick(Mode::Dmx(Placement::BumpInTheWire), 2);
+        assert!(r.energy.cpu_j > 0.0);
+        assert!(r.energy.accel_j > 0.0);
+        assert!(r.energy.drx_j > 0.0);
+        assert!(r.energy.pcie_j > 0.0);
+        let base = quick(Mode::MultiAxl, 2);
+        assert_eq!(base.energy.drx_j, 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # dmx-cpu — host CPU model
+//!
+//! The Multi-Axl baseline runs all data restructuring on the host Xeon
+//! (Sec. II); this crate models that host three ways:
+//!
+//! * [`HostCpuConfig`] — a cost model turning a restructuring
+//!   [`dmx_restructure::OpProfile`] into single-core work plus a
+//!   parallelism cap, consumed by the system simulator's
+//!   processor-sharing core pool (concurrency collapse then *emerges*,
+//!   reproducing Fig. 3/11's scaling);
+//! * [`cache`] + [`topdown`] — a trace-driven cache simulator and a
+//!   top-down cycle-accounting model reproducing the Fig. 5
+//!   characterization (back-end-memory dominance, tiny instruction
+//!   working sets, the branchy Video Surveillance outlier);
+//! * [`CpuEnergyModel`] — RAPL-style package energy.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod energy;
+pub mod model;
+pub mod topdown;
+
+pub use cache::{characterize, Cache, CacheConfig, MpkiReport};
+pub use energy::CpuEnergyModel;
+pub use model::HostCpuConfig;
+pub use topdown::{characterize_op, Characterization, TopDown};

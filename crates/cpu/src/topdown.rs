@@ -1,0 +1,160 @@
+//! Top-down microarchitecture analysis (Fig. 5): splits cycles into
+//! retiring / bad-speculation / front-end / back-end(core) /
+//! back-end(memory), the methodology of Yasin's top-down paper that
+//! Intel VTune implements.
+//!
+//! The model composes per-instruction cycle components from the cache
+//! simulation ([`crate::cache::characterize`]) and the op profile, then
+//! normalizes. Constants are Cascade-Lake-ish latencies; the goal is
+//! the paper's *shape*: back-end-memory dominance for every
+//! restructuring op, with Video Surveillance as the bad-speculation
+//! outlier.
+
+use crate::cache::{characterize, CacheConfig, MpkiReport};
+use dmx_restructure::OpProfile;
+
+/// Top-down cycle fractions; the five buckets sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopDown {
+    /// Useful work.
+    pub retiring: f64,
+    /// Wasted by mispredicted paths and re-steers.
+    pub bad_speculation: f64,
+    /// Fetch/decode starvation.
+    pub frontend: f64,
+    /// Back-end, execution-unit pressure.
+    pub backend_core: f64,
+    /// Back-end, waiting on the memory hierarchy.
+    pub backend_memory: f64,
+}
+
+impl TopDown {
+    /// Total back-end-bound fraction.
+    pub fn backend(&self) -> f64 {
+        self.backend_core + self.backend_memory
+    }
+}
+
+/// Full Fig. 5-style characterization of one restructuring op.
+#[derive(Debug, Clone)]
+pub struct Characterization {
+    /// Op name.
+    pub name: String,
+    /// Top-down breakdown.
+    pub topdown: TopDown,
+    /// Cache behaviour.
+    pub mpki: MpkiReport,
+}
+
+// Cascade-Lake-flavoured constants.
+const L2_HIT_CYCLES: f64 = 14.0;
+const DRAM_CYCLES: f64 = 190.0;
+const L2_MLP: f64 = 10.0; // memory-level parallelism on streams
+const L1_MLP: f64 = 3.0;
+const MISPREDICT_PENALTY: f64 = 17.0;
+const ICACHE_MISS_CYCLES: f64 = 20.0;
+const BASE_CPI: f64 = 0.4; // retirement-limited floor
+
+/// Computes the top-down breakdown and MPKI for an op.
+pub fn characterize_op(profile: &OpProfile, config: &CacheConfig) -> Characterization {
+    const TRACE_BYTES: u64 = 4 << 20;
+    let mpki = characterize(profile, config, TRACE_BYTES);
+    // Instruction mix facts (the trace window covers TRACE_BYTES of
+    // stream movement regardless of the op's total size).
+    let ipb = mpki.instructions as f64 / TRACE_BYTES as f64;
+    let branches_per_instr = (profile.branch_per_kb / 1024.0) / ipb.max(1e-9) + 0.01;
+    let mispredict_rate = (0.02 + profile.branch_per_kb * 0.005).min(0.15);
+
+    // Per-instruction cycle components.
+    let retiring = BASE_CPI;
+    let frontend = mpki.l1i_mpki / 1000.0 * ICACHE_MISS_CYCLES
+        + 0.015
+        + branches_per_instr * 0.2; // uop-cache switches on branchy code
+    let bad_spec = branches_per_instr * mispredict_rate * MISPREDICT_PENALTY;
+    let l1_only = (mpki.l1d_mpki - mpki.l2_mpki).max(0.0);
+    let backend_memory = l1_only / 1000.0 * L2_HIT_CYCLES / L1_MLP
+        + mpki.l2_mpki / 1000.0 * DRAM_CYCLES / L2_MLP
+        + profile.irregular * 0.3; // pointer-chasing kills MLP
+    let backend_core = 0.12 + (profile.ops_per_byte / 10.0).min(0.8);
+
+    let total = retiring + frontend + bad_spec + backend_memory + backend_core;
+    Characterization {
+        name: profile.name.clone(),
+        topdown: TopDown {
+            retiring: retiring / total,
+            bad_speculation: bad_spec / total,
+            frontend: frontend / total,
+            backend_core: backend_core / total,
+            backend_memory: backend_memory / total,
+        },
+        mpki,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn streaming(name: &str, branchy: f64, irregular: f64) -> OpProfile {
+        OpProfile {
+            name: name.into(),
+            input_bytes: 8 << 20,
+            output_bytes: 8 << 20,
+            scratch_bytes: 4 << 20,
+            stream_passes: 3.0,
+            ops_per_byte: 1.5,
+            branch_per_kb: branchy,
+            irregular,
+        }
+    }
+
+    #[test]
+    fn buckets_sum_to_one() {
+        let c = characterize_op(&streaming("s", 1.0, 0.0), &CacheConfig::default());
+        let t = c.topdown;
+        let sum =
+            t.retiring + t.bad_speculation + t.frontend + t.backend_core + t.backend_memory;
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backend_dominates_restructuring() {
+        // Fig. 5: back-end bound is 53%..77.6% across all five ops.
+        for (b, irr) in [(0.5, 0.0), (1.0, 0.0), (4.0, 0.3), (18.0, 0.05), (30.0, 1.0)] {
+            let c = characterize_op(&streaming("x", b, irr), &CacheConfig::default());
+            let be = c.topdown.backend();
+            assert!(
+                be > 0.45 && be < 0.85,
+                "backend fraction {be} outside plausible Fig. 5 band (b={b})"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_bound_exceeds_core_bound() {
+        let c = characterize_op(&streaming("s", 1.0, 0.0), &CacheConfig::default());
+        assert!(c.topdown.backend_memory > c.topdown.backend_core);
+    }
+
+    #[test]
+    fn branchy_op_has_more_bad_speculation() {
+        let tame = characterize_op(&streaming("tame", 0.5, 0.0), &CacheConfig::default());
+        let branchy = characterize_op(&streaming("vs", 18.0, 0.05), &CacheConfig::default());
+        assert!(
+            branchy.topdown.bad_speculation > 2.0 * tame.topdown.bad_speculation,
+            "{} vs {}",
+            branchy.topdown.bad_speculation,
+            tame.topdown.bad_speculation
+        );
+        // ... but still bounded like the paper (<= ~12.5%).
+        assert!(branchy.topdown.bad_speculation < 0.15);
+        assert!(branchy.topdown.frontend < 0.16);
+    }
+
+    #[test]
+    fn mpki_shape_matches_paper() {
+        let c = characterize_op(&streaming("s", 1.0, 0.0), &CacheConfig::default());
+        assert!(c.mpki.l1d_mpki > c.mpki.l2_mpki, "L1D misses exceed L2 misses");
+        assert!(c.mpki.l1i_mpki < 10.0, "instruction working set fits L1I");
+    }
+}

@@ -1,0 +1,511 @@
+//! Textual DRX assembly: a parser for the format produced by
+//! [`Program::disassemble`], so kernels can be written, inspected, and
+//! round-tripped as text (the paper's Fig. 8 shows such a kernel).
+
+use crate::isa::{
+    DmaDir, DramAddr, Dtype, Instr, Port, Program, ScalarInstr, ScalarOp, SyncKind, VectorOp,
+    MAX_DIMS,
+};
+use std::fmt;
+
+/// Error produced by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_dtype(s: &str, line: usize) -> Result<Dtype, ParseError> {
+    Ok(match s {
+        "u8" => Dtype::U8,
+        "i8" => Dtype::I8,
+        "u16" => Dtype::U16,
+        "i16" => Dtype::I16,
+        "u32" => Dtype::U32,
+        "i32" => Dtype::I32,
+        "f32" => Dtype::F32,
+        other => return err(line, format!("unknown dtype `{other}`")),
+    })
+}
+
+fn parse_port(s: &str, line: usize) -> Result<Port, ParseError> {
+    Ok(match s {
+        "src0" => Port::Src0,
+        "src1" => Port::Src1,
+        "dst" => Port::Dst,
+        other => return err(line, format!("unknown port `{other}`")),
+    })
+}
+
+fn parse_u64(s: &str, line: usize) -> Result<u64, ParseError> {
+    let s = s.trim().trim_end_matches(',');
+    let r = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| ParseError {
+        line,
+        message: format!("expected unsigned integer, got `{s}`"),
+    })
+}
+
+fn parse_i64(s: &str, line: usize) -> Result<i64, ParseError> {
+    let s = s.trim().trim_end_matches(',');
+    s.parse().map_err(|_| ParseError {
+        line,
+        message: format!("expected integer, got `{s}`"),
+    })
+}
+
+fn parse_f64(s: &str, line: usize) -> Result<f64, ParseError> {
+    let s = s.trim();
+    s.parse().map_err(|_| ParseError {
+        line,
+        message: format!("expected number, got `{s}`"),
+    })
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<u8, ParseError> {
+    let s = s.trim().trim_end_matches(',');
+    let Some(n) = s.strip_prefix('r') else {
+        return err(line, format!("expected register, got `{s}`"));
+    };
+    n.parse().map_err(|_| ParseError {
+        line,
+        message: format!("bad register `{s}`"),
+    })
+}
+
+/// `key=value` lookup in a token list.
+fn kv<'a>(tokens: &[&'a str], key: &str, line: usize) -> Result<&'a str, ParseError> {
+    for t in tokens {
+        if let Some(v) = t.strip_prefix(key) {
+            if let Some(v) = v.strip_prefix('=') {
+                return Ok(v);
+            }
+        }
+    }
+    err(line, format!("missing `{key}=`"))
+}
+
+fn parse_dram_addr(s: &str, line: usize) -> Result<DramAddr, ParseError> {
+    if let Some(rest) = s.strip_prefix('r') {
+        // rN+offset
+        let (reg, off) = match rest.split_once('+') {
+            Some((r, o)) => (r, o),
+            None => (rest, "0"),
+        };
+        let reg = reg.parse().map_err(|_| ParseError {
+            line,
+            message: format!("bad register in dram address `{s}`"),
+        })?;
+        let offset = parse_i64(off, line)?;
+        Ok(DramAddr::Reg { reg, offset })
+    } else {
+        Ok(DramAddr::Imm(parse_u64(s, line)?))
+    }
+}
+
+fn vector_op_of(stem: &str) -> Option<VectorOp> {
+    Some(match stem {
+        "vadd" => VectorOp::Add,
+        "vsub" => VectorOp::Sub,
+        "vmul" => VectorOp::Mul,
+        "vdiv" => VectorOp::Div,
+        "vmin" => VectorOp::Min,
+        "vmax" => VectorOp::Max,
+        "vmac" => VectorOp::Mac,
+        "vand" => VectorOp::And,
+        "vor" => VectorOp::Or,
+        "vxor" => VectorOp::Xor,
+        "vshl" => VectorOp::Shl,
+        "vshr" => VectorOp::Shr,
+        "vcopy" => VectorOp::Copy,
+        "vabs" => VectorOp::Abs,
+        "vneg" => VectorOp::Neg,
+        "vlog" => VectorOp::Log,
+        "vexp" => VectorOp::Exp,
+        "vsqrt" => VectorOp::Sqrt,
+        "vrecip" => VectorOp::Recip,
+        "vadds" => VectorOp::AddS,
+        "vmuls" => VectorOp::MulS,
+        "vmins" => VectorOp::MinS,
+        "vmaxs" => VectorOp::MaxS,
+        "vfill" => VectorOp::Fill,
+        "vbswap" => VectorOp::Bswap,
+        "vgather" => VectorOp::Gather,
+        "vscatter" => VectorOp::Scatter,
+        _ => return None,
+    })
+}
+
+fn parse_line(line_no: usize, text: &str) -> Result<Option<Instr>, ParseError> {
+    let text = match text.find(['#', ';']) {
+        Some(i) => &text[..i],
+        None => text,
+    };
+    let text = text.trim();
+    if text.is_empty() {
+        return Ok(None);
+    }
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    let head = tokens[0];
+    let (stem, suffix) = match head.split_once('.') {
+        Some((s, rest)) => (s, rest),
+        None => (head, ""),
+    };
+    let instr = match (head, stem, suffix) {
+        ("halt", ..) => Instr::Halt,
+        (_, "loop", "dims") => {
+            let mut dims = [1u32; MAX_DIMS];
+            if tokens.len() != 1 + MAX_DIMS {
+                return err(line_no, "loop.dims takes four dimensions");
+            }
+            for (i, t) in tokens[1..].iter().enumerate() {
+                dims[i] = parse_u64(t, line_no)? as u32;
+            }
+            Instr::LoopDims { dims }
+        }
+        (_, "stride", p) => {
+            let port = parse_port(p, line_no)?;
+            if tokens.len() != 1 + MAX_DIMS + 1 {
+                return err(line_no, "stride takes four strides and lane=");
+            }
+            let mut strides = [0i64; MAX_DIMS];
+            for (i, t) in tokens[1..1 + MAX_DIMS].iter().enumerate() {
+                strides[i] = parse_i64(t, line_no)?;
+            }
+            let lane_stride = parse_i64(kv(&tokens, "lane", line_no)?, line_no)?;
+            Instr::SetStride {
+                port,
+                strides,
+                lane_stride,
+            }
+        }
+        (_, "base", p) => {
+            let port = parse_port(p, line_no)?;
+            let addr = parse_u64(tokens.get(1).copied().unwrap_or(""), line_no)?;
+            Instr::SetBase { port, addr }
+        }
+        (_, "advance", p) => {
+            let port = parse_port(p, line_no)?;
+            let delta = parse_i64(tokens.get(1).copied().unwrap_or(""), line_no)?;
+            Instr::AdvanceBase { port, delta }
+        }
+        (_, "dma", "ld") | (_, "dma", "st") => {
+            let dir = if suffix == "ld" {
+                DmaDir::Load
+            } else {
+                DmaDir::Store
+            };
+            let spad = parse_u64(kv(&tokens, "spad", line_no)?, line_no)?;
+            let dram = parse_dram_addr(kv(&tokens, "dram", line_no)?, line_no)?;
+            let bytes = parse_u64(kv(&tokens, "bytes", line_no)?, line_no)?;
+            Instr::Dma {
+                dir,
+                dram,
+                spad,
+                bytes,
+            }
+        }
+        (_, "dma", "gather") => Instr::DmaGatherRows {
+            rows: parse_u64(kv(&tokens, "rows", line_no)?, line_no)? as u32,
+            row_bytes: parse_u64(kv(&tokens, "row_bytes", line_no)?, line_no)?,
+            dram_base: parse_u64(kv(&tokens, "dram", line_no)?, line_no)?,
+            idx_spad: parse_u64(kv(&tokens, "idx", line_no)?, line_no)?,
+            spad: parse_u64(kv(&tokens, "spad", line_no)?, line_no)?,
+        },
+        (_, "transpose", dt) => {
+            let dtype = parse_dtype(dt, line_no)?;
+            let dims = tokens.get(1).copied().unwrap_or("");
+            let Some((r, c)) = dims.split_once('x') else {
+                return err(line_no, "transpose expects RxC");
+            };
+            Instr::Transpose {
+                rows: parse_u64(r, line_no)? as u32,
+                cols: parse_u64(c, line_no)? as u32,
+                dtype,
+            }
+        }
+        (_, "repeat", "") => {
+            let count = parse_u64(tokens.get(1).copied().unwrap_or(""), line_no)? as u32;
+            let body = parse_u64(kv(&tokens, "body", line_no)?, line_no)? as u32;
+            Instr::Repeat { count, body }
+        }
+        (_, "sync", rest) => match rest {
+            "start" => Instr::Sync(SyncKind::Start),
+            "end" => Instr::Sync(SyncKind::End),
+            "vec" => Instr::Sync(SyncKind::WaitVec),
+            "mem.all" => Instr::Sync(SyncKind::WaitMemAll),
+            "mem" => {
+                let n = parse_u64(tokens.get(1).copied().unwrap_or(""), line_no)?;
+                Instr::Sync(SyncKind::WaitMemCount(n))
+            }
+            "pending" => {
+                let n = parse_u64(tokens.get(1).copied().unwrap_or(""), line_no)?;
+                Instr::Sync(SyncKind::WaitMemPending(n))
+            }
+            other => return err(line_no, format!("unknown sync `{other}`")),
+        },
+        (_, "s", rest) => {
+            let (op, dt) = match rest.split_once('.') {
+                Some((o, d)) => (o, Some(d)),
+                None => (rest, None),
+            };
+            let s = match op {
+                "li" => ScalarInstr::LdImm {
+                    rd: parse_reg(tokens.get(1).copied().unwrap_or(""), line_no)?,
+                    imm: parse_i64(tokens.get(2).copied().unwrap_or(""), line_no)?,
+                },
+                "addi" => ScalarInstr::AddImm {
+                    rd: parse_reg(tokens.get(1).copied().unwrap_or(""), line_no)?,
+                    rs: parse_reg(tokens.get(2).copied().unwrap_or(""), line_no)?,
+                    imm: parse_i64(tokens.get(3).copied().unwrap_or(""), line_no)?,
+                },
+                "bnez" | "beqz" => {
+                    let rs = parse_reg(tokens.get(1).copied().unwrap_or(""), line_no)?;
+                    let offset =
+                        parse_i64(tokens.get(2).copied().unwrap_or(""), line_no)? as i32;
+                    if op == "bnez" {
+                        ScalarInstr::Bnez { rs, offset }
+                    } else {
+                        ScalarInstr::Beqz { rs, offset }
+                    }
+                }
+                "ld" | "st" => {
+                    let dtype = parse_dtype(dt.unwrap_or(""), line_no)?;
+                    let r = parse_reg(tokens.get(1).copied().unwrap_or(""), line_no)?;
+                    let mem = tokens.get(2).copied().unwrap_or("");
+                    let Some((off, ra)) = mem.trim_end_matches(')').split_once("(r") else {
+                        return err(line_no, "expected offset(rN)");
+                    };
+                    let offset = parse_i64(off, line_no)?;
+                    let ra = ra.parse().map_err(|_| ParseError {
+                        line: line_no,
+                        message: format!("bad address register in `{mem}`"),
+                    })?;
+                    if op == "ld" {
+                        ScalarInstr::Load {
+                            rd: r,
+                            ra,
+                            offset,
+                            dtype,
+                        }
+                    } else {
+                        ScalarInstr::Store {
+                            rs: r,
+                            ra,
+                            offset,
+                            dtype,
+                        }
+                    }
+                }
+                alu => {
+                    let aop = match alu {
+                        "add" => ScalarOp::Add,
+                        "sub" => ScalarOp::Sub,
+                        "mul" => ScalarOp::Mul,
+                        "and" => ScalarOp::And,
+                        "or" => ScalarOp::Or,
+                        "xor" => ScalarOp::Xor,
+                        "shl" => ScalarOp::Shl,
+                        "shr" => ScalarOp::Shr,
+                        "slt" => ScalarOp::Slt,
+                        other => return err(line_no, format!("unknown scalar op `{other}`")),
+                    };
+                    ScalarInstr::Alu {
+                        op: aop,
+                        rd: parse_reg(tokens.get(1).copied().unwrap_or(""), line_no)?,
+                        rs1: parse_reg(tokens.get(2).copied().unwrap_or(""), line_no)?,
+                        rs2: parse_reg(tokens.get(3).copied().unwrap_or(""), line_no)?,
+                    }
+                }
+            };
+            Instr::Scalar(s)
+        }
+        _ => {
+            // Vector ops: `vop.dtype` or `vcast.to.from`.
+            if stem == "vcast" {
+                let Some((to, from)) = suffix.split_once('.') else {
+                    return err(line_no, "vcast needs target and source dtypes");
+                };
+                let to = parse_dtype(to, line_no)?;
+                let from = parse_dtype(from, line_no)?;
+                let vlen = parse_u64(kv(&tokens, "vlen", line_no)?, line_no)? as u32;
+                Instr::Vec {
+                    op: VectorOp::Cast(to),
+                    dtype: from,
+                    vlen,
+                    imm: 0.0,
+                }
+            } else if let Some(op) = vector_op_of(stem) {
+                let dtype = parse_dtype(suffix, line_no)?;
+                let vlen = parse_u64(kv(&tokens, "vlen", line_no)?, line_no)? as u32;
+                let imm = if op.uses_imm() {
+                    parse_f64(kv(&tokens, "imm", line_no)?, line_no)?
+                } else {
+                    0.0
+                };
+                Instr::Vec {
+                    op,
+                    dtype,
+                    vlen,
+                    imm,
+                }
+            } else {
+                return err(line_no, format!("unknown instruction `{head}`"));
+            }
+        }
+    };
+    Ok(Some(instr))
+}
+
+/// Parses DRX assembly text into a [`Program`].
+///
+/// Comments start with `#` or `;`; blank lines are ignored. The format
+/// is exactly what [`Program::disassemble`] emits, so
+/// `parse(&p.disassemble())` round-trips.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] with its line number.
+///
+/// ```
+/// use dmx_drx::asm::parse;
+/// let p = parse("
+///     sync.start
+///     loop.dims 1, 1, 1, 8
+///     vadds.f32 vlen=128 imm=1.5   # bias
+///     halt
+/// ").unwrap();
+/// assert_eq!(p.len(), 4);
+/// ```
+pub fn parse(text: &str) -> Result<Program, ParseError> {
+    let mut prog = Program::new();
+    for (i, line) in text.lines().enumerate() {
+        if let Some(instr) = parse_line(i + 1, line)? {
+            prog.push(instr);
+        }
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_instruction_form() {
+        let text = "
+            sync.start
+            loop.dims 2, 3, 4, 5
+            stride.src0 1, 2, 3, 4 lane=4
+            stride.src1 0, 0, 0, 0 lane=0
+            base.dst 0x100
+            advance.src0 -16
+            dma.ld spad=0x0 dram=0x1000 bytes=256
+            dma.st dram=r3+64 spad=0x40 bytes=128
+            dma.gather rows=4 row_bytes=64 dram=0x2000 idx=0x10 spad=0x80
+            vmac.f32 vlen=128
+            vmuls.f32 vlen=64 imm=0.5
+            vcast.u8.f32 vlen=32
+            vshr.u32 vlen=16 imm=8
+            transpose.u32 8x16
+            repeat 10 body=2
+            sync.mem 3
+            sync.mem.all
+            sync.vec
+            s.li r1, 42
+            s.add r2, r1, r1
+            s.addi r3, r2, -1
+            s.ld.u32 r4, 8(r5)
+            s.st.i16 r4, -4(r5)
+            s.bnez r1, -3
+            s.beqz r2, 2
+            sync.end
+            halt
+        ";
+        let p = parse(text).unwrap();
+        assert_eq!(p.len(), 27);
+    }
+
+    #[test]
+    fn round_trip_disassemble_parse() {
+        let text = "
+            sync.start
+            loop.dims 2, 3, 4, 5
+            stride.src0 1, 2, 3, 4 lane=4
+            base.dst 0x100
+            dma.ld spad=0x0 dram=0x1000 bytes=256
+            dma.st dram=r3+64 spad=0x40 bytes=128
+            vmac.f32 vlen=128
+            vmuls.f32 vlen=64 imm=0.5
+            vcast.u8.f32 vlen=32
+            transpose.u32 8x16
+            repeat 10 body=2
+            sync.mem 3
+            s.li r1, 42
+            s.ld.u32 r4, 8(r5)
+            s.bnez r1, -3
+            halt
+        ";
+        let p = parse(text).unwrap();
+        let round = parse(&p.disassemble()).unwrap();
+        assert_eq!(p, round);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse("# a comment\n\n  ; another\nhalt\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("halt\nbogus.f32 vlen=1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown instruction"));
+    }
+
+    #[test]
+    fn missing_kv_is_error() {
+        let e = parse("vadd.f32\n").unwrap_err();
+        assert!(e.message.contains("vlen"));
+    }
+
+    #[test]
+    fn bad_dtype_is_error() {
+        let e = parse("vadd.f64 vlen=1\n").unwrap_err();
+        assert!(e.message.contains("dtype"));
+    }
+
+    #[test]
+    fn negative_hex_and_commas_handled() {
+        let p = parse("loop.dims 1, 1, 1, 16\nbase.src0 0x40\n").unwrap();
+        assert_eq!(
+            p.instrs[1],
+            Instr::SetBase {
+                port: Port::Src0,
+                addr: 64
+            }
+        );
+    }
+}

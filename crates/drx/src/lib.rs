@@ -1,0 +1,66 @@
+//! # dmx-drx — the Data Restructuring Accelerator
+//!
+//! A from-scratch model of the paper's DRX (Sec. IV): a programmable
+//! accelerator specialized for the data-restructuring domain, built
+//! around a decoupled access–execute pipeline:
+//!
+//! * a front-end with hardware loops (the *Instruction Repeater*) and
+//!   strided scratchpad address calculators,
+//! * a configurable number of interleaved vector lanes (*Restructuring
+//!   Engines*),
+//! * a *Transposition Engine*,
+//! * a programmable *Off-chip Data Access Engine* with a DMA unit,
+//! * a 64 KB instruction cache and a 64 KB software-managed scratchpad,
+//! * one DDR4-3200 channel matched to an x8 PCIe Gen 4 link.
+//!
+//! The crate provides the [`isa`] (Fig. 7), a textual [`asm`]
+//! assembler, a functional cycle-accounting simulator
+//! ([`Machine`]), the affine-kernel [`ir`] and [`compile`]r
+//! (Sec. IV.B), and an [`energy`] model for the FPGA and ASIC
+//! implementations.
+//!
+//! ## Example: compile and run a restructuring kernel
+//!
+//! ```
+//! use dmx_drx::{compile, DrxConfig, Machine};
+//! use dmx_drx::ir::{Access, Kernel, VecStmt};
+//! use dmx_drx::isa::{Dtype, VectorOp};
+//!
+//! // out[i] = ln(in[i]) — the log step of a mel filterbank.
+//! let mut k = Kernel::new("log");
+//! let inp = k.buffer("in", Dtype::F32, 1000);
+//! let out = k.buffer("out", Dtype::F32, 1000);
+//! k.nest(vec![1000], vec![VecStmt {
+//!     op: VectorOp::Log,
+//!     dst: Access::row_major(out, &[1000]),
+//!     src0: Access::row_major(inp, &[1000]),
+//!     src1: None,
+//!     imm: 0.0,
+//! }]);
+//! let c = compile(&k, &DrxConfig::default()).unwrap();
+//! let mut m = Machine::new(DrxConfig::default());
+//! let data: Vec<u8> = (1..=1000).flat_map(|i| (i as f32).to_le_bytes()).collect();
+//! m.write_dram(c.layout.addr(inp), &data);
+//! let stats = m.run(&c.program).unwrap();
+//! assert!(stats.cycles > 0);
+//! let first = m.read_dram(c.layout.addr(out), 4);
+//! assert_eq!(f32::from_le_bytes(first.try_into().unwrap()), 0.0); // ln(1)
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asm;
+pub mod compiler;
+pub mod config;
+pub mod energy;
+pub mod ir;
+pub mod isa;
+pub mod machine;
+pub mod optimize;
+
+pub use compiler::{compile, compile_unoptimized, BufPlacement, Compiled, CompileError, Layout};
+pub use optimize::{check_sync_hazards, optimize, OptStats, SyncHazard};
+pub use config::{ClockDomain, DramConfig, DrxConfig};
+pub use energy::DrxEnergyModel;
+pub use machine::{ExecError, ExecStats, Machine};

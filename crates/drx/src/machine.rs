@@ -1,0 +1,1420 @@
+//! Functional DRX simulator with cycle accounting.
+//!
+//! [`Machine`] executes a [`Program`] instruction by instruction,
+//! computing both *results* (so restructuring kernels can be checked
+//! bit-for-bit against their CPU references) and *cycles* under the
+//! paper's decoupled access–execute microarchitecture: the front-end
+//! issues in order; vector work retires on the RE pipeline clock; DMAs
+//! retire on the Off-chip Data Access Engine clock; `sync.*`
+//! instructions join the clocks. Double buffering emitted by the
+//! compiler therefore overlaps DMA and compute with no special cases
+//! here.
+
+use crate::config::DrxConfig;
+use crate::isa::{
+    DmaDir, DramAddr, Dtype, Instr, Port, Program, ScalarInstr, ScalarOp, SyncKind, VectorOp,
+    MAX_DIMS, SCALAR_REGS,
+};
+use dmx_sim::Time;
+use std::fmt;
+
+/// Execution statistics and cycle accounting for one program run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Total cycles until every engine drained.
+    pub cycles: u64,
+    /// Cycles the vector pipeline was busy.
+    pub vec_busy_cycles: u64,
+    /// Cycles the off-chip data access engine was busy.
+    pub mem_busy_cycles: u64,
+    /// Loop-nest points executed by vector instructions.
+    pub vec_points: u64,
+    /// Individual lane operations (points x vlen).
+    pub lane_ops: u64,
+    /// Bytes moved between DRAM and scratchpad.
+    pub dram_bytes: u64,
+    /// Bytes read or written in the scratchpad by compute.
+    pub spad_bytes: u64,
+    /// Number of DMA commands.
+    pub dma_count: u64,
+    /// Vector instructions executed (post-repeat).
+    pub vec_instrs: u64,
+    /// Scalar instructions executed (post-repeat).
+    pub scalar_instrs: u64,
+    /// Instructions issued by the front-end (post-repeat).
+    pub instrs_issued: u64,
+}
+
+impl ExecStats {
+    /// Wall-clock duration of the run at `config`'s clock.
+    pub fn time(&self, config: &DrxConfig) -> Time {
+        Time::from_cycles(self.cycles, config.clock.hz())
+    }
+}
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Program does not fit in the configured instruction cache.
+    ProgramTooLarge {
+        /// Encoded program size.
+        bytes: u64,
+        /// Instruction cache capacity.
+        icache: u64,
+    },
+    /// A compute or scalar access fell outside the scratchpad.
+    OobScratchpad {
+        /// Offending byte address.
+        addr: i128,
+    },
+    /// A DMA touched DRAM beyond the configured capacity.
+    OobDram {
+        /// Offending byte address.
+        addr: u64,
+    },
+    /// `vlen` exceeded the configured lane count (or was zero).
+    BadVlen {
+        /// Requested vector length.
+        vlen: u32,
+        /// Configured lanes.
+        lanes: u32,
+    },
+    /// An integer-only op was applied to `f32`.
+    IntOpOnFloat(VectorOp),
+    /// A float-only op was applied to an integer type.
+    FloatOpOnInt(VectorOp),
+    /// `sync.mem n` waited for more DMAs than were issued.
+    WaitMemCountTooLarge {
+        /// Requested count.
+        want: u64,
+        /// DMAs issued so far.
+        issued: u64,
+    },
+    /// A branch target left the current hardware-loop frame.
+    BranchOutOfFrame {
+        /// Target pc.
+        target: i64,
+    },
+    /// A `repeat` body extended past the end of the program.
+    BadRepeatBody,
+    /// A scalar instruction referenced a register >= 16.
+    BadRegister(u8),
+    /// A loop dimension was zero.
+    ZeroLoopDim,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::ProgramTooLarge { bytes, icache } => {
+                write!(f, "program of {bytes} B exceeds {icache} B instruction cache")
+            }
+            ExecError::OobScratchpad { addr } => {
+                write!(f, "scratchpad access out of bounds at byte {addr}")
+            }
+            ExecError::OobDram { addr } => write!(f, "dram access out of bounds at byte {addr}"),
+            ExecError::BadVlen { vlen, lanes } => {
+                write!(f, "vlen {vlen} invalid for {lanes} lanes")
+            }
+            ExecError::IntOpOnFloat(op) => write!(f, "integer-only op {op} applied to f32"),
+            ExecError::FloatOpOnInt(op) => write!(f, "float-only op {op} applied to integer type"),
+            ExecError::WaitMemCountTooLarge { want, issued } => {
+                write!(f, "sync.mem {want} but only {issued} DMAs issued")
+            }
+            ExecError::BranchOutOfFrame { target } => {
+                write!(f, "branch target {target} escapes the active hardware loop")
+            }
+            ExecError::BadRepeatBody => write!(f, "repeat body extends past end of program"),
+            ExecError::BadRegister(r) => write!(f, "scalar register r{r} does not exist"),
+            ExecError::ZeroLoopDim => write!(f, "loop dimension of zero configured"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PortCfg {
+    base: i128,
+    strides: [i64; MAX_DIMS],
+    lane_stride: i64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    start: usize,
+    end: usize, // exclusive
+    remaining: u32,
+}
+
+/// A DRX device instance: configuration, scratchpad, DRAM, and scalar
+/// register file.
+///
+/// ```
+/// use dmx_drx::{DrxConfig, Machine};
+/// use dmx_drx::isa::{Instr, Program, VectorOp, Dtype, Port, SyncKind, DmaDir, DramAddr};
+///
+/// let mut m = Machine::new(DrxConfig::default());
+/// m.write_dram(0, &42f32.to_le_bytes());
+/// let prog: Program = [
+///     Instr::Sync(SyncKind::Start),
+///     Instr::Dma { dir: DmaDir::Load, dram: DramAddr::Imm(0), spad: 0, bytes: 4 },
+///     Instr::Sync(SyncKind::WaitMemAll),
+///     Instr::LoopDims { dims: [1, 1, 1, 1] },
+///     Instr::SetBase { port: Port::Src0, addr: 0 },
+///     Instr::SetStride { port: Port::Src0, strides: [0; 4], lane_stride: 4 },
+///     Instr::SetBase { port: Port::Dst, addr: 64 },
+///     Instr::SetStride { port: Port::Dst, strides: [0; 4], lane_stride: 4 },
+///     Instr::Vec { op: VectorOp::MulS, dtype: Dtype::F32, vlen: 1, imm: 2.0 },
+///     Instr::Sync(SyncKind::WaitVec),
+///     Instr::Dma { dir: DmaDir::Store, dram: DramAddr::Imm(64), spad: 64, bytes: 4 },
+///     Instr::Sync(SyncKind::End),
+///     Instr::Halt,
+/// ].into_iter().collect();
+/// let stats = m.run(&prog).expect("program is well-formed");
+/// assert_eq!(f32::from_le_bytes(m.read_dram(64, 4).try_into().unwrap()), 84.0);
+/// assert!(stats.cycles > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: DrxConfig,
+    spad: Vec<u8>,
+    dram: Vec<u8>,
+    regs: [i64; SCALAR_REGS],
+    ports: [PortCfg; 3],
+    dims: [u32; MAX_DIMS],
+}
+
+impl Machine {
+    /// Creates a machine with zeroed memories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid ([`DrxConfig::validate`]).
+    pub fn new(config: DrxConfig) -> Machine {
+        config.validate().expect("invalid DRX configuration");
+        Machine {
+            config,
+            spad: vec![0; config.scratchpad_bytes as usize],
+            dram: Vec::new(),
+            regs: [0; SCALAR_REGS],
+            ports: [PortCfg::default(); 3],
+            dims: [1; MAX_DIMS],
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &DrxConfig {
+        &self.config
+    }
+
+    /// Writes bytes into DRAM, growing the backing store as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write exceeds the configured DRAM capacity.
+    pub fn write_dram(&mut self, addr: u64, data: &[u8]) {
+        let end = addr + data.len() as u64;
+        assert!(
+            end <= self.config.dram.capacity_bytes,
+            "write beyond DRAM capacity"
+        );
+        if self.dram.len() < end as usize {
+            self.dram.resize(end as usize, 0);
+        }
+        self.dram[addr as usize..end as usize].copy_from_slice(data);
+    }
+
+    /// Reads bytes from DRAM (untouched bytes read as zero).
+    pub fn read_dram(&self, addr: u64, len: u64) -> Vec<u8> {
+        let mut out = vec![0u8; len as usize];
+        let have = self.dram.len() as u64;
+        if addr < have {
+            let n = (have - addr).min(len) as usize;
+            out[..n].copy_from_slice(&self.dram[addr as usize..addr as usize + n]);
+        }
+        out
+    }
+
+    /// Reads bytes from the scratchpad (for tests and debugging).
+    pub fn read_spad(&self, addr: u64, len: u64) -> &[u8] {
+        &self.spad[addr as usize..(addr + len) as usize]
+    }
+
+    /// Current value of a scalar register.
+    pub fn reg(&self, r: u8) -> i64 {
+        self.regs[r as usize]
+    }
+
+    fn dram_ensure(&mut self, addr: u64, len: u64) -> Result<(), ExecError> {
+        let end = addr.checked_add(len).ok_or(ExecError::OobDram { addr })?;
+        if end > self.config.dram.capacity_bytes {
+            return Err(ExecError::OobDram { addr: end });
+        }
+        if self.dram.len() < end as usize {
+            self.dram.resize(end as usize, 0);
+        }
+        Ok(())
+    }
+
+    fn spad_check(&self, addr: i128, len: u64) -> Result<usize, ExecError> {
+        if addr < 0 || addr + len as i128 > self.spad.len() as i128 {
+            return Err(ExecError::OobScratchpad { addr });
+        }
+        Ok(addr as usize)
+    }
+
+    fn read_elem(&self, addr: i128, dtype: Dtype) -> Result<f64, ExecError> {
+        let a = self.spad_check(addr, dtype.size())?;
+        let b = &self.spad[a..a + dtype.size() as usize];
+        Ok(match dtype {
+            Dtype::U8 => b[0] as f64,
+            Dtype::I8 => b[0] as i8 as f64,
+            Dtype::U16 => u16::from_le_bytes([b[0], b[1]]) as f64,
+            Dtype::I16 => i16::from_le_bytes([b[0], b[1]]) as f64,
+            Dtype::U32 => u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as f64,
+            Dtype::I32 => i32::from_le_bytes([b[0], b[1], b[2], b[3]]) as f64,
+            Dtype::F32 => f32::from_le_bytes([b[0], b[1], b[2], b[3]]) as f64,
+        })
+    }
+
+    fn read_int(&self, addr: i128, dtype: Dtype) -> Result<i64, ExecError> {
+        let a = self.spad_check(addr, dtype.size())?;
+        let b = &self.spad[a..a + dtype.size() as usize];
+        Ok(match dtype {
+            Dtype::U8 => b[0] as i64,
+            Dtype::I8 => b[0] as i8 as i64,
+            Dtype::U16 => u16::from_le_bytes([b[0], b[1]]) as i64,
+            Dtype::I16 => i16::from_le_bytes([b[0], b[1]]) as i64,
+            Dtype::U32 => u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as i64,
+            Dtype::I32 => i32::from_le_bytes([b[0], b[1], b[2], b[3]]) as i64,
+            Dtype::F32 => f32::from_le_bytes([b[0], b[1], b[2], b[3]]) as i64,
+        })
+    }
+
+    fn write_elem(&mut self, addr: i128, dtype: Dtype, v: f64) -> Result<(), ExecError> {
+        let a = self.spad_check(addr, dtype.size())?;
+        match dtype {
+            Dtype::U8 => self.spad[a] = v as i64 as u8,
+            Dtype::I8 => self.spad[a] = v as i64 as i8 as u8,
+            Dtype::U16 => {
+                self.spad[a..a + 2].copy_from_slice(&(v as i64 as u16).to_le_bytes());
+            }
+            Dtype::I16 => {
+                self.spad[a..a + 2].copy_from_slice(&(v as i64 as i16).to_le_bytes());
+            }
+            Dtype::U32 => {
+                self.spad[a..a + 4].copy_from_slice(&(v as i64 as u32).to_le_bytes());
+            }
+            Dtype::I32 => {
+                self.spad[a..a + 4].copy_from_slice(&(v as i64 as i32).to_le_bytes());
+            }
+            Dtype::F32 => {
+                self.spad[a..a + 4].copy_from_slice(&(v as f32).to_le_bytes());
+            }
+        }
+        Ok(())
+    }
+
+    fn write_int(&mut self, addr: i128, dtype: Dtype, v: i64) -> Result<(), ExecError> {
+        let a = self.spad_check(addr, dtype.size())?;
+        match dtype {
+            Dtype::U8 => self.spad[a] = v as u8,
+            Dtype::I8 => self.spad[a] = v as u8,
+            Dtype::U16 | Dtype::I16 => {
+                self.spad[a..a + 2].copy_from_slice(&(v as u16).to_le_bytes());
+            }
+            Dtype::U32 | Dtype::I32 => {
+                self.spad[a..a + 4].copy_from_slice(&(v as u32).to_le_bytes());
+            }
+            Dtype::F32 => {
+                self.spad[a..a + 4].copy_from_slice(&(v as f32).to_le_bytes());
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a program to completion, returning cycle and operation
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] for malformed programs or out-of-bounds
+    /// accesses; the machine's memories are left in their partial state.
+    pub fn run(&mut self, prog: &Program) -> Result<ExecStats, ExecError> {
+        if prog.encoded_bytes() > self.config.icache_bytes {
+            return Err(ExecError::ProgramTooLarge {
+                bytes: prog.encoded_bytes(),
+                icache: self.config.icache_bytes,
+            });
+        }
+        let mut st = ExecStats::default();
+        let mut issue: u64 = 0; // front-end clock
+        let mut exec: u64 = 0; // vector pipeline clock
+        let mut mem_free: u64 = 0; // off-chip engine clock
+        let mut dma_done: Vec<u64> = Vec::new();
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut pc: usize = 0;
+
+        while pc < prog.instrs.len() {
+            let instr = &prog.instrs[pc];
+            issue += 1;
+            st.instrs_issued += 1;
+            let mut next_pc = pc + 1;
+            match instr {
+                Instr::LoopDims { dims } => {
+                    if dims.iter().any(|d| *d == 0) {
+                        return Err(ExecError::ZeroLoopDim);
+                    }
+                    self.dims = *dims;
+                }
+                Instr::SetStride {
+                    port,
+                    strides,
+                    lane_stride,
+                } => {
+                    let p = &mut self.ports[port.index()];
+                    p.strides = *strides;
+                    p.lane_stride = *lane_stride;
+                }
+                Instr::SetBase { port, addr } => {
+                    self.ports[port.index()].base = *addr as i128;
+                }
+                Instr::AdvanceBase { port, delta } => {
+                    self.ports[port.index()].base += *delta as i128;
+                }
+                Instr::Dma {
+                    dir,
+                    dram,
+                    spad,
+                    bytes,
+                } => {
+                    let dram_addr = match dram {
+                        DramAddr::Imm(a) => *a as i128,
+                        DramAddr::Reg { reg, offset } => {
+                            if *reg as usize >= SCALAR_REGS {
+                                return Err(ExecError::BadRegister(*reg));
+                            }
+                            self.regs[*reg as usize] as i128 + *offset as i128
+                        }
+                    };
+                    if dram_addr < 0 {
+                        return Err(ExecError::OobDram { addr: 0 });
+                    }
+                    let dram_addr = dram_addr as u64;
+                    self.dram_ensure(dram_addr, *bytes)?;
+                    let s = self.spad_check(*spad as i128, *bytes)?;
+                    match dir {
+                        DmaDir::Load => {
+                            let d = dram_addr as usize;
+                            self.spad[s..s + *bytes as usize]
+                                .copy_from_slice(&self.dram[d..d + *bytes as usize]);
+                        }
+                        DmaDir::Store => {
+                            let d = dram_addr as usize;
+                            self.dram[d..d + *bytes as usize]
+                                .copy_from_slice(&self.spad[s..s + *bytes as usize]);
+                        }
+                    }
+                    let cycles = 32 + (*bytes as f64 / self.config.dram_bytes_per_cycle()).ceil()
+                        as u64;
+                    let start = mem_free.max(issue);
+                    mem_free = start + cycles;
+                    dma_done.push(mem_free);
+                    st.mem_busy_cycles += cycles;
+                    st.dram_bytes += bytes;
+                    st.dma_count += 1;
+                }
+                Instr::DmaGatherRows {
+                    dram_base,
+                    row_bytes,
+                    rows,
+                    idx_spad,
+                    spad,
+                } => {
+                    // Read the row index table first.
+                    let mut indices = Vec::with_capacity(*rows as usize);
+                    for i in 0..*rows {
+                        let v =
+                            self.read_int(*idx_spad as i128 + 4 * i as i128, Dtype::U32)? as u64;
+                        indices.push(v);
+                    }
+                    let total = *row_bytes * *rows as u64;
+                    self.spad_check(*spad as i128, total)?;
+                    for (i, idx) in indices.iter().enumerate() {
+                        let src = dram_base + idx * row_bytes;
+                        self.dram_ensure(src, *row_bytes)?;
+                        let s = (*spad + i as u64 * row_bytes) as usize;
+                        let d = src as usize;
+                        self.spad[s..s + *row_bytes as usize]
+                            .copy_from_slice(&self.dram[d..d + *row_bytes as usize]);
+                    }
+                    let cycles = 32
+                        + *rows as u64 * 4
+                        + (total as f64 / self.config.dram_bytes_per_cycle()).ceil() as u64;
+                    let start = mem_free.max(issue);
+                    mem_free = start + cycles;
+                    dma_done.push(mem_free);
+                    st.mem_busy_cycles += cycles;
+                    st.dram_bytes += total;
+                    st.dma_count += 1;
+                }
+                Instr::Vec {
+                    op,
+                    dtype,
+                    vlen,
+                    imm,
+                } => {
+                    let cycles = self.exec_vec(*op, *dtype, *vlen, *imm, &mut st)?;
+                    exec = exec.max(issue) + cycles;
+                    st.vec_busy_cycles += cycles;
+                    st.vec_instrs += 1;
+                }
+                Instr::Transpose { rows, cols, dtype } => {
+                    let cycles = self.exec_transpose(*rows, *cols, *dtype, &mut st)?;
+                    exec = exec.max(issue) + cycles;
+                    st.vec_busy_cycles += cycles;
+                    st.vec_instrs += 1;
+                }
+                Instr::Repeat { count, body } => {
+                    let end = pc + 1 + *body as usize;
+                    if end > prog.instrs.len() || *body == 0 {
+                        return Err(ExecError::BadRepeatBody);
+                    }
+                    if *count == 0 {
+                        next_pc = end;
+                    } else {
+                        frames.push(Frame {
+                            start: pc + 1,
+                            end,
+                            remaining: *count,
+                        });
+                    }
+                }
+                Instr::Sync(kind) => match kind {
+                    SyncKind::WaitMemCount(n) => {
+                        if *n > dma_done.len() as u64 {
+                            return Err(ExecError::WaitMemCountTooLarge {
+                                want: *n,
+                                issued: dma_done.len() as u64,
+                            });
+                        }
+                        if *n > 0 {
+                            issue = issue.max(dma_done[*n as usize - 1]);
+                        }
+                    }
+                    SyncKind::WaitMemPending(n) => {
+                        // The off-chip engine is FIFO, so completion
+                        // times are nondecreasing: at most `n` DMAs are
+                        // outstanding once the (len-n)-th has finished.
+                        if dma_done.len() as u64 > *n {
+                            let k = dma_done.len() - 1 - *n as usize;
+                            issue = issue.max(dma_done[k]);
+                        }
+                    }
+                    SyncKind::WaitMemAll => {
+                        issue = issue.max(mem_free);
+                    }
+                    SyncKind::WaitVec => {
+                        issue = issue.max(exec);
+                    }
+                    SyncKind::Start => {}
+                    SyncKind::End => {
+                        issue = issue.max(exec).max(mem_free);
+                    }
+                },
+                Instr::Scalar(s) => {
+                    st.scalar_instrs += 1;
+                    if let Some(target) = self.exec_scalar(s, pc)? {
+                        let (lo, hi) = match frames.last() {
+                            Some(f) => (f.start as i64, f.end as i64),
+                            None => (0, prog.instrs.len() as i64),
+                        };
+                        if target < lo || target > hi {
+                            return Err(ExecError::BranchOutOfFrame { target });
+                        }
+                        next_pc = target as usize;
+                        issue += 1; // taken-branch bubble
+                    }
+                }
+                Instr::Halt => break,
+            }
+            // Hardware-loop bookkeeping: falling onto a frame's end
+            // re-enters its body or pops it.
+            pc = next_pc;
+            while let Some(top) = frames.last_mut() {
+                if pc == top.end {
+                    top.remaining -= 1;
+                    if top.remaining == 0 {
+                        frames.pop();
+                    } else {
+                        pc = top.start;
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        st.cycles = issue.max(exec).max(mem_free);
+        Ok(st)
+    }
+
+    fn lane_penalty(&self, op: VectorOp, dtype: Dtype) -> u64 {
+        // Non-unit, non-broadcast lane strides serialize scratchpad
+        // banks. Gather/scatter already pay their own interval.
+        if matches!(op, VectorOp::Gather | VectorOp::Scatter) {
+            return 1;
+        }
+        let elem = dtype.size() as i64;
+        let mut penalty = 1;
+        let ports: &[Port] = if op.uses_src1() {
+            &[Port::Src0, Port::Src1, Port::Dst]
+        } else {
+            &[Port::Src0, Port::Dst]
+        };
+        for p in ports {
+            let ls = self.ports[p.index()].lane_stride;
+            if ls != 0 && ls != elem {
+                penalty = 4;
+            }
+        }
+        penalty
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_vec(
+        &mut self,
+        op: VectorOp,
+        dtype: Dtype,
+        vlen: u32,
+        imm: f64,
+        st: &mut ExecStats,
+    ) -> Result<u64, ExecError> {
+        if vlen == 0 || vlen > self.config.lanes {
+            return Err(ExecError::BadVlen {
+                vlen,
+                lanes: self.config.lanes,
+            });
+        }
+        if op.integer_only() && dtype.is_float() {
+            return Err(ExecError::IntOpOnFloat(op));
+        }
+        if op.float_only() && !dtype.is_float() {
+            return Err(ExecError::FloatOpOnInt(op));
+        }
+        let dims = self.dims;
+        let points: u64 = dims.iter().map(|d| *d as u64).product();
+        let dst_dtype = match op {
+            VectorOp::Cast(to) => to,
+            _ => dtype,
+        };
+        let elem = dtype.size() as i64;
+        let s0 = self.ports[Port::Src0.index()];
+        let s1 = self.ports[Port::Src1.index()];
+        let d = self.ports[Port::Dst.index()];
+
+        let mut idx = [0u32; MAX_DIMS];
+        loop {
+            let mut off0: i128 = 0;
+            let mut off1: i128 = 0;
+            let mut offd: i128 = 0;
+            for k in 0..MAX_DIMS {
+                off0 += idx[k] as i128 * s0.strides[k] as i128;
+                off1 += idx[k] as i128 * s1.strides[k] as i128;
+                offd += idx[k] as i128 * d.strides[k] as i128;
+            }
+            for lane in 0..vlen as i128 {
+                let a0 = s0.base + off0 + lane * s0.lane_stride as i128;
+                let a1 = s1.base + off1 + lane * s1.lane_stride as i128;
+                let ad = d.base + offd + lane * d.lane_stride as i128;
+                match op {
+                    // Float-or-int arithmetic computed in f64.
+                    VectorOp::Add
+                    | VectorOp::Sub
+                    | VectorOp::Mul
+                    | VectorOp::Div
+                    | VectorOp::Min
+                    | VectorOp::Max => {
+                        let x = self.read_elem(a0, dtype)?;
+                        let y = self.read_elem(a1, dtype)?;
+                        let r = match op {
+                            VectorOp::Add => x + y,
+                            VectorOp::Sub => x - y,
+                            VectorOp::Mul => x * y,
+                            VectorOp::Div => x / y,
+                            VectorOp::Min => x.min(y),
+                            VectorOp::Max => x.max(y),
+                            _ => unreachable!(),
+                        };
+                        self.write_elem(ad, dtype, r)?;
+                    }
+                    VectorOp::Mac => {
+                        let x = self.read_elem(a0, dtype)?;
+                        let y = self.read_elem(a1, dtype)?;
+                        let acc = self.read_elem(ad, dtype)?;
+                        self.write_elem(ad, dtype, acc + x * y)?;
+                    }
+                    VectorOp::And | VectorOp::Or | VectorOp::Xor => {
+                        let x = self.read_int(a0, dtype)?;
+                        let y = self.read_int(a1, dtype)?;
+                        let r = match op {
+                            VectorOp::And => x & y,
+                            VectorOp::Or => x | y,
+                            VectorOp::Xor => x ^ y,
+                            _ => unreachable!(),
+                        };
+                        self.write_int(ad, dtype, r)?;
+                    }
+                    VectorOp::Shl | VectorOp::Shr => {
+                        let x = self.read_int(a0, dtype)?;
+                        let sh = (imm as i64).clamp(0, 63) as u32;
+                        let r = match op {
+                            VectorOp::Shl => ((x as u64) << sh) as i64,
+                            VectorOp::Shr => {
+                                // Logical shift within the element width.
+                                let width_mask = match dtype.size() {
+                                    1 => 0xFFu64,
+                                    2 => 0xFFFF,
+                                    _ => 0xFFFF_FFFF,
+                                };
+                                (((x as u64) & width_mask) >> sh) as i64
+                            }
+                            _ => unreachable!(),
+                        };
+                        self.write_int(ad, dtype, r)?;
+                    }
+                    VectorOp::Copy => {
+                        let x = self.read_elem(a0, dtype)?;
+                        self.write_elem(ad, dtype, x)?;
+                    }
+                    VectorOp::Abs => {
+                        let x = self.read_elem(a0, dtype)?;
+                        self.write_elem(ad, dtype, x.abs())?;
+                    }
+                    VectorOp::Neg => {
+                        let x = self.read_elem(a0, dtype)?;
+                        self.write_elem(ad, dtype, -x)?;
+                    }
+                    VectorOp::Log => {
+                        let x = self.read_elem(a0, dtype)? as f32;
+                        self.write_elem(ad, dtype, x.ln() as f64)?;
+                    }
+                    VectorOp::Exp => {
+                        let x = self.read_elem(a0, dtype)? as f32;
+                        self.write_elem(ad, dtype, x.exp() as f64)?;
+                    }
+                    VectorOp::Sqrt => {
+                        let x = self.read_elem(a0, dtype)? as f32;
+                        self.write_elem(ad, dtype, x.sqrt() as f64)?;
+                    }
+                    VectorOp::Recip => {
+                        let x = self.read_elem(a0, dtype)? as f32;
+                        self.write_elem(ad, dtype, (1.0 / x) as f64)?;
+                    }
+                    VectorOp::AddS => {
+                        let x = self.read_elem(a0, dtype)?;
+                        self.write_elem(ad, dtype, x + imm)?;
+                    }
+                    VectorOp::MulS => {
+                        let x = self.read_elem(a0, dtype)?;
+                        self.write_elem(ad, dtype, x * imm)?;
+                    }
+                    VectorOp::MinS => {
+                        let x = self.read_elem(a0, dtype)?;
+                        self.write_elem(ad, dtype, x.min(imm))?;
+                    }
+                    VectorOp::MaxS => {
+                        let x = self.read_elem(a0, dtype)?;
+                        self.write_elem(ad, dtype, x.max(imm))?;
+                    }
+                    VectorOp::Fill => {
+                        self.write_elem(ad, dtype, imm)?;
+                    }
+                    VectorOp::Cast(to) => {
+                        if dtype.is_float() && !to.is_float() {
+                            // f32 -> int uses Rust saturating-trunc cast.
+                            let x = self.read_elem(a0, dtype)? as f32;
+                            let v = match to {
+                                Dtype::U8 => x as u8 as i64,
+                                Dtype::I8 => x as i8 as i64,
+                                Dtype::U16 => x as u16 as i64,
+                                Dtype::I16 => x as i16 as i64,
+                                Dtype::U32 => x as u32 as i64,
+                                Dtype::I32 => x as i32 as i64,
+                                Dtype::F32 => unreachable!(),
+                            };
+                            self.write_int(ad, to, v)?;
+                        } else if !dtype.is_float() {
+                            let x = self.read_int(a0, dtype)?;
+                            if to.is_float() {
+                                self.write_elem(ad, to, x as f64)?;
+                            } else {
+                                self.write_int(ad, to, x)?;
+                            }
+                        } else {
+                            // f32 -> f32: plain copy.
+                            let x = self.read_elem(a0, dtype)?;
+                            self.write_elem(ad, to, x)?;
+                        }
+                    }
+                    VectorOp::Bswap => {
+                        let n = dtype.size() as usize;
+                        let a = self.spad_check(a0, dtype.size())?;
+                        let mut bytes = self.spad[a..a + n].to_vec();
+                        bytes.reverse();
+                        let w = self.spad_check(ad, dtype.size())?;
+                        self.spad[w..w + n].copy_from_slice(&bytes);
+                    }
+                    VectorOp::Gather => {
+                        let i = self.read_int(a1, Dtype::U32)? as i128;
+                        let src = s0.base + i * elem as i128;
+                        let x = self.read_elem(src, dtype)?;
+                        self.write_elem(ad, dtype, x)?;
+                    }
+                    VectorOp::Scatter => {
+                        let i = self.read_int(a1, Dtype::U32)? as i128;
+                        let x = self.read_elem(a0, dtype)?;
+                        let tgt = d.base + offd + i * elem as i128;
+                        self.write_elem(tgt, dtype, x)?;
+                    }
+                }
+            }
+            st.vec_points += 1;
+            st.lane_ops += vlen as u64;
+            st.spad_bytes += vlen as u64
+                * (dtype.size() + dst_dtype.size() + if op.uses_src1() { dtype.size() } else { 0 });
+            // Advance the multi-index, innermost (last) dimension fastest.
+            let mut k = MAX_DIMS;
+            loop {
+                if k == 0 {
+                    // done
+                    let chunks = vlen.div_ceil(self.config.lanes.min(vlen)) as u64;
+                    let ii = op.issue_interval() * self.lane_penalty(op, dtype) * chunks;
+                    return Ok(op.fill_latency() + points * ii);
+                }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < dims[k] {
+                    break;
+                }
+                idx[k] = 0;
+            }
+        }
+    }
+
+    fn exec_transpose(
+        &mut self,
+        rows: u32,
+        cols: u32,
+        dtype: Dtype,
+        st: &mut ExecStats,
+    ) -> Result<u64, ExecError> {
+        let elem = dtype.size();
+        let src = self.ports[Port::Src0.index()].base;
+        let dst = self.ports[Port::Dst.index()].base;
+        let total = rows as u64 * cols as u64 * elem;
+        let s = self.spad_check(src, total)?;
+        let d0 = self.spad_check(dst, total)?;
+        let tile = self.spad[s..s + total as usize].to_vec();
+        for r in 0..rows as usize {
+            for c in 0..cols as usize {
+                let from = (r * cols as usize + c) * elem as usize;
+                let to = d0 + (c * rows as usize + r) * elem as usize;
+                self.spad[to..to + elem as usize]
+                    .copy_from_slice(&tile[from..from + elem as usize]);
+            }
+        }
+        let elems = rows as u64 * cols as u64;
+        st.spad_bytes += 2 * total;
+        st.lane_ops += elems;
+        // The Transposition Engine streams lanes-wide diagonals: two
+        // passes (read and write) at `lanes` elements per cycle.
+        Ok(8 + 2 * elems.div_ceil(self.config.lanes as u64))
+    }
+
+    /// Executes one scalar instruction; returns a branch target if taken.
+    fn exec_scalar(&mut self, s: &ScalarInstr, pc: usize) -> Result<Option<i64>, ExecError> {
+        let check = |r: u8| -> Result<usize, ExecError> {
+            if (r as usize) < SCALAR_REGS {
+                Ok(r as usize)
+            } else {
+                Err(ExecError::BadRegister(r))
+            }
+        };
+        match s {
+            ScalarInstr::LdImm { rd, imm } => {
+                self.regs[check(*rd)?] = *imm;
+            }
+            ScalarInstr::Alu { op, rd, rs1, rs2 } => {
+                let a = self.regs[check(*rs1)?];
+                let b = self.regs[check(*rs2)?];
+                self.regs[check(*rd)?] = match op {
+                    ScalarOp::Add => a.wrapping_add(b),
+                    ScalarOp::Sub => a.wrapping_sub(b),
+                    ScalarOp::Mul => a.wrapping_mul(b),
+                    ScalarOp::And => a & b,
+                    ScalarOp::Or => a | b,
+                    ScalarOp::Xor => a ^ b,
+                    ScalarOp::Shl => ((a as u64) << (b as u64 & 63)) as i64,
+                    ScalarOp::Shr => ((a as u64) >> (b as u64 & 63)) as i64,
+                    ScalarOp::Slt => (a < b) as i64,
+                };
+            }
+            ScalarInstr::AddImm { rd, rs, imm } => {
+                let a = self.regs[check(*rs)?];
+                self.regs[check(*rd)?] = a.wrapping_add(*imm);
+            }
+            ScalarInstr::Load {
+                rd,
+                ra,
+                offset,
+                dtype,
+            } => {
+                let addr = self.regs[check(*ra)?] as i128 + *offset as i128;
+                let v = self.read_int(addr, *dtype)?;
+                self.regs[check(*rd)?] = v;
+            }
+            ScalarInstr::Store {
+                rs,
+                ra,
+                offset,
+                dtype,
+            } => {
+                let addr = self.regs[check(*ra)?] as i128 + *offset as i128;
+                let v = self.regs[check(*rs)?];
+                self.write_int(addr, *dtype, v)?;
+            }
+            ScalarInstr::Bnez { rs, offset } => {
+                if self.regs[check(*rs)?] != 0 {
+                    return Ok(Some(pc as i64 + *offset as i64));
+                }
+            }
+            ScalarInstr::Beqz { rs, offset } => {
+                if self.regs[check(*rs)?] == 0 {
+                    return Ok(Some(pc as i64 + *offset as i64));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> DrxConfig {
+        let mut c = DrxConfig::default();
+        c.dram.capacity_bytes = 1 << 20;
+        c
+    }
+
+    fn vec_cfg(ports: &mut Program, base0: u64, based: u64, n: u32, elem: i64) {
+        ports.push(Instr::LoopDims {
+            dims: [1, 1, 1, n],
+        });
+        ports.push(Instr::SetBase {
+            port: Port::Src0,
+            addr: base0,
+        });
+        ports.push(Instr::SetStride {
+            port: Port::Src0,
+            strides: [0, 0, 0, elem * 128],
+            lane_stride: elem,
+        });
+        ports.push(Instr::SetBase {
+            port: Port::Dst,
+            addr: based,
+        });
+        ports.push(Instr::SetStride {
+            port: Port::Dst,
+            strides: [0, 0, 0, elem * 128],
+            lane_stride: elem,
+        });
+    }
+
+    #[test]
+    fn muls_end_to_end() {
+        let mut m = Machine::new(small_cfg());
+        let xs: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let bytes: Vec<u8> = xs.iter().flat_map(|x| x.to_le_bytes()).collect();
+        m.write_dram(0, &bytes);
+        let mut p = Program::new();
+        p.push(Instr::Sync(SyncKind::Start));
+        p.push(Instr::Dma {
+            dir: DmaDir::Load,
+            dram: DramAddr::Imm(0),
+            spad: 0,
+            bytes: 1024,
+        });
+        p.push(Instr::Sync(SyncKind::WaitMemAll));
+        vec_cfg(&mut p, 0, 2048, 2, 4);
+        p.push(Instr::Vec {
+            op: VectorOp::MulS,
+            dtype: Dtype::F32,
+            vlen: 128,
+            imm: 3.0,
+        });
+        p.push(Instr::Sync(SyncKind::WaitVec));
+        p.push(Instr::Dma {
+            dir: DmaDir::Store,
+            dram: DramAddr::Imm(4096),
+            spad: 2048,
+            bytes: 1024,
+        });
+        p.push(Instr::Sync(SyncKind::End));
+        p.push(Instr::Halt);
+        let st = m.run(&p).unwrap();
+        let out = m.read_dram(4096, 1024);
+        for (i, chunk) in out.chunks(4).enumerate() {
+            let v = f32::from_le_bytes(chunk.try_into().unwrap());
+            assert_eq!(v, i as f32 * 3.0);
+        }
+        assert_eq!(st.vec_points, 2);
+        assert_eq!(st.lane_ops, 256);
+        assert_eq!(st.dma_count, 2);
+        assert_eq!(st.dram_bytes, 2048);
+        assert!(st.cycles > 0);
+    }
+
+    #[test]
+    fn mac_with_zero_stride_reduces() {
+        // dst stride 0 over the loop dim: dst[lane] += a[i][lane]*b[i][lane]
+        let mut m = Machine::new(small_cfg());
+        let mut p = Program::new();
+        // a = [1,2,3,4] per lane row; b = all ones
+        for i in 0..4u32 {
+            let v = (i + 1) as f32;
+            for lane in 0..4u32 {
+                let a = (i * 4 + lane) as usize * 4;
+                m.spad[a..a + 4].copy_from_slice(&v.to_le_bytes());
+                let b = 64 + (i * 4 + lane) as usize * 4;
+                m.spad[b..b + 4].copy_from_slice(&1f32.to_le_bytes());
+            }
+        }
+        p.push(Instr::LoopDims { dims: [1, 1, 1, 4] });
+        p.push(Instr::SetBase { port: Port::Src0, addr: 0 });
+        p.push(Instr::SetStride {
+            port: Port::Src0,
+            strides: [0, 0, 0, 16],
+            lane_stride: 4,
+        });
+        p.push(Instr::SetBase { port: Port::Src1, addr: 64 });
+        p.push(Instr::SetStride {
+            port: Port::Src1,
+            strides: [0, 0, 0, 16],
+            lane_stride: 4,
+        });
+        p.push(Instr::SetBase { port: Port::Dst, addr: 256 });
+        p.push(Instr::SetStride {
+            port: Port::Dst,
+            strides: [0, 0, 0, 0],
+            lane_stride: 4,
+        });
+        p.push(Instr::Vec {
+            op: VectorOp::Mac,
+            dtype: Dtype::F32,
+            vlen: 4,
+            imm: 0.0,
+        });
+        p.push(Instr::Halt);
+        m.run(&p).unwrap();
+        for lane in 0..4 {
+            let a = 256 + lane * 4;
+            let v = f32::from_le_bytes(m.spad[a..a + 4].try_into().unwrap());
+            assert_eq!(v, 10.0); // 1+2+3+4
+        }
+    }
+
+    #[test]
+    fn cast_f32_to_u8_saturates() {
+        let mut m = Machine::new(small_cfg());
+        let vals = [-5.0f32, 0.0, 127.9, 300.0];
+        for (i, v) in vals.iter().enumerate() {
+            m.spad[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        let mut p = Program::new();
+        p.push(Instr::LoopDims { dims: [1, 1, 1, 1] });
+        p.push(Instr::SetBase { port: Port::Src0, addr: 0 });
+        p.push(Instr::SetStride {
+            port: Port::Src0,
+            strides: [0; 4],
+            lane_stride: 4,
+        });
+        p.push(Instr::SetBase { port: Port::Dst, addr: 128 });
+        p.push(Instr::SetStride {
+            port: Port::Dst,
+            strides: [0; 4],
+            lane_stride: 1,
+        });
+        p.push(Instr::Vec {
+            op: VectorOp::Cast(Dtype::U8),
+            dtype: Dtype::F32,
+            vlen: 4,
+            imm: 0.0,
+        });
+        p.push(Instr::Halt);
+        m.run(&p).unwrap();
+        assert_eq!(&m.spad[128..132], &[0, 0, 127, 255]);
+    }
+
+    #[test]
+    fn gather_reads_indexed_elements() {
+        let mut m = Machine::new(small_cfg());
+        // data at 0: [10,20,30,40] f32; indices at 64: [3,0,2,1] u32
+        for (i, v) in [10f32, 20.0, 30.0, 40.0].iter().enumerate() {
+            m.spad[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        for (i, v) in [3u32, 0, 2, 1].iter().enumerate() {
+            m.spad[64 + i * 4..64 + i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        let mut p = Program::new();
+        p.push(Instr::LoopDims { dims: [1, 1, 1, 1] });
+        p.push(Instr::SetBase { port: Port::Src0, addr: 0 });
+        p.push(Instr::SetStride {
+            port: Port::Src0,
+            strides: [0; 4],
+            lane_stride: 4,
+        });
+        p.push(Instr::SetBase { port: Port::Src1, addr: 64 });
+        p.push(Instr::SetStride {
+            port: Port::Src1,
+            strides: [0; 4],
+            lane_stride: 4,
+        });
+        p.push(Instr::SetBase { port: Port::Dst, addr: 128 });
+        p.push(Instr::SetStride {
+            port: Port::Dst,
+            strides: [0; 4],
+            lane_stride: 4,
+        });
+        p.push(Instr::Vec {
+            op: VectorOp::Gather,
+            dtype: Dtype::F32,
+            vlen: 4,
+            imm: 0.0,
+        });
+        p.push(Instr::Halt);
+        m.run(&p).unwrap();
+        let out: Vec<f32> = (0..4)
+            .map(|i| f32::from_le_bytes(m.spad[128 + i * 4..132 + i * 4].try_into().unwrap()))
+            .collect();
+        assert_eq!(out, vec![40.0, 10.0, 30.0, 20.0]);
+    }
+
+    #[test]
+    fn transpose_tile() {
+        let mut m = Machine::new(small_cfg());
+        // 2x3 u32 tile [[1,2,3],[4,5,6]] -> 3x2 [[1,4],[2,5],[3,6]]
+        for (i, v) in [1u32, 2, 3, 4, 5, 6].iter().enumerate() {
+            m.spad[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        let mut p = Program::new();
+        p.push(Instr::SetBase { port: Port::Src0, addr: 0 });
+        p.push(Instr::SetBase { port: Port::Dst, addr: 256 });
+        p.push(Instr::Transpose {
+            rows: 2,
+            cols: 3,
+            dtype: Dtype::U32,
+        });
+        p.push(Instr::Halt);
+        m.run(&p).unwrap();
+        let out: Vec<u32> = (0..6)
+            .map(|i| u32::from_le_bytes(m.spad[256 + i * 4..260 + i * 4].try_into().unwrap()))
+            .collect();
+        assert_eq!(out, vec![1, 4, 2, 5, 3, 6]);
+    }
+
+    #[test]
+    fn repeat_walks_tiles_with_advance_base() {
+        let mut m = Machine::new(small_cfg());
+        for i in 0..8u32 {
+            let v = i as f32;
+            m.spad[i as usize * 4..i as usize * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        let mut p = Program::new();
+        p.push(Instr::LoopDims { dims: [1, 1, 1, 1] });
+        p.push(Instr::SetBase { port: Port::Src0, addr: 0 });
+        p.push(Instr::SetStride {
+            port: Port::Src0,
+            strides: [0; 4],
+            lane_stride: 4,
+        });
+        p.push(Instr::SetBase { port: Port::Dst, addr: 512 });
+        p.push(Instr::SetStride {
+            port: Port::Dst,
+            strides: [0; 4],
+            lane_stride: 4,
+        });
+        // 4 tiles of 2 lanes each: out = in + 100
+        p.push(Instr::Repeat { count: 4, body: 3 });
+        p.push(Instr::Vec {
+            op: VectorOp::AddS,
+            dtype: Dtype::F32,
+            vlen: 2,
+            imm: 100.0,
+        });
+        p.push(Instr::AdvanceBase { port: Port::Src0, delta: 8 });
+        p.push(Instr::AdvanceBase { port: Port::Dst, delta: 8 });
+        p.push(Instr::Halt);
+        let st = m.run(&p).unwrap();
+        assert_eq!(st.vec_instrs, 4);
+        for i in 0..8usize {
+            let v = f32::from_le_bytes(m.spad[512 + i * 4..516 + i * 4].try_into().unwrap());
+            assert_eq!(v, i as f32 + 100.0);
+        }
+    }
+
+    #[test]
+    fn scalar_loop_sums() {
+        // Sum 1..=10 with a scalar loop: r1 = counter, r2 = acc.
+        let mut m = Machine::new(small_cfg());
+        let mut p = Program::new();
+        p.push(Instr::Scalar(ScalarInstr::LdImm { rd: 1, imm: 10 }));
+        p.push(Instr::Scalar(ScalarInstr::LdImm { rd: 2, imm: 0 }));
+        // loop: r2 += r1; r1 -= 1; bnez r1, -2
+        p.push(Instr::Scalar(ScalarInstr::Alu {
+            op: ScalarOp::Add,
+            rd: 2,
+            rs1: 2,
+            rs2: 1,
+        }));
+        p.push(Instr::Scalar(ScalarInstr::AddImm {
+            rd: 1,
+            rs: 1,
+            imm: -1,
+        }));
+        p.push(Instr::Scalar(ScalarInstr::Bnez { rs: 1, offset: -2 }));
+        p.push(Instr::Halt);
+        let st = m.run(&p).unwrap();
+        assert_eq!(m.reg(2), 55);
+        assert!(st.scalar_instrs > 20);
+    }
+
+    #[test]
+    fn dma_overlaps_compute_with_double_buffering() {
+        // Issue a long DMA, then compute that does NOT wait on it:
+        // total cycles should be ~max(dma, compute), not the sum.
+        let cfg = small_cfg();
+        let mut m = Machine::new(cfg);
+        m.write_dram(0, &vec![0u8; 32 << 10]);
+        let mut p = Program::new();
+        p.push(Instr::Dma {
+            dir: DmaDir::Load,
+            dram: DramAddr::Imm(0),
+            spad: 0,
+            bytes: 32 << 10,
+        });
+        vec_cfg(&mut p, 32 << 10, 48 << 10, 32, 4);
+        // Note: bases above are beyond half; keep within 64 KiB spad.
+        p.push(Instr::Vec {
+            op: VectorOp::AddS,
+            dtype: Dtype::F32,
+            vlen: 128,
+            imm: 1.0,
+        });
+        p.push(Instr::Sync(SyncKind::End));
+        p.push(Instr::Halt);
+        let st = m.run(&p).unwrap();
+        let serial = st.vec_busy_cycles + st.mem_busy_cycles;
+        assert!(
+            st.cycles < serial,
+            "expected overlap: cycles={} serial={serial}",
+            st.cycles
+        );
+    }
+
+    #[test]
+    fn sync_mem_count_waits_for_specific_dma() {
+        let mut m = Machine::new(small_cfg());
+        m.write_dram(0, &[1, 2, 3, 4]);
+        let mut p = Program::new();
+        p.push(Instr::Dma {
+            dir: DmaDir::Load,
+            dram: DramAddr::Imm(0),
+            spad: 0,
+            bytes: 4,
+        });
+        p.push(Instr::Sync(SyncKind::WaitMemCount(1)));
+        p.push(Instr::Halt);
+        assert!(m.run(&p).is_ok());
+        let mut bad = Program::new();
+        bad.push(Instr::Sync(SyncKind::WaitMemCount(1)));
+        assert_eq!(
+            m.run(&bad),
+            Err(ExecError::WaitMemCountTooLarge { want: 1, issued: 0 })
+        );
+    }
+
+    #[test]
+    fn gather_rows_dma() {
+        let mut m = Machine::new(small_cfg());
+        // 4 rows of 8 bytes in DRAM: row i filled with byte i.
+        for i in 0..4u8 {
+            m.write_dram(i as u64 * 8, &[i; 8]);
+        }
+        // index table [2, 0] at spad 0
+        m.spad[0..4].copy_from_slice(&2u32.to_le_bytes());
+        m.spad[4..8].copy_from_slice(&0u32.to_le_bytes());
+        let mut p = Program::new();
+        p.push(Instr::DmaGatherRows {
+            dram_base: 0,
+            row_bytes: 8,
+            rows: 2,
+            idx_spad: 0,
+            spad: 64,
+        });
+        p.push(Instr::Sync(SyncKind::WaitMemAll));
+        p.push(Instr::Halt);
+        let st = m.run(&p).unwrap();
+        assert_eq!(&m.spad[64..72], &[2u8; 8]);
+        assert_eq!(&m.spad[72..80], &[0u8; 8]);
+        assert_eq!(st.dram_bytes, 16);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut m = Machine::new(small_cfg());
+        // OOB scratchpad
+        let mut p = Program::new();
+        p.push(Instr::LoopDims { dims: [1, 1, 1, 1] });
+        p.push(Instr::SetBase {
+            port: Port::Src0,
+            addr: 1 << 20,
+        });
+        p.push(Instr::Vec {
+            op: VectorOp::Copy,
+            dtype: Dtype::F32,
+            vlen: 1,
+            imm: 0.0,
+        });
+        assert!(matches!(
+            m.run(&p),
+            Err(ExecError::OobScratchpad { .. })
+        ));
+        // bad vlen
+        let p: Program = [Instr::Vec {
+            op: VectorOp::Copy,
+            dtype: Dtype::F32,
+            vlen: 9999,
+            imm: 0.0,
+        }]
+        .into_iter()
+        .collect();
+        assert!(matches!(m.run(&p), Err(ExecError::BadVlen { .. })));
+        // float op on int
+        let p: Program = [Instr::Vec {
+            op: VectorOp::Log,
+            dtype: Dtype::I32,
+            vlen: 1,
+            imm: 0.0,
+        }]
+        .into_iter()
+        .collect();
+        assert_eq!(m.run(&p), Err(ExecError::FloatOpOnInt(VectorOp::Log)));
+        // int op on float
+        let p: Program = [Instr::Vec {
+            op: VectorOp::Xor,
+            dtype: Dtype::F32,
+            vlen: 1,
+            imm: 0.0,
+        }]
+        .into_iter()
+        .collect();
+        assert_eq!(m.run(&p), Err(ExecError::IntOpOnFloat(VectorOp::Xor)));
+        // zero loop dim
+        let p: Program = [Instr::LoopDims { dims: [0, 1, 1, 1] }].into_iter().collect();
+        assert_eq!(m.run(&p), Err(ExecError::ZeroLoopDim));
+    }
+
+    #[test]
+    fn icache_limit_enforced() {
+        let mut cfg = small_cfg();
+        cfg.icache_bytes = 256; // 16 instructions
+        let mut m = Machine::new(cfg);
+        let p: Program = std::iter::repeat_with(|| Instr::Sync(SyncKind::Start))
+            .take(17)
+            .collect();
+        assert!(matches!(m.run(&p), Err(ExecError::ProgramTooLarge { .. })));
+    }
+
+    #[test]
+    fn bswap_converts_endianness() {
+        let mut m = Machine::new(small_cfg());
+        m.spad[0..4].copy_from_slice(&0x1122_3344u32.to_le_bytes());
+        let mut p = Program::new();
+        p.push(Instr::LoopDims { dims: [1, 1, 1, 1] });
+        p.push(Instr::SetBase { port: Port::Src0, addr: 0 });
+        p.push(Instr::SetStride {
+            port: Port::Src0,
+            strides: [0; 4],
+            lane_stride: 4,
+        });
+        p.push(Instr::SetBase { port: Port::Dst, addr: 64 });
+        p.push(Instr::SetStride {
+            port: Port::Dst,
+            strides: [0; 4],
+            lane_stride: 4,
+        });
+        p.push(Instr::Vec {
+            op: VectorOp::Bswap,
+            dtype: Dtype::U32,
+            vlen: 1,
+            imm: 0.0,
+        });
+        p.push(Instr::Halt);
+        m.run(&p).unwrap();
+        let v = u32::from_le_bytes(m.spad[64..68].try_into().unwrap());
+        assert_eq!(v, 0x4433_2211);
+    }
+
+    #[test]
+    fn branch_escaping_frame_is_error() {
+        let mut m = Machine::new(small_cfg());
+        let mut p = Program::new();
+        p.push(Instr::Repeat { count: 2, body: 1 });
+        p.push(Instr::Scalar(ScalarInstr::Beqz { rs: 0, offset: 5 }));
+        p.push(Instr::Halt);
+        assert!(matches!(
+            m.run(&p),
+            Err(ExecError::BranchOutOfFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn more_lanes_fewer_cycles() {
+        let run_with = |lanes: u32| -> u64 {
+            let mut cfg = small_cfg().with_lanes(lanes);
+            cfg.scratchpad_bytes = 64 << 10;
+            let mut m = Machine::new(cfg);
+            let mut p = Program::new();
+            // 4096 elements in chunks of `lanes`.
+            let n = 4096 / lanes;
+            p.push(Instr::LoopDims { dims: [1, 1, 1, n] });
+            p.push(Instr::SetBase { port: Port::Src0, addr: 0 });
+            p.push(Instr::SetStride {
+                port: Port::Src0,
+                strides: [0, 0, 0, 4 * lanes as i64],
+                lane_stride: 4,
+            });
+            p.push(Instr::SetBase { port: Port::Dst, addr: 16384 });
+            p.push(Instr::SetStride {
+                port: Port::Dst,
+                strides: [0, 0, 0, 4 * lanes as i64],
+                lane_stride: 4,
+            });
+            p.push(Instr::Vec {
+                op: VectorOp::AddS,
+                dtype: Dtype::F32,
+                vlen: lanes,
+                imm: 1.0,
+            });
+            p.push(Instr::Halt);
+            m.run(&p).unwrap().cycles
+        };
+        let c32 = run_with(32);
+        let c128 = run_with(128);
+        assert!(c32 > 3 * c128, "c32={c32} c128={c128}");
+    }
+}

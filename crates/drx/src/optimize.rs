@@ -1,0 +1,539 @@
+//! Peephole optimizer for DRX programs: drops redundant front-end
+//! configuration instructions.
+//!
+//! The code generator emits port strides/bases and loop dimensions per
+//! statement part; consecutive statements frequently repeat identical
+//! configurations. Since every configuration instruction still costs an
+//! issue cycle on the in-order front-end, removing exact duplicates
+//! shortens programs and shaves issue cycles without touching
+//! semantics.
+//!
+//! Safety rules:
+//!
+//! * knowledge is tracked per straight-line region only — entering a
+//!   [`Instr::Repeat`] body, leaving it, or crossing a scalar branch
+//!   flushes all knowledge (hardware-loop back-edges and branch targets
+//!   make cross-boundary knowledge unsound);
+//! * [`Instr::AdvanceBase`] invalidates that port's base (it is
+//!   relative);
+//! * dropped instructions are configuration no-ops, so a scalar branch
+//!   landing on one simply flows to the next kept instruction — branch
+//!   offsets and `Repeat` body lengths are rewritten accordingly.
+
+use crate::isa::{Instr, Program, ScalarInstr, MAX_DIMS};
+
+/// What the optimizer did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions before.
+    pub before: usize,
+    /// Instructions after.
+    pub after: usize,
+}
+
+impl OptStats {
+    /// Instructions removed.
+    pub fn removed(&self) -> usize {
+        self.before - self.after
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct PortState {
+    strides: Option<([i64; MAX_DIMS], i64)>,
+    base: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FrontEndState {
+    ports: [PortState; 3],
+    dims: Option<[u32; MAX_DIMS]>,
+}
+
+impl FrontEndState {
+    fn flush(&mut self) {
+        *self = FrontEndState::default();
+    }
+}
+
+/// Optimizes a program; returns the smaller program and statistics.
+///
+/// The result is semantically identical: every execution (results,
+/// DRAM contents, register file) matches the original, with issue
+/// cycles reduced by one per removed instruction.
+pub fn optimize(prog: &Program) -> (Program, OptStats) {
+    let n = prog.instrs.len();
+    let mut keep = vec![true; n];
+    let mut state = FrontEndState::default();
+    // Indices (exclusive) at which active Repeat bodies end.
+    let mut body_ends: Vec<usize> = Vec::new();
+    // Scalar-branch targets are basic-block boundaries: execution can
+    // re-enter there with different machine state, so knowledge must
+    // not flow across them (a duplicate at a target might be the very
+    // instruction that restores state on the next loop iteration).
+    let mut is_target = vec![false; n + 1];
+    for (i, instr) in prog.instrs.iter().enumerate() {
+        if let Instr::Scalar(ScalarInstr::Bnez { offset, .. })
+        | Instr::Scalar(ScalarInstr::Beqz { offset, .. }) = instr
+        {
+            let target = i as i64 + *offset as i64;
+            if (0..=n as i64).contains(&target) {
+                is_target[target as usize] = true;
+            }
+        }
+    }
+
+    for (i, instr) in prog.instrs.iter().enumerate() {
+        while body_ends.last() == Some(&i) {
+            body_ends.pop();
+            state.flush();
+        }
+        if is_target[i] {
+            state.flush();
+        }
+        match instr {
+            Instr::LoopDims { dims } => {
+                if state.dims == Some(*dims) {
+                    keep[i] = false;
+                } else {
+                    state.dims = Some(*dims);
+                }
+            }
+            Instr::SetStride {
+                port,
+                strides,
+                lane_stride,
+            } => {
+                let p = &mut state.ports[port.index()];
+                if p.strides == Some((*strides, *lane_stride)) {
+                    keep[i] = false;
+                } else {
+                    p.strides = Some((*strides, *lane_stride));
+                }
+            }
+            Instr::SetBase { port, addr } => {
+                let p = &mut state.ports[port.index()];
+                if p.base == Some(*addr) {
+                    keep[i] = false;
+                } else {
+                    p.base = Some(*addr);
+                }
+            }
+            Instr::AdvanceBase { port, .. } => {
+                state.ports[port.index()].base = None;
+            }
+            Instr::Repeat { body, .. } => {
+                state.flush();
+                body_ends.push(i + 1 + *body as usize);
+            }
+            Instr::Scalar(ScalarInstr::Bnez { .. }) | Instr::Scalar(ScalarInstr::Beqz { .. }) => {
+                state.flush();
+            }
+            // Compute, DMA, sync and scalar ALU instructions neither
+            // read nor perturb the tracked configuration state.
+            _ => {}
+        }
+    }
+
+    // New index of each original instruction (dropped ones map to the
+    // next kept instruction, where execution would flow anyway).
+    let mut new_index = vec![0usize; n + 1];
+    let mut cursor = 0usize;
+    for i in 0..n {
+        new_index[i] = cursor;
+        if keep[i] {
+            cursor += 1;
+        }
+    }
+    new_index[n] = cursor;
+
+    let mut out = Program::new();
+    for (i, instr) in prog.instrs.iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        let rewritten = match instr {
+            Instr::Repeat { count, body } => {
+                let end = i + 1 + *body as usize;
+                let new_body = (new_index[end] - new_index[i + 1]) as u32;
+                if new_body == 0 {
+                    // The body was configuration-only and fully removed;
+                    // looping over nothing is a no-op.
+                    continue;
+                }
+                Instr::Repeat {
+                    count: *count,
+                    body: new_body,
+                }
+            }
+            Instr::Scalar(ScalarInstr::Bnez { rs, offset }) => {
+                let target = (i as i64 + *offset as i64) as usize;
+                Instr::Scalar(ScalarInstr::Bnez {
+                    rs: *rs,
+                    offset: (new_index[target] as i64 - new_index[i] as i64) as i32,
+                })
+            }
+            Instr::Scalar(ScalarInstr::Beqz { rs, offset }) => {
+                let target = (i as i64 + *offset as i64) as usize;
+                Instr::Scalar(ScalarInstr::Beqz {
+                    rs: *rs,
+                    offset: (new_index[target] as i64 - new_index[i] as i64) as i32,
+                })
+            }
+            other => other.clone(),
+        };
+        out.push(rewritten);
+    }
+    let stats = OptStats {
+        before: n,
+        after: out.len(),
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Dtype, Port, SyncKind, VectorOp};
+
+    fn set_base(port: Port, addr: u64) -> Instr {
+        Instr::SetBase { port, addr }
+    }
+
+    fn vec_op() -> Instr {
+        Instr::Vec {
+            op: VectorOp::Copy,
+            dtype: Dtype::F32,
+            vlen: 1,
+            imm: 0.0,
+        }
+    }
+
+    #[test]
+    fn drops_exact_duplicates() {
+        let prog: Program = [
+            set_base(Port::Src0, 0),
+            vec_op(),
+            set_base(Port::Src0, 0), // duplicate
+            vec_op(),
+            set_base(Port::Src0, 64), // changed: kept
+            vec_op(),
+        ]
+        .into_iter()
+        .collect();
+        let (opt, stats) = optimize(&prog);
+        assert_eq!(stats.removed(), 1);
+        assert_eq!(opt.len(), 5);
+    }
+
+    #[test]
+    fn advance_base_invalidates() {
+        let prog: Program = [
+            set_base(Port::Dst, 0),
+            Instr::AdvanceBase {
+                port: Port::Dst,
+                delta: 8,
+            },
+            set_base(Port::Dst, 0), // NOT a duplicate after advance
+        ]
+        .into_iter()
+        .collect();
+        let (opt, stats) = optimize(&prog);
+        assert_eq!(stats.removed(), 0);
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn repeat_boundaries_flush_knowledge() {
+        let prog: Program = [
+            set_base(Port::Src0, 0),
+            Instr::Repeat { count: 3, body: 2 },
+            set_base(Port::Src0, 0), // first body instr: kept (loop back-edge)
+            Instr::AdvanceBase {
+                port: Port::Src0,
+                delta: 4,
+            },
+            set_base(Port::Src0, 0), // after body: kept (body changed it)
+        ]
+        .into_iter()
+        .collect();
+        let (opt, stats) = optimize(&prog);
+        assert_eq!(stats.removed(), 0);
+        assert_eq!(opt.len(), 5);
+    }
+
+    #[test]
+    fn duplicates_within_a_body_are_dropped_and_body_shrinks() {
+        let prog: Program = [
+            Instr::Repeat { count: 2, body: 4 },
+            set_base(Port::Src0, 8),
+            set_base(Port::Src0, 8), // in-body duplicate
+            vec_op(),
+            Instr::Sync(SyncKind::WaitVec),
+            Instr::Halt,
+        ]
+        .into_iter()
+        .collect();
+        let (opt, stats) = optimize(&prog);
+        assert_eq!(stats.removed(), 1);
+        match &opt.instrs[0] {
+            Instr::Repeat { count, body } => {
+                assert_eq!(*count, 2);
+                assert_eq!(*body, 3);
+            }
+            other => panic!("expected repeat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn body_duplicate_of_preloop_state_survives() {
+        // The body instruction duplicates the pre-loop configuration,
+        // but the hardware loop's back-edge means knowledge must not
+        // flow into the body — it stays.
+        let prog: Program = [
+            set_base(Port::Src0, 8),
+            Instr::Repeat { count: 5, body: 1 },
+            set_base(Port::Src0, 8),
+            Instr::Halt,
+        ]
+        .into_iter()
+        .collect();
+        let (opt, stats) = optimize(&prog);
+        assert_eq!(stats.removed(), 0);
+        assert_eq!(opt, prog);
+    }
+
+    #[test]
+    fn branch_targets_block_elimination() {
+        // A config at a backward-branch target must survive even when
+        // it duplicates straight-line state: a loop iteration may have
+        // invalidated the port in between.
+        let prog: Program = [
+            set_base(Port::Src0, 0),
+            set_base(Port::Src0, 0), // branch target: must be KEPT
+            Instr::AdvanceBase {
+                port: Port::Src0,
+                delta: 4,
+            },
+            Instr::Scalar(ScalarInstr::AddImm {
+                rd: 1,
+                rs: 1,
+                imm: -1,
+            }),
+            Instr::Scalar(ScalarInstr::Bnez { rs: 1, offset: -3 }),
+            Instr::Halt,
+        ]
+        .into_iter()
+        .collect();
+        let (opt, stats) = optimize(&prog);
+        assert_eq!(stats.removed(), 0, "nothing may be dropped here");
+        assert_eq!(opt, prog);
+    }
+
+    #[test]
+    fn branch_offsets_are_rewritten_over_dropped_configs() {
+        // A duplicate BEFORE the loop is dropped; the backward branch
+        // into the loop head must be re-aimed at the same instruction.
+        let prog: Program = [
+            set_base(Port::Src0, 0),
+            set_base(Port::Src0, 0), // duplicate, not a target -> dropped
+            Instr::Scalar(ScalarInstr::LdImm { rd: 1, imm: 3 }),
+            // loop head (target) at 3:
+            Instr::Scalar(ScalarInstr::AddImm {
+                rd: 1,
+                rs: 1,
+                imm: -1,
+            }),
+            Instr::Scalar(ScalarInstr::Bnez { rs: 1, offset: -1 }),
+            Instr::Halt,
+        ]
+        .into_iter()
+        .collect();
+        let (opt, stats) = optimize(&prog);
+        assert_eq!(stats.removed(), 1);
+        let bnez_at = opt
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::Scalar(ScalarInstr::Bnez { .. })))
+            .expect("branch kept");
+        if let Instr::Scalar(ScalarInstr::Bnez { offset, .. }) = opt.instrs[bnez_at] {
+            let target = (bnez_at as i64 + offset as i64) as usize;
+            assert!(matches!(
+                opt.instrs[target],
+                Instr::Scalar(ScalarInstr::AddImm { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let prog: Program = [
+            set_base(Port::Src0, 0),
+            set_base(Port::Src0, 0),
+            Instr::LoopDims { dims: [1, 1, 1, 4] },
+            Instr::LoopDims { dims: [1, 1, 1, 4] },
+            vec_op(),
+            Instr::Halt,
+        ]
+        .into_iter()
+        .collect();
+        let (once, _) = optimize(&prog);
+        let (twice, stats) = optimize(&once);
+        assert_eq!(once, twice);
+        assert_eq!(stats.removed(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Static synchronization linting
+// ---------------------------------------------------------------------
+
+/// A potential synchronization hazard found by [`check_sync_hazards`].
+///
+/// The machine executes functionally in program order, so a missing
+/// fence never corrupts *results* — but it makes the *timing* model
+/// optimistic (an engine would appear to consume data before the other
+/// engine produced it). The compiler must therefore fence; this lint
+/// verifies it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncHazard {
+    /// A vector/transpose instruction issued while DMA loads were
+    /// outstanding with no memory fence since the last load.
+    VecAfterUnfencedLoad {
+        /// Instruction index of the compute op.
+        at: usize,
+    },
+    /// A DMA store issued while vector work was outstanding with no
+    /// `sync.vec` since the last compute op.
+    StoreAfterUnfencedVec {
+        /// Instruction index of the store.
+        at: usize,
+    },
+}
+
+/// Scans a program for missing fences between the off-chip engine and
+/// the vector pipeline.
+///
+/// The check is intentionally coarse (it does not track scratchpad
+/// regions, so double-buffered code that *correctly* overlaps via
+/// ping/pong buffers must still fence with `sync.pending` — which the
+/// compiler does). Hardware-loop bodies are analyzed like straight-line
+/// code: the compiler places fences inside the body, making each
+/// iteration self-fencing.
+pub fn check_sync_hazards(prog: &Program) -> Vec<SyncHazard> {
+    use crate::isa::{DmaDir, SyncKind};
+    let mut hazards = Vec::new();
+    let mut unfenced_loads = 0u32;
+    let mut unfenced_vecs = 0u32;
+    for (i, instr) in prog.instrs.iter().enumerate() {
+        match instr {
+            Instr::Dma { dir, .. } => match dir {
+                DmaDir::Load => unfenced_loads += 1,
+                DmaDir::Store => {
+                    if unfenced_vecs > 0 {
+                        hazards.push(SyncHazard::StoreAfterUnfencedVec { at: i });
+                    }
+                }
+            },
+            Instr::DmaGatherRows { .. } => unfenced_loads += 1,
+            Instr::Vec { .. } | Instr::Transpose { .. } => {
+                if unfenced_loads > 0 {
+                    hazards.push(SyncHazard::VecAfterUnfencedLoad { at: i });
+                }
+                unfenced_vecs += 1;
+            }
+            Instr::Sync(kind) => match kind {
+                SyncKind::WaitMemAll
+                | SyncKind::WaitMemCount(_)
+                | SyncKind::WaitMemPending(_) => unfenced_loads = 0,
+                SyncKind::WaitVec => unfenced_vecs = 0,
+                SyncKind::End => {
+                    unfenced_loads = 0;
+                    unfenced_vecs = 0;
+                }
+                SyncKind::Start => {}
+            },
+            _ => {}
+        }
+    }
+    hazards
+}
+
+#[cfg(test)]
+mod lint_tests {
+    use super::*;
+    use crate::isa::{DmaDir, DramAddr, Dtype, SyncKind, VectorOp};
+
+    fn load() -> Instr {
+        Instr::Dma {
+            dir: DmaDir::Load,
+            dram: DramAddr::Imm(0),
+            spad: 0,
+            bytes: 64,
+        }
+    }
+
+    fn store() -> Instr {
+        Instr::Dma {
+            dir: DmaDir::Store,
+            dram: DramAddr::Imm(0),
+            spad: 0,
+            bytes: 64,
+        }
+    }
+
+    fn compute() -> Instr {
+        Instr::Vec {
+            op: VectorOp::Copy,
+            dtype: Dtype::F32,
+            vlen: 1,
+            imm: 0.0,
+        }
+    }
+
+    #[test]
+    fn fenced_program_is_clean() {
+        let prog: Program = [
+            load(),
+            Instr::Sync(SyncKind::WaitMemAll),
+            compute(),
+            Instr::Sync(SyncKind::WaitVec),
+            store(),
+            Instr::Halt,
+        ]
+        .into_iter()
+        .collect();
+        assert!(check_sync_hazards(&prog).is_empty());
+    }
+
+    #[test]
+    fn missing_mem_fence_is_flagged() {
+        let prog: Program = [load(), compute(), Instr::Halt].into_iter().collect();
+        assert_eq!(
+            check_sync_hazards(&prog),
+            vec![SyncHazard::VecAfterUnfencedLoad { at: 1 }]
+        );
+    }
+
+    #[test]
+    fn missing_vec_fence_is_flagged() {
+        let prog: Program = [compute(), store(), Instr::Halt].into_iter().collect();
+        assert_eq!(
+            check_sync_hazards(&prog),
+            vec![SyncHazard::StoreAfterUnfencedVec { at: 1 }]
+        );
+    }
+
+    #[test]
+    fn pending_fence_counts() {
+        let prog: Program = [
+            load(),
+            load(),
+            Instr::Sync(SyncKind::WaitMemPending(1)),
+            compute(),
+        ]
+        .into_iter()
+        .collect();
+        assert!(check_sync_hazards(&prog).is_empty());
+    }
+}

@@ -1,0 +1,449 @@
+//! Property-based tests of the DRX toolchain: assembler round-trips on
+//! random programs, and random affine kernels that must match a direct
+//! host evaluation.
+
+use dmx_drx::ir::{Access, Kernel, VecStmt};
+use dmx_drx::isa::{
+    DmaDir, DramAddr, Dtype, Instr, Port, Program, ScalarInstr, ScalarOp, SyncKind, VectorOp,
+};
+use dmx_drx::{asm, compile, DrxConfig, Machine};
+use proptest::prelude::*;
+
+fn arb_port() -> impl Strategy<Value = Port> {
+    prop_oneof![Just(Port::Src0), Just(Port::Src1), Just(Port::Dst)]
+}
+
+fn arb_dtype() -> impl Strategy<Value = Dtype> {
+    prop_oneof![
+        Just(Dtype::U8),
+        Just(Dtype::I8),
+        Just(Dtype::U16),
+        Just(Dtype::I16),
+        Just(Dtype::U32),
+        Just(Dtype::I32),
+        Just(Dtype::F32),
+    ]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (1u32..64, 1u32..64, 1u32..64, 1u32..64)
+            .prop_map(|(a, b, c, d)| Instr::LoopDims { dims: [a, b, c, d] }),
+        (arb_port(), -512i64..512, -512i64..512, -16i64..16).prop_map(
+            |(port, s0, s1, lane)| Instr::SetStride {
+                port,
+                strides: [s0, s1, 0, 4],
+                lane_stride: lane,
+            }
+        ),
+        (arb_port(), 0u64..65536).prop_map(|(port, addr)| Instr::SetBase { port, addr }),
+        (arb_port(), -4096i64..4096)
+            .prop_map(|(port, delta)| Instr::AdvanceBase { port, delta }),
+        (0u64..1 << 20, 0u64..65536, 1u64..4096).prop_map(|(dram, spad, bytes)| Instr::Dma {
+            dir: DmaDir::Load,
+            dram: DramAddr::Imm(dram),
+            spad,
+            bytes,
+        }),
+        (0u8..16, -1024i64..1024, 0u64..65536, 1u64..4096).prop_map(
+            |(reg, offset, spad, bytes)| Instr::Dma {
+                dir: DmaDir::Store,
+                dram: DramAddr::Reg { reg, offset },
+                spad,
+                bytes,
+            }
+        ),
+        (arb_dtype(), 1u32..256, prop_oneof![
+            Just(VectorOp::Add),
+            Just(VectorOp::Mac),
+            Just(VectorOp::Copy),
+            Just(VectorOp::Gather),
+            Just(VectorOp::Fill),
+        ])
+            .prop_map(|(dtype, vlen, op)| Instr::Vec {
+                op,
+                dtype,
+                vlen,
+                // Only imm-consuming ops print their immediate, so give
+                // the others the default the parser will reconstruct.
+                imm: if op.uses_imm() { 1.5 } else { 0.0 },
+            }),
+        (arb_dtype(), 1u32..64, 1u32..64)
+            .prop_map(|(dtype, rows, cols)| Instr::Transpose { rows, cols, dtype }),
+        (1u32..100, 1u32..20).prop_map(|(count, body)| Instr::Repeat { count, body }),
+        prop_oneof![
+            Just(Instr::Sync(SyncKind::Start)),
+            Just(Instr::Sync(SyncKind::End)),
+            Just(Instr::Sync(SyncKind::WaitVec)),
+            Just(Instr::Sync(SyncKind::WaitMemAll)),
+            (0u64..64).prop_map(|n| Instr::Sync(SyncKind::WaitMemCount(n))),
+            (0u64..8).prop_map(|n| Instr::Sync(SyncKind::WaitMemPending(n))),
+        ],
+        (0u8..16, -1_000_000i64..1_000_000)
+            .prop_map(|(rd, imm)| Instr::Scalar(ScalarInstr::LdImm { rd, imm })),
+        (0u8..16, 0u8..16, 0u8..16, prop_oneof![
+            Just(ScalarOp::Add),
+            Just(ScalarOp::Mul),
+            Just(ScalarOp::Slt),
+            Just(ScalarOp::Shr),
+        ])
+            .prop_map(|(rd, rs1, rs2, op)| Instr::Scalar(ScalarInstr::Alu { op, rd, rs1, rs2 })),
+        (0u8..16, 0u8..16, -64i64..64, arb_dtype()).prop_map(|(rd, ra, offset, dtype)| {
+            Instr::Scalar(ScalarInstr::Load {
+                rd,
+                ra,
+                offset,
+                dtype,
+            })
+        }),
+        (0u8..16, -10i32..10)
+            .prop_map(|(rs, offset)| Instr::Scalar(ScalarInstr::Bnez { rs, offset })),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    /// Disassemble -> parse is the identity on arbitrary programs
+    /// (floats limited to exactly-representable immediates).
+    #[test]
+    fn assembler_round_trip(instrs in prop::collection::vec(arb_instr(), 0..60)) {
+        let prog: Program = instrs.into_iter().collect();
+        let text = prog.disassemble();
+        let parsed = asm::parse(&text).expect("disassembly parses");
+        prop_assert_eq!(parsed, prog);
+    }
+
+    /// Random element-wise affine kernels (scale + bias over random
+    /// lengths) match a direct host evaluation at any scratchpad size.
+    #[test]
+    fn random_scale_bias_kernels_match_host(
+        n in 1u64..3000,
+        scale in -8i32..8,
+        bias in -8i32..8,
+        spad_kib in prop::sample::select(vec![4u64, 8, 64]),
+    ) {
+        let scale = scale as f64 * 0.5;
+        let bias = bias as f64 * 0.25;
+        let mut k = Kernel::new("affine");
+        let a = k.buffer("a", Dtype::F32, n);
+        let out = k.buffer("out", Dtype::F32, n);
+        k.nest(
+            vec![n],
+            vec![
+                VecStmt {
+                    op: VectorOp::MulS,
+                    dst: Access::row_major(out, &[n]),
+                    src0: Access::row_major(a, &[n]),
+                    src1: None,
+                    imm: scale,
+                },
+                VecStmt {
+                    op: VectorOp::AddS,
+                    dst: Access::row_major(out, &[n]),
+                    src0: Access::row_major(out, &[n]),
+                    src1: None,
+                    imm: bias,
+                },
+            ],
+        );
+        let mut cfg = DrxConfig::default();
+        cfg.scratchpad_bytes = spad_kib << 10;
+        cfg.dram.capacity_bytes = 64 << 20;
+        let compiled = compile(&k, &cfg).expect("compiles");
+        let mut m = Machine::new(cfg);
+        let xs: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        let bytes: Vec<u8> = xs.iter().flat_map(|v| v.to_le_bytes()).collect();
+        m.write_dram(compiled.layout.addr(a), &bytes);
+        m.run(&compiled.program).expect("runs");
+        let got = m.read_dram(compiled.layout.addr(out), n * 4);
+        for (i, chunk) in got.chunks_exact(4).enumerate() {
+            let got = f32::from_le_bytes(chunk.try_into().unwrap());
+            let scaled = (xs[i] as f64 * scale) as f32;
+            let want = (scaled as f64 + bias) as f32;
+            prop_assert!(
+                got == want || (got.is_nan() && want.is_nan()),
+                "element {i}: {got} vs {want}"
+            );
+        }
+    }
+
+    /// Byte-swap twice is the identity on the machine, at random
+    /// lengths and lane counts.
+    #[test]
+    fn double_bswap_is_identity(
+        words in prop::collection::vec(any::<u32>(), 1..800),
+        lanes in prop::sample::select(vec![32u32, 128]),
+    ) {
+        let n = words.len() as u64;
+        let mut k = Kernel::new("bswap2");
+        let a = k.buffer("a", Dtype::U32, n);
+        let t = k.buffer("t", Dtype::U32, n);
+        let out = k.buffer("out", Dtype::U32, n);
+        for (src, dst) in [(a, t), (t, out)] {
+            k.nest(
+                vec![n],
+                vec![VecStmt {
+                    op: VectorOp::Bswap,
+                    dst: Access::row_major(dst, &[n]),
+                    src0: Access::row_major(src, &[n]),
+                    src1: None,
+                    imm: 0.0,
+                }],
+            );
+        }
+        let mut cfg = DrxConfig::default().with_lanes(lanes);
+        cfg.dram.capacity_bytes = 16 << 20;
+        let compiled = compile(&k, &cfg).expect("compiles");
+        let mut m = Machine::new(cfg);
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        m.write_dram(compiled.layout.addr(a), &bytes);
+        m.run(&compiled.program).expect("runs");
+        let got = m.read_dram(compiled.layout.addr(out), n * 4);
+        prop_assert_eq!(got, bytes);
+    }
+}
+
+// ------------------------------------------------------------------
+// Deterministic compiler-diagnostics tests (kept here with the other
+// cross-module DRX tests).
+
+mod compile_errors {
+    use dmx_drx::ir::{Access, Kernel, VecStmt};
+    use dmx_drx::isa::{Dtype, VectorOp};
+    use dmx_drx::{compile, CompileError, DrxConfig};
+
+    fn copy_stmt(dst: Access, src0: Access) -> VecStmt {
+        VecStmt {
+            op: VectorOp::Copy,
+            dst,
+            src0,
+            src1: None,
+            imm: 0.0,
+        }
+    }
+
+    #[test]
+    fn mixed_outer_strides_rejected() {
+        let mut k = Kernel::new("mixed");
+        let a = k.buffer("a", Dtype::F32, 64 * 64);
+        let b = k.buffer("b", Dtype::F32, 64 * 64);
+        k.nest(
+            vec![32, 64],
+            vec![
+                copy_stmt(
+                    Access { buf: b, offset: 0, strides: vec![64, 1] },
+                    Access { buf: a, offset: 0, strides: vec![64, 1] },
+                ),
+                // second statement reads `a` with a DIFFERENT outer stride
+                copy_stmt(
+                    Access { buf: b, offset: 2048, strides: vec![64, 1] },
+                    Access { buf: a, offset: 0, strides: vec![128, 1] },
+                ),
+            ],
+        );
+        assert!(matches!(
+            compile(&k, &DrxConfig::default()),
+            Err(CompileError::MixedOuterStride { nest: 0 })
+        ));
+    }
+
+    #[test]
+    fn negative_outer_stride_rejected() {
+        let mut k = Kernel::new("neg");
+        let a = k.buffer("a", Dtype::F32, 64 * 64);
+        let b = k.buffer("b", Dtype::F32, 64 * 64);
+        k.nest(
+            vec![64, 64],
+            vec![copy_stmt(
+                Access { buf: b, offset: 0, strides: vec![64, 1] },
+                // walks `a` backwards over the outer dim
+                Access {
+                    buf: a,
+                    offset: (63 * 64) as i64,
+                    strides: vec![-64, 1],
+                },
+            )],
+        );
+        assert!(matches!(
+            compile(&k, &DrxConfig::default()),
+            Err(CompileError::NegativeOuterStride { nest: 0 })
+        ));
+    }
+
+    #[test]
+    fn too_many_buffers_for_register_file() {
+        // 9 distinct read+written buffers need 18 registers > 16.
+        let mut k = Kernel::new("regs");
+        let n = 256u64;
+        let mut stmts = Vec::new();
+        for i in 0..9 {
+            let a = k.buffer(format!("a{i}"), Dtype::F32, n);
+            let b = k.buffer(format!("b{i}"), Dtype::F32, n);
+            // Mac makes each dst read+written -> two registers per buffer.
+            stmts.push(VecStmt {
+                op: VectorOp::Mac,
+                dst: Access::row_major(b, &[n]),
+                src0: Access::row_major(a, &[n]),
+                src1: Some(Access::row_major(a, &[n])),
+                imm: 0.0,
+            });
+        }
+        k.nest(vec![n], stmts);
+        assert!(matches!(
+            compile(&k, &DrxConfig::default()),
+            Err(CompileError::TooManyBuffers { nest: 0 })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        for (err, needle) in [
+            (
+                CompileError::MixedOuterStride { nest: 3 },
+                "mix outer strides",
+            ),
+            (
+                CompileError::NegativeOuterStride { nest: 1 },
+                "negative outer stride",
+            ),
+            (CompileError::TooManyBuffers { nest: 0 }, "register"),
+            (
+                CompileError::WorkingSetTooLarge {
+                    nest: 0,
+                    need: 100,
+                    avail: 50,
+                },
+                "scratchpad",
+            ),
+            (
+                CompileError::ResidentTooLarge {
+                    resident: 64,
+                    spad: 32,
+                },
+                "overflow",
+            ),
+        ] {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "`{msg}` missing `{needle}`");
+        }
+    }
+}
+
+mod machine_edges {
+    use dmx_drx::isa::{DmaDir, DramAddr, Dtype, Instr, Port, Program, SyncKind};
+    use dmx_drx::machine::ExecError;
+    use dmx_drx::{DrxConfig, Machine};
+
+    fn small() -> DrxConfig {
+        let mut c = DrxConfig::default();
+        c.dram.capacity_bytes = 1 << 20;
+        c
+    }
+
+    #[test]
+    fn gather_rows_with_out_of_range_index_faults() {
+        let mut m = Machine::new(small());
+        // Row index points past the DRAM capacity.
+        m.write_dram(0, &[0u8; 64]);
+        let huge = (small().dram.capacity_bytes / 8) as u32 + 10;
+        let idx = huge.to_le_bytes();
+        let prog: Program = [
+            Instr::Dma {
+                dir: DmaDir::Load,
+                dram: DramAddr::Imm(0),
+                spad: 0,
+                bytes: 4,
+            },
+            Instr::Sync(SyncKind::WaitMemAll),
+            Instr::DmaGatherRows {
+                dram_base: 0,
+                row_bytes: 8,
+                rows: 1,
+                idx_spad: 0,
+                spad: 64,
+            },
+        ]
+        .into_iter()
+        .collect();
+        // Stage the bad index where the gather will read it.
+        let mut staged = Machine::new(small());
+        staged.write_dram(0, &idx);
+        let result = staged.run(&prog);
+        assert!(matches!(result, Err(ExecError::OobDram { .. })), "{result:?}");
+        drop(m);
+    }
+
+    #[test]
+    fn transpose_out_of_scratchpad_faults() {
+        let mut m = Machine::new(small());
+        let prog: Program = [
+            Instr::SetBase {
+                port: Port::Src0,
+                addr: 0,
+            },
+            Instr::SetBase {
+                port: Port::Dst,
+                addr: 64 << 10, // at the very end: no room
+            },
+            Instr::Transpose {
+                rows: 8,
+                cols: 8,
+                dtype: Dtype::U32,
+            },
+        ]
+        .into_iter()
+        .collect();
+        assert!(matches!(
+            m.run(&prog),
+            Err(ExecError::OobScratchpad { .. })
+        ));
+    }
+
+    #[test]
+    fn dma_store_beyond_capacity_faults() {
+        let mut m = Machine::new(small());
+        let prog: Program = [Instr::Dma {
+            dir: DmaDir::Store,
+            dram: DramAddr::Imm((1 << 20) - 2),
+            spad: 0,
+            bytes: 16,
+        }]
+        .into_iter()
+        .collect();
+        assert!(matches!(m.run(&prog), Err(ExecError::OobDram { .. })));
+    }
+
+    #[test]
+    fn negative_register_dram_address_faults() {
+        use dmx_drx::isa::ScalarInstr;
+        let mut m = Machine::new(small());
+        let prog: Program = [
+            Instr::Scalar(ScalarInstr::LdImm { rd: 1, imm: -64 }),
+            Instr::Dma {
+                dir: DmaDir::Load,
+                dram: DramAddr::Reg { reg: 1, offset: 0 },
+                spad: 0,
+                bytes: 16,
+            },
+        ]
+        .into_iter()
+        .collect();
+        assert!(matches!(m.run(&prog), Err(ExecError::OobDram { .. })));
+    }
+
+    #[test]
+    fn zero_count_repeat_skips_body() {
+        use dmx_drx::isa::ScalarInstr;
+        let mut m = Machine::new(small());
+        let prog: Program = [
+            Instr::Scalar(ScalarInstr::LdImm { rd: 1, imm: 7 }),
+            Instr::Repeat { count: 0, body: 1 },
+            Instr::Scalar(ScalarInstr::LdImm { rd: 1, imm: 99 }),
+            Instr::Halt,
+        ]
+        .into_iter()
+        .collect();
+        m.run(&prog).expect("runs");
+        assert_eq!(m.reg(1), 7, "body must be skipped entirely");
+    }
+}

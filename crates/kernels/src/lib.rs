@@ -1,0 +1,31 @@
+//! # dmx-kernels — functional domain kernels
+//!
+//! Real implementations of the application kernels behind the paper's
+//! five end-to-end benchmarks (Table I), so the examples and tests run
+//! actual data through the accelerator chain rather than opaque byte
+//! blobs:
+//!
+//! | pipeline | kernels here |
+//! |---|---|
+//! | Sound Detection | [`fft`] (STFT), [`mel`], [`svm`] |
+//! | Video Surveillance | [`video`] (codec), [`nn`] (detector) |
+//! | Brain Stimulation | [`fft`], [`nn`] (policy MLP) |
+//! | Personal Info Redaction | [`aes`] (CTR decrypt), [`regex`], [`token`], [`nn`] (NER stand-in) |
+//! | Database Hash Join | [`lz`] (decompress), [`join`] |
+//!
+//! Timing and energy for these kernels on their accelerators is modeled
+//! separately in `dmx-accel`; this crate is purely functional.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aes;
+pub mod fft;
+pub mod join;
+pub mod lz;
+pub mod mel;
+pub mod nn;
+pub mod regex;
+pub mod svm;
+pub mod token;
+pub mod video;

@@ -1,0 +1,229 @@
+//! LZ77-style compression: the Database Hash Join pipeline's
+//! decompression kernel (the paper uses a Gzip accelerator from the
+//! Vitis library; this is an equivalent window-based LZ codec).
+//!
+//! Format: a stream of tokens. `0x00 len  bytes...` is a literal run;
+//! `0x01 len dist_lo dist_hi` is a back-reference of `len` bytes at
+//! `dist` before the current output position. Lengths are 1..=255,
+//! distances 1..=65535.
+
+use std::collections::HashMap;
+use std::fmt;
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 255;
+const MAX_DIST: usize = 65_535;
+
+/// Compresses `input`. The output always round-trips through
+/// [`decompress`].
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // Hash chains keyed on 4-byte prefixes.
+    let mut table: HashMap<u32, Vec<usize>> = HashMap::new();
+    let key = |i: usize| -> u32 {
+        u32::from_le_bytes([input[i], input[i + 1], input[i + 2], input[i + 3]])
+    };
+    let mut literals: Vec<u8> = Vec::new();
+    let flush_literals = |out: &mut Vec<u8>, lits: &mut Vec<u8>| {
+        for chunk in lits.chunks(255) {
+            out.push(0x00);
+            out.push(chunk.len() as u8);
+            out.extend_from_slice(chunk);
+        }
+        lits.clear();
+    };
+    let mut i = 0;
+    while i < input.len() {
+        let mut best: Option<(usize, usize)> = None; // (dist, len)
+        if i + MIN_MATCH <= input.len() {
+            if let Some(cands) = table.get(&key(i)) {
+                for &c in cands.iter().rev().take(16) {
+                    let dist = i - c;
+                    if dist > MAX_DIST {
+                        break;
+                    }
+                    let mut len = 0;
+                    while i + len < input.len()
+                        && len < MAX_MATCH
+                        && input[c + len] == input[i + len]
+                    {
+                        len += 1;
+                    }
+                    if len >= MIN_MATCH && best.is_none_or(|(_, bl)| len > bl) {
+                        best = Some((dist, len));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((dist, len)) => {
+                flush_literals(&mut out, &mut literals);
+                out.push(0x01);
+                out.push(len as u8);
+                out.extend_from_slice(&(dist as u16).to_le_bytes());
+                for j in i..(i + len).min(input.len().saturating_sub(MIN_MATCH - 1)) {
+                    table.entry(key(j)).or_default().push(j);
+                }
+                i += len;
+            }
+            None => {
+                literals.push(input[i]);
+                if i + MIN_MATCH <= input.len() {
+                    table.entry(key(i)).or_default().push(i);
+                }
+                i += 1;
+            }
+        }
+    }
+    flush_literals(&mut out, &mut literals);
+    out
+}
+
+/// Decompression errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzError {
+    /// Stream ended inside a token.
+    Truncated,
+    /// A back-reference pointed before the start of the output.
+    BadDistance {
+        /// Output position at the bad reference.
+        at: usize,
+    },
+    /// Unknown token tag.
+    BadTag(u8),
+}
+
+impl fmt::Display for LzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LzError::Truncated => write!(f, "compressed stream is truncated"),
+            LzError::BadDistance { at } => write!(f, "invalid back-reference at output {at}"),
+            LzError::BadTag(t) => write!(f, "unknown token tag {t:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for LzError {}
+
+/// Decompresses a stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns an [`LzError`] for malformed streams.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzError> {
+    let mut out = Vec::with_capacity(input.len() * 3);
+    let mut i = 0;
+    while i < input.len() {
+        let tag = input[i];
+        match tag {
+            0x00 => {
+                if i + 2 > input.len() {
+                    return Err(LzError::Truncated);
+                }
+                let len = input[i + 1] as usize;
+                if i + 2 + len > input.len() {
+                    return Err(LzError::Truncated);
+                }
+                out.extend_from_slice(&input[i + 2..i + 2 + len]);
+                i += 2 + len;
+            }
+            0x01 => {
+                if i + 4 > input.len() {
+                    return Err(LzError::Truncated);
+                }
+                let len = input[i + 1] as usize;
+                let dist =
+                    u16::from_le_bytes([input[i + 2], input[i + 3]]) as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(LzError::BadDistance { at: out.len() });
+                }
+                // Byte-at-a-time copy allows overlapping references
+                // (run-length encoding via dist < len).
+                let start = out.len() - dist;
+                for j in 0..len {
+                    let b = out[start + j];
+                    out.push(b);
+                }
+                i += 4;
+            }
+            other => return Err(LzError::BadTag(other)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).expect("valid stream");
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let data: Vec<u8> = b"the quick brown fox "
+            .iter()
+            .cycle()
+            .take(10_000)
+            .copied()
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4, "{} vs {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_round_trips() {
+        // A simple LCG produces byte soup.
+        let mut x = 123456789u64;
+        let data: Vec<u8> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn overlapping_reference_rle() {
+        let data = vec![7u8; 1000];
+        let c = compress(&data);
+        assert!(c.len() < 40);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn structured_table_data() {
+        // CSV-like rows, the shape of the database benchmark input.
+        let mut data = Vec::new();
+        for i in 0..500 {
+            data.extend_from_slice(format!("row,{},value,{}\n", i, i * 31 % 97).as_bytes());
+        }
+        let c = compress(&data);
+        assert!(c.len() < data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_streams_error_cleanly() {
+        assert_eq!(decompress(&[0x00]), Err(LzError::Truncated));
+        assert_eq!(decompress(&[0x00, 5, 1, 2]), Err(LzError::Truncated));
+        assert_eq!(decompress(&[0x01, 4]), Err(LzError::Truncated));
+        assert_eq!(
+            decompress(&[0x01, 4, 1, 0]),
+            Err(LzError::BadDistance { at: 0 })
+        );
+        assert_eq!(decompress(&[0x42]), Err(LzError::BadTag(0x42)));
+    }
+}

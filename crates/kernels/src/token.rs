@@ -1,0 +1,104 @@
+//! Byte-level tokenization: the restructuring step between the
+//! Personal Information Redaction text kernels and the BERT NER kernel
+//! (Fig. 16's "reshaping and typecasting" plus vocabulary lookup).
+
+/// Special token ids.
+pub mod special {
+    /// Padding.
+    pub const PAD: u32 = 0;
+    /// Start of sequence.
+    pub const CLS: u32 = 1;
+    /// End of sequence.
+    pub const SEP: u32 = 2;
+    /// First byte-token id; byte `b` maps to `BYTE_BASE + b`.
+    pub const BYTE_BASE: u32 = 3;
+}
+
+/// Size of the byte-level vocabulary (specials + 256 bytes).
+pub const VOCAB_SIZE: u32 = special::BYTE_BASE + 256;
+
+/// The 256-entry byte→token lookup table (resident DRX gather table).
+pub fn byte_lut() -> Vec<u32> {
+    (0..256u32).map(|b| special::BYTE_BASE + b).collect()
+}
+
+/// Tokenizes text into fixed-length sequences of `seq_len` ids:
+/// `[CLS] byte-tokens [SEP] [PAD]...`, splitting long inputs across
+/// multiple sequences. Returns a `n_seqs x seq_len` row-major tensor.
+///
+/// # Panics
+///
+/// Panics if `seq_len < 3` (no room for content).
+pub fn tokenize(text: &[u8], seq_len: usize) -> Vec<u32> {
+    assert!(seq_len >= 3, "sequence too short");
+    let payload = seq_len - 2;
+    let n_seqs = text.len().div_ceil(payload).max(1);
+    let mut out = Vec::with_capacity(n_seqs * seq_len);
+    for chunk in text.chunks(payload) {
+        out.push(special::CLS);
+        out.extend(chunk.iter().map(|&b| special::BYTE_BASE + b as u32));
+        out.push(special::SEP);
+        out.resize(out.len() + (payload - chunk.len()), special::PAD);
+    }
+    if text.is_empty() {
+        out.push(special::CLS);
+        out.push(special::SEP);
+        out.resize(seq_len, special::PAD);
+    }
+    out
+}
+
+/// Inverse of [`tokenize`]: recovers the text bytes (dropping specials).
+pub fn detokenize(tokens: &[u32]) -> Vec<u8> {
+    tokens
+        .iter()
+        .filter(|&&t| t >= special::BYTE_BASE && t < VOCAB_SIZE)
+        .map(|&t| (t - special::BYTE_BASE) as u8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_text() {
+        let text = b"hello, tokenizer!";
+        let toks = tokenize(text, 32);
+        assert_eq!(detokenize(&toks), text);
+    }
+
+    #[test]
+    fn pads_to_fixed_length() {
+        let toks = tokenize(b"ab", 8);
+        assert_eq!(toks.len(), 8);
+        assert_eq!(toks[0], special::CLS);
+        assert_eq!(toks[3], special::SEP);
+        assert!(toks[4..].iter().all(|&t| t == special::PAD));
+    }
+
+    #[test]
+    fn splits_long_text() {
+        let text = vec![b'x'; 100];
+        let toks = tokenize(&text, 16); // 14 payload bytes per seq
+        let seqs = toks.len() / 16;
+        assert_eq!(seqs, 100usize.div_ceil(14));
+        assert_eq!(detokenize(&toks).len(), 100);
+    }
+
+    #[test]
+    fn empty_text_yields_one_padded_sequence() {
+        let toks = tokenize(b"", 8);
+        assert_eq!(toks.len(), 8);
+        assert_eq!(toks[0], special::CLS);
+        assert_eq!(toks[1], special::SEP);
+    }
+
+    #[test]
+    fn lut_covers_all_bytes() {
+        let lut = byte_lut();
+        assert_eq!(lut.len(), 256);
+        assert_eq!(lut[0], special::BYTE_BASE);
+        assert_eq!(lut[255], special::BYTE_BASE + 255);
+    }
+}

@@ -1,0 +1,286 @@
+//! Toy video codec: the Video Surveillance pipeline's first kernel.
+//!
+//! The paper uses the VT1 instance's hard-IP H.264 decoder; the system
+//! evaluation only needs a decoder that (a) produces real YUV frames to
+//! feed the restructuring step and (b) has a latency model elsewhere.
+//! This codec is intra+delta with run-length coding: frame 0 is coded
+//! standalone, later frames as deltas against their predecessor —
+//! enough temporal structure for realistic compression ratios on the
+//! synthetic surveillance scenes the example generates.
+
+use std::fmt;
+
+/// A YUV 4:2:0 frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Luma plane, `width x height`.
+    pub y: Vec<u8>,
+    /// Chroma U plane, `(width/2) x (height/2)`.
+    pub u: Vec<u8>,
+    /// Chroma V plane, `(width/2) x (height/2)`.
+    pub v: Vec<u8>,
+    /// Width in pixels (must be even).
+    pub width: usize,
+    /// Height in pixels (must be even).
+    pub height: usize,
+}
+
+impl Frame {
+    /// Creates a black frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if width or height is zero or odd.
+    pub fn black(width: usize, height: usize) -> Frame {
+        assert!(width > 0 && height > 0, "empty frame");
+        assert!(width % 2 == 0 && height % 2 == 0, "dimensions must be even");
+        Frame {
+            y: vec![16; width * height],
+            u: vec![128; width * height / 4],
+            v: vec![128; width * height / 4],
+            width,
+            height,
+        }
+    }
+
+    /// Total bytes across the three planes.
+    pub fn bytes(&self) -> usize {
+        self.y.len() + self.u.len() + self.v.len()
+    }
+}
+
+/// Run-length encodes a byte plane: `(count, value)` pairs.
+fn rle_encode(data: &[u8], out: &mut Vec<u8>) {
+    let mut i = 0;
+    while i < data.len() {
+        let v = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == v && run < 255 {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.push(v);
+        i += run;
+    }
+}
+
+fn rle_decode(input: &[u8], pos: &mut usize, len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        if *pos + 2 > input.len() {
+            return Err(CodecError::Truncated);
+        }
+        let run = input[*pos] as usize;
+        let v = input[*pos + 1];
+        if run == 0 {
+            return Err(CodecError::BadRun);
+        }
+        *pos += 2;
+        for _ in 0..run {
+            out.push(v);
+        }
+    }
+    if out.len() != len {
+        return Err(CodecError::BadRun);
+    }
+    Ok(out)
+}
+
+/// Codec errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Bitstream ended early.
+    Truncated,
+    /// Invalid run length.
+    BadRun,
+    /// Header malformed.
+    BadHeader,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "bitstream truncated"),
+            CodecError::BadRun => write!(f, "invalid run length"),
+            CodecError::BadHeader => write!(f, "malformed stream header"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encodes a group of frames. The first frame is intra-coded; the rest
+/// are wrapping deltas against the previous frame, then RLE'd.
+///
+/// # Panics
+///
+/// Panics if frames are empty or have mismatched dimensions.
+pub fn encode(frames: &[Frame]) -> Vec<u8> {
+    assert!(!frames.is_empty(), "no frames");
+    let (w, h) = (frames[0].width, frames[0].height);
+    assert!(
+        frames.iter().all(|f| f.width == w && f.height == h),
+        "mixed frame sizes"
+    );
+    let mut out = Vec::new();
+    out.extend_from_slice(&(w as u32).to_le_bytes());
+    out.extend_from_slice(&(h as u32).to_le_bytes());
+    out.extend_from_slice(&(frames.len() as u32).to_le_bytes());
+    let mut prev: Option<&Frame> = None;
+    for frame in frames {
+        for (plane, prev_plane) in [
+            (&frame.y, prev.map(|p| &p.y)),
+            (&frame.u, prev.map(|p| &p.u)),
+            (&frame.v, prev.map(|p| &p.v)),
+        ] {
+            match prev_plane {
+                None => rle_encode(plane, &mut out),
+                Some(pp) => {
+                    let delta: Vec<u8> = plane
+                        .iter()
+                        .zip(pp.iter())
+                        .map(|(a, b)| a.wrapping_sub(*b))
+                        .collect();
+                    rle_encode(&delta, &mut out);
+                }
+            }
+        }
+        prev = Some(frame);
+    }
+    out
+}
+
+/// Decodes a stream produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] for malformed streams.
+pub fn decode(input: &[u8]) -> Result<Vec<Frame>, CodecError> {
+    if input.len() < 12 {
+        return Err(CodecError::BadHeader);
+    }
+    let w = u32::from_le_bytes(input[0..4].try_into().expect("sized")) as usize;
+    let h = u32::from_le_bytes(input[4..8].try_into().expect("sized")) as usize;
+    let n = u32::from_le_bytes(input[8..12].try_into().expect("sized")) as usize;
+    if w == 0 || h == 0 || w % 2 != 0 || h % 2 != 0 || n == 0 {
+        return Err(CodecError::BadHeader);
+    }
+    let mut pos = 12;
+    let mut frames: Vec<Frame> = Vec::with_capacity(n);
+    for fi in 0..n {
+        let y = rle_decode(input, &mut pos, w * h)?;
+        let u = rle_decode(input, &mut pos, w * h / 4)?;
+        let v = rle_decode(input, &mut pos, w * h / 4)?;
+        let frame = if fi == 0 {
+            Frame {
+                y,
+                u,
+                v,
+                width: w,
+                height: h,
+            }
+        } else {
+            let p = &frames[fi - 1];
+            Frame {
+                y: y.iter().zip(&p.y).map(|(d, b)| b.wrapping_add(*d)).collect(),
+                u: u.iter().zip(&p.u).map(|(d, b)| b.wrapping_add(*d)).collect(),
+                v: v.iter().zip(&p.v).map(|(d, b)| b.wrapping_add(*d)).collect(),
+                width: w,
+                height: h,
+            }
+        };
+        frames.push(frame);
+    }
+    Ok(frames)
+}
+
+/// Renders a synthetic surveillance scene: a gray background with a
+/// bright square "object" moving along a diagonal, one position per
+/// frame. Deterministic; used by examples and workload generators.
+pub fn synthetic_scene(width: usize, height: usize, frames: usize) -> Vec<Frame> {
+    let mut out = Vec::with_capacity(frames);
+    for t in 0..frames {
+        let mut f = Frame::black(width, height);
+        for p in f.y.iter_mut() {
+            *p = 80;
+        }
+        let size = (width.min(height) / 8).max(2);
+        let x0 = (t * 3) % (width - size);
+        let y0 = (t * 2) % (height - size);
+        for dy in 0..size {
+            for dx in 0..size {
+                f.y[(y0 + dy) * width + (x0 + dx)] = 235;
+            }
+        }
+        // Tint the chroma where the object is.
+        for dy in 0..size / 2 {
+            for dx in 0..size / 2 {
+                let c = (y0 / 2 + dy) * (width / 2) + (x0 / 2 + dx);
+                f.u[c] = 90;
+                f.v[c] = 200;
+            }
+        }
+        out.push(f);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_static_frames() {
+        let frames = vec![Frame::black(32, 24); 3];
+        let enc = encode(&frames);
+        let dec = decode(&enc).unwrap();
+        assert_eq!(dec, frames);
+        // Static video compresses extremely well.
+        let raw: usize = frames.iter().map(Frame::bytes).sum();
+        assert!(enc.len() < raw / 10);
+    }
+
+    #[test]
+    fn round_trip_moving_scene() {
+        let frames = synthetic_scene(64, 48, 10);
+        let enc = encode(&frames);
+        let dec = decode(&enc).unwrap();
+        assert_eq!(dec, frames);
+        let raw: usize = frames.iter().map(Frame::bytes).sum();
+        assert!(enc.len() < raw, "deltas must compress motion");
+    }
+
+    #[test]
+    fn object_moves_between_frames() {
+        let frames = synthetic_scene(64, 48, 2);
+        assert_ne!(frames[0].y, frames[1].y);
+    }
+
+    #[test]
+    fn bad_streams_rejected() {
+        assert_eq!(decode(&[]), Err(CodecError::BadHeader));
+        let frames = vec![Frame::black(16, 16)];
+        let mut enc = encode(&frames);
+        enc.truncate(enc.len() - 1);
+        assert_eq!(decode(&enc), Err(CodecError::Truncated));
+        // zero run
+        let mut bad = encode(&frames);
+        bad[12] = 0;
+        assert_eq!(decode(&bad), Err(CodecError::BadRun));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be even")]
+    fn odd_dimensions_rejected() {
+        Frame::black(15, 16);
+    }
+
+    #[test]
+    fn plane_sizes_follow_420() {
+        let f = Frame::black(32, 16);
+        assert_eq!(f.y.len(), 512);
+        assert_eq!(f.u.len(), 128);
+        assert_eq!(f.v.len(), 128);
+        assert_eq!(f.bytes(), 768);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the functional domain kernels.
+
+use dmx_kernels::{aes, fft, join, lz, regex, token, video};
+use proptest::prelude::*;
+
+proptest! {
+    /// LZ compression round-trips arbitrary byte soup.
+    #[test]
+    fn lz_round_trips(data in prop::collection::vec(any::<u8>(), 0..20_000)) {
+        let c = lz::compress(&data);
+        prop_assert_eq!(lz::decompress(&c).expect("valid stream"), data);
+    }
+
+    /// LZ decompression never panics on arbitrary (possibly corrupt)
+    /// input — it either decodes or returns an error.
+    #[test]
+    fn lz_decompress_total(garbage in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = lz::decompress(&garbage);
+    }
+
+    /// AES-CTR is an involution under any key/nonce.
+    #[test]
+    fn aes_ctr_involution(
+        key in prop::array::uniform16(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+        data in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let cipher = aes::Aes128::new(&key);
+        let mut buf = data.clone();
+        cipher.ctr_transform(&nonce, &mut buf);
+        cipher.ctr_transform(&nonce, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// Parseval's theorem holds for random power-of-two signals.
+    #[test]
+    fn fft_parseval(
+        log_n in 3u32..10,
+        seed in any::<u32>(),
+    ) {
+        let n = 1usize << log_n;
+        let mut state = seed | 1;
+        let signal: Vec<f32> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 17;
+                state ^= state << 5;
+                (state as f32 / u32::MAX as f32) - 0.5
+            })
+            .collect();
+        let time_energy: f64 = signal.iter().map(|x| (*x as f64) * (*x as f64)).sum();
+        let spec = fft::fft_real(&signal);
+        let freq_energy: f64 =
+            spec.iter().map(|c| c.norm_sq() as f64).sum::<f64>() / n as f64;
+        prop_assert!(
+            (time_energy - freq_energy).abs() <= time_energy.max(1e-6) * 1e-3,
+            "{time_energy} vs {freq_energy}"
+        );
+    }
+
+    /// Partitioned hash join produces exactly the same multiset of
+    /// rows as the direct join.
+    #[test]
+    fn partitioned_join_equivalence(
+        build_keys in prop::collection::vec(0u64..64, 0..200),
+        probe_keys in prop::collection::vec(0u64..64, 0..200),
+        radix in 1u32..6,
+    ) {
+        let rows = |ks: &[u64], base: u64| -> Vec<join::Row> {
+            ks.iter()
+                .enumerate()
+                .map(|(i, &key)| join::Row { key, payload: base + i as u64 })
+                .collect()
+        };
+        let b = rows(&build_keys, 0);
+        let p = rows(&probe_keys, 1_000_000);
+        let mut plain = join::hash_join(&b, &p);
+        let mut parted = join::partitioned_hash_join(&b, &p, radix);
+        let key = |r: &join::Joined| (r.key, r.left, r.right);
+        plain.sort_by_key(key);
+        parted.sort_by_key(key);
+        prop_assert_eq!(plain, parted);
+    }
+
+    /// Tokenize/detokenize round-trips arbitrary text at any legal
+    /// sequence length.
+    #[test]
+    fn tokenize_round_trips(
+        text in prop::collection::vec(any::<u8>(), 0..2000),
+        seq_len in 3usize..64,
+    ) {
+        let toks = token::tokenize(&text, seq_len);
+        prop_assert_eq!(token::detokenize(&toks), text.clone());
+        prop_assert_eq!(toks.len() % seq_len, 0);
+        for t in &toks {
+            prop_assert!(*t < token::VOCAB_SIZE);
+        }
+    }
+
+    /// The video codec round-trips random frame stacks.
+    #[test]
+    fn video_round_trips(
+        w_half in 2usize..12,
+        h_half in 2usize..10,
+        n in 1usize..5,
+        seed in any::<u32>(),
+    ) {
+        let (w, h) = (w_half * 2, h_half * 2);
+        let mut state = seed | 1;
+        let mut rand_byte = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            (state >> 8) as u8
+        };
+        let frames: Vec<video::Frame> = (0..n)
+            .map(|_| {
+                let mut f = video::Frame::black(w, h);
+                for p in f.y.iter_mut().chain(f.u.iter_mut()).chain(f.v.iter_mut()) {
+                    *p = rand_byte();
+                }
+                f
+            })
+            .collect();
+        let enc = video::encode(&frames);
+        prop_assert_eq!(video::decode(&enc).expect("valid"), frames);
+    }
+
+    /// A literal pattern always matches itself (after escaping the
+    /// regex metacharacters out of the alphabet).
+    #[test]
+    fn regex_literal_self_match(
+        needle in "[a-z0-9 ]{1,12}",
+        prefix in "[a-z0-9 ]{0,10}",
+        suffix in "[a-z0-9 ]{0,10}",
+    ) {
+        let re = regex::Regex::new(&needle).expect("literal compiles");
+        let hay = format!("{prefix}{needle}{suffix}");
+        let found = re.find(hay.as_bytes());
+        prop_assert!(found.is_some(), "`{needle}` not found in `{hay}`");
+        let (s, e) = found.expect("checked");
+        prop_assert_eq!(&hay.as_bytes()[s..e], needle.as_bytes());
+    }
+
+    /// Redaction output always has the same length as the input and
+    /// never contains the (non-empty, literal) pattern afterwards.
+    #[test]
+    fn regex_redaction_is_complete(
+        needle in "[a-z]{2,8}",
+        chunks in prop::collection::vec("[a-z ]{0,12}", 0..6),
+    ) {
+        let re = regex::Regex::new(&needle).expect("compiles");
+        let hay = chunks.join(&needle);
+        let (red, _count) = re.redact(hay.as_bytes(), b'#');
+        prop_assert_eq!(red.len(), hay.len());
+        let survived = red
+            .windows(needle.len().max(1))
+            .any(|w| w == needle.as_bytes());
+        prop_assert!(!survived, "`{}` survived in `{}`", needle, String::from_utf8_lossy(&red));
+    }
+}

@@ -1,0 +1,382 @@
+//! Fluid-flow model of concurrent DMA transfers with max-min fair
+//! bandwidth sharing.
+//!
+//! PCIe switches arbitrate at TLP granularity, so concurrent transfers
+//! crossing a link share its bandwidth almost perfectly fairly. Instead
+//! of simulating per-packet events, [`FlowNet`] models each transfer as
+//! a fluid flow over its route and computes the classic *max-min fair*
+//! allocation; events are only needed when a flow starts or finishes.
+//! This is exact for fair arbitration and keeps event counts tiny, and
+//! it is where the paper's headline contention effects (the shared x8
+//! upstream link saturating in the Multi-Axl baseline, Sec. VII.A)
+//! come from.
+
+use crate::topology::{LinkId, Route};
+use dmx_sim::Time;
+
+/// Identifier a caller assigns to a flow.
+pub type FlowId = u64;
+
+#[derive(Debug, Clone)]
+struct Flow {
+    id: FlowId,
+    remaining: f64, // bytes
+    links: Vec<usize>,
+}
+
+/// Max-min fair fluid flow network over a set of capacitated links.
+///
+/// Driving protocol (same pattern as `dmx_sim::PsPool`):
+/// mutate → [`FlowNet::advance`] → [`FlowNet::take_finished`] →
+/// [`FlowNet::next_event`] → schedule a tick tagged with
+/// [`FlowNet::generation`], ignoring stale ticks.
+///
+/// ```
+/// use dmx_pcie::{FlowNet, LinkId};
+/// use dmx_sim::Time;
+/// // One 10 GB/s link; two flows share it 50/50.
+/// let link = LinkId::from_index(0);
+/// let mut net = FlowNet::new(vec![10_000_000_000]);
+/// net.insert(Time::ZERO, 1, 10_000_000_000, &[link]);
+/// net.insert(Time::ZERO, 2, 10_000_000_000, &[link]);
+/// // each runs at 5 GB/s -> both finish at 2s
+/// assert_eq!(net.next_event(Time::ZERO), Some(Time::from_secs(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowNet {
+    link_bw: Vec<f64>, // bytes per second
+    flows: Vec<Flow>,
+    last: Time,
+    generation: u64,
+    finished: Vec<FlowId>,
+    link_bytes: Vec<f64>, // cumulative bytes crossing each link
+    flows_completed: u64,
+}
+
+impl FlowNet {
+    /// Creates a network over links with the given bandwidths in
+    /// bytes/second (indexed by `LinkId::index()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bandwidth is zero.
+    pub fn new(bandwidths: Vec<u64>) -> FlowNet {
+        assert!(
+            bandwidths.iter().all(|b| *b > 0),
+            "links must have nonzero bandwidth"
+        );
+        let n = bandwidths.len();
+        FlowNet {
+            link_bw: bandwidths.into_iter().map(|b| b as f64).collect(),
+            flows: Vec::new(),
+            last: Time::ZERO,
+            generation: 0,
+            finished: Vec::new(),
+            link_bytes: vec![0.0; n],
+            flows_completed: 0,
+        }
+    }
+
+    /// Current generation, bumped on every state change.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of flows in progress.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Number of flows that have completed.
+    pub fn flows_completed(&self) -> u64 {
+        self.flows_completed
+    }
+
+    /// Cumulative bytes that have crossed each link (for energy
+    /// accounting: PCIe transfer energy is per byte per link).
+    pub fn link_bytes(&self) -> &[f64] {
+        &self.link_bytes
+    }
+
+    /// Max-min fair rate of every active flow, in bytes/second.
+    ///
+    /// Water-filling: repeatedly find the most contended link, freeze
+    /// the flows crossing it at its fair share, remove their bandwidth,
+    /// and continue until all flows are frozen.
+    pub fn rates(&self) -> Vec<f64> {
+        let nf = self.flows.len();
+        let mut rate = vec![f64::INFINITY; nf];
+        let mut frozen = vec![false; nf];
+        let mut cap = self.link_bw.clone();
+        let mut remaining = nf;
+        while remaining > 0 {
+            // Fair share of each link among its unfrozen flows.
+            let mut counts = vec![0u32; cap.len()];
+            for (fi, f) in self.flows.iter().enumerate() {
+                if !frozen[fi] {
+                    for &l in &f.links {
+                        counts[l] += 1;
+                    }
+                }
+            }
+            let mut bottleneck: Option<(usize, f64)> = None;
+            for (l, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    let share = cap[l] / c as f64;
+                    if bottleneck.is_none_or(|(_, s)| share < s) {
+                        bottleneck = Some((l, share));
+                    }
+                }
+            }
+            let Some((bl, share)) = bottleneck else {
+                // Remaining flows cross no links at all; they are not
+                // allowed by `insert`, so this cannot happen.
+                unreachable!("unfrozen flow with empty route");
+            };
+            for (fi, f) in self.flows.iter().enumerate() {
+                if !frozen[fi] && f.links.contains(&bl) {
+                    frozen[fi] = true;
+                    rate[fi] = share;
+                    remaining -= 1;
+                    for &l in &f.links {
+                        cap[l] -= share;
+                    }
+                }
+            }
+            // Guard against negative drift from float subtraction.
+            for c in &mut cap {
+                if *c < 0.0 {
+                    *c = 0.0;
+                }
+            }
+        }
+        rate
+    }
+
+    /// Advances accounting to `now`, moving fluid at the current rates
+    /// and retiring flows whose bytes are exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is before the previous advance.
+    pub fn advance(&mut self, now: Time) {
+        assert!(now >= self.last, "FlowNet advanced backwards");
+        let dt = (now - self.last).as_secs_f64();
+        self.last = now;
+        if dt == 0.0 || self.flows.is_empty() {
+            return;
+        }
+        let rates = self.rates();
+        for (f, r) in self.flows.iter_mut().zip(&rates) {
+            let moved = (r * dt).min(f.remaining);
+            f.remaining -= moved;
+            for &l in &f.links {
+                self.link_bytes[l] += moved;
+            }
+        }
+        // Finished when less than one byte remains: completion events
+        // are rounded up to whole picoseconds, which absorbs float error.
+        let done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|f| f.remaining < 1.0)
+            .map(|f| f.id)
+            .collect();
+        if !done.is_empty() {
+            self.flows.retain(|f| f.remaining >= 1.0);
+            self.flows_completed += done.len() as u64;
+            self.finished.extend(done);
+            self.generation += 1;
+        }
+    }
+
+    /// Starts a flow of `bytes` over `route_links`. The network must be
+    /// advanced to `now` first (or `insert` does it for you).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route is empty or references an unknown link.
+    pub fn insert(&mut self, now: Time, id: FlowId, bytes: u64, route_links: &[LinkId]) {
+        assert!(
+            !route_links.is_empty(),
+            "flows must cross at least one link; model local copies separately"
+        );
+        self.advance(now);
+        let links: Vec<usize> = route_links.iter().map(|l| l.index()).collect();
+        for &l in &links {
+            assert!(l < self.link_bw.len(), "route references unknown link");
+        }
+        if bytes == 0 {
+            self.finished.push(id);
+            self.flows_completed += 1;
+        } else {
+            self.flows.push(Flow {
+                id,
+                remaining: bytes as f64,
+                links,
+            });
+        }
+        self.generation += 1;
+    }
+
+    /// Convenience: inserts a flow along a [`Route`].
+    pub fn insert_route(&mut self, now: Time, id: FlowId, bytes: u64, route: &Route) {
+        self.insert(now, id, bytes, &route.links);
+    }
+
+    /// Drains flows that completed since the last call.
+    pub fn take_finished(&mut self) -> Vec<FlowId> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Absolute time of the next flow completion at current rates, or
+    /// `None` when idle.
+    pub fn next_event(&self, now: Time) -> Option<Time> {
+        if self.flows.is_empty() {
+            return None;
+        }
+        let rates = self.rates();
+        let mut best = f64::INFINITY;
+        for (f, r) in self.flows.iter().zip(&rates) {
+            if *r > 0.0 {
+                best = best.min(f.remaining / r);
+            }
+        }
+        if !best.is_finite() {
+            return None;
+        }
+        let dt = Time::from_secs_f64(best).max(Time::from_ps(1));
+        Some((self.last + dt).max(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lid(i: usize) -> LinkId {
+        LinkId(i)
+    }
+
+    #[test]
+    fn single_flow_full_rate() {
+        let mut net = FlowNet::new(vec![1_000_000_000]);
+        net.insert(Time::ZERO, 1, 500_000_000, &[lid(0)]);
+        assert_eq!(net.next_event(Time::ZERO), Some(Time::from_ms(500)));
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let mut net = FlowNet::new(vec![1_000_000_000]);
+        net.insert(Time::ZERO, 1, 1_000_000_000, &[lid(0)]);
+        net.insert(Time::ZERO, 2, 1_000_000_000, &[lid(0)]);
+        let t = net.next_event(Time::ZERO).unwrap();
+        assert_eq!(t, Time::from_secs(2));
+        net.advance(t);
+        let mut done = net.take_finished();
+        done.sort_unstable();
+        assert_eq!(done, vec![1, 2]);
+    }
+
+    #[test]
+    fn bottleneck_determines_rate() {
+        // Flow over links 0 (fast) and 1 (slow).
+        let mut net = FlowNet::new(vec![10_000_000_000, 1_000_000_000]);
+        net.insert(Time::ZERO, 1, 1_000_000_000, &[lid(0), lid(1)]);
+        assert_eq!(net.next_event(Time::ZERO), Some(Time::from_secs(1)));
+    }
+
+    #[test]
+    fn max_min_unfreezes_leftover_bandwidth() {
+        // Link 0: 10 GB/s shared by flows A and B; flow B also crosses
+        // link 1 at 2 GB/s. Max-min: B is capped at 2, A gets 8.
+        let mut net = FlowNet::new(vec![10_000_000_000, 2_000_000_000]);
+        net.insert(Time::ZERO, 1, 8_000_000_000, &[lid(0)]);
+        net.insert(Time::ZERO, 2, 2_000_000_000, &[lid(0), lid(1)]);
+        let rates = net.rates();
+        assert!((rates[0] - 8e9).abs() < 1.0);
+        assert!((rates[1] - 2e9).abs() < 1.0);
+        // Both finish at exactly 1s.
+        assert_eq!(net.next_event(Time::ZERO), Some(Time::from_secs(1)));
+    }
+
+    #[test]
+    fn departures_speed_up_survivors() {
+        let mut net = FlowNet::new(vec![1_000_000_000]);
+        net.insert(Time::ZERO, 1, 500_000_000, &[lid(0)]);
+        net.insert(Time::ZERO, 2, 1_500_000_000, &[lid(0)]);
+        // Shared until flow 1 finishes at t=1s (500M at 0.5 GB/s).
+        let t1 = net.next_event(Time::ZERO).unwrap();
+        assert_eq!(t1, Time::from_secs(1));
+        net.advance(t1);
+        assert_eq!(net.take_finished(), vec![1]);
+        // Flow 2 has 1.0 GB left, now at full 1 GB/s -> finishes at 2s.
+        let t2 = net.next_event(t1).unwrap();
+        assert_eq!(t2, Time::from_secs(2));
+    }
+
+    #[test]
+    fn staggered_arrival() {
+        let mut net = FlowNet::new(vec![1_000_000_000]);
+        net.insert(Time::ZERO, 1, 1_000_000_000, &[lid(0)]);
+        // After 0.5s, flow 1 has 500MB left; flow 2 arrives.
+        net.insert(Time::from_ms(500), 2, 500_000_000, &[lid(0)]);
+        // Both now at 0.5 GB/s: flow 1 needs 1s more, flow 2 needs 1s.
+        let t = net.next_event(Time::from_ms(500)).unwrap();
+        assert_eq!(t, Time::from_ms(1500));
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut net = FlowNet::new(vec![1_000_000_000]);
+        net.insert(Time::ZERO, 9, 0, &[lid(0)]);
+        assert_eq!(net.take_finished(), vec![9]);
+        assert_eq!(net.next_event(Time::ZERO), None);
+    }
+
+    #[test]
+    fn link_byte_accounting() {
+        let mut net = FlowNet::new(vec![1_000_000_000, 1_000_000_000]);
+        net.insert(Time::ZERO, 1, 1_000_000, &[lid(0), lid(1)]);
+        let t = net.next_event(Time::ZERO).unwrap();
+        net.advance(t);
+        assert!((net.link_bytes()[0] - 1e6).abs() < 1.0);
+        assert!((net.link_bytes()[1] - 1e6).abs() < 1.0);
+        assert_eq!(net.flows_completed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn empty_route_rejected() {
+        let mut net = FlowNet::new(vec![1_000_000_000]);
+        net.insert(Time::ZERO, 1, 10, &[]);
+    }
+
+    #[test]
+    fn rates_never_oversubscribe_links() {
+        // Randomized-ish structural check over a fixed scenario set.
+        let mut net = FlowNet::new(vec![3_000_000_000, 1_000_000_000, 2_000_000_000]);
+        let routes: Vec<Vec<LinkId>> = vec![
+            vec![lid(0)],
+            vec![lid(0), lid(1)],
+            vec![lid(1), lid(2)],
+            vec![lid(0), lid(2)],
+            vec![lid(2)],
+        ];
+        for (i, r) in routes.iter().enumerate() {
+            net.insert(Time::ZERO, i as u64, 1_000_000_000, r);
+        }
+        let rates = net.rates();
+        let mut per_link = vec![0.0f64; 3];
+        for (f, r) in routes.iter().zip(&rates) {
+            for l in f {
+                per_link[l.index()] += r;
+            }
+        }
+        assert!(per_link[0] <= 3e9 * (1.0 + 1e-9));
+        assert!(per_link[1] <= 1e9 * (1.0 + 1e-9));
+        assert!(per_link[2] <= 2e9 * (1.0 + 1e-9));
+        // Every flow gets a nonzero rate (work conservation).
+        assert!(rates.iter().all(|r| *r > 0.0));
+    }
+}

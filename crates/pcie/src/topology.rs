@@ -1,0 +1,441 @@
+//! PCIe tree topology: root complex, switches, bump-in-the-wire
+//! multiplexers, and endpoint devices, connected by [`LinkSpec`] links.
+
+use crate::link::{Gen, LinkSpec};
+use dmx_sim::Time;
+use std::fmt;
+
+/// Index of a node in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Raw index (stable for the lifetime of the topology).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Index of a link in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub(crate) usize);
+
+impl LinkId {
+    /// Raw index (stable for the lifetime of the topology).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Creates a link id from a raw index. Only meaningful together with
+    /// a [`crate::FlowNet`] built from the same bandwidth vector.
+    pub fn from_index(index: usize) -> LinkId {
+        LinkId(index)
+    }
+}
+
+/// What a topology node is. Traversal latency differs per kind:
+/// a PCIe switch costs 110 ns port-to-port (Sec. VII.B), the
+/// bump-in-the-wire DRX's internal dual-port multiplexer is a much
+/// cheaper pass-through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// The CPU root complex.
+    RootComplex,
+    /// A PCIe switch.
+    Switch,
+    /// The internal PCIe multiplexer of a bump-in-the-wire DRX
+    /// (pass-through for traffic not destined to the DRX).
+    Mux,
+    /// A leaf device: an accelerator, a DRX, or the host DMA target.
+    Device,
+}
+
+impl NodeKind {
+    /// Latency for a transaction to traverse *through* this node
+    /// (not charged at route endpoints).
+    pub fn traversal_latency(self) -> Time {
+        match self {
+            // Port-to-port latency tax of a PCIe switch (Sec. VII.B).
+            NodeKind::Switch => Time::from_ns(110),
+            // Pass-through mux of a bump-in-the-wire DRX (Fig. 10 step 10).
+            NodeKind::Mux => Time::from_ns(25),
+            NodeKind::RootComplex => Time::from_ns(50),
+            NodeKind::Device => Time::ZERO,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    label: String,
+    parent: Option<(NodeId, LinkId)>,
+    depth: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    spec: LinkSpec,
+    child: NodeId,
+}
+
+/// A routed path between two nodes: the links it crosses, the
+/// intermediate nodes it traverses, and the accumulated fixed latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Links crossed, in order from source to destination.
+    pub links: Vec<LinkId>,
+    /// Nodes traversed *between* the endpoints, in order.
+    pub via: Vec<NodeId>,
+    /// Sum of traversal latencies of `via` nodes.
+    pub latency: Time,
+}
+
+impl Route {
+    /// An empty route (source == destination).
+    pub fn empty() -> Route {
+        Route {
+            links: Vec::new(),
+            via: Vec::new(),
+            latency: Time::ZERO,
+        }
+    }
+
+    /// Number of links crossed.
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// A PCIe device tree.
+///
+/// Build it top-down from the root complex:
+///
+/// ```
+/// use dmx_pcie::{Gen, Lanes, LinkSpec, NodeKind, Topology};
+/// let mut topo = Topology::new();
+/// let root = topo.root();
+/// let up = LinkSpec::new(Gen::Gen3, Lanes::X8);
+/// let down = LinkSpec::new(Gen::Gen3, Lanes::X16);
+/// let sw = topo.add_node(NodeKind::Switch, "switch0", root, up);
+/// let a = topo.add_node(NodeKind::Device, "accel0", sw, down);
+/// let b = topo.add_node(NodeKind::Device, "accel1", sw, down);
+/// let route = topo.route(a, b);
+/// assert_eq!(route.hop_count(), 2);          // a->switch, switch->b
+/// assert_eq!(route.via, vec![sw]);           // through one switch
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Edge>,
+}
+
+impl Topology {
+    /// Creates a topology containing only the root complex.
+    pub fn new() -> Topology {
+        Topology {
+            nodes: vec![Node {
+                kind: NodeKind::RootComplex,
+                label: "root".to_owned(),
+                parent: None,
+                depth: 0,
+            }],
+            links: Vec::new(),
+        }
+    }
+
+    /// The root complex node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Adds a node of `kind` under `parent`, connected by `link`.
+    /// Returns the new node's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is out of range or a `Device` (leaves cannot
+    /// have children).
+    pub fn add_node(
+        &mut self,
+        kind: NodeKind,
+        label: impl Into<String>,
+        parent: NodeId,
+        link: LinkSpec,
+    ) -> NodeId {
+        assert!(parent.0 < self.nodes.len(), "parent out of range");
+        assert!(
+            self.nodes[parent.0].kind != NodeKind::Device,
+            "devices are leaves and cannot have children"
+        );
+        let id = NodeId(self.nodes.len());
+        let link_id = LinkId(self.links.len());
+        self.links.push(Edge {
+            spec: link,
+            child: id,
+        });
+        let depth = self.nodes[parent.0].depth + 1;
+        self.nodes.push(Node {
+            kind,
+            label: label.into(),
+            parent: Some((parent, link_id)),
+            depth,
+        });
+        id
+    }
+
+    /// Number of nodes (including the root).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The kind of a node.
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.nodes[node.0].kind
+    }
+
+    /// The label a node was created with.
+    pub fn label(&self, node: NodeId) -> &str {
+        &self.nodes[node.0].label
+    }
+
+    /// The parent of a node, with the connecting link.
+    pub fn parent(&self, node: NodeId) -> Option<(NodeId, LinkId)> {
+        self.nodes[node.0].parent
+    }
+
+    /// The link spec of a link.
+    pub fn link_spec(&self, link: LinkId) -> LinkSpec {
+        self.links[link.0].spec
+    }
+
+    /// Bandwidths of every link, indexed by [`LinkId::index`]; the shape
+    /// expected by [`crate::FlowNet::new`].
+    pub fn link_bandwidths(&self) -> Vec<u64> {
+        self.links.iter().map(|l| l.spec.bytes_per_sec()).collect()
+    }
+
+    /// Rewrites every link to generation `gen`, preserving widths
+    /// (the Fig. 19 PCIe-generation sweep).
+    pub fn set_all_gens(&mut self, gen: Gen) {
+        for l in &mut self.links {
+            l.spec = l.spec.with_gen(gen);
+        }
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Computes the unique tree route from `src` to `dst`.
+    ///
+    /// The route lists links in traversal order and every intermediate
+    /// node (whose traversal latencies are summed into `Route::latency`).
+    /// The endpoints themselves contribute no traversal latency.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Route {
+        if src == dst {
+            return Route::empty();
+        }
+        // Walk both nodes up to their lowest common ancestor.
+        let mut up_links = Vec::new(); // src -> lca
+        let mut up_nodes = Vec::new();
+        let mut down_links = Vec::new(); // dst -> lca (reversed later)
+        let mut down_nodes = Vec::new();
+        let mut a = src;
+        let mut b = dst;
+        while self.nodes[a.0].depth > self.nodes[b.0].depth {
+            let (p, l) = self.nodes[a.0].parent.expect("non-root has parent");
+            up_links.push(l);
+            up_nodes.push(p);
+            a = p;
+        }
+        while self.nodes[b.0].depth > self.nodes[a.0].depth {
+            let (p, l) = self.nodes[b.0].parent.expect("non-root has parent");
+            down_links.push(l);
+            down_nodes.push(p);
+            b = p;
+        }
+        while a != b {
+            let (pa, la) = self.nodes[a.0].parent.expect("non-root has parent");
+            let (pb, lb) = self.nodes[b.0].parent.expect("non-root has parent");
+            up_links.push(la);
+            up_nodes.push(pa);
+            down_links.push(lb);
+            down_nodes.push(pb);
+            a = pa;
+            b = pb;
+        }
+        // Both climbs end at the LCA. Count it as an intermediate node
+        // exactly once — and not at all when it is itself an endpoint
+        // (dst an ancestor of src, or vice versa).
+        let mut via = up_nodes;
+        if down_nodes.pop().is_none() {
+            // dst == LCA: the climb from src ended *at* the destination.
+            via.pop();
+        }
+        via.extend(down_nodes.into_iter().rev());
+        let mut links = up_links;
+        links.extend(down_links.into_iter().rev());
+        let latency = via
+            .iter()
+            .map(|n| self.nodes[n.0].kind.traversal_latency())
+            .sum();
+        Route { links, via, latency }
+    }
+
+    /// Bottleneck (minimum) bandwidth along a route, in bytes/second.
+    /// Returns `None` for an empty route.
+    pub fn route_bottleneck(&self, route: &Route) -> Option<u64> {
+        route
+            .links
+            .iter()
+            .map(|l| self.links[l.0].spec.bytes_per_sec())
+            .min()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(
+            topo: &Topology,
+            node: NodeId,
+            indent: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            let n = &topo.nodes[node.0];
+            let link = match n.parent {
+                Some((_, l)) => format!(" <- {}", topo.links[l.0].spec),
+                None => String::new(),
+            };
+            writeln!(
+                f,
+                "{:indent$}{:?} {}{}",
+                "",
+                n.kind,
+                n.label,
+                link,
+                indent = indent
+            )?;
+            for (i, e) in topo.links.iter().enumerate() {
+                let _ = i;
+                if topo.nodes[e.child.0].parent.map(|(p, _)| p) == Some(node) {
+                    rec(topo, e.child, indent + 2, f)?;
+                }
+            }
+            Ok(())
+        }
+        rec(self, self.root(), 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Lanes;
+
+    fn two_switch_topo() -> (Topology, NodeId, NodeId, NodeId, NodeId, NodeId, NodeId) {
+        // root -- sw0 -- a0, a1
+        //      \- sw1 -- b0
+        let mut t = Topology::new();
+        let up = LinkSpec::new(Gen::Gen3, Lanes::X8);
+        let down = LinkSpec::new(Gen::Gen3, Lanes::X16);
+        let root = t.root();
+        let sw0 = t.add_node(NodeKind::Switch, "sw0", root, up);
+        let sw1 = t.add_node(NodeKind::Switch, "sw1", root, up);
+        let a0 = t.add_node(NodeKind::Device, "a0", sw0, down);
+        let a1 = t.add_node(NodeKind::Device, "a1", sw0, down);
+        let b0 = t.add_node(NodeKind::Device, "b0", sw1, down);
+        (t, root, sw0, sw1, a0, a1, b0)
+    }
+
+    #[test]
+    fn route_same_node_is_empty() {
+        let (t, _, _, _, a0, _, _) = two_switch_topo();
+        let r = t.route(a0, a0);
+        assert_eq!(r, Route::empty());
+        assert!(t.route_bottleneck(&r).is_none());
+    }
+
+    #[test]
+    fn route_under_one_switch() {
+        let (t, _, sw0, _, a0, a1, _) = two_switch_topo();
+        let r = t.route(a0, a1);
+        assert_eq!(r.hop_count(), 2);
+        assert_eq!(r.via, vec![sw0]);
+        assert_eq!(r.latency, Time::from_ns(110));
+    }
+
+    #[test]
+    fn route_across_switches_goes_through_root() {
+        let (t, root, sw0, sw1, a0, _, b0) = two_switch_topo();
+        let r = t.route(a0, b0);
+        assert_eq!(r.hop_count(), 4);
+        assert_eq!(r.via, vec![sw0, root, sw1]);
+        // 110 (sw0) + 50 (root) + 110 (sw1)
+        assert_eq!(r.latency, Time::from_ns(270));
+    }
+
+    #[test]
+    fn route_device_to_root() {
+        let (t, root, sw0, _, a0, _, _) = two_switch_topo();
+        let r = t.route(a0, root);
+        assert_eq!(r.hop_count(), 2);
+        assert_eq!(r.via, vec![sw0]);
+        let back = t.route(root, a0);
+        assert_eq!(back.hop_count(), 2);
+        assert_eq!(back.via, vec![sw0]);
+        // Same links in reverse order.
+        let mut fwd = r.links.clone();
+        fwd.reverse();
+        assert_eq!(fwd, back.links);
+    }
+
+    #[test]
+    fn bottleneck_is_upstream_x8() {
+        let (t, root, _, _, a0, _, _) = two_switch_topo();
+        let r = t.route(a0, root);
+        let bw = t.route_bottleneck(&r).unwrap();
+        assert_eq!(bw, LinkSpec::new(Gen::Gen3, Lanes::X8).bytes_per_sec());
+    }
+
+    #[test]
+    fn mux_traversal_cheaper_than_switch() {
+        assert!(NodeKind::Mux.traversal_latency() < NodeKind::Switch.traversal_latency());
+    }
+
+    #[test]
+    fn set_all_gens_preserves_widths() {
+        let (mut t, root, _, _, a0, _, _) = two_switch_topo();
+        t.set_all_gens(Gen::Gen5);
+        let r = t.route(a0, root);
+        let bw = t.route_bottleneck(&r).unwrap();
+        assert_eq!(bw, LinkSpec::new(Gen::Gen5, Lanes::X8).bytes_per_sec());
+    }
+
+    #[test]
+    #[should_panic(expected = "devices are leaves")]
+    fn devices_cannot_have_children() {
+        let (mut t, _, _, _, a0, _, _) = two_switch_topo();
+        t.add_node(
+            NodeKind::Device,
+            "bad",
+            a0,
+            LinkSpec::new(Gen::Gen3, Lanes::X1),
+        );
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let (t, ..) = two_switch_topo();
+        let s = t.to_string();
+        assert!(s.contains("root"));
+        assert!(s.contains("sw0"));
+        assert!(s.contains("a1"));
+    }
+}

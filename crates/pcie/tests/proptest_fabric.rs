@@ -1,0 +1,126 @@
+//! Property-based tests of the PCIe fabric: routing on random trees and
+//! max-min fairness of the flow network.
+
+use dmx_pcie::{FlowNet, Gen, Lanes, LinkSpec, NodeId, NodeKind, Topology};
+use dmx_sim::Time;
+use proptest::prelude::*;
+
+/// Builds a random two-level tree: `n_switches` switches under the
+/// root, each with a few devices.
+fn random_tree(switch_sizes: &[usize]) -> (Topology, Vec<NodeId>) {
+    let mut topo = Topology::new();
+    let up = LinkSpec::new(Gen::Gen3, Lanes::X8);
+    let down = LinkSpec::new(Gen::Gen3, Lanes::X16);
+    let mut devices = Vec::new();
+    for (i, &n) in switch_sizes.iter().enumerate() {
+        let sw = topo.add_node(NodeKind::Switch, format!("sw{i}"), topo.root(), up);
+        for j in 0..n {
+            devices.push(topo.add_node(NodeKind::Device, format!("d{i}.{j}"), sw, down));
+        }
+    }
+    (topo, devices)
+}
+
+proptest! {
+    /// Tree routes are symmetric in length and latency, stay within the
+    /// link table, and the same-switch/cross-switch hop counts are
+    /// exactly 2 and 4.
+    #[test]
+    fn routes_on_random_trees(
+        sizes in prop::collection::vec(1usize..5, 1..5),
+        a_pick in 0usize..100,
+        b_pick in 0usize..100,
+    ) {
+        let (topo, devices) = random_tree(&sizes);
+        let a = devices[a_pick % devices.len()];
+        let b = devices[b_pick % devices.len()];
+        let fwd = topo.route(a, b);
+        let back = topo.route(b, a);
+        prop_assert_eq!(fwd.hop_count(), back.hop_count());
+        prop_assert_eq!(fwd.latency, back.latency);
+        for l in &fwd.links {
+            prop_assert!(l.index() < topo.link_count());
+        }
+        if a == b {
+            prop_assert_eq!(fwd.hop_count(), 0);
+        } else {
+            let same_switch = topo.parent(a).map(|(p, _)| p) == topo.parent(b).map(|(p, _)| p);
+            prop_assert_eq!(fwd.hop_count(), if same_switch { 2 } else { 4 });
+        }
+    }
+
+    /// Max-min rates never oversubscribe a link, are work-conserving on
+    /// the bottleneck, and every flow eventually finishes with all its
+    /// bytes accounted on every link it crossed.
+    #[test]
+    fn flow_network_fairness_and_conservation(
+        bws in prop::collection::vec(1_000u64..1_000_000, 1..6),
+        flows in prop::collection::vec(
+            (1u64..500_000, prop::collection::vec(0usize..6, 1..4)),
+            1..8,
+        ),
+    ) {
+        let nlinks = bws.len();
+        let mut net = FlowNet::new(bws.clone());
+        let mut valid = Vec::new();
+        for (i, (bytes, raw_route)) in flows.iter().enumerate() {
+            let mut route: Vec<dmx_pcie::LinkId> = raw_route
+                .iter()
+                .map(|r| dmx_pcie::LinkId::from_index(r % nlinks))
+                .collect();
+            route.dedup();
+            net.insert(Time::ZERO, i as u64, *bytes, &route);
+            valid.push((i as u64, *bytes, route));
+        }
+        // Rate feasibility at the initial allocation.
+        let rates = net.rates();
+        let mut per_link = vec![0.0f64; nlinks];
+        for ((_, _, route), r) in valid.iter().zip(&rates) {
+            for l in route {
+                per_link[l.index()] += r;
+            }
+        }
+        for (l, used) in per_link.iter().enumerate() {
+            prop_assert!(*used <= bws[l] as f64 * (1.0 + 1e-6), "link {l} oversubscribed");
+        }
+        // Run to completion.
+        let mut done = net.take_finished().len();
+        let mut guard = 0;
+        let mut now = Time::ZERO;
+        while done < valid.len() {
+            now = net.next_event(now).expect("flows pending");
+            net.advance(now);
+            done += net.take_finished().len();
+            guard += 1;
+            prop_assert!(guard < 10_000, "network did not drain");
+        }
+        // Byte conservation per link.
+        let mut expect = vec![0.0f64; nlinks];
+        for (_, bytes, route) in &valid {
+            for l in route {
+                expect[l.index()] += *bytes as f64;
+            }
+        }
+        for (got, want) in net.link_bytes().iter().zip(&expect) {
+            prop_assert!((got - want).abs() <= want * 1e-6 + 1.0, "{got} vs {want}");
+        }
+    }
+
+    /// A single flow's completion time equals bytes / bottleneck
+    /// bandwidth regardless of the rest of the route.
+    #[test]
+    fn single_flow_bottleneck_exact(
+        bws in prop::collection::vec(10_000u64..10_000_000, 1..5),
+        bytes in 1u64..50_000_000,
+    ) {
+        let route: Vec<dmx_pcie::LinkId> =
+            (0..bws.len()).map(dmx_pcie::LinkId::from_index).collect();
+        let bottleneck = *bws.iter().min().expect("nonempty");
+        let mut net = FlowNet::new(bws);
+        net.insert(Time::ZERO, 1, bytes, &route);
+        let done = net.next_event(Time::ZERO).expect("flow pending");
+        let ideal = bytes as f64 / bottleneck as f64;
+        let got = done.as_secs_f64();
+        prop_assert!((got - ideal).abs() <= ideal * 1e-6 + 1e-9, "{got} vs {ideal}");
+    }
+}

@@ -1,0 +1,331 @@
+//! Frame-to-tensor restructuring (Video Surveillance): the video
+//! decoder emits planar YUV 4:2:0 frames; the object-detection DNN
+//! wants normalized planar RGB (NCHW) `f32`. The data motion step is
+//! chroma upsampling, BT.601 color conversion, normalization, and the
+//! NHWC→NCHW-style layout change — the branchiest of the five
+//! restructuring ops on a CPU (Fig. 5's bad-speculation outlier).
+
+use crate::op::{Lowered, OpError, OpProfile, RestructureOp};
+use dmx_drx::ir::{Access, BufId, Kernel, VecStmt};
+use dmx_drx::isa::{Dtype, VectorOp};
+use dmx_drx::{compile, DrxConfig};
+
+// BT.601 full-swing conversion, normalized to ~[0,1] then standardized
+// with mean 0.5 / std 0.5 per channel. All constants are folded so every
+// channel is an affine function of the scaled planes.
+const Y_SCALE: f64 = 1.164 / 255.0;
+const Y_BIAS: f64 = -16.0;
+const C_BIAS: f64 = -128.0;
+const C_SCALE: f64 = 1.0 / 255.0;
+const STD: f64 = 0.5;
+const MEAN: f64 = 0.5;
+const K_RV: f64 = 1.596;
+const K_GV: f64 = -0.813;
+const K_GU: f64 = -0.391;
+const K_BU: f64 = 2.018;
+
+/// YUV 4:2:0 frame → normalized NCHW RGB `f32` tensor.
+///
+/// Input: `w*h` luma bytes, then `w*h/4` U bytes, then `w*h/4` V bytes.
+/// Output: 3 planes of `w*h` `f32` each (R, G, B), concatenated.
+#[derive(Debug, Clone)]
+pub struct YuvToTensor {
+    /// Frame width (even, and a multiple of 2 lanes at minimum).
+    pub width: u64,
+    /// Frame height (even).
+    pub height: u64,
+}
+
+impl YuvToTensor {
+    /// Creates the op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or odd.
+    pub fn new(width: u64, height: u64) -> YuvToTensor {
+        assert!(width > 0 && height > 0, "empty frame");
+        assert!(width % 2 == 0 && height % 2 == 0, "dimensions must be even");
+        YuvToTensor { width, height }
+    }
+
+    fn coeffs() -> [f32; 4] {
+        [
+            (K_RV / STD) as f32,
+            (K_GV / STD) as f32,
+            (K_GU / STD) as f32,
+            (K_BU / STD) as f32,
+        ]
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn build_kernel(&self) -> (Kernel, [BufId; 3], [BufId; 3], BufId) {
+        let (w, h) = (self.width, self.height);
+        let (hw, qw) = (w * h, w * h / 4);
+        let mut k = Kernel::new("yuv_to_tensor");
+        let y = k.buffer("y", Dtype::U8, hw);
+        let u = k.buffer("u", Dtype::U8, qw);
+        let v = k.buffer("v", Dtype::U8, qw);
+        let coef = k.resident_buffer("coef", Dtype::F32, 4);
+        let yf = k.buffer("yf", Dtype::F32, hw);
+        let uf = k.buffer("uf", Dtype::F32, qw);
+        let vf = k.buffer("vf", Dtype::F32, qw);
+        let out_r = k.buffer("out_r", Dtype::F32, hw);
+        let out_g = k.buffer("out_g", Dtype::F32, hw);
+        let out_b = k.buffer("out_b", Dtype::F32, hw);
+
+        // Plane scaling: yf = (cast(y) + Y_BIAS) * (Y_SCALE / STD)
+        let scale_nest = |k: &mut Kernel, src: BufId, dst: BufId, n: u64, bias: f64, scale: f64| {
+            let dims = vec![n];
+            k.nest(
+                dims.clone(),
+                vec![
+                    VecStmt {
+                        op: VectorOp::Cast(Dtype::F32),
+                        dst: Access::row_major(dst, &dims),
+                        src0: Access::row_major(src, &dims),
+                        src1: None,
+                        imm: 0.0,
+                    },
+                    VecStmt {
+                        op: VectorOp::AddS,
+                        dst: Access::row_major(dst, &dims),
+                        src0: Access::row_major(dst, &dims),
+                        src1: None,
+                        imm: bias,
+                    },
+                    VecStmt {
+                        op: VectorOp::MulS,
+                        dst: Access::row_major(dst, &dims),
+                        src0: Access::row_major(dst, &dims),
+                        src1: None,
+                        imm: scale,
+                    },
+                ],
+            );
+        };
+        scale_nest(&mut k, y, yf, hw, Y_BIAS, Y_SCALE / STD);
+        scale_nest(&mut k, u, uf, qw, C_BIAS, C_SCALE / STD);
+        scale_nest(&mut k, v, vf, qw, C_BIAS, C_SCALE / STD);
+
+        // Color conversion over [h/2, 2, 2, w/2]: inner dim is x2 so the
+        // quarter-resolution chroma access stays affine.
+        let dims = vec![h / 2, 2, 2, w / 2];
+        let full = |buf: BufId| Access {
+            buf,
+            offset: 0,
+            strides: vec![2 * w as i64, w as i64, 1, 2],
+        };
+        let quarter = |buf: BufId| Access {
+            buf,
+            offset: 0,
+            strides: vec![(w / 2) as i64, 0, 0, 1],
+        };
+        let coef_at = |i: i64| Access {
+            buf: coef,
+            offset: i,
+            strides: vec![0, 0, 0, 0],
+        };
+        let bias = (-(Y_SCALE * 16.0) - MEAN) / STD;
+        let mut stmts = Vec::new();
+        for (plane, chroma_terms) in [
+            (out_r, vec![(vf, 0i64)]),
+            (out_g, vec![(vf, 1), (uf, 2)]),
+            (out_b, vec![(uf, 3)]),
+        ] {
+            stmts.push(VecStmt {
+                op: VectorOp::Copy,
+                dst: full(plane),
+                src0: full(yf),
+                src1: None,
+                imm: 0.0,
+            });
+            for (cbuf, ci) in chroma_terms {
+                stmts.push(VecStmt {
+                    op: VectorOp::Mac,
+                    dst: full(plane),
+                    src0: quarter(cbuf),
+                    src1: Some(coef_at(ci)),
+                    imm: 0.0,
+                });
+            }
+            stmts.push(VecStmt {
+                op: VectorOp::AddS,
+                dst: full(plane),
+                src0: full(plane),
+                src1: None,
+                imm: bias,
+            });
+        }
+        k.nest(dims, stmts);
+        (k, [y, u, v], [out_r, out_g, out_b], coef)
+    }
+}
+
+impl RestructureOp for YuvToTensor {
+    fn name(&self) -> &str {
+        "yuv_to_tensor"
+    }
+
+    fn profile(&self) -> OpProfile {
+        let hw = self.width * self.height;
+        let input_bytes = hw + hw / 2;
+        let output_bytes = 3 * hw * 4;
+        let scratch_bytes = hw * 4 + 2 * (hw / 4) * 4;
+        OpProfile {
+            name: self.name().to_owned(),
+            input_bytes,
+            output_bytes,
+            scratch_bytes,
+            stream_passes: 5.0,
+            // casts + 2 affine steps per plane + ~2.7 ops/pixel color math
+            ops_per_byte: 1.4,
+            // Format/stride handling in scalar CPU code is branch-heavy —
+            // the Fig. 5 bad-speculation outlier.
+            branch_per_kb: 18.0,
+            irregular: 0.05,
+        }
+    }
+
+    fn run_cpu(&self, input: &[u8]) -> Vec<u8> {
+        let (w, h) = (self.width as usize, self.height as usize);
+        let (hw, qw) = (w * h, w * h / 4);
+        assert_eq!(input.len(), hw + 2 * qw, "input size mismatch");
+        let (y, rest) = input.split_at(hw);
+        let (u, v) = rest.split_at(qw);
+        // Mirror the DRX statement order: f64 math, f32 stores.
+        let scale = |src: &[u8], bias: f64, s: f64| -> Vec<f32> {
+            src.iter()
+                .map(|&b| {
+                    let c = b as f64 as f32; // cast
+                    let a = (c as f64 + bias) as f32; // AddS
+                    ((a as f64) * s) as f32 // MulS
+                })
+                .collect()
+        };
+        let yf = scale(y, Y_BIAS, Y_SCALE / STD);
+        let uf = scale(u, C_BIAS, C_SCALE / STD);
+        let vf = scale(v, C_BIAS, C_SCALE / STD);
+        let coef = Self::coeffs();
+        let bias = (-(Y_SCALE * 16.0) - MEAN) / STD;
+        let mut planes = [vec![0f32; hw], vec![0f32; hw], vec![0f32; hw]];
+        // (plane, [(uses_v_plane, coefficient index)]) matching the DRX
+        // statement order exactly.
+        let recipes: [(usize, &[(bool, usize)]); 3] = [
+            (0, &[(true, 0)]),             // R: vf * coef[0]
+            (1, &[(true, 1), (false, 2)]), // G: vf * coef[1] + uf * coef[2]
+            (2, &[(false, 3)]),            // B: uf * coef[3]
+        ];
+        for (p, terms) in recipes {
+            for py in 0..h {
+                for px in 0..w {
+                    let i = py * w + px;
+                    let ci = (py / 2) * (w / 2) + px / 2;
+                    let mut acc = yf[i]; // Copy
+                    for &(uses_v, c) in terms {
+                        let chroma = if uses_v { vf[ci] } else { uf[ci] };
+                        // Mac: f64 accumulate, f32 store
+                        acc = ((acc as f64) + (chroma as f64) * (coef[c] as f64)) as f32;
+                    }
+                    acc = ((acc as f64) + bias) as f32; // AddS
+                    planes[p][i] = acc;
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(3 * hw * 4);
+        for p in &planes {
+            for v in p {
+                out.extend(v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn lower(&self, config: &DrxConfig) -> Result<Lowered, OpError> {
+        let (kernel, inputs, outputs, coef) = self.build_kernel();
+        let compiled = compile(&kernel, config)?;
+        let hw = self.width * self.height;
+        let qw = hw / 4;
+        let coef_bytes: Vec<u8> = Self::coeffs().iter().flat_map(|v| v.to_le_bytes()).collect();
+        Ok(Lowered {
+            inputs: vec![
+                (compiled.layout.addr(inputs[0]), hw),
+                (compiled.layout.addr(inputs[1]), qw),
+                (compiled.layout.addr(inputs[2]), qw),
+            ],
+            outputs: outputs
+                .iter()
+                .map(|b| (compiled.layout.addr(*b), hw * 4))
+                .collect(),
+            consts: vec![(compiled.layout.addr(coef), coef_bytes)],
+            dram_bytes: compiled.layout.total_bytes(),
+            program: compiled.program,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{assert_cpu_drx_equal, run_on_drx};
+    use dmx_kernels::video::synthetic_scene;
+
+    fn frame_bytes(w: usize, h: usize) -> Vec<u8> {
+        let f = &synthetic_scene(w, h, 3)[2];
+        let mut b = f.y.clone();
+        b.extend_from_slice(&f.u);
+        b.extend_from_slice(&f.v);
+        b
+    }
+
+    #[test]
+    fn cpu_and_drx_agree() {
+        let op = YuvToTensor::new(32, 16);
+        assert_cpu_drx_equal(&op, &DrxConfig::default(), &frame_bytes(32, 16));
+    }
+
+    #[test]
+    fn cpu_and_drx_agree_multi_tile() {
+        let op = YuvToTensor::new(64, 48);
+        let mut cfg = DrxConfig::default();
+        cfg.scratchpad_bytes = 16 << 10;
+        assert_cpu_drx_equal(&op, &cfg, &frame_bytes(64, 48));
+    }
+
+    #[test]
+    fn bright_object_yields_extreme_channel_values() {
+        let op = YuvToTensor::new(64, 48);
+        let (out, _) = run_on_drx(&op, &DrxConfig::default(), &frame_bytes(64, 48)).unwrap();
+        let vals: Vec<f32> = out
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        // The synthetic scene has V=200 tint: red plane must contain
+        // clearly positive values where the object sits.
+        let r = &vals[..64 * 48];
+        assert!(r.iter().cloned().fold(f32::MIN, f32::max) > 1.0);
+        assert!(vals.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn output_is_three_planes() {
+        let op = YuvToTensor::new(16, 8);
+        let lowered = op.lower(&DrxConfig::default()).unwrap();
+        assert_eq!(lowered.outputs.len(), 3);
+        assert_eq!(lowered.output_bytes(), 3 * 16 * 8 * 4);
+        assert_eq!(lowered.input_bytes(), 16 * 8 * 3 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be even")]
+    fn rejects_odd_dims() {
+        YuvToTensor::new(15, 8);
+    }
+
+    #[test]
+    fn profile_marks_branchiness() {
+        let p = YuvToTensor::new(64, 48).profile();
+        assert!(p.branch_per_kb > 10.0, "video restructuring is branchy");
+        assert_eq!(p.input_bytes, 64 * 48 * 3 / 2);
+        assert_eq!(p.output_bytes, 3 * 64 * 48 * 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! # dmx-restructure — data-restructuring operator library
+//!
+//! The concrete *data motion* computations from the paper's Table I,
+//! each available three ways:
+//!
+//! 1. a **CPU reference** implementation ([`RestructureOp::run_cpu`]) —
+//!    what the Multi-Axl baseline executes on host cores;
+//! 2. a **DRX lowering** ([`RestructureOp::lower`]) — an affine kernel
+//!    compiled by `dmx-drx`, or a hand-written program for the
+//!    irregular ops (Transposition-Engine pivot, scalar-mode hash
+//!    partitioning);
+//! 3. a **work profile** ([`OpProfile`]) — the footprint/intensity
+//!    descriptor that drives the host-CPU cost model and the Fig. 5
+//!    top-down characterization.
+//!
+//! CPU and DRX paths are verified equal bit-for-bit in this crate's
+//! tests (floats follow the DRX evaluation order: f64 arithmetic,
+//! f32 stores).
+//!
+//! | benchmark | ops here |
+//! |---|---|
+//! | Sound Detection | [`SpectrogramMel`] |
+//! | Video Surveillance | [`YuvToTensor`] |
+//! | Brain Stimulation | [`BandPower`] |
+//! | Personal Info Redaction (+NER) | [`TokenizeGather`], [`QuantizeTensor`] |
+//! | Database Hash Join | [`DbPivot`], [`HashPartition`], [`EndianSwap`] |
+//! | Collectives (Fig. 17) | [`VecSum`] |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod image;
+pub mod op;
+pub mod pivot;
+pub mod reduce;
+pub mod reshape;
+pub mod spectro;
+pub mod textprep;
+
+pub use image::YuvToTensor;
+pub use op::{assert_cpu_drx_equal, run_on_drx, Lowered, OpError, OpProfile, RestructureOp};
+pub use pivot::{partition_id, DbPivot, Deinterleave, HashPartition};
+pub use reduce::VecSum;
+pub use reshape::{BandPower, EndianSwap, PadFrame, QuantizeTensor};
+pub use spectro::SpectrogramMel;
+pub use textprep::TokenizeGather;

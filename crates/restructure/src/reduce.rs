@@ -1,0 +1,126 @@
+//! Element-wise combination ops used by the collective experiments
+//! (Fig. 17): all-reduce's scatter-reduce stage sums partial buffers on
+//! the DRX ("DMX uses DRX to accelerate the summation operations").
+
+use crate::op::{Lowered, OpError, OpProfile, RestructureOp};
+use dmx_drx::ir::{Access, Kernel, VecStmt};
+use dmx_drx::isa::{Dtype, VectorOp};
+use dmx_drx::{compile, DrxConfig};
+
+/// `out[i] = a[i] + b[i]` over `f32` vectors (one reduction step).
+///
+/// Input: `2 * elems` `f32` (a then b). Output: `elems` `f32`.
+#[derive(Debug, Clone)]
+pub struct VecSum {
+    /// Elements per operand.
+    pub elems: u64,
+}
+
+impl RestructureOp for VecSum {
+    fn name(&self) -> &str {
+        "vec_sum"
+    }
+
+    fn profile(&self) -> OpProfile {
+        OpProfile {
+            name: self.name().to_owned(),
+            input_bytes: self.elems * 8,
+            output_bytes: self.elems * 4,
+            scratch_bytes: 0,
+            stream_passes: 3.0,
+            ops_per_byte: 1.0 / 12.0,
+            branch_per_kb: 0.2,
+            irregular: 0.0,
+        }
+    }
+
+    fn run_cpu(&self, input: &[u8]) -> Vec<u8> {
+        let n = self.elems as usize;
+        assert_eq!(input.len(), 8 * n, "input size mismatch");
+        let vals: Vec<f32> = input
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("sized")))
+            .collect();
+        (0..n)
+            .flat_map(|i| {
+                let s = ((vals[i] as f64) + (vals[n + i] as f64)) as f32;
+                s.to_le_bytes()
+            })
+            .collect()
+    }
+
+    fn lower(&self, config: &DrxConfig) -> Result<Lowered, OpError> {
+        let n = self.elems;
+        let mut k = Kernel::new("vec_sum");
+        let a = k.buffer("a", Dtype::F32, n);
+        let b = k.buffer("b", Dtype::F32, n);
+        let out = k.buffer("out", Dtype::F32, n);
+        k.nest(
+            vec![n],
+            vec![VecStmt {
+                op: VectorOp::Add,
+                dst: Access::row_major(out, &[n]),
+                src0: Access::row_major(a, &[n]),
+                src1: Some(Access::row_major(b, &[n])),
+                imm: 0.0,
+            }],
+        );
+        let compiled = compile(&k, config)?;
+        Ok(Lowered {
+            inputs: vec![
+                (compiled.layout.addr(a), n * 4),
+                (compiled.layout.addr(b), n * 4),
+            ],
+            outputs: vec![(compiled.layout.addr(out), n * 4)],
+            consts: vec![],
+            dram_bytes: compiled.layout.total_bytes(),
+            program: compiled.program,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{assert_cpu_drx_equal, run_on_drx};
+
+    #[test]
+    fn cpu_and_drx_agree() {
+        let op = VecSum { elems: 3000 };
+        let input: Vec<u8> = (0..6000)
+            .flat_map(|i| ((i as f32) * 0.01 - 30.0).to_le_bytes())
+            .collect();
+        assert_cpu_drx_equal(&op, &DrxConfig::default(), &input);
+    }
+
+    #[test]
+    fn sums_correctly() {
+        let op = VecSum { elems: 4 };
+        let mut input = Vec::new();
+        for v in [1.0f32, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0] {
+            input.extend(v.to_le_bytes());
+        }
+        let (out, _) = run_on_drx(&op, &DrxConfig::default(), &input).unwrap();
+        let vals: Vec<f32> = out
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn scales_with_lanes() {
+        let op = VecSum { elems: 65536 };
+        let input: Vec<u8> = (0..131072u32).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        let cfg32 = DrxConfig::default().with_lanes(32);
+        let cfg128 = DrxConfig::default();
+        let (_, s32) = run_on_drx(&op, &cfg32, &input).unwrap();
+        let (_, s128) = run_on_drx(&op, &cfg128, &input).unwrap();
+        assert!(
+            s32.vec_busy_cycles > 2 * s128.vec_busy_cycles,
+            "lanes should speed up compute: {} vs {}",
+            s32.vec_busy_cycles,
+            s128.vec_busy_cycles
+        );
+    }
+}

@@ -1,0 +1,618 @@
+//! Reshape / typecast / normalization restructuring ops:
+//!
+//! * [`BandPower`] — Brain Stimulation's data motion: complex EM
+//!   spectra → per-band power features, normalized for the RL policy.
+//! * [`QuantizeTensor`] — the Fig. 16 "reshaping and typecasting" step
+//!   in front of the NER kernel: `f32` activations → saturated `i8`.
+//! * [`EndianSwap`] — byte-order conversion between accelerators that
+//!   disagree on endianness (part of the Database pipeline).
+//! * [`PadFrame`] — zero-padding a 2-D tile into a fixed-size frame
+//!   (DNN inputs want fixed spatial dimensions).
+
+use crate::op::{Lowered, OpError, OpProfile, RestructureOp};
+use dmx_drx::ir::{Access, Kernel, VecStmt};
+use dmx_drx::isa::{Dtype, VectorOp};
+use dmx_drx::{compile, DrxConfig};
+
+/// Complex spectra → normalized per-band power (Brain Stimulation).
+///
+/// Input: `frames x bins` interleaved complex `f32`.
+/// Output: `frames x bands` `f32`, scaled by `scale` and shifted by
+/// `bias`. `bins` must be a multiple of `bands` (uniform bands).
+#[derive(Debug, Clone)]
+pub struct BandPower {
+    /// Spectral frames per batch.
+    pub frames: u64,
+    /// Bins per frame.
+    pub bins: u64,
+    /// Uniform output bands.
+    pub bands: u64,
+    /// Normalization scale.
+    pub scale: f64,
+    /// Normalization bias.
+    pub bias: f64,
+}
+
+impl BandPower {
+    /// Creates the op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is not a multiple of `bands`.
+    pub fn new(frames: u64, bins: u64, bands: u64, scale: f64, bias: f64) -> BandPower {
+        assert!(bands > 0 && bins % bands == 0, "bins must divide into bands");
+        BandPower {
+            frames,
+            bins,
+            bands,
+            scale,
+            bias,
+        }
+    }
+}
+
+impl RestructureOp for BandPower {
+    fn name(&self) -> &str {
+        "band_power"
+    }
+
+    fn profile(&self) -> OpProfile {
+        let input_bytes = self.frames * self.bins * 8;
+        let output_bytes = self.frames * self.bands * 4;
+        OpProfile {
+            name: self.name().to_owned(),
+            input_bytes,
+            output_bytes,
+            scratch_bytes: self.frames * self.bins * 4,
+            stream_passes: 3.0,
+            ops_per_byte: 0.8,
+            branch_per_kb: 0.5,
+            irregular: 0.0,
+        }
+    }
+
+    fn run_cpu(&self, input: &[u8]) -> Vec<u8> {
+        let (frames, bins, bands) = (
+            self.frames as usize,
+            self.bins as usize,
+            self.bands as usize,
+        );
+        assert_eq!(input.len(), frames * bins * 8, "input size mismatch");
+        let spectra: Vec<f32> = input
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("sized")))
+            .collect();
+        let k0 = bins / bands;
+        let mut power = vec![0.0f32; frames * bins];
+        for f in 0..frames {
+            for k in 0..bins {
+                let re = spectra[(f * bins + k) * 2] as f64;
+                power[f * bins + k] = (re * re) as f32;
+            }
+            for k in 0..bins {
+                let im = spectra[(f * bins + k) * 2 + 1] as f64;
+                let acc = power[f * bins + k] as f64;
+                power[f * bins + k] = (acc + im * im) as f32;
+            }
+        }
+        let mut band = vec![0.0f32; frames * bands];
+        for f in 0..frames {
+            for k in 0..k0 {
+                for b in 0..bands {
+                    let acc = band[f * bands + b] as f64;
+                    let p = power[f * bins + b * k0 + k] as f64;
+                    band[f * bands + b] = (acc + p) as f32;
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(frames * bands * 4);
+        for v in &band {
+            let scaled = ((*v as f64) * self.scale) as f32;
+            let shifted = ((scaled as f64) + self.bias) as f32;
+            out.extend(shifted.to_le_bytes());
+        }
+        out
+    }
+
+    fn lower(&self, config: &DrxConfig) -> Result<Lowered, OpError> {
+        let (frames, bins, bands) = (self.frames, self.bins, self.bands);
+        let k0 = bins / bands;
+        let mut k = Kernel::new("band_power");
+        let input = k.buffer("spectra", Dtype::F32, frames * bins * 2);
+        let one = k.resident_buffer("one", Dtype::F32, 1);
+        let power = k.buffer("power", Dtype::F32, frames * bins);
+        let band = k.buffer("band", Dtype::F32, frames * bands);
+        let out = k.buffer("out", Dtype::F32, frames * bands);
+        let pw = |off: i64| Access {
+            buf: input,
+            offset: off,
+            strides: vec![2 * bins as i64, 2],
+        };
+        k.nest(
+            vec![frames, bins],
+            vec![
+                VecStmt {
+                    op: VectorOp::Mul,
+                    dst: Access {
+                        buf: power,
+                        offset: 0,
+                        strides: vec![bins as i64, 1],
+                    },
+                    src0: pw(0),
+                    src1: Some(pw(0)),
+                    imm: 0.0,
+                },
+                VecStmt {
+                    op: VectorOp::Mac,
+                    dst: Access {
+                        buf: power,
+                        offset: 0,
+                        strides: vec![bins as i64, 1],
+                    },
+                    src0: pw(1),
+                    src1: Some(pw(1)),
+                    imm: 0.0,
+                },
+            ],
+        );
+        // band[f][b] += power[f][b*k0 + k] over k (vectorized over b)
+        k.nest(
+            vec![frames, k0, bands],
+            vec![VecStmt {
+                op: VectorOp::Mac,
+                dst: Access {
+                    buf: band,
+                    offset: 0,
+                    strides: vec![bands as i64, 0, 1],
+                },
+                src0: Access {
+                    buf: power,
+                    offset: 0,
+                    strides: vec![bins as i64, 1, k0 as i64],
+                },
+                src1: Some(Access::broadcast(one, 3, 0)),
+                imm: 0.0,
+            }],
+        );
+        // normalize into out
+        k.nest(
+            vec![frames * bands],
+            vec![
+                VecStmt {
+                    op: VectorOp::MulS,
+                    dst: Access::row_major(out, &[frames * bands]),
+                    src0: Access::row_major(band, &[frames * bands]),
+                    src1: None,
+                    imm: self.scale,
+                },
+                VecStmt {
+                    op: VectorOp::AddS,
+                    dst: Access::row_major(out, &[frames * bands]),
+                    src0: Access::row_major(out, &[frames * bands]),
+                    src1: None,
+                    imm: self.bias,
+                },
+            ],
+        );
+        let compiled = compile(&k, config)?;
+        Ok(Lowered {
+            inputs: vec![(compiled.layout.addr(input), frames * bins * 8)],
+            outputs: vec![(compiled.layout.addr(out), frames * bands * 4)],
+            consts: vec![(compiled.layout.addr(one), 1f32.to_le_bytes().to_vec())],
+            dram_bytes: compiled.layout.total_bytes(),
+            program: compiled.program,
+        })
+    }
+}
+
+/// `f32` → saturated `i8` quantization with a scale (the Fig. 16
+/// reshape/typecast step).
+#[derive(Debug, Clone)]
+pub struct QuantizeTensor {
+    /// Element count.
+    pub elems: u64,
+    /// Multiplier applied before rounding toward zero.
+    pub scale: f64,
+}
+
+impl RestructureOp for QuantizeTensor {
+    fn name(&self) -> &str {
+        "quantize_tensor"
+    }
+
+    fn profile(&self) -> OpProfile {
+        OpProfile {
+            name: self.name().to_owned(),
+            input_bytes: self.elems * 4,
+            output_bytes: self.elems,
+            scratch_bytes: self.elems * 4,
+            stream_passes: 2.0,
+            ops_per_byte: 0.8,
+            branch_per_kb: 0.4,
+            irregular: 0.0,
+        }
+    }
+
+    fn run_cpu(&self, input: &[u8]) -> Vec<u8> {
+        assert_eq!(input.len() as u64, self.elems * 4, "input size mismatch");
+        input
+            .chunks_exact(4)
+            .map(|c| {
+                let x = f32::from_le_bytes(c.try_into().expect("sized"));
+                let scaled = ((x as f64) * self.scale) as f32;
+                let lo = ((scaled as f64).min(127.0)) as f32;
+                let hi = ((lo as f64).max(-128.0)) as f32;
+                hi as i8 as u8
+            })
+            .collect()
+    }
+
+    fn lower(&self, config: &DrxConfig) -> Result<Lowered, OpError> {
+        let n = self.elems;
+        let mut k = Kernel::new("quantize");
+        let input = k.buffer("in", Dtype::F32, n);
+        let tmp = k.buffer("tmp", Dtype::F32, n);
+        let out = k.buffer("out", Dtype::I8, n);
+        let acc = |b| Access::row_major(b, &[n]);
+        k.nest(
+            vec![n],
+            vec![
+                VecStmt {
+                    op: VectorOp::MulS,
+                    dst: acc(tmp),
+                    src0: acc(input),
+                    src1: None,
+                    imm: self.scale,
+                },
+                VecStmt {
+                    op: VectorOp::MinS,
+                    dst: acc(tmp),
+                    src0: acc(tmp),
+                    src1: None,
+                    imm: 127.0,
+                },
+                VecStmt {
+                    op: VectorOp::MaxS,
+                    dst: acc(tmp),
+                    src0: acc(tmp),
+                    src1: None,
+                    imm: -128.0,
+                },
+                VecStmt {
+                    op: VectorOp::Cast(Dtype::I8),
+                    dst: acc(out),
+                    src0: acc(tmp),
+                    src1: None,
+                    imm: 0.0,
+                },
+            ],
+        );
+        let compiled = compile(&k, config)?;
+        Ok(Lowered {
+            inputs: vec![(compiled.layout.addr(input), n * 4)],
+            outputs: vec![(compiled.layout.addr(out), n)],
+            consts: vec![],
+            dram_bytes: compiled.layout.total_bytes(),
+            program: compiled.program,
+        })
+    }
+}
+
+/// 32-bit endianness swap.
+#[derive(Debug, Clone)]
+pub struct EndianSwap {
+    /// Number of `u32` words.
+    pub words: u64,
+}
+
+impl RestructureOp for EndianSwap {
+    fn name(&self) -> &str {
+        "endian_swap"
+    }
+
+    fn profile(&self) -> OpProfile {
+        OpProfile {
+            name: self.name().to_owned(),
+            input_bytes: self.words * 4,
+            output_bytes: self.words * 4,
+            scratch_bytes: 0,
+            stream_passes: 2.0,
+            ops_per_byte: 0.25,
+            branch_per_kb: 0.2,
+            irregular: 0.0,
+        }
+    }
+
+    fn run_cpu(&self, input: &[u8]) -> Vec<u8> {
+        assert_eq!(input.len() as u64, self.words * 4, "input size mismatch");
+        input
+            .chunks_exact(4)
+            .flat_map(|c| {
+                u32::from_le_bytes(c.try_into().expect("sized"))
+                    .swap_bytes()
+                    .to_le_bytes()
+            })
+            .collect()
+    }
+
+    fn lower(&self, config: &DrxConfig) -> Result<Lowered, OpError> {
+        let n = self.words;
+        let mut k = Kernel::new("bswap");
+        let input = k.buffer("in", Dtype::U32, n);
+        let out = k.buffer("out", Dtype::U32, n);
+        k.nest(
+            vec![n],
+            vec![VecStmt {
+                op: VectorOp::Bswap,
+                dst: Access::row_major(out, &[n]),
+                src0: Access::row_major(input, &[n]),
+                src1: None,
+                imm: 0.0,
+            }],
+        );
+        let compiled = compile(&k, config)?;
+        Ok(Lowered {
+            inputs: vec![(compiled.layout.addr(input), n * 4)],
+            outputs: vec![(compiled.layout.addr(out), n * 4)],
+            consts: vec![],
+            dram_bytes: compiled.layout.total_bytes(),
+            program: compiled.program,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::assert_cpu_drx_equal;
+
+    #[test]
+    fn band_power_cpu_drx_agree() {
+        let op = BandPower::new(4, 32, 8, 0.5, -1.0);
+        let input: Vec<u8> = (0..4 * 32 * 2)
+            .flat_map(|i| ((i % 17) as f32 * 0.3 - 2.0).to_le_bytes())
+            .collect();
+        assert_cpu_drx_equal(&op, &DrxConfig::default(), &input);
+    }
+
+    #[test]
+    fn band_power_multi_tile() {
+        let op = BandPower::new(40, 32, 8, 1.0, 0.0);
+        let input: Vec<u8> = (0..40 * 32 * 2)
+            .flat_map(|i| ((i % 13) as f32).to_le_bytes())
+            .collect();
+        let mut cfg = DrxConfig::default();
+        cfg.scratchpad_bytes = 4 << 10;
+        assert_cpu_drx_equal(&op, &cfg, &input);
+    }
+
+    #[test]
+    fn band_power_sums_uniform_bands() {
+        let op = BandPower::new(1, 8, 2, 1.0, 0.0);
+        // spectra with re=1, im=0 everywhere: power = 1 per bin,
+        // each band sums 4 bins -> 4.0
+        let input: Vec<u8> = (0..16)
+            .flat_map(|i| if i % 2 == 0 { 1.0f32 } else { 0.0 }.to_le_bytes())
+            .collect();
+        let out = op.run_cpu(&input);
+        let vals: Vec<f32> = out
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![4.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bins must divide")]
+    fn band_power_validates_shape() {
+        BandPower::new(1, 10, 3, 1.0, 0.0);
+    }
+
+    #[test]
+    fn quantize_cpu_drx_agree() {
+        let op = QuantizeTensor {
+            elems: 500,
+            scale: 20.0,
+        };
+        let input: Vec<u8> = (0..500)
+            .flat_map(|i| ((i as f32 - 250.0) * 0.1).to_le_bytes())
+            .collect();
+        assert_cpu_drx_equal(&op, &DrxConfig::default(), &input);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let op = QuantizeTensor {
+            elems: 3,
+            scale: 100.0,
+        };
+        let input: Vec<u8> = [10.0f32, -10.0, 0.5]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        let out = op.run_cpu(&input);
+        assert_eq!(out[0] as i8, 127);
+        assert_eq!(out[1] as i8, -128);
+        assert_eq!(out[2] as i8, 50);
+    }
+
+    #[test]
+    fn endian_swap_cpu_drx_agree() {
+        let op = EndianSwap { words: 300 };
+        let input: Vec<u8> = (0..1200).map(|i| (i % 251) as u8).collect();
+        assert_cpu_drx_equal(&op, &DrxConfig::default(), &input);
+    }
+
+    #[test]
+    fn endian_swap_is_involution() {
+        let op = EndianSwap { words: 64 };
+        let input: Vec<u8> = (0..256).map(|i| i as u8).collect();
+        let once = op.run_cpu(&input);
+        let twice = op.run_cpu(&once);
+        assert_eq!(twice, input);
+    }
+}
+
+/// Zero-padding of a 2-D `f32` tile into a larger frame (the "padding"
+/// step of Table I's restructuring inventory: DNN inputs want fixed
+/// spatial dimensions).
+///
+/// Input: `rows_in x cols_in` `f32` row-major. Output:
+/// `rows_out x cols_out`, with the input in the top-left corner and
+/// zeros elsewhere.
+#[derive(Debug, Clone)]
+pub struct PadFrame {
+    /// Input rows.
+    pub rows_in: u64,
+    /// Input columns.
+    pub cols_in: u64,
+    /// Output rows (>= rows_in).
+    pub rows_out: u64,
+    /// Output columns (>= cols_in).
+    pub cols_out: u64,
+}
+
+impl PadFrame {
+    /// Creates the op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is smaller than the input in either
+    /// dimension, or any dimension is zero.
+    pub fn new(rows_in: u64, cols_in: u64, rows_out: u64, cols_out: u64) -> PadFrame {
+        assert!(rows_in > 0 && cols_in > 0, "empty input");
+        assert!(
+            rows_out >= rows_in && cols_out >= cols_in,
+            "output must contain the input"
+        );
+        PadFrame {
+            rows_in,
+            cols_in,
+            rows_out,
+            cols_out,
+        }
+    }
+}
+
+impl RestructureOp for PadFrame {
+    fn name(&self) -> &str {
+        "pad_frame"
+    }
+
+    fn profile(&self) -> OpProfile {
+        OpProfile {
+            name: self.name().to_owned(),
+            input_bytes: self.rows_in * self.cols_in * 4,
+            output_bytes: self.rows_out * self.cols_out * 4,
+            scratch_bytes: 0,
+            stream_passes: 2.0,
+            ops_per_byte: 0.1,
+            branch_per_kb: 2.0,
+            irregular: 0.0,
+        }
+    }
+
+    fn run_cpu(&self, input: &[u8]) -> Vec<u8> {
+        let (ri, ci) = (self.rows_in as usize, self.cols_in as usize);
+        let (ro, co) = (self.rows_out as usize, self.cols_out as usize);
+        assert_eq!(input.len(), ri * ci * 4, "input size mismatch");
+        let mut out = vec![0u8; ro * co * 4];
+        for r in 0..ri {
+            let src = r * ci * 4;
+            let dst = r * co * 4;
+            out[dst..dst + ci * 4].copy_from_slice(&input[src..src + ci * 4]);
+        }
+        out
+    }
+
+    fn lower(&self, config: &DrxConfig) -> Result<Lowered, OpError> {
+        let mut k = Kernel::new("pad_frame");
+        let input = k.buffer("in", Dtype::F32, self.rows_in * self.cols_in);
+        let out = k.buffer("out", Dtype::F32, self.rows_out * self.cols_out);
+        // DRAM starts zeroed, so only the payload needs copying; the
+        // destination access has holes (padding), which the compiler
+        // detects and preserves with load-before-store.
+        k.nest(
+            vec![self.rows_in, self.cols_in],
+            vec![VecStmt {
+                op: VectorOp::Copy,
+                dst: Access {
+                    buf: out,
+                    offset: 0,
+                    strides: vec![self.cols_out as i64, 1],
+                },
+                src0: Access {
+                    buf: input,
+                    offset: 0,
+                    strides: vec![self.cols_in as i64, 1],
+                },
+                src1: None,
+                imm: 0.0,
+            }],
+        );
+        let compiled = compile(&k, config)?;
+        Ok(Lowered {
+            inputs: vec![(compiled.layout.addr(input), self.rows_in * self.cols_in * 4)],
+            outputs: vec![(
+                compiled.layout.addr(out),
+                self.rows_out * self.cols_out * 4,
+            )],
+            consts: vec![],
+            dram_bytes: compiled.layout.total_bytes(),
+            program: compiled.program,
+        })
+    }
+}
+
+#[cfg(test)]
+mod pad_tests {
+    use super::*;
+    use crate::op::assert_cpu_drx_equal;
+
+    fn tile(rows: u64, cols: u64) -> Vec<u8> {
+        (0..rows * cols)
+            .flat_map(|i| ((i + 1) as f32).to_le_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn cpu_and_drx_agree() {
+        let op = PadFrame::new(24, 30, 32, 32);
+        assert_cpu_drx_equal(&op, &DrxConfig::default(), &tile(24, 30));
+    }
+
+    #[test]
+    fn cpu_and_drx_agree_small_spad() {
+        let op = PadFrame::new(100, 60, 128, 64);
+        let mut cfg = DrxConfig::default();
+        cfg.scratchpad_bytes = 4 << 10;
+        assert_cpu_drx_equal(&op, &cfg, &tile(100, 60));
+    }
+
+    #[test]
+    fn padding_region_is_zero() {
+        let op = PadFrame::new(2, 2, 3, 4);
+        let out = op.run_cpu(&tile(2, 2));
+        let vals: Vec<f32> = out
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(
+            vals,
+            vec![1.0, 2.0, 0.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn identity_pad_is_a_copy() {
+        let op = PadFrame::new(8, 8, 8, 8);
+        let input = tile(8, 8);
+        assert_eq!(op.run_cpu(&input), input);
+    }
+
+    #[test]
+    #[should_panic(expected = "output must contain the input")]
+    fn rejects_shrinking() {
+        PadFrame::new(8, 8, 4, 8);
+    }
+}

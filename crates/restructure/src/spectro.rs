@@ -1,0 +1,366 @@
+//! Spectrogram + mel-scale restructuring (Sound Detection, Sec. II.A):
+//! the FFT accelerator emits interleaved complex spectra, the SVM
+//! accelerator wants log-mel feature vectors. The data motion step is
+//! `power = re² + im²`, a mel filterbank matrix product, and `ln`.
+
+use crate::op::{Lowered, OpError, OpProfile, RestructureOp};
+use dmx_drx::ir::{Access, Kernel, VecStmt};
+use dmx_drx::isa::{Dtype, VectorOp};
+use dmx_drx::{compile, DrxConfig};
+use dmx_kernels::mel::MelFilterbank;
+
+/// Complex spectrogram → log-mel restructuring op.
+///
+/// Input: `frames x bins` interleaved complex `f32` (re, im).
+/// Output: `frames x bands` log-mel `f32`.
+#[derive(Debug, Clone)]
+pub struct SpectrogramMel {
+    /// Number of STFT frames per batch.
+    pub frames: u64,
+    /// One-sided FFT bins per frame.
+    pub bins: u64,
+    /// Mel bands.
+    pub bands: u64,
+    /// Sample rate the filterbank is built for.
+    pub sample_rate: f32,
+}
+
+impl SpectrogramMel {
+    /// The default Sound Detection shape used in the system experiments
+    /// (fits the paper's 8 MB intermediate batch at ~2000 frames).
+    pub fn sound_detection(frames: u64) -> SpectrogramMel {
+        SpectrogramMel {
+            frames,
+            bins: 257,
+            bands: 26,
+            sample_rate: 16_000.0,
+        }
+    }
+
+    /// The mel filterbank, transposed to `bins x bands` (the layout the
+    /// DRX kernel streams with unit inner stride).
+    fn weights_t(&self) -> Vec<f32> {
+        let fb = MelFilterbank::new(self.bands as usize, self.bins as usize, self.sample_rate);
+        let w = fb.weights(); // bands x bins
+        let mut t = vec![0.0f32; w.len()];
+        for b in 0..self.bands as usize {
+            for k in 0..self.bins as usize {
+                t[k * self.bands as usize + b] = w[b * self.bins as usize + k];
+            }
+        }
+        t
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn build_kernel(
+        &self,
+    ) -> (
+        Kernel,
+        dmx_drx::ir::BufId,
+        dmx_drx::ir::BufId,
+        dmx_drx::ir::BufId,
+        Vec<u8>,
+    ) {
+        let (frames, bins, bands) = (self.frames, self.bins, self.bands);
+        let mut k = Kernel::new("spectrogram_mel");
+        let input = k.buffer("spectra", Dtype::F32, frames * bins * 2);
+        let w_t = k.resident_buffer("mel_weights_t", Dtype::F32, bins * bands);
+        let power = k.buffer("power", Dtype::F32, frames * bins);
+        let mel = k.buffer("mel", Dtype::F32, frames * bands);
+        let out = k.buffer("log_mel", Dtype::F32, frames * bands);
+
+        // power[f][k] = re² ; power[f][k] += im²
+        let d = [frames, bins];
+        k.nest(
+            d.to_vec(),
+            vec![
+                VecStmt {
+                    op: VectorOp::Mul,
+                    dst: Access {
+                        buf: power,
+                        offset: 0,
+                        strides: vec![bins as i64, 1],
+                    },
+                    src0: Access {
+                        buf: input,
+                        offset: 0,
+                        strides: vec![2 * bins as i64, 2],
+                    },
+                    src1: Some(Access {
+                        buf: input,
+                        offset: 0,
+                        strides: vec![2 * bins as i64, 2],
+                    }),
+                    imm: 0.0,
+                },
+                VecStmt {
+                    op: VectorOp::Mac,
+                    dst: Access {
+                        buf: power,
+                        offset: 0,
+                        strides: vec![bins as i64, 1],
+                    },
+                    src0: Access {
+                        buf: input,
+                        offset: 1,
+                        strides: vec![2 * bins as i64, 2],
+                    },
+                    src1: Some(Access {
+                        buf: input,
+                        offset: 1,
+                        strides: vec![2 * bins as i64, 2],
+                    }),
+                    imm: 0.0,
+                },
+            ],
+        );
+
+        // mel[f][m] += power[f][k] * w_t[k][m]
+        k.nest(
+            vec![frames, bins, bands],
+            vec![VecStmt {
+                op: VectorOp::Mac,
+                dst: Access {
+                    buf: mel,
+                    offset: 0,
+                    strides: vec![bands as i64, 0, 1],
+                },
+                src0: Access {
+                    buf: power,
+                    offset: 0,
+                    strides: vec![bins as i64, 1, 0],
+                },
+                src1: Some(Access {
+                    buf: w_t,
+                    offset: 0,
+                    strides: vec![0, bands as i64, 1],
+                }),
+                imm: 0.0,
+            }],
+        );
+
+        // out[f][m] = ln(mel[f][m] + eps)
+        k.nest(
+            vec![frames, bands],
+            vec![
+                VecStmt {
+                    op: VectorOp::AddS,
+                    dst: Access {
+                        buf: mel,
+                        offset: 0,
+                        strides: vec![bands as i64, 1],
+                    },
+                    src0: Access {
+                        buf: mel,
+                        offset: 0,
+                        strides: vec![bands as i64, 1],
+                    },
+                    src1: None,
+                    imm: 1e-6,
+                },
+                VecStmt {
+                    op: VectorOp::Log,
+                    dst: Access {
+                        buf: out,
+                        offset: 0,
+                        strides: vec![bands as i64, 1],
+                    },
+                    src0: Access {
+                        buf: mel,
+                        offset: 0,
+                        strides: vec![bands as i64, 1],
+                    },
+                    src1: None,
+                    imm: 0.0,
+                },
+            ],
+        );
+
+        let w_bytes: Vec<u8> = self
+            .weights_t()
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        (k, input, w_t, out, w_bytes)
+    }
+}
+
+impl RestructureOp for SpectrogramMel {
+    fn name(&self) -> &str {
+        "spectrogram_mel"
+    }
+
+    fn profile(&self) -> OpProfile {
+        let input_bytes = self.frames * self.bins * 8;
+        let output_bytes = self.frames * self.bands * 4;
+        let scratch_bytes = self.frames * self.bins * 4 + self.frames * self.bands * 4;
+        let macs = self.frames * self.bins * (self.bands + 2);
+        OpProfile {
+            name: self.name().to_owned(),
+            input_bytes,
+            output_bytes,
+            scratch_bytes,
+            stream_passes: 4.0,
+            ops_per_byte: macs as f64 / (input_bytes + output_bytes) as f64,
+            branch_per_kb: 0.6,
+            irregular: 0.0,
+        }
+    }
+
+    fn run_cpu(&self, input: &[u8]) -> Vec<u8> {
+        let (frames, bins, bands) = (
+            self.frames as usize,
+            self.bins as usize,
+            self.bands as usize,
+        );
+        assert_eq!(input.len(), frames * bins * 8, "input size mismatch");
+        let spectra: Vec<f32> = input
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("sized")))
+            .collect();
+        // Mirror the DRX evaluation order exactly: f64 arithmetic with
+        // f32 stores at every statement boundary.
+        let mut power = vec![0.0f32; frames * bins];
+        for f in 0..frames {
+            for k in 0..bins {
+                let re = spectra[(f * bins + k) * 2] as f64;
+                power[f * bins + k] = (re * re) as f32;
+            }
+            for k in 0..bins {
+                let im = spectra[(f * bins + k) * 2 + 1] as f64;
+                let acc = power[f * bins + k] as f64;
+                power[f * bins + k] = (acc + im * im) as f32;
+            }
+        }
+        let w_t = self.weights_t();
+        let mut mel = vec![0.0f32; frames * bands];
+        for f in 0..frames {
+            for k in 0..bins {
+                for m in 0..bands {
+                    let acc = mel[f * bands + m] as f64;
+                    let p = power[f * bins + k] as f64;
+                    let w = w_t[k * bands + m] as f64;
+                    mel[f * bands + m] = (acc + p * w) as f32;
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(frames * bands * 4);
+        for v in &mut mel {
+            *v = (*v as f64 + 1e-6) as f32;
+        }
+        for v in &mel {
+            out.extend((v.ln()).to_le_bytes());
+        }
+        out
+    }
+
+    fn lower(&self, config: &DrxConfig) -> Result<Lowered, OpError> {
+        let (kernel, input, w_t, out, w_bytes) = self.build_kernel();
+        let compiled = compile(&kernel, config)?;
+        Ok(Lowered {
+            inputs: vec![(compiled.layout.addr(input), self.frames * self.bins * 8)],
+            outputs: vec![(compiled.layout.addr(out), self.frames * self.bands * 4)],
+            consts: vec![(compiled.layout.addr(w_t), w_bytes)],
+            dram_bytes: compiled.layout.total_bytes(),
+            program: compiled.program,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{assert_cpu_drx_equal, run_on_drx};
+
+    fn small() -> SpectrogramMel {
+        SpectrogramMel {
+            frames: 6,
+            bins: 33,
+            bands: 8,
+            sample_rate: 8000.0,
+        }
+    }
+
+    fn synth_input(op: &SpectrogramMel) -> Vec<u8> {
+        let n = (op.frames * op.bins * 2) as usize;
+        (0..n)
+            .flat_map(|i| (((i * 37) % 101) as f32 * 0.25 - 10.0).to_le_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn cpu_and_drx_agree() {
+        let op = small();
+        assert_cpu_drx_equal(&op, &DrxConfig::default(), &synth_input(&op));
+    }
+
+    #[test]
+    fn cpu_and_drx_agree_with_tiny_scratchpad() {
+        let op = small();
+        let mut cfg = DrxConfig::default();
+        cfg.scratchpad_bytes = 8 << 10; // force multi-tile schedules
+        assert_cpu_drx_equal(&op, &cfg, &synth_input(&op));
+    }
+
+    #[test]
+    fn output_matches_reference_mel_math() {
+        // Independent check against dmx-kernels' own filterbank.
+        let op = small();
+        let input = synth_input(&op);
+        let out = op.run_cpu(&input);
+        let vals: Vec<f32> = out
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let fb = MelFilterbank::new(8, 33, 8000.0);
+        let spectra: Vec<f32> = input
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        for f in 0..6usize {
+            let power: Vec<f32> = (0..33)
+                .map(|k| {
+                    let re = spectra[(f * 33 + k) * 2];
+                    let im = spectra[(f * 33 + k) * 2 + 1];
+                    re * re + im * im
+                })
+                .collect();
+            let expect = fb.apply(&power);
+            for m in 0..8 {
+                let got = vals[f * 8 + m];
+                let want = (expect[m] + 1e-6).ln();
+                assert!(
+                    (got - want).abs() < want.abs() * 1e-3 + 1e-3,
+                    "frame {f} band {m}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sound_detection_shape_lowerable() {
+        let op = SpectrogramMel::sound_detection(16);
+        let lowered = op.lower(&DrxConfig::default()).unwrap();
+        assert_eq!(lowered.input_bytes(), 16 * 257 * 8);
+        assert_eq!(lowered.output_bytes(), 16 * 26 * 4);
+        assert!(lowered.program.encoded_bytes() <= DrxConfig::default().icache_bytes);
+    }
+
+    #[test]
+    fn drx_stats_reflect_work() {
+        let op = small();
+        let (_, stats) = run_on_drx(&op, &DrxConfig::default(), &synth_input(&op)).unwrap();
+        // At least one MAC per (frame, bin, band).
+        assert!(stats.lane_ops >= op.frames * op.bins * op.bands);
+        assert!(stats.dram_bytes >= op.profile().input_bytes);
+    }
+
+    #[test]
+    fn profile_is_consistent() {
+        let p = small().profile();
+        assert_eq!(p.input_bytes, 6 * 33 * 8);
+        assert_eq!(p.output_bytes, 6 * 8 * 4);
+        assert!(p.ops_per_byte > 1.0);
+        assert!(p.irregular == 0.0);
+    }
+}

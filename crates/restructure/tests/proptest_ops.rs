@@ -1,0 +1,139 @@
+//! Property-based tests: every restructuring op's DRX execution equals
+//! its CPU reference on random shapes and random inputs.
+
+use dmx_drx::DrxConfig;
+use dmx_restructure::{
+    assert_cpu_drx_equal, BandPower, Deinterleave, EndianSwap, HashPartition, PadFrame,
+    QuantizeTensor, SpectrogramMel, TokenizeGather, VecSum, YuvToTensor,
+};
+use proptest::prelude::*;
+
+fn cfg() -> DrxConfig {
+    DrxConfig::default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn endian_swap_matches(words in 1u64..3000, seed in any::<u8>()) {
+        let op = EndianSwap { words };
+        let input: Vec<u8> = (0..words * 4).map(|i| (i as u8).wrapping_add(seed)).collect();
+        assert_cpu_drx_equal(&op, &cfg(), &input);
+    }
+
+    #[test]
+    fn quantize_matches(
+        elems in 1u64..2000,
+        scale in -100i32..100,
+    ) {
+        let op = QuantizeTensor {
+            elems,
+            scale: scale as f64 * 0.37,
+        };
+        let input: Vec<u8> = (0..elems)
+            .flat_map(|i| (((i * 37) % 997) as f32 - 500.0).to_le_bytes())
+            .collect();
+        assert_cpu_drx_equal(&op, &cfg(), &input);
+    }
+
+    #[test]
+    fn vec_sum_matches(elems in 1u64..4000) {
+        let op = VecSum { elems };
+        let input: Vec<u8> = (0..2 * elems)
+            .flat_map(|i| ((i as f32 * 0.7).cos() * 100.0).to_le_bytes())
+            .collect();
+        assert_cpu_drx_equal(&op, &cfg(), &input);
+    }
+
+    #[test]
+    fn hash_partition_matches(
+        keys in 1u64..2048,
+        parts_log in 1u32..6,
+        seed in any::<u32>(),
+    ) {
+        let op = HashPartition::new(keys, 1 << parts_log);
+        let mut state = seed | 1;
+        let input: Vec<u8> = (0..keys)
+            .flat_map(|_| {
+                state ^= state << 13;
+                state ^= state >> 17;
+                state ^= state << 5;
+                state.to_le_bytes()
+            })
+            .collect();
+        assert_cpu_drx_equal(&op, &cfg(), &input);
+    }
+
+    #[test]
+    fn tokenize_matches(n_seqs in 1u64..40, seq_len in 3u64..80, seed in any::<u8>()) {
+        let op = TokenizeGather::new(n_seqs, seq_len);
+        let input: Vec<u8> = (0..n_seqs * (seq_len - 2))
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect();
+        assert_cpu_drx_equal(&op, &cfg(), &input);
+    }
+
+    #[test]
+    fn band_power_matches(
+        frames in 1u64..20,
+        bands_log in 1u32..4,
+        k0 in 1u64..8,
+    ) {
+        let bands = 1u64 << bands_log;
+        let bins = bands * k0;
+        let op = BandPower::new(frames, bins, bands, 0.125, -0.5);
+        let input: Vec<u8> = (0..frames * bins * 2)
+            .flat_map(|i| (((i % 53) as f32) * 0.25 - 6.0).to_le_bytes())
+            .collect();
+        assert_cpu_drx_equal(&op, &cfg(), &input);
+    }
+
+    #[test]
+    fn spectrogram_mel_matches(frames in 1u64..10, bins_log in 4u32..6) {
+        let bins = (1u64 << bins_log) + 1;
+        let op = SpectrogramMel {
+            frames,
+            bins,
+            bands: 8,
+            sample_rate: 8000.0,
+        };
+        let input: Vec<u8> = (0..frames * bins * 2)
+            .flat_map(|i| (((i * 29) % 101) as f32 * 0.5 - 25.0).to_le_bytes())
+            .collect();
+        assert_cpu_drx_equal(&op, &cfg(), &input);
+    }
+
+    #[test]
+    fn deinterleave_matches(records in 1u64..600, fields in 1u64..8, seed in any::<u8>()) {
+        let op = Deinterleave::new(records, fields);
+        let input: Vec<u8> = (0..records * fields * 4)
+            .map(|i| (i as u8).wrapping_mul(13).wrapping_add(seed))
+            .collect();
+        assert_cpu_drx_equal(&op, &cfg(), &input);
+    }
+
+    #[test]
+    fn pad_frame_matches(
+        rows in 1u64..40,
+        cols in 1u64..40,
+        pad_r in 0u64..10,
+        pad_c in 0u64..10,
+    ) {
+        let op = PadFrame::new(rows, cols, rows + pad_r, cols + pad_c);
+        let input: Vec<u8> = (0..rows * cols)
+            .flat_map(|i| ((i as f32) - 7.0).to_le_bytes())
+            .collect();
+        assert_cpu_drx_equal(&op, &cfg(), &input);
+    }
+
+    #[test]
+    fn yuv_to_tensor_matches(w_half in 2u64..20, h_half in 2u64..12, seed in any::<u8>()) {
+        let (w, h) = (w_half * 2, h_half * 2);
+        let op = YuvToTensor::new(w, h);
+        let input: Vec<u8> = (0..w * h * 3 / 2)
+            .map(|i| (i as u8).wrapping_mul(7).wrapping_add(seed))
+            .collect();
+        assert_cpu_drx_equal(&op, &cfg(), &input);
+    }
+}

@@ -1,0 +1,212 @@
+//! Time-ordered event queue with FIFO tie-breaking.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // Reverse ordering: BinaryHeap is a max-heap, we want earliest first,
+    // and among equal times, lowest sequence number (insertion order).
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The core of a discrete-event simulation: a clock plus a priority queue
+/// of future events.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled, which keeps simulations deterministic.
+///
+/// ```
+/// use dmx_sim::{EventQueue, Time};
+/// let mut q = EventQueue::new();
+/// q.schedule_after(Time::from_ns(10), "b");
+/// q.schedule_at(Time::from_ns(5), "a");
+/// assert_eq!(q.pop(), Some("a"));
+/// assert_eq!(q.now(), Time::from_ns(5));
+/// assert_eq!(q.pop(), Some("b"));
+/// assert_eq!(q.now(), Time::from_ns(10));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: Time,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("processed", &self.popped)
+            .finish()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`Time::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events still pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (`at < self.now()`); scheduling *at*
+    /// the current instant is allowed.
+    pub fn schedule_at(&mut self, at: Time, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            payload,
+        });
+    }
+
+    /// Schedules `payload` at `self.now() + delay`.
+    pub fn schedule_after(&mut self, delay: Time, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the next event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty (the clock is
+    /// left where it was).
+    pub fn pop(&mut self) -> Option<E> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        self.popped += 1;
+        Some(entry.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ns(30), 3);
+        q.schedule_at(Time::from_ns(10), 1);
+        q.schedule_at(Time::from_ns(20), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn fifo_among_simultaneous() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(Time::from_ns(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ns(5), ());
+        q.schedule_at(Time::from_ns(5), ());
+        q.schedule_at(Time::from_ns(9), ());
+        let mut last = Time::ZERO;
+        while q.pop().is_some() {
+            assert!(q.now() >= last);
+            last = q.now();
+        }
+        assert_eq!(last, Time::from_ns(9));
+        assert_eq!(q.events_processed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ns(10), ());
+        q.pop();
+        q.schedule_at(Time::from_ns(5), ());
+    }
+
+    #[test]
+    fn schedule_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ns(10), 1);
+        q.pop();
+        q.schedule_at(Time::from_ns(10), 2);
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_after(Time::ZERO, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,450 @@
+//! Queuing resources used by the full-system model.
+//!
+//! Two service disciplines cover everything DMX needs:
+//!
+//! * [`FifoServer`] — `k` identical servers with run-to-completion
+//!   service (PCIe link slots, DMA engines, accelerator kernels,
+//!   per-accelerator DRX engines).
+//! * [`PsPool`] — generalized processor sharing with a per-job
+//!   parallelism cap (the host CPU's core pool running data
+//!   restructuring, and shared DRX devices in the Integrated /
+//!   Standalone placements). The cap models the limited thread
+//!   scalability of cache-thrashing streaming kernels that the paper's
+//!   Fig. 5 characterization shows.
+
+use crate::time::Time;
+
+/// A bank of `k` identical FIFO servers with deterministic service times.
+///
+/// Because service times are known at submission and there is no
+/// preemption, the completion time of a job is fully determined when it
+/// is submitted: it starts on the earliest-free server. This lets callers
+/// schedule a single completion event per job.
+///
+/// ```
+/// use dmx_sim::{FifoServer, Time};
+/// let mut s = FifoServer::new(1);
+/// let a = s.submit(Time::ZERO, Time::from_ns(10));
+/// let b = s.submit(Time::ZERO, Time::from_ns(5));
+/// assert_eq!(a, Time::from_ns(10));
+/// assert_eq!(b, Time::from_ns(15)); // queued behind `a`
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoServer {
+    free_at: Vec<Time>,
+    busy: Time,
+    jobs: u64,
+    waited: Time,
+}
+
+impl FifoServer {
+    /// Creates a bank of `servers` identical servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "server bank must have at least one server");
+        FifoServer {
+            free_at: vec![Time::ZERO; servers],
+            busy: Time::ZERO,
+            jobs: 0,
+            waited: Time::ZERO,
+        }
+    }
+
+    /// Number of servers in the bank.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Submits a job at `now` needing `service` time on one server and
+    /// returns its completion time.
+    pub fn submit(&mut self, now: Time, service: Time) -> Time {
+        let slot = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, _)| i)
+            .expect("nonempty server bank");
+        let start = self.free_at[slot].max(now);
+        let done = start + service;
+        self.free_at[slot] = done;
+        self.busy += service;
+        self.waited += start - now;
+        self.jobs += 1;
+        done
+    }
+
+    /// Earliest time at which some server is free.
+    pub fn next_free(&self) -> Time {
+        self.free_at.iter().copied().min().unwrap_or(Time::ZERO)
+    }
+
+    /// Total service time accumulated across all servers.
+    pub fn busy_time(&self) -> Time {
+        self.busy
+    }
+
+    /// Number of jobs submitted.
+    pub fn jobs_served(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Total time jobs spent waiting for a server.
+    pub fn total_wait(&self) -> Time {
+        self.waited
+    }
+
+    /// Mean utilization of the bank over `[0, horizon]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        assert!(!horizon.is_zero(), "horizon must be nonzero");
+        self.busy.as_ps() as f64 / (horizon.as_ps() as f64 * self.free_at.len() as f64)
+    }
+}
+
+/// Identifier of a job inside a [`PsPool`].
+pub type PsJobId = u64;
+
+#[derive(Debug, Clone)]
+struct PsJob {
+    id: PsJobId,
+    /// Remaining work in core-picoseconds (time the job would still need
+    /// on a single dedicated core).
+    remaining: f64,
+    /// Maximum number of cores this job can exploit.
+    cap: f64,
+}
+
+/// Generalized processor sharing over `capacity` cores, with a per-job
+/// parallelism cap (water-filling allocation).
+///
+/// The pool is passive: it never schedules events itself. The owner
+/// drives it with this protocol:
+///
+/// 1. mutate ([`PsPool::insert`]) or observe a tick,
+/// 2. call [`PsPool::advance`] to the current time,
+/// 3. drain [`PsPool::take_finished`],
+/// 4. ask [`PsPool::next_event`] and schedule a tick at that time,
+///    tagged with [`PsPool::generation`]; stale ticks (mismatched
+///    generation) must be ignored by the owner.
+///
+/// ```
+/// use dmx_sim::{PsPool, Time};
+/// let mut pool = PsPool::new(16.0);
+/// pool.insert(Time::ZERO, 1, Time::from_us(16), 4.0);
+/// // alone, the job runs at its cap of 4 cores: 16us / 4 = 4us
+/// assert_eq!(pool.next_event(Time::ZERO), Some(Time::from_us(4)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PsPool {
+    capacity: f64,
+    jobs: Vec<PsJob>,
+    last: Time,
+    generation: u64,
+    finished: Vec<PsJobId>,
+    busy_core_ps: f64,
+    jobs_completed: u64,
+}
+
+impl PsPool {
+    /// Creates a pool with `capacity` cores (may be fractional).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not strictly positive.
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "pool capacity must be positive"
+        );
+        PsPool {
+            capacity,
+            jobs: Vec::new(),
+            last: Time::ZERO,
+            generation: 0,
+            finished: Vec::new(),
+            busy_core_ps: 0.0,
+            jobs_completed: 0,
+        }
+    }
+
+    /// Total core capacity.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Current generation; bumped on every state change so that stale
+    /// scheduled ticks can be detected.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of jobs currently in service.
+    pub fn active_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of jobs that have completed.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed
+    }
+
+    /// Integral of allocated cores over time, in core-seconds.
+    pub fn busy_core_secs(&self) -> f64 {
+        self.busy_core_ps / 1e12
+    }
+
+    /// Water-filling rate allocation: every job gets
+    /// `min(cap, fair share)` cores where the shares of uncapped jobs are
+    /// raised until capacity is exhausted.
+    fn rates(&self) -> Vec<f64> {
+        water_fill(
+            self.capacity,
+            &self.jobs.iter().map(|j| j.cap).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Advances internal accounting to `now`, depleting remaining work at
+    /// the current allocation and marking finished jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is before the last advance.
+    pub fn advance(&mut self, now: Time) {
+        assert!(now >= self.last, "PsPool advanced backwards");
+        let dt = (now - self.last).as_ps() as f64;
+        self.last = now;
+        if dt == 0.0 || self.jobs.is_empty() {
+            return;
+        }
+        let rates = self.rates();
+        for (job, rate) in self.jobs.iter_mut().zip(&rates) {
+            job.remaining -= rate * dt;
+            self.busy_core_ps += rate * dt;
+        }
+        // A job is finished when less than one picosecond of dedicated
+        // single-core time remains; completion events are rounded up to
+        // whole picoseconds so this absorbs float error.
+        let finished: Vec<PsJobId> = self
+            .jobs
+            .iter()
+            .filter(|j| j.remaining < 1.0)
+            .map(|j| j.id)
+            .collect();
+        if !finished.is_empty() {
+            self.jobs.retain(|j| j.remaining >= 1.0);
+            self.jobs_completed += finished.len() as u64;
+            self.finished.extend(finished);
+            self.generation += 1;
+        }
+    }
+
+    /// Inserts a job with `work` single-core service demand and a
+    /// parallelism cap of `cap` cores. The pool must already be advanced
+    /// to `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is not strictly positive or `now` disagrees with
+    /// the pool's internal clock.
+    pub fn insert(&mut self, now: Time, id: PsJobId, work: Time, cap: f64) {
+        assert!(cap > 0.0, "parallelism cap must be positive");
+        self.advance(now);
+        let remaining = work.as_ps() as f64;
+        if remaining < 1.0 {
+            self.finished.push(id);
+            self.jobs_completed += 1;
+        } else {
+            self.jobs.push(PsJob { id, remaining, cap });
+        }
+        self.generation += 1;
+    }
+
+    /// Drains the set of jobs that completed since the last call.
+    pub fn take_finished(&mut self) -> Vec<PsJobId> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Absolute time of the next job completion given the current
+    /// allocation, or `None` if the pool is idle. The caller should
+    /// schedule a tick at this time tagged with [`PsPool::generation`].
+    pub fn next_event(&self, now: Time) -> Option<Time> {
+        if self.jobs.is_empty() {
+            return None;
+        }
+        let rates = self.rates();
+        let mut best = f64::INFINITY;
+        for (job, rate) in self.jobs.iter().zip(&rates) {
+            if *rate > 0.0 {
+                best = best.min(job.remaining / rate);
+            }
+        }
+        if !best.is_finite() {
+            return None;
+        }
+        let dt = Time::from_ps(best.ceil().max(1.0) as u64);
+        // `last` may momentarily trail `now` if the owner has not called
+        // advance; completions can never be earlier than `now`.
+        Some((self.last + dt).max(now))
+    }
+}
+
+/// Water-filling allocation of `capacity` among jobs with caps.
+///
+/// Returns the per-job rates. Jobs with small caps get their cap; the
+/// rest split the leftover evenly (never exceeding their own cap).
+pub fn water_fill(capacity: f64, caps: &[f64]) -> Vec<f64> {
+    let n = caps.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| caps[a].partial_cmp(&caps[b]).expect("caps are not NaN"));
+    let mut rates = vec![0.0; n];
+    let mut remaining_cap = capacity;
+    let mut remaining_jobs = n as f64;
+    for &i in &order {
+        let fair = remaining_cap / remaining_jobs;
+        let r = caps[i].min(fair);
+        rates[i] = r;
+        remaining_cap -= r;
+        remaining_jobs -= 1.0;
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_single_server_queues() {
+        let mut s = FifoServer::new(1);
+        assert_eq!(s.submit(Time::ZERO, Time::from_ns(10)), Time::from_ns(10));
+        assert_eq!(s.submit(Time::ZERO, Time::from_ns(10)), Time::from_ns(20));
+        assert_eq!(
+            s.submit(Time::from_ns(25), Time::from_ns(10)),
+            Time::from_ns(35)
+        );
+        assert_eq!(s.busy_time(), Time::from_ns(30));
+        assert_eq!(s.jobs_served(), 3);
+        assert_eq!(s.total_wait(), Time::from_ns(10));
+    }
+
+    #[test]
+    fn fifo_multi_server_parallel() {
+        let mut s = FifoServer::new(2);
+        assert_eq!(s.submit(Time::ZERO, Time::from_ns(10)), Time::from_ns(10));
+        assert_eq!(s.submit(Time::ZERO, Time::from_ns(10)), Time::from_ns(10));
+        assert_eq!(s.submit(Time::ZERO, Time::from_ns(10)), Time::from_ns(20));
+        assert!((s.utilization(Time::from_ns(20)) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_fill_respects_caps() {
+        let rates = water_fill(16.0, &[4.0, 4.0]);
+        assert_eq!(rates, vec![4.0, 4.0]);
+        // 10 jobs capped at 4 on 16 cores: fair share 1.6 each
+        let rates = water_fill(16.0, &[4.0; 10]);
+        for r in rates {
+            assert!((r - 1.6).abs() < 1e-9);
+        }
+        // mixed: cap 1 gets 1, the two big ones split the remaining 15
+        let rates = water_fill(16.0, &[1.0, 100.0, 100.0]);
+        assert!((rates[0] - 1.0).abs() < 1e-9);
+        assert!((rates[1] - 7.5).abs() < 1e-9);
+        assert!((rates[2] - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_fill_total_never_exceeds_capacity() {
+        let caps = [0.5, 2.0, 3.0, 8.0, 8.0];
+        let rates = water_fill(4.0, &caps);
+        let total: f64 = rates.iter().sum();
+        assert!(total <= 4.0 + 1e-9);
+        for (r, c) in rates.iter().zip(&caps) {
+            assert!(r <= c);
+        }
+    }
+
+    #[test]
+    fn ps_single_job_runs_at_cap() {
+        let mut pool = PsPool::new(16.0);
+        pool.insert(Time::ZERO, 7, Time::from_us(16), 4.0);
+        let t = pool.next_event(Time::ZERO).unwrap();
+        assert_eq!(t, Time::from_us(4));
+        pool.advance(t);
+        assert_eq!(pool.take_finished(), vec![7]);
+        assert_eq!(pool.active_jobs(), 0);
+    }
+
+    #[test]
+    fn ps_contention_slows_jobs() {
+        // 8 jobs, cap 4, on 16 cores: each gets 2 cores -> 2x slower than
+        // its solo rate.
+        let mut pool = PsPool::new(16.0);
+        for id in 0..8 {
+            pool.insert(Time::ZERO, id, Time::from_us(16), 4.0);
+        }
+        let t = pool.next_event(Time::ZERO).unwrap();
+        assert_eq!(t, Time::from_us(8));
+        pool.advance(t);
+        let mut done = pool.take_finished();
+        done.sort_unstable();
+        assert_eq!(done, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ps_zero_work_finishes_immediately() {
+        let mut pool = PsPool::new(1.0);
+        pool.insert(Time::ZERO, 1, Time::ZERO, 1.0);
+        assert_eq!(pool.take_finished(), vec![1]);
+        assert_eq!(pool.next_event(Time::ZERO), None);
+    }
+
+    #[test]
+    fn ps_generation_bumps_on_mutation() {
+        let mut pool = PsPool::new(2.0);
+        let g0 = pool.generation();
+        pool.insert(Time::ZERO, 1, Time::from_ns(100), 1.0);
+        assert!(pool.generation() > g0);
+        let g1 = pool.generation();
+        let t = pool.next_event(Time::ZERO).unwrap();
+        pool.advance(t);
+        assert!(pool.generation() > g1);
+    }
+
+    #[test]
+    fn ps_staggered_arrivals() {
+        // Job A alone for 5us at 1 core/1 cap on 1-core pool, then B
+        // arrives; they share 0.5 cores each.
+        let mut pool = PsPool::new(1.0);
+        pool.insert(Time::ZERO, 1, Time::from_us(10), 1.0);
+        pool.advance(Time::from_us(5));
+        pool.insert(Time::from_us(5), 2, Time::from_us(10), 1.0);
+        // A has 5us left at 0.5 cores -> finishes at 5 + 10 = 15us.
+        let t = pool.next_event(Time::from_us(5)).unwrap();
+        assert_eq!(t, Time::from_us(15));
+        pool.advance(t);
+        assert_eq!(pool.take_finished(), vec![1]);
+        // B has 10 - 5 = 5us left, alone now -> 15 + 5 = 20us.
+        let t2 = pool.next_event(t).unwrap();
+        assert_eq!(t2, Time::from_us(20));
+    }
+
+    #[test]
+    fn ps_busy_accounting() {
+        let mut pool = PsPool::new(4.0);
+        pool.insert(Time::ZERO, 1, Time::from_secs(1), 2.0);
+        let t = pool.next_event(Time::ZERO).unwrap();
+        pool.advance(t);
+        assert!((pool.busy_core_secs() - 1.0).abs() < 1e-6);
+        assert_eq!(pool.jobs_completed(), 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the simulation engine's invariants.
+
+use dmx_sim::{water_fill, EventQueue, FifoServer, PsPool, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Water-filling never exceeds capacity, never exceeds a job's cap,
+    /// and is work-conserving (either capacity is exhausted or every
+    /// job runs at its cap).
+    #[test]
+    fn water_fill_invariants(
+        capacity in 0.1f64..64.0,
+        caps in prop::collection::vec(0.1f64..16.0, 1..20),
+    ) {
+        let rates = water_fill(capacity, &caps);
+        let total: f64 = rates.iter().sum();
+        prop_assert!(total <= capacity + 1e-9);
+        for (r, c) in rates.iter().zip(&caps) {
+            prop_assert!(*r <= c + 1e-9);
+            prop_assert!(*r >= 0.0);
+        }
+        let all_capped = rates.iter().zip(&caps).all(|(r, c)| (r - c).abs() < 1e-9);
+        prop_assert!(
+            (total - capacity).abs() < 1e-6 || all_capped,
+            "work conservation violated: total={total}, capacity={capacity}"
+        );
+    }
+
+    /// Every job inserted into a PsPool eventually completes, and the
+    /// busy core-time equals the total work inserted.
+    #[test]
+    fn ps_pool_conserves_work(
+        jobs in prop::collection::vec((1u64..5_000_000, 1u32..8), 1..12),
+        capacity in 1u32..32,
+    ) {
+        let mut pool = PsPool::new(capacity as f64);
+        let mut total_work = 0u64;
+        for (i, (work_ps, cap)) in jobs.iter().enumerate() {
+            pool.insert(Time::ZERO, i as u64, Time::from_ps(*work_ps), *cap as f64);
+            total_work += work_ps;
+        }
+        let mut done = pool.take_finished().len();
+        let mut guard = 0;
+        while done < jobs.len() {
+            let t = pool.next_event(Time::ZERO).expect("jobs pending");
+            pool.advance(t);
+            done += pool.take_finished().len();
+            guard += 1;
+            prop_assert!(guard < 10_000, "pool did not converge");
+        }
+        prop_assert_eq!(pool.jobs_completed() as usize, jobs.len());
+        let busy_ps = pool.busy_core_secs() * 1e12;
+        // Completion rounds up to whole picoseconds per event, so allow
+        // one picosecond of slack per job per advance.
+        prop_assert!(
+            (busy_ps - total_work as f64).abs() <= guard as f64 * capacity as f64 + jobs.len() as f64,
+            "busy {} vs work {}",
+            busy_ps,
+            total_work
+        );
+    }
+
+    /// FIFO servers never start a job before its submission and never
+    /// run more jobs than servers at once (checked via total busy time
+    /// <= horizon * servers).
+    #[test]
+    fn fifo_server_feasibility(
+        services in prop::collection::vec(1u64..1_000_000, 1..40),
+        servers in 1usize..4,
+    ) {
+        let mut s = FifoServer::new(servers);
+        let mut last_done = Time::ZERO;
+        for &svc in &services {
+            let done = s.submit(Time::ZERO, Time::from_ps(svc));
+            last_done = last_done.max(done);
+        }
+        let total: u64 = services.iter().sum();
+        prop_assert_eq!(s.busy_time(), Time::from_ps(total));
+        // Makespan is at least total/servers and at most total.
+        prop_assert!(last_done.as_ps() >= total / servers as u64);
+        prop_assert!(last_done.as_ps() <= total);
+        prop_assert!(s.utilization(last_done.max(Time::from_ps(1))) <= 1.0 + 1e-9);
+    }
+
+    /// The event queue delivers every event exactly once, in
+    /// nondecreasing time order, FIFO among ties.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(Time::from_ps(t), (t, i));
+        }
+        let mut seen = 0;
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            prop_assert_eq!(q.now(), Time::from_ps(t));
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "order violated");
+            }
+            last = Some((t, i));
+            seen += 1;
+        }
+        prop_assert_eq!(seen, times.len());
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: simulate one Sound Detection application on a
+//! multi-accelerator server, with and without Data Motion Acceleration.
+//!
+//! ```text
+//! cargo run --release -p dmx-core --example quickstart
+//! ```
+
+use dmx_core::apps::BenchmarkId;
+use dmx_core::placement::{Mode, Placement};
+use dmx_core::system::{simulate, SystemConfig};
+
+fn main() {
+    let app = BenchmarkId::SoundDetection.build();
+    println!("benchmark: {}", app.name);
+    println!(
+        "chain: {} -> [{}] -> {}",
+        app.stages[0].kind.name(),
+        app.edges[0].profile.name,
+        app.stages[1].kind.name()
+    );
+    println!(
+        "intermediate batch: {:.1} MB\n",
+        app.edges[0].bytes_in as f64 / (1 << 20) as f64
+    );
+
+    let baseline = simulate(&SystemConfig::latency(Mode::MultiAxl, vec![app.clone()]));
+    let dmx = simulate(&SystemConfig::latency(
+        Mode::Dmx(Placement::BumpInTheWire),
+        vec![app],
+    ));
+
+    let print = |label: &str, r: &dmx_core::system::RunResult| {
+        let b = r.mean_breakdown();
+        println!(
+            "{label:12} latency {:8.2} ms  (kernel {:6.2} | restructure {:6.2} | movement {:5.2})",
+            r.mean_latency().as_ms_f64(),
+            b.kernel.as_ms_f64(),
+            b.restructure.as_ms_f64(),
+            b.movement.as_ms_f64()
+        );
+    };
+    print("Multi-Axl", &baseline);
+    print("DMX (BitW)", &dmx);
+    println!(
+        "\nspeedup: {:.2}x   energy reduction: {:.2}x",
+        baseline.mean_latency().as_secs_f64() / dmx.mean_latency().as_secs_f64(),
+        baseline.energy.total() / dmx.energy.total()
+    );
+}

@@ -1,0 +1,222 @@
+//! Cross-crate integration of the DRX toolchain: every benchmark
+//! restructuring op must compile, fit the instruction cache, execute
+//! identically on CPU and DRX at multiple hardware configurations, and
+//! round-trip through the assembler.
+
+use dmx_drx::{asm, DrxConfig};
+use dmx_restructure::{
+    assert_cpu_drx_equal, BandPower, DbPivot, Deinterleave, EndianSwap, HashPartition,
+    PadFrame, QuantizeTensor, RestructureOp, SpectrogramMel, TokenizeGather, VecSum,
+    YuvToTensor,
+};
+
+fn ops() -> Vec<(Box<dyn RestructureOp>, Vec<u8>)> {
+    let filler = |n: usize| -> Vec<u8> { (0..n).map(|i| (i % 251) as u8).collect() };
+    vec![
+        (
+            Box::new(SpectrogramMel {
+                frames: 12,
+                bins: 33,
+                bands: 8,
+                sample_rate: 8000.0,
+            }) as Box<dyn RestructureOp>,
+            filler(12 * 33 * 8),
+        ),
+        (Box::new(YuvToTensor::new(32, 16)), filler(32 * 16 * 3 / 2)),
+        (
+            Box::new(BandPower::new(8, 32, 8, 0.5, -1.0)),
+            filler(8 * 32 * 8),
+        ),
+        (
+            Box::new(QuantizeTensor {
+                elems: 700,
+                scale: 11.0,
+            }),
+            filler(2800),
+        ),
+        (Box::new(EndianSwap { words: 500 }), filler(2000)),
+        (Box::new(DbPivot::new(64, 4)), filler(64 * 4 * 4)),
+        (Box::new(HashPartition::new(512, 16)), filler(2048)),
+        (Box::new(TokenizeGather::new(6, 34)), filler(6 * 32)),
+        (Box::new(VecSum { elems: 400 }), filler(3200)),
+        (Box::new(Deinterleave::new(128, 3)), filler(128 * 3 * 4)),
+        (Box::new(PadFrame::new(20, 24, 32, 32)), filler(20 * 24 * 4)),
+    ]
+}
+
+#[test]
+fn every_op_matches_cpu_at_default_config() {
+    for (op, input) in ops() {
+        assert_cpu_drx_equal(op.as_ref(), &DrxConfig::default(), &input);
+    }
+}
+
+#[test]
+fn every_op_matches_cpu_with_tiny_scratchpad() {
+    let mut cfg = DrxConfig::default();
+    cfg.scratchpad_bytes = 8 << 10;
+    for (op, input) in ops() {
+        assert_cpu_drx_equal(op.as_ref(), &cfg, &input);
+    }
+}
+
+#[test]
+fn every_op_matches_cpu_across_lane_counts() {
+    for lanes in [32u32, 256] {
+        let cfg = DrxConfig::default().with_lanes(lanes);
+        for (op, input) in ops() {
+            assert_cpu_drx_equal(op.as_ref(), &cfg, &input);
+        }
+    }
+}
+
+#[test]
+fn programs_fit_the_instruction_cache() {
+    let cfg = DrxConfig::default();
+    for (op, _) in ops() {
+        let lowered = op.lower(&cfg).unwrap_or_else(|e| {
+            panic!("{}: {e}", op.name());
+        });
+        assert!(
+            lowered.program.encoded_bytes() <= cfg.icache_bytes,
+            "{}: {} B exceeds the 64 KB icache",
+            op.name(),
+            lowered.program.encoded_bytes()
+        );
+    }
+}
+
+#[test]
+fn compiled_programs_round_trip_through_the_assembler() {
+    let cfg = DrxConfig::default();
+    for (op, _) in ops() {
+        let lowered = op.lower(&cfg).expect("lowers");
+        let text = lowered.program.disassemble();
+        let parsed = asm::parse(&text).unwrap_or_else(|e| {
+            panic!("{}: disassembly does not re-parse: {e}", op.name());
+        });
+        assert_eq!(parsed, lowered.program, "{}", op.name());
+    }
+}
+
+#[test]
+fn fpga_and_asic_clocks_differ_only_in_wall_time() {
+    // Same program, same cycles; 250 MHz vs 1 GHz is a 4x wall-clock
+    // difference (the paper's scaling methodology, Sec. VI).
+    let op = SpectrogramMel {
+        frames: 12,
+        bins: 33,
+        bands: 8,
+        sample_rate: 8000.0,
+    };
+    let input: Vec<u8> = (0..12 * 33 * 8).map(|i| (i % 251) as u8).collect();
+    let asic = DrxConfig::default();
+    let fpga = DrxConfig::fpga();
+    let (out_a, st_a) = dmx_restructure::run_on_drx(&op, &asic, &input).unwrap();
+    let (out_f, st_f) = dmx_restructure::run_on_drx(&op, &fpga, &input).unwrap();
+    assert_eq!(out_a, out_f);
+    // The FPGA DRAM moves more bytes per (slower) cycle, so cycle
+    // counts differ only through DMA timing; wall-clock must be
+    // decisively slower on the FPGA.
+    let wall_a = st_a.time(&asic).as_secs_f64();
+    let wall_f = st_f.time(&fpga).as_secs_f64();
+    assert!(wall_f > 1.5 * wall_a, "{wall_f} vs {wall_a}");
+}
+
+#[test]
+fn optimizer_preserves_semantics_and_shrinks_programs() {
+    use dmx_drx::ir::{Access, Kernel, VecStmt};
+    use dmx_drx::isa::{Dtype, VectorOp};
+    use dmx_drx::{compile_unoptimized, optimize, Machine};
+
+    // A kernel whose codegen repeats port configs across statements.
+    let n = 6000u64;
+    let mut k = Kernel::new("chain");
+    let a = k.buffer("a", Dtype::F32, n);
+    let b = k.buffer("b", Dtype::F32, n);
+    k.nest(
+        vec![n],
+        vec![
+            VecStmt {
+                op: VectorOp::MulS,
+                dst: Access::row_major(b, &[n]),
+                src0: Access::row_major(a, &[n]),
+                src1: None,
+                imm: 2.0,
+            },
+            VecStmt {
+                op: VectorOp::AddS,
+                dst: Access::row_major(b, &[n]),
+                src0: Access::row_major(b, &[n]),
+                src1: None,
+                imm: 1.0,
+            },
+            VecStmt {
+                op: VectorOp::MaxS,
+                dst: Access::row_major(b, &[n]),
+                src0: Access::row_major(b, &[n]),
+                src1: None,
+                imm: 0.0,
+            },
+        ],
+    );
+    let mut cfg = DrxConfig::default();
+    cfg.scratchpad_bytes = 8 << 10; // many tiles -> big repeat bodies
+    cfg.dram.capacity_bytes = 16 << 20;
+
+    let raw = compile_unoptimized(&k, &cfg).expect("compiles");
+    let (opt_prog, stats) = optimize(&raw.program);
+    assert!(
+        stats.removed() > 0,
+        "multi-statement codegen should contain redundant configs"
+    );
+    assert!(opt_prog.len() < raw.program.len());
+
+    let input: Vec<u8> = (0..n).flat_map(|i| ((i as f32).cos()).to_le_bytes()).collect();
+    let run = |prog: &dmx_drx::isa::Program| {
+        let mut m = Machine::new(cfg);
+        m.write_dram(raw.layout.addr(a), &input);
+        let st = m.run(prog).expect("runs");
+        (m.read_dram(raw.layout.addr(b), n * 4), st.cycles)
+    };
+    let (out_raw, cycles_raw) = run(&raw.program);
+    let (out_opt, cycles_opt) = run(&opt_prog);
+    assert_eq!(out_raw, out_opt, "optimization must not change results");
+    // Issue-cycle savings can hide under the DMA-bound critical path,
+    // but can never make the program slower.
+    assert!(
+        cycles_opt <= cycles_raw,
+        "never slower: {cycles_opt} vs {cycles_raw}"
+    );
+}
+
+#[test]
+fn optimizer_is_idempotent_on_real_ops() {
+    use dmx_drx::optimize;
+    // Affine ops ship pre-optimized via `compile()`; hand-written
+    // programs (pivot, partition) may still contain one or two
+    // removable configs. Either way a second pass must be a no-op.
+    for (op, _input) in ops() {
+        let lowered = op.lower(&DrxConfig::default()).expect("lowers");
+        let (once, _) = optimize(&lowered.program);
+        let (twice, stats) = optimize(&once);
+        assert_eq!(stats.removed(), 0, "{}: optimizer must be idempotent", op.name());
+        assert_eq!(twice, once);
+    }
+}
+
+#[test]
+fn compiled_programs_are_fence_clean() {
+    // The coarse sync lint must find nothing in any op the compiler or
+    // the hand-written builders produce.
+    for (op, _input) in ops() {
+        let lowered = op.lower(&DrxConfig::default()).expect("lowers");
+        let hazards = dmx_drx::check_sync_hazards(&lowered.program);
+        assert!(
+            hazards.is_empty(),
+            "{}: {:?}",
+            op.name(),
+            hazards
+        );
+    }
+}

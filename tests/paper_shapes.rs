@@ -1,0 +1,208 @@
+//! The headline reproduction checks: every figure's qualitative shape
+//! (who wins, by roughly what factor, where crossovers fall) must match
+//! the paper. Absolute values are allowed to drift — our substrate is a
+//! simulator, not the authors' AWS F1 testbed.
+
+use dmx_core::experiments::{self, Suite};
+
+fn suite() -> Suite {
+    Suite::new()
+}
+
+#[test]
+fn fig3_restructuring_dominates_multi_axl() {
+    let f = experiments::fig3::run(&suite());
+    // Paper: All-CPU kernels are the major component; Multi-Axl shifts
+    // the bottleneck to restructuring (57.7-73.2%).
+    for row in &f.rows {
+        assert!(
+            row.multi_axl.1 > 0.5,
+            "n={}: Multi-Axl restructure share {:.2}",
+            row.n,
+            row.multi_axl.1
+        );
+        assert!(
+            row.all_cpu.0 > row.multi_axl.0,
+            "kernels weigh more in All-CPU"
+        );
+        // Fig. 3(b): accelerating only the kernels yields far less than
+        // the 6.5x per-kernel speedup.
+        assert!(
+            row.e2e_speedup < 0.75 * f.kernel_geomean,
+            "n={}: e2e {:.2} too close to per-kernel {:.2}",
+            row.n,
+            row.e2e_speedup,
+            f.kernel_geomean
+        );
+        assert!(row.e2e_speedup > 1.0);
+    }
+}
+
+#[test]
+fn fig5_topdown_shape() {
+    let f = experiments::fig5::run(&suite());
+    assert_eq!(f.ops.len(), 5);
+    let mut max_bad_spec: Option<&str> = None;
+    let mut best = 0.0;
+    for c in &f.ops {
+        let be = c.topdown.backend();
+        assert!(be > 0.45 && be < 0.9, "{}: backend {be}", c.name);
+        assert!(c.topdown.bad_speculation < 0.15, "{}", c.name);
+        assert!(c.topdown.frontend < 0.16, "{}", c.name);
+        assert!(c.mpki.l1i_mpki < 10.0, "{}: small instruction set", c.name);
+        assert!(c.mpki.l1d_mpki > 20.0, "{}: streaming data misses", c.name);
+        if c.topdown.bad_speculation > best {
+            best = c.topdown.bad_speculation;
+            max_bad_spec = Some(&c.name);
+        }
+    }
+    // Video Surveillance is the branchy outlier.
+    assert!(
+        max_bad_spec.unwrap_or("").contains("Video"),
+        "bad-speculation outlier was {max_bad_spec:?}"
+    );
+}
+
+#[test]
+fn fig11_speedup_rises_with_concurrency() {
+    let f = experiments::fig11::run(&suite());
+    let g: Vec<f64> = f.rows.iter().map(|r| r.geomean).collect();
+    // Paper: 3.5x at 1 app up to 8.2x at 15.
+    assert!(g[0] > 2.0 && g[0] < 5.5, "1 app geomean {:.2}", g[0]);
+    assert!(
+        g[3] > 5.5 && g[3] < 11.0,
+        "15 apps geomean {:.2}",
+        g[3]
+    );
+    assert!(g[3] > 1.5 * g[0], "speedup must grow with concurrency");
+    // Database Hash Join benefits most — "data restructuring takes up
+    // the majority of the runtime for this benchmark" (Sec. VII.A) —
+    // and Video Surveillance sits below the average because its
+    // accelerator contributes the least speedup.
+    for row in &f.rows {
+        let get = |needle: &str| {
+            row.per_benchmark
+                .iter()
+                .find(|(n, _)| n.contains(needle))
+                .expect("present")
+                .1
+        };
+        let max = row
+            .per_benchmark
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            get("Database") >= max * 0.99,
+            "n={}: DB {} vs max {max}",
+            row.n,
+            get("Database")
+        );
+        assert!(
+            get("Video") < row.geomean * 1.05,
+            "n={}: VS {} vs geomean {}",
+            row.n,
+            get("Video"),
+            row.geomean
+        );
+    }
+}
+
+#[test]
+fn fig12_dmx_shrinks_restructuring() {
+    let f = experiments::fig12::run(&suite());
+    for row in &f.rows {
+        // Paper: 66.8/55.7/64.7/71.7% -> 17.0/15.3/13.5/7.2%.
+        assert!(
+            row.baseline.1 > 0.5 && row.baseline.1 < 0.95,
+            "n={}: baseline restructure {:.2}",
+            row.n,
+            row.baseline.1
+        );
+        assert!(
+            row.dmx.1 < 0.35,
+            "n={}: DMX restructure {:.2}",
+            row.n,
+            row.dmx.1
+        );
+        assert!(row.dmx.0 > row.baseline.0, "kernels dominate under DMX");
+    }
+}
+
+#[test]
+fn fig13_throughput_gains_exceed_latency_gains_at_scale() {
+    let s = suite();
+    let f13 = experiments::fig13::run(&s);
+    let f11 = experiments::fig11::run(&s);
+    let t: Vec<f64> = f13.rows.iter().map(|r| r.geomean).collect();
+    assert!(t[0] > 1.5, "1 app throughput gain {:.2}", t[0]);
+    assert!(t[3] > 6.0 && t[3] < 16.0, "15 apps {:.2}", t[3]);
+    assert!(t[3] > t[0], "throughput gain grows with concurrency");
+    // Paper: 13.6x throughput vs 8.2x latency at 15 apps.
+    assert!(
+        t[3] > f11.rows[3].geomean,
+        "throughput gain {:.2} should exceed latency gain {:.2} at 15 apps",
+        t[3],
+        f11.rows[3].geomean
+    );
+}
+
+#[test]
+fn fig16_ner_chain_shape() {
+    let f = experiments::fig16::run();
+    for row in &f.rows {
+        // Paper: 1.9x-4.2x, kernels 93.7-97.2% under DMX.
+        assert!(
+            row.speedup > 1.3 && row.speedup < 6.0,
+            "n={}: speedup {:.2}",
+            row.n,
+            row.speedup
+        );
+        assert!(
+            row.dmx.0 > 0.75,
+            "n={}: DMX kernel share {:.2}",
+            row.n,
+            row.dmx.0
+        );
+        assert!(
+            row.dmx.1 + row.dmx.2 < 0.25,
+            "n={}: DMX data motion {:.2}",
+            row.n,
+            row.dmx.1 + row.dmx.2
+        );
+    }
+    assert!(
+        f.rows[3].speedup > f.rows[0].speedup,
+        "NER-chain speedup grows with concurrency"
+    );
+}
+
+#[test]
+fn fig18_lanes_saturate_at_128() {
+    let f = experiments::fig18::run(&suite());
+    let s: Vec<f64> = f.rows.iter().map(|r| r.speedup).collect();
+    assert!(s[1] > s[0], "64 lanes beat 32");
+    assert!(s[2] > s[1], "128 lanes beat 64");
+    // Past 128, returns diminish: <10% additional gain.
+    assert!(
+        s[3] < s[2] * 1.10,
+        "256 lanes should not give noticeable benefit: {:.2} vs {:.2}",
+        s[3],
+        s[2]
+    );
+}
+
+#[test]
+fn fig19_newer_pcie_narrows_the_gap() {
+    let f = experiments::fig19::run(&suite());
+    // Geomean across concurrency per generation.
+    let mean = |r: &experiments::fig19::Fig19Row| {
+        r.speedups.iter().map(|(_, s)| s).product::<f64>().powf(1.0 / 4.0)
+    };
+    let g3 = mean(&f.rows[0]);
+    let g4 = mean(&f.rows[1]);
+    let g5 = mean(&f.rows[2]);
+    assert!(g4 <= g3 * 1.02, "Gen4 {g4:.2} vs Gen3 {g3:.2}");
+    assert!(g5 <= g4 * 1.02, "Gen5 {g5:.2} vs Gen4 {g4:.2}");
+    assert!(g5 > 2.0, "DMX still clearly wins on Gen5: {g5:.2}");
+}

@@ -1,0 +1,122 @@
+//! Integration tests of the Sec. III placement trade-offs.
+
+use dmx_core::apps::BenchmarkId;
+use dmx_core::placement::{Mode, Placement};
+use dmx_core::system::{simulate, SystemConfig};
+
+fn mix(n: usize) -> Vec<dmx_core::apps::BenchmarkRef> {
+    let five: Vec<_> = BenchmarkId::FIVE.iter().map(|id| id.build()).collect();
+    (0..n).map(|i| five[i % 5].clone()).collect()
+}
+
+fn latency(mode: Mode, n: usize) -> f64 {
+    let mut cfg = SystemConfig::latency(mode, mix(n));
+    cfg.requests_per_app = 4;
+    simulate(&cfg).mean_latency().as_secs_f64()
+}
+
+#[test]
+fn placement_speedup_ordering_matches_fig14() {
+    // "the speedups compared to the Multi-Axl baseline are in the
+    // following order: Integrated <= Standalone <= Bump-in-the-Wire <=
+    // PCIe-Integrated" (Sec. VII.B), with a little tolerance for ties.
+    let base = latency(Mode::MultiAxl, 10);
+    let s = |p| base / latency(Mode::Dmx(p), 10);
+    let integrated = s(Placement::Integrated);
+    let standalone = s(Placement::Standalone);
+    let bitw = s(Placement::BumpInTheWire);
+    let pcie = s(Placement::PcieIntegrated);
+    assert!(
+        integrated <= standalone * 1.02,
+        "Integrated {integrated} vs Standalone {standalone}"
+    );
+    assert!(
+        standalone <= bitw * 1.02,
+        "Standalone {standalone} vs BitW {bitw}"
+    );
+    assert!(bitw <= pcie * 1.02, "BitW {bitw} vs PCIe {pcie}");
+    assert!(integrated > 1.0, "even Integrated DRX beats the baseline");
+}
+
+#[test]
+fn integrated_saturates_at_high_concurrency() {
+    // The single shared engine stops scaling (Fig. 14: 4.4x at 15
+    // apps while bump-in-the-wire reaches 8.2x).
+    let base15 = latency(Mode::MultiAxl, 15);
+    let integrated = base15 / latency(Mode::Dmx(Placement::Integrated), 15);
+    let bitw = base15 / latency(Mode::Dmx(Placement::BumpInTheWire), 15);
+    assert!(
+        bitw > 1.3 * integrated,
+        "BitW {bitw} should clearly beat Integrated {integrated} at 15 apps"
+    );
+}
+
+#[test]
+fn standalone_wins_energy_at_scale() {
+    // Fig. 15: bump-in-the-wire replicates glue/mux power per
+    // accelerator, so standalone cards win at 10-15 apps.
+    let energy = |mode: Mode, n: usize| {
+        let mut cfg = SystemConfig::latency(mode, mix(n));
+        cfg.requests_per_app = 4;
+        simulate(&cfg).energy.total()
+    };
+    let base = energy(Mode::MultiAxl, 15);
+    let standalone = base / energy(Mode::Dmx(Placement::Standalone), 15);
+    let bitw = base / energy(Mode::Dmx(Placement::BumpInTheWire), 15);
+    assert!(
+        standalone > bitw,
+        "standalone {standalone} should beat bump-in-the-wire {bitw} at 15 apps"
+    );
+    // And every placement reduces energy vs the baseline.
+    for p in [
+        Placement::Integrated,
+        Placement::Standalone,
+        Placement::BumpInTheWire,
+    ] {
+        let red = base / energy(Mode::Dmx(p), 15);
+        assert!(red > 1.5, "{}: only {red}x", p.name());
+    }
+}
+
+#[test]
+fn bitw_wins_energy_at_low_concurrency() {
+    let energy = |mode: Mode| {
+        let apps: Vec<_> = BenchmarkId::FIVE.iter().map(|id| id.build()).collect();
+        apps.iter()
+            .map(|b| {
+                let mut cfg = SystemConfig::latency(mode, vec![b.clone()]);
+                cfg.requests_per_app = 3;
+                simulate(&cfg).energy.total()
+            })
+            .sum::<f64>()
+    };
+    let base = energy(Mode::MultiAxl);
+    let bitw = base / energy(Mode::Dmx(Placement::BumpInTheWire));
+    let integrated = base / energy(Mode::Dmx(Placement::Integrated));
+    assert!(
+        bitw > 0.95 * integrated,
+        "BitW {bitw} should be at least competitive with Integrated {integrated} at 1 app"
+    );
+}
+
+#[test]
+fn pcie_generations_shrink_but_keep_the_gap() {
+    // Fig. 19: Gen 4/5 help the baseline more, but DMX still wins —
+    // "the bottleneck ... is not just the PCIe interconnect, but also
+    // the data restructuring computation".
+    use dmx_pcie::Gen;
+    let speedup = |gen: Gen| {
+        let mut base = SystemConfig::latency(Mode::MultiAxl, mix(10));
+        base.gen = gen;
+        base.requests_per_app = 4;
+        let mut dmx = SystemConfig::latency(Mode::Dmx(Placement::BumpInTheWire), mix(10));
+        dmx.gen = gen;
+        dmx.requests_per_app = 4;
+        simulate(&base).mean_latency().as_secs_f64()
+            / simulate(&dmx).mean_latency().as_secs_f64()
+    };
+    let g3 = speedup(Gen::Gen3);
+    let g5 = speedup(Gen::Gen5);
+    assert!(g5 <= g3 * 1.02, "Gen5 speedup {g5} should not exceed Gen3 {g3}");
+    assert!(g5 > 2.0, "DMX still wins on Gen5: {g5}");
+}
