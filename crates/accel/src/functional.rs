@@ -262,8 +262,8 @@ impl Functional for NerAccel {
                     t as f32 / token::VOCAB_SIZE as f32,
                     prev as f32 / token::VOCAB_SIZE as f32,
                     ((t >= token::special::BYTE_BASE + b'0' as u32)
-                        && (t <= token::special::BYTE_BASE + b'9' as u32))
-                        as u8 as f32,
+                        && (t <= token::special::BYTE_BASE + b'9' as u32)) as u8
+                        as f32,
                     (i % 64) as f32 / 64.0,
                 ];
                 let scores = self.mlp.forward(&feats);
@@ -314,8 +314,20 @@ mod tests {
 
     #[test]
     fn join_accel_joins() {
-        let build = vec![Row { key: 1, payload: 10 }, Row { key: 2, payload: 20 }];
-        let probe = vec![Row { key: 2, payload: 200 }];
+        let build = vec![
+            Row {
+                key: 1,
+                payload: 10,
+            },
+            Row {
+                key: 2,
+                payload: 20,
+            },
+        ];
+        let probe = vec![Row {
+            key: 2,
+            payload: 200,
+        }];
         let wire = JoinAccel::pack(&build, &probe);
         let out = JoinAccel.process(&wire);
         assert_eq!(out.len(), 24);

@@ -1,7 +1,7 @@
 //! Microbenchmarks of the DRX toolchain: compiling a kernel, executing
 //! it functionally, and parsing assembly.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dmx_bench::timing::bench;
 use dmx_drx::ir::{Access, Kernel, VecStmt};
 use dmx_drx::isa::{Dtype, VectorOp};
 use dmx_drx::{asm, compile, DrxConfig, Machine};
@@ -24,28 +24,29 @@ fn scale_kernel(n: u64) -> (Kernel, dmx_drx::ir::BufId) {
     (k, a)
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = DrxConfig::default();
-    c.bench_function("drx_compile_scale_64k", |b| {
+    {
         let (k, _) = scale_kernel(65_536);
-        b.iter(|| compile(black_box(&k), &cfg).unwrap())
-    });
-    c.bench_function("drx_execute_scale_64k", |b| {
+        bench("drx_compile_scale_64k", || {
+            compile(black_box(&k), &cfg).unwrap()
+        });
+    }
+    {
         let (k, a) = scale_kernel(65_536);
         let compiled = compile(&k, &cfg).unwrap();
         let input: Vec<u8> = vec![0x3f; 65_536 * 4];
-        b.iter(|| {
+        bench("drx_execute_scale_64k", || {
             let mut m = Machine::new(cfg);
             m.write_dram(compiled.layout.addr(a), &input);
             m.run(black_box(&compiled.program)).unwrap()
-        })
-    });
-    c.bench_function("drx_asm_roundtrip", |b| {
+        });
+    }
+    {
         let (k, _) = scale_kernel(65_536);
         let text = compile(&k, &cfg).unwrap().program.disassemble();
-        b.iter(|| asm::parse(black_box(&text)).unwrap())
-    });
+        bench("drx_asm_roundtrip", || {
+            asm::parse(black_box(&text)).unwrap()
+        });
+    }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

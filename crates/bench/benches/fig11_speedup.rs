@@ -1,32 +1,27 @@
 //! Times the Fig. 11 end-to-end latency simulations (Multi-Axl vs DMX
-//! bump-in-the-wire) at each concurrency level, and reports the
-//! resulting speedups via `repro fig11`.
+//! bump-in-the-wire) at each concurrency level; `repro fig11` reports
+//! the resulting speedups.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_bench::timing::bench;
 use dmx_core::experiments::Suite;
 use dmx_core::placement::{Mode, Placement};
 use dmx_core::system::{simulate, SystemConfig};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let suite = Suite::new();
-    let mut g = c.benchmark_group("fig11_speedup");
-    g.sample_size(10);
     for n in [1usize, 5, 15] {
-        g.bench_with_input(BenchmarkId::new("multi_axl", n), &n, |b, &n| {
-            b.iter(|| simulate(black_box(&SystemConfig::latency(Mode::MultiAxl, suite.mix(n)))))
+        bench(&format!("fig11_speedup/multi_axl/{n}"), || {
+            simulate(black_box(&SystemConfig::latency(
+                Mode::MultiAxl,
+                suite.mix(n),
+            )))
         });
-        g.bench_with_input(BenchmarkId::new("dmx_bitw", n), &n, |b, &n| {
-            b.iter(|| {
-                simulate(black_box(&SystemConfig::latency(
-                    Mode::Dmx(Placement::BumpInTheWire),
-                    suite.mix(n),
-                )))
-            })
+        bench(&format!("fig11_speedup/dmx_bitw/{n}"), || {
+            simulate(black_box(&SystemConfig::latency(
+                Mode::Dmx(Placement::BumpInTheWire),
+                suite.mix(n),
+            )))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,35 +1,25 @@
 //! Times the Fig. 13 throughput-mode simulations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_bench::timing::bench;
 use dmx_core::experiments::Suite;
 use dmx_core::placement::{Mode, Placement};
 use dmx_core::system::{simulate, SystemConfig};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let suite = Suite::new();
-    let mut g = c.benchmark_group("fig13_throughput");
-    g.sample_size(10);
     for n in [5usize, 15] {
-        g.bench_with_input(BenchmarkId::new("multi_axl", n), &n, |b, &n| {
-            b.iter(|| {
-                simulate(black_box(&SystemConfig::throughput(
-                    Mode::MultiAxl,
-                    suite.mix(n),
-                )))
-            })
+        bench(&format!("fig13_throughput/multi_axl/{n}"), || {
+            simulate(black_box(&SystemConfig::throughput(
+                Mode::MultiAxl,
+                suite.mix(n),
+            )))
         });
-        g.bench_with_input(BenchmarkId::new("dmx_bitw", n), &n, |b, &n| {
-            b.iter(|| {
-                simulate(black_box(&SystemConfig::throughput(
-                    Mode::Dmx(Placement::BumpInTheWire),
-                    suite.mix(n),
-                )))
-            })
+        bench(&format!("fig13_throughput/dmx_bitw/{n}"), || {
+            simulate(black_box(&SystemConfig::throughput(
+                Mode::Dmx(Placement::BumpInTheWire),
+                suite.mix(n),
+            )))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

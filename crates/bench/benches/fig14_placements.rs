@@ -1,27 +1,19 @@
 //! Times the Fig. 14 placement-comparison simulations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_bench::timing::bench;
 use dmx_core::experiments::Suite;
 use dmx_core::placement::{Mode, Placement};
 use dmx_core::system::{simulate, SystemConfig};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let suite = Suite::new();
-    let mut g = c.benchmark_group("fig14_placements");
-    g.sample_size(10);
     for p in Placement::ALL {
-        g.bench_with_input(BenchmarkId::new(p.name(), 10), &p, |b, &p| {
-            b.iter(|| {
-                simulate(black_box(&SystemConfig::latency(
-                    Mode::Dmx(p),
-                    suite.mix(10),
-                )))
-            })
+        bench(&format!("fig14_placements/{}/10", p.name()), || {
+            simulate(black_box(&SystemConfig::latency(
+                Mode::Dmx(p),
+                suite.mix(10),
+            )))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

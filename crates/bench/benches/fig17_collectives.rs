@@ -1,22 +1,16 @@
 //! Times the Fig. 17 collective-movement models.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_bench::timing::bench;
 use dmx_core::collectives::{all_reduce, broadcast, CollectiveConfig};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig17_collectives");
-    g.sample_size(10);
+fn main() {
     for n in [4usize, 32] {
-        g.bench_with_input(BenchmarkId::new("broadcast", n), &n, |b, &n| {
-            b.iter(|| broadcast(black_box(&CollectiveConfig::fig17(n))))
+        bench(&format!("fig17_collectives/broadcast/{n}"), || {
+            broadcast(black_box(&CollectiveConfig::fig17(n)))
         });
-        g.bench_with_input(BenchmarkId::new("all_reduce", n), &n, |b, &n| {
-            b.iter(|| all_reduce(black_box(&CollectiveConfig::fig17(n))))
+        bench(&format!("fig17_collectives/all_reduce/{n}"), || {
+            all_reduce(black_box(&CollectiveConfig::fig17(n)))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

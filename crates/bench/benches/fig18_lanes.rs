@@ -1,26 +1,20 @@
 //! Times DRX kernel execution across the Fig. 18 lane sweep (the lane
 //! count changes compiled code and cycle counts).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_bench::timing::bench;
 use dmx_drx::DrxConfig;
 use dmx_restructure::{run_on_drx, SpectrogramMel};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let op = SpectrogramMel::sound_detection(64);
     let input: Vec<u8> = (0..(64 * 257 * 8) as usize)
         .map(|i| (i % 251) as u8)
         .collect();
-    let mut g = c.benchmark_group("fig18_lanes");
-    g.sample_size(10);
     for lanes in [32u32, 64, 128, 256] {
         let cfg = DrxConfig::default().with_lanes(lanes);
-        g.bench_with_input(BenchmarkId::new("mel_kernel", lanes), &cfg, |b, cfg| {
-            b.iter(|| run_on_drx(black_box(&op), cfg, black_box(&input)).unwrap())
+        bench(&format!("fig18_lanes/mel_kernel/{lanes}"), || {
+            run_on_drx(black_box(&op), &cfg, black_box(&input)).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,35 +1,34 @@
 //! Microbenchmarks of the restructuring ops' CPU reference
 //! implementations (the computations the Multi-Axl baseline performs).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dmx_bench::timing::bench;
 use dmx_restructure::{DbPivot, RestructureOp, SpectrogramMel, TokenizeGather, YuvToTensor};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let mel = SpectrogramMel::sound_detection(64);
-    let mel_in: Vec<u8> = (0..(64 * 257 * 8) as usize).map(|i| (i % 251) as u8).collect();
-    c.bench_function("cpu_spectrogram_mel_64f", |b| {
-        b.iter(|| mel.run_cpu(black_box(&mel_in)))
+    let mel_in: Vec<u8> = (0..(64 * 257 * 8) as usize)
+        .map(|i| (i % 251) as u8)
+        .collect();
+    bench("cpu_spectrogram_mel_64f", || {
+        mel.run_cpu(black_box(&mel_in))
     });
 
     let yuv = YuvToTensor::new(160, 96);
-    let yuv_in: Vec<u8> = (0..(160 * 96 * 3 / 2) as usize).map(|i| (i % 256) as u8).collect();
-    c.bench_function("cpu_yuv_to_tensor_160x96", |b| {
-        b.iter(|| yuv.run_cpu(black_box(&yuv_in)))
+    let yuv_in: Vec<u8> = (0..(160 * 96 * 3 / 2) as usize)
+        .map(|i| (i % 256) as u8)
+        .collect();
+    bench("cpu_yuv_to_tensor_160x96", || {
+        yuv.run_cpu(black_box(&yuv_in))
     });
 
     let pivot = DbPivot::new(4096, 8);
     let pivot_in: Vec<u8> = (0..4096 * 8 * 4).map(|i| (i % 256) as u8).collect();
-    c.bench_function("cpu_db_pivot_4096x8", |b| {
-        b.iter(|| pivot.run_cpu(black_box(&pivot_in)))
+    bench("cpu_db_pivot_4096x8", || {
+        pivot.run_cpu(black_box(&pivot_in))
     });
 
     let tok = TokenizeGather::new(128, 128);
     let tok_in: Vec<u8> = (0..128 * 126).map(|i| (i % 256) as u8).collect();
-    c.bench_function("cpu_tokenize_128x128", |b| {
-        b.iter(|| tok.run_cpu(black_box(&tok_in)))
-    });
+    bench("cpu_tokenize_128x128", || tok.run_cpu(black_box(&tok_in)));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -22,7 +22,10 @@ fn main() {
     };
     for id in &ids {
         if !EXPERIMENTS.contains(id) {
-            eprintln!("unknown experiment `{id}`; expected one of: {}", EXPERIMENTS.join(" "));
+            eprintln!(
+                "unknown experiment `{id}`; expected one of: {}",
+                EXPERIMENTS.join(" ")
+            );
             std::process::exit(2);
         }
     }

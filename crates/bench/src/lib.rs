@@ -2,17 +2,34 @@
 //!
 //! The `repro` binary regenerates every table and figure of the paper's
 //! evaluation (`cargo run -p dmx-bench --release --bin repro -- all`),
-//! and the Criterion benches under `benches/` time the simulator and
-//! the DRX toolchain themselves.
+//! and the benches under `benches/` time the simulator and the DRX
+//! toolchain themselves on the in-tree [`timing`] harness
+//! (`cargo bench --workspace`).
 
 #![warn(missing_docs)]
 
 use dmx_core::experiments::{self, Suite};
 
+pub mod timing;
+
 /// All experiment identifiers `repro` accepts.
-pub const EXPERIMENTS: [&str; 15] = [
-    "tab1", "fig3", "fig5", "fig8", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "fig19", "ablations", "summary",
+pub const EXPERIMENTS: [&str; 16] = [
+    "tab1",
+    "fig3",
+    "fig5",
+    "fig8",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "ablations",
+    "faults",
+    "summary",
 ];
 
 /// Runs one experiment by id and returns its rendered report.
@@ -35,6 +52,7 @@ pub fn run_experiment(suite: &Suite, id: &str) -> String {
         "fig17" => experiments::fig17::run().render(),
         "fig18" => experiments::fig18::run(suite).render(),
         "fig19" => experiments::fig19::run(suite).render(),
+        "faults" => experiments::faults::run(suite).render(),
         "summary" => experiments::summary::run(suite).render(),
         "ablations" => format!(
             "{}\n{}\n{}\n{}",

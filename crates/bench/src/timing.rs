@@ -1,0 +1,69 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! Offline environments cannot pull `criterion`, so the benches under
+//! `benches/` run on this: warm up, time batches until a fixed budget
+//! elapses, report min/mean per iteration. Invoke with
+//! `cargo bench --workspace`; `DMX_BENCH_SECS` adjusts the per-case
+//! budget (default 0.5 s).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-case measurement budget.
+fn budget() -> Duration {
+    let secs = std::env::var("DMX_BENCH_SECS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.5);
+    Duration::from_secs_f64(secs.clamp(0.01, 60.0))
+}
+
+/// Times `f` and prints one result line: minimum and mean time per
+/// iteration over as many runs as fit the budget (at least 5).
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up run, also keeps the result alive so `f` can't be elided.
+    black_box(f());
+    let budget = budget();
+    let started = Instant::now();
+    let mut samples = Vec::new();
+    while samples.len() < 5 || (started.elapsed() < budget && samples.len() < 10_000) {
+        let t = Instant::now();
+        black_box(f());
+        samples.push(t.elapsed());
+    }
+    let min = samples.iter().min().expect("nonempty");
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{name:<40} min {:>12}  mean {:>12}  ({} iters)",
+        fmt(*min),
+        fmt(mean),
+        samples.len()
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scale() {
+        assert!(fmt(Duration::from_nanos(12)).ends_with("ns"));
+        assert!(fmt(Duration::from_micros(120)).ends_with("us"));
+        assert!(fmt(Duration::from_millis(120)).ends_with("ms"));
+        assert!(fmt(Duration::from_secs(12)).ends_with(" s"));
+    }
+}

@@ -7,8 +7,22 @@ use dmx_core::experiments::Suite;
 #[test]
 fn experiment_list_is_complete() {
     for id in [
-        "tab1", "fig3", "fig5", "fig8", "fig11", "fig12", "fig13", "fig14", "fig15",
-        "fig16", "fig17", "fig18", "fig19", "ablations", "summary",
+        "tab1",
+        "fig3",
+        "fig5",
+        "fig8",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "ablations",
+        "faults",
+        "summary",
     ] {
         assert!(EXPERIMENTS.contains(&id), "missing {id}");
     }

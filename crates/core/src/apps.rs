@@ -12,8 +12,8 @@
 use dmx_accel::AccelKind;
 use dmx_drx::{DrxConfig, DrxEnergyModel, Machine};
 use dmx_restructure::{
-    BandPower, DbPivot, OpProfile, RestructureOp, SpectrogramMel, TokenizeGather,
-    VecSum, YuvToTensor,
+    BandPower, DbPivot, OpProfile, RestructureOp, SpectrogramMel, TokenizeGather, VecSum,
+    YuvToTensor,
 };
 use dmx_sim::Time;
 use std::cell::RefCell;
@@ -78,7 +78,12 @@ impl fmt::Debug for Edge {
     }
 }
 
-fn merge_profiles(name: &str, parts: &[(OpProfile, f64)], bytes_in: u64, bytes_out: u64) -> OpProfile {
+fn merge_profiles(
+    name: &str,
+    parts: &[(OpProfile, f64)],
+    bytes_in: u64,
+    bytes_out: u64,
+) -> OpProfile {
     let mut scratch = 0.0f64;
     let mut total_ops = 0.0f64;
     let mut weight = 0.0f64;
@@ -488,8 +493,8 @@ mod tests {
         for id in BenchmarkId::FIVE {
             let b = id.build();
             for e in &b.edges {
-                let cpu_alone = cpu.restructure_core_seconds(&e.profile)
-                    / cpu.restructure_core_cap(&e.profile);
+                let cpu_alone =
+                    cpu.restructure_core_seconds(&e.profile) / cpu.restructure_core_cap(&e.profile);
                 let drx = e.drx_cost(&cfg).time.as_secs_f64();
                 assert!(
                     cpu_alone > 2.0 * drx,

@@ -149,12 +149,9 @@ pub fn broadcast(cfg: &CollectiveConfig) -> CollectiveResult {
     let baseline = cfg.t_up() + cfg.r_cpu() + (cfg.cpu_copy() + cfg.t_down()) * n;
     // DMX: local hop into the DRX, restructure once, then back-to-back
     // p2p transfers straight to the destinations.
-    let local = Time::from_secs_f64(
-        cfg.bytes as f64 / downstream_link(cfg.gen).bytes_per_sec() as f64,
-    );
-    let dmx = local
-        + cfg.r_drx()
-        + Time::from_secs_f64(cfg.mean_p2p().as_secs_f64() * n as f64);
+    let local =
+        Time::from_secs_f64(cfg.bytes as f64 / downstream_link(cfg.gen).bytes_per_sec() as f64);
+    let dmx = local + cfg.r_drx() + Time::from_secs_f64(cfg.mean_p2p().as_secs_f64() * n as f64);
     CollectiveResult { baseline, dmx }
 }
 
@@ -164,8 +161,8 @@ pub fn all_reduce(cfg: &CollectiveConfig) -> CollectiveResult {
     let n = cfg.accels as u64;
     // Baseline gather phase: every accelerator uploads its buffer; the
     // CPU sums pairwise (half hidden under the incoming transfers).
-    let gather = cfg.t_up() * n
-        + Time::from_secs_f64(cfg.r_cpu().as_secs_f64() * (n - 1) as f64 * 0.5);
+    let gather =
+        cfg.t_up() * n + Time::from_secs_f64(cfg.r_cpu().as_secs_f64() * (n - 1) as f64 * 0.5);
     // (half of each pairwise sum hides under the next incoming DMA)
     // Scatter phase: a host copy plus a DMA per destination.
     let scatter = (cfg.cpu_copy() + cfg.t_down()) * n;

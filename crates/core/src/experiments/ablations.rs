@@ -92,8 +92,7 @@ pub fn spad(suite: &Suite) -> SpadAblation {
     let rows = [8u64, 16, 32, 64, 128]
         .iter()
         .map(|&kib| {
-            let mut cfg = DrxConfig::default();
-            cfg.scratchpad_bytes = kib << 10;
+            let cfg = DrxConfig::default().with_scratchpad(kib << 10);
             (kib, edge.drx_cost(&cfg).time)
         })
         .collect();
@@ -128,12 +127,7 @@ pub struct PartitionAblation {
 pub fn partition() -> PartitionAblation {
     let cfg = DrxConfig::default();
     let mb = 1u64 << 20;
-    let pivot = Edge::new(
-        "pivot",
-        vec![(Box::new(DbPivot::new(4096, 8)), mb)],
-        mb,
-        mb,
-    );
+    let pivot = Edge::new("pivot", vec![(Box::new(DbPivot::new(4096, 8)), mb)], mb, mb);
     let part = Edge::new(
         "partition",
         vec![(Box::new(HashPartition::new(4096, 16)), mb)],
@@ -176,10 +170,8 @@ pub fn queue() -> QueueAblation {
     let rows = [1u64, 4, 8, 16, 100]
         .iter()
         .map(|&mib| {
-            let mut cfg = SystemConfig::latency(
-                Mode::Dmx(Placement::BumpInTheWire),
-                vec![bench.clone()],
-            );
+            let mut cfg =
+                SystemConfig::latency(Mode::Dmx(Placement::BumpInTheWire), vec![bench.clone()]);
             cfg.queue_bytes = mib << 20;
             (mib, simulate(&cfg).mean_latency().as_secs_f64())
         })

@@ -31,9 +31,7 @@ pub fn run(suite: &Suite) -> Fig12 {
         .map(|&n| Fig12Row {
             n,
             baseline: breakdown_fractions(&suite.breakdown_runs(Mode::MultiAxl, n)),
-            dmx: breakdown_fractions(
-                &suite.breakdown_runs(Mode::Dmx(Placement::BumpInTheWire), n),
-            ),
+            dmx: breakdown_fractions(&suite.breakdown_runs(Mode::Dmx(Placement::BumpInTheWire), n)),
         })
         .collect();
     Fig12 { rows }

@@ -36,16 +36,12 @@ pub fn run(suite: &Suite) -> Fig13 {
             let mut per_benchmark = Vec::new();
             if n == 1 {
                 for b in suite.benchmarks() {
-                    let base = simulate(&SystemConfig::throughput(
-                        Mode::MultiAxl,
-                        vec![b.clone()],
-                    ));
+                    let base = simulate(&SystemConfig::throughput(Mode::MultiAxl, vec![b.clone()]));
                     let dmx = simulate(&SystemConfig::throughput(
                         Mode::Dmx(Placement::BumpInTheWire),
                         vec![b.clone()],
                     ));
-                    per_benchmark
-                        .push((b.name, dmx.total_throughput() / base.total_throughput()));
+                    per_benchmark.push((b.name, dmx.total_throughput() / base.total_throughput()));
                 }
             } else {
                 let base = simulate(&SystemConfig::throughput(Mode::MultiAxl, suite.mix(n)));
@@ -64,9 +60,8 @@ pub fn run(suite: &Suite) -> Fig13 {
                     per_benchmark.push((b.name, tp(&dmx) / tp(&base)));
                 }
             }
-            let geomean =
-                geomean(&per_benchmark.iter().map(|(_, s)| *s).collect::<Vec<_>>())
-                    .expect("positive throughput ratios");
+            let geomean = geomean(&per_benchmark.iter().map(|(_, s)| *s).collect::<Vec<_>>())
+                .expect("positive throughput ratios");
             Fig13Row {
                 n,
                 per_benchmark,

@@ -4,6 +4,7 @@
 //! `repro` binary and EXPERIMENTS.md).
 
 pub mod ablations;
+pub mod faults;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
@@ -134,18 +135,14 @@ mod tests {
         let suite = Suite::new();
         let mix = suite.mix(10);
         assert_eq!(mix.len(), 10);
-        let sd = mix
-            .iter()
-            .filter(|b| b.name == "Sound Detection")
-            .count();
+        let sd = mix.iter().filter(|b| b.name == "Sound Detection").count();
         assert_eq!(sd, 2);
     }
 
     #[test]
     fn latency_ratios_positive() {
         let suite = Suite::new();
-        let (per, g) =
-            suite.latency_ratios(Mode::MultiAxl, Mode::Dmx(Placement::BumpInTheWire), 1);
+        let (per, g) = suite.latency_ratios(Mode::MultiAxl, Mode::Dmx(Placement::BumpInTheWire), 1);
         assert_eq!(per.len(), 5);
         assert!(g > 1.0, "DMX should win: geomean {g}");
         for (name, s) in per {

@@ -183,10 +183,26 @@ pub fn run(suite: &Suite) -> Summary {
     );
 
     let f17 = fig17::run();
-    let bmin = f17.rows.iter().map(|r| r.broadcast).fold(f64::INFINITY, f64::min);
-    let bmax = f17.rows.iter().map(|r| r.broadcast).fold(f64::NEG_INFINITY, f64::max);
-    let amin = f17.rows.iter().map(|r| r.all_reduce).fold(f64::INFINITY, f64::min);
-    let amax = f17.rows.iter().map(|r| r.all_reduce).fold(f64::NEG_INFINITY, f64::max);
+    let bmin = f17
+        .rows
+        .iter()
+        .map(|r| r.broadcast)
+        .fold(f64::INFINITY, f64::min);
+    let bmax = f17
+        .rows
+        .iter()
+        .map(|r| r.broadcast)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let amin = f17
+        .rows
+        .iter()
+        .map(|r| r.all_reduce)
+        .fold(f64::INFINITY, f64::min);
+    let amax = f17
+        .rows
+        .iter()
+        .map(|r| r.all_reduce)
+        .fold(f64::NEG_INFINITY, f64::max);
     push(
         "Fig.17",
         "broadcast speedup range",
@@ -209,7 +225,11 @@ pub fn run(suite: &Suite) -> Summary {
         "Fig.18",
         "RE lanes: gain 32->128, then flat",
         "saturates at 128".into(),
-        format!("+{:.0}% then +{:.0}%", 100.0 * (gain_to_128 - 1.0), 100.0 * (gain_past_128 - 1.0)),
+        format!(
+            "+{:.0}% then +{:.0}%",
+            100.0 * (gain_to_128 - 1.0),
+            100.0 * (gain_past_128 - 1.0)
+        ),
         gain_to_128 > 1.05 && gain_past_128 < 1.05,
     );
 

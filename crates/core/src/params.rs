@@ -67,6 +67,50 @@ impl Default for DriverParams {
     }
 }
 
+/// Retry/timeout/backoff policy of the recovery layer (fault
+/// injection). Anchored to real driver stacks: NVMe-style command
+/// timeouts are tens of microseconds at device speed before software
+/// escalates, and exponential backoff doubles from a microsecond-scale
+/// base up to a hard cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryParams {
+    /// How long the host waits on an outstanding DRX command before
+    /// declaring it stalled and retrying.
+    pub command_timeout: Time,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base: Time,
+    /// Backoff ceiling.
+    pub backoff_max: Time,
+    /// Retries before the command is abandoned and its restructuring
+    /// falls back to the host CPU.
+    pub max_retries: u32,
+    /// How long the driver's watchdog waits for a missing completion
+    /// interrupt before it recovers the event by polling the queue.
+    pub watchdog_timeout: Time,
+}
+
+impl RecoveryParams {
+    /// Backoff before retry `attempt` (0-based): `base * 2^attempt`,
+    /// capped at `backoff_max`.
+    pub fn backoff(&self, attempt: u32) -> Time {
+        let factor = 1u64 << attempt.min(62);
+        let doubled = Time::from_ps(self.backoff_base.as_ps().saturating_mul(factor));
+        doubled.min(self.backoff_max)
+    }
+}
+
+impl Default for RecoveryParams {
+    fn default() -> Self {
+        RecoveryParams {
+            command_timeout: Time::from_us(100),
+            backoff_base: Time::from_us(10),
+            backoff_max: Time::from_ms(1),
+            max_retries: 4,
+            watchdog_timeout: Time::from_us(50),
+        }
+    }
+}
+
 /// Relative restructuring capability of the DRX variants, in units of
 /// one bump-in-the-wire DRX (Sec. III):
 #[derive(Debug, Clone, Copy)]
@@ -129,6 +173,17 @@ mod tests {
     #[test]
     fn newer_gens_add_upstream_links() {
         assert!(upstream_links_for_gen(Gen::Gen4) > upstream_links_for_gen(Gen::Gen3));
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let r = RecoveryParams::default();
+        assert_eq!(r.backoff(0), r.backoff_base);
+        assert_eq!(r.backoff(1), r.backoff_base * 2);
+        assert_eq!(r.backoff(2), r.backoff_base * 4);
+        assert_eq!(r.backoff(30), r.backoff_max);
+        // Huge attempt counts must not overflow.
+        assert_eq!(r.backoff(u32::MAX), r.backoff_max);
     }
 
     #[test]

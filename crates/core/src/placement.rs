@@ -131,19 +131,17 @@ pub fn build_layout(mode: Mode, apps: &[BenchmarkRef], gen: Gen) -> ServerLayout
 
     let mut switches: Vec<NodeId> = Vec::new();
     let mut slots_used: Vec<usize> = Vec::new();
-    let alloc_slot = |topo: &mut Topology,
-                          switches: &mut Vec<NodeId>,
-                          slots_used: &mut Vec<usize>|
-     -> NodeId {
-        if let Some(i) = slots_used.iter().position(|s| *s < SWITCH_PORTS) {
-            slots_used[i] += 1;
-            return switches[i];
-        }
-        let sw = topo.add_node(NodeKind::Switch, format!("sw{}", switches.len()), root, up);
-        switches.push(sw);
-        slots_used.push(1);
-        *switches.last().expect("just pushed")
-    };
+    let alloc_slot =
+        |topo: &mut Topology, switches: &mut Vec<NodeId>, slots_used: &mut Vec<usize>| -> NodeId {
+            if let Some(i) = slots_used.iter().position(|s| *s < SWITCH_PORTS) {
+                slots_used[i] += 1;
+                return switches[i];
+            }
+            let sw = topo.add_node(NodeKind::Switch, format!("sw{}", switches.len()), root, up);
+            switches.push(sw);
+            slots_used.push(1);
+            *switches.last().expect("just pushed")
+        };
 
     let bitw = mode == Mode::Dmx(Placement::BumpInTheWire);
     let standalone = mode == Mode::Dmx(Placement::Standalone);
@@ -163,14 +161,12 @@ pub fn build_layout(mode: Mode, apps: &[BenchmarkRef], gen: Gen) -> ServerLayout
             if bitw {
                 // switch -> mux -> { accel, drx }
                 let mux = topo.add_node(NodeKind::Mux, format!("mux{ai}.{si}"), sw, down);
-                let accel =
-                    topo.add_node(NodeKind::Device, format!("accel{ai}.{si}"), mux, down);
+                let accel = topo.add_node(NodeKind::Device, format!("accel{ai}.{si}"), mux, down);
                 let drx = topo.add_node(NodeKind::Device, format!("drx{ai}.{si}"), mux, down);
                 app_accels.push(accel);
                 app_drxs.push(Some(drx));
             } else {
-                let accel =
-                    topo.add_node(NodeKind::Device, format!("accel{ai}.{si}"), sw, down);
+                let accel = topo.add_node(NodeKind::Device, format!("accel{ai}.{si}"), sw, down);
                 app_accels.push(accel);
                 app_drxs.push(None);
             }
@@ -203,9 +199,7 @@ mod tests {
     use crate::apps::BenchmarkId;
 
     fn five(n: usize) -> Vec<BenchmarkRef> {
-        (0..n)
-            .map(|i| BenchmarkId::FIVE[i % 5].build())
-            .collect()
+        (0..n).map(|i| BenchmarkId::FIVE[i % 5].build()).collect()
     }
 
     #[test]
@@ -226,7 +220,10 @@ mod tests {
     fn bitw_adds_one_drx_per_accelerator() {
         let apps = five(3);
         let layout = build_layout(Mode::Dmx(Placement::BumpInTheWire), &apps, Gen::Gen3);
-        assert_eq!(layout.drx_unit_count(Mode::Dmx(Placement::BumpInTheWire)), 6);
+        assert_eq!(
+            layout.drx_unit_count(Mode::Dmx(Placement::BumpInTheWire)),
+            6
+        );
         for app in &layout.drx_nodes {
             for d in app {
                 assert!(d.is_some());
@@ -283,6 +280,9 @@ mod tests {
     #[test]
     fn mode_names() {
         assert_eq!(Mode::AllCpu.name(), "All-CPU");
-        assert_eq!(Mode::Dmx(Placement::BumpInTheWire).name(), "Bump-in-the-Wire");
+        assert_eq!(
+            Mode::Dmx(Placement::BumpInTheWire).name(),
+            "Bump-in-the-Wire"
+        );
     }
 }

@@ -15,13 +15,20 @@
 
 use crate::apps::BenchmarkRef;
 use crate::driver::DriverState;
-use crate::params::{DriverParams, DrxFleetParams, LATENCY_REQUESTS, THROUGHPUT_INFLIGHT, THROUGHPUT_REQUESTS};
+use crate::params::{
+    DriverParams, DrxFleetParams, RecoveryParams, LATENCY_REQUESTS, THROUGHPUT_INFLIGHT,
+    THROUGHPUT_REQUESTS,
+};
 use crate::placement::{build_layout, Mode, Placement, ServerLayout};
 use dmx_cpu::{CpuEnergyModel, HostCpuConfig};
 use dmx_drx::{DrxConfig, DrxEnergyModel};
-use dmx_pcie::{FlowId, FlowNet, Gen, NodeId, PcieEnergyModel};
-use dmx_sim::{EventQueue, FifoServer, PsJobId, PsPool, Time};
-use std::collections::HashMap;
+use dmx_pcie::{
+    transfer_faults, FabricError, FlowId, FlowNet, Gen, LinkId, NodeId, PcieEnergyModel,
+    ReplayParams,
+};
+use dmx_sim::{EventQueue, FaultConfig, FaultPlan, FifoServer, PsJobId, PsPool, Time};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 
 /// Cores one All-CPU kernel can use (vendor kernels are threaded).
 const KERNEL_CAP: f64 = 4.0;
@@ -53,6 +60,14 @@ pub struct SystemConfig {
     /// per queue pair). Batches larger than a queue are handed over in
     /// segments, each paying a driver handshake.
     pub queue_bytes: u64,
+    /// Deterministic fault injection. `None` disables the fault layer
+    /// entirely; an inert config (`FaultConfig::none()`) must produce
+    /// results identical to `None`.
+    pub faults: Option<FaultConfig>,
+    /// PCIe chunk-replay / link-retrain behavior under bit errors.
+    pub replay: ReplayParams,
+    /// Retry/timeout/backoff policy of the recovery layer.
+    pub recovery: RecoveryParams,
 }
 
 impl SystemConfig {
@@ -70,6 +85,9 @@ impl SystemConfig {
             inflight_per_app: 1,
             forced_driver: None,
             queue_bytes: 100 << 20,
+            faults: None,
+            replay: ReplayParams::default(),
+            recovery: RecoveryParams::default(),
         }
     }
 
@@ -80,6 +98,120 @@ impl SystemConfig {
             inflight_per_app: THROUGHPUT_INFLIGHT,
             ..SystemConfig::latency(mode, apps)
         }
+    }
+}
+
+/// Errors the simulator can report instead of panicking: invalid
+/// configurations, internal bookkeeping inconsistencies on the request
+/// walk, and fabric errors bubbled up from routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The config listed no applications.
+    NoApps,
+    /// `requests_per_app` was zero.
+    NoRequests,
+    /// `inflight_per_app` was zero.
+    NoInflight,
+    /// An event referenced a request id that is not live.
+    UnknownRequest(u64),
+    /// A finished job was not in the tracking map.
+    UntrackedJob(u64),
+    /// The layout is missing the DRX unit a step needs.
+    MissingDrxUnit {
+        /// Application index.
+        app: usize,
+        /// Pipeline edge index.
+        stage: usize,
+    },
+    /// A routing or flow-network error from the PCIe fabric.
+    Fabric(FabricError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoApps => write!(f, "at least one application required"),
+            SimError::NoRequests => write!(f, "at least one request required"),
+            SimError::NoInflight => write!(f, "at least one in-flight request required"),
+            SimError::UnknownRequest(id) => write!(f, "event references unknown request {id}"),
+            SimError::UntrackedJob(id) => write!(f, "finished job {id} was never tracked"),
+            SimError::MissingDrxUnit { app, stage } => {
+                write!(f, "layout has no DRX unit for app {app} edge {stage}")
+            }
+            SimError::Fabric(e) => write!(f, "fabric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Fabric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FabricError> for SimError {
+    fn from(e: FabricError) -> SimError {
+        SimError::Fabric(e)
+    }
+}
+
+/// Stable unit ids for [`FaultConfig::kills`] and
+/// [`FaultConfig::death_mttf_secs`] draws. The fault layer only
+/// interprets DRX units: a dead DRX reroutes its restructuring onto the
+/// host-CPU (Multi-Axl) path while healthy apps continue.
+pub mod units {
+    /// The bump-in-the-wire DRX serving `(app, stage)`.
+    pub fn bitw(app: usize, stage: usize) -> u64 {
+        0x0100_0000 + (app as u64) * 256 + stage as u64
+    }
+
+    /// The standalone DRX card of `app`.
+    pub fn card(app: usize) -> u64 {
+        0x0200_0000 + app as u64
+    }
+
+    /// A shared DRX pool: index 0 for the Integrated placement, the
+    /// switch index for PCIe-Integrated.
+    pub fn pool(index: usize) -> u64 {
+        0x0300_0000 + index as u64
+    }
+}
+
+/// What the fault-injection and recovery layer did during a run.
+/// All-zero when the fault layer is disabled or inert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// PCIe chunks that arrived corrupted and were retransmitted.
+    pub chunk_replays: u64,
+    /// Extra bytes the fabric carried for those retransmissions.
+    pub replay_extra_bytes: u64,
+    /// Link retrains triggered by error bursts.
+    pub link_retrains: u64,
+    /// Completion interrupts lost and recovered by the watchdog.
+    pub lost_completions: u64,
+    /// DRX command attempts that stalled past the command timeout.
+    pub command_timeouts: u64,
+    /// Retries issued after a timeout (with exponential backoff).
+    pub retries: u64,
+    /// DRX units that permanently died during the run.
+    pub unit_deaths: u64,
+    /// Restructuring batches rerouted onto the host-CPU fallback path
+    /// (dead unit, or retries exhausted).
+    pub rerouted_batches: u64,
+    /// Wall time rerouted batches spent on the fallback path, including
+    /// time wasted on the failed unit before rerouting.
+    pub fallback_time: Time,
+    /// Total duration of link-retrain degradation windows.
+    pub degraded_link_time: Time,
+}
+
+impl FaultReport {
+    /// True if any fault fired or any recovery action ran.
+    pub fn any(&self) -> bool {
+        *self != FaultReport::default()
     }
 }
 
@@ -151,6 +283,9 @@ pub struct RunResult {
     pub energy: EnergyReport,
     /// (interrupts, polled) driver event counts.
     pub notify_counts: (u64, u64),
+    /// Fault-injection and recovery accounting (all-zero without
+    /// faults).
+    pub faults: FaultReport,
 }
 
 impl RunResult {
@@ -222,14 +357,24 @@ struct Req {
     step: usize,
     step_started: Time,
     breakdown: Breakdown,
+    /// Bumped when the request is torn off a dead unit and resubmitted;
+    /// completion events carry the epoch they were scheduled under, so
+    /// stale completions from the dead unit are ignored.
+    epoch: u32,
+    /// The current step is running on the degraded fallback path.
+    degraded: bool,
 }
 
 #[derive(Debug)]
 enum Ev {
-    StepDone(u64),
+    StepDone(u64, u32),
     CpuTick(u64),
     FlowTick(u64),
     SharedTick(usize, u64),
+    /// A DRX unit permanently dies.
+    UnitDeath(u64),
+    /// A link retrain completes; bandwidth returns to nominal.
+    LinkRestore(usize),
 }
 
 #[derive(Debug, Default)]
@@ -267,8 +412,17 @@ struct Sim<'a> {
     drx_dynamic_j: f64,
     /// Per-(app, edge) in-order restructuring gate: the DRX/host data
     /// queues process one batch at a time, in arrival order (Sec. V).
-    restr_busy: Vec<Vec<bool>>,
+    /// `Some(id)` is the request currently holding the gate.
+    restr_active: Vec<Vec<Option<u64>>>,
     restr_queue: Vec<Vec<std::collections::VecDeque<u64>>>,
+    /// Compiled fault schedule; `None` when the layer is disabled or
+    /// the config is inert (so the zero-fault path is exactly the
+    /// pre-fault-layer simulator).
+    plan: Option<FaultPlan>,
+    report: FaultReport,
+    dead_units: HashSet<u64>,
+    /// Requests still to complete before the run can stop.
+    remaining: usize,
 }
 
 impl<'a> Sim<'a> {
@@ -318,7 +472,7 @@ impl<'a> Sim<'a> {
             shared_jobs,
             stats: cfg.apps.iter().map(|_| AppStats::default()).collect(),
             drx_dynamic_j: 0.0,
-            restr_busy: cfg.apps.iter().map(|a| vec![false; a.edges.len()]).collect(),
+            restr_active: cfg.apps.iter().map(|a| vec![None; a.edges.len()]).collect(),
             restr_queue: cfg
                 .apps
                 .iter()
@@ -329,6 +483,14 @@ impl<'a> Sim<'a> {
                         .collect()
                 })
                 .collect(),
+            plan: cfg
+                .faults
+                .as_ref()
+                .filter(|f| !f.is_inert())
+                .map(|f| FaultPlan::new(f.clone())),
+            report: FaultReport::default(),
+            dead_units: HashSet::new(),
+            remaining: cfg.apps.len() * cfg.requests_per_app,
         }
     }
 
@@ -359,23 +521,45 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn cpu_job(&mut self, req: u64, work_secs: f64, cap: f64, extra_latency: Time) {
+    /// Epoch-tagged completion event for `req` at `at`.
+    fn schedule_step_done(&mut self, at: Time, req: u64) -> Result<(), SimError> {
+        let epoch = self
+            .reqs
+            .get(&req)
+            .ok_or(SimError::UnknownRequest(req))?
+            .epoch;
+        self.q.schedule_at(at, Ev::StepDone(req, epoch));
+        Ok(())
+    }
+
+    fn cpu_job(
+        &mut self,
+        req: u64,
+        work_secs: f64,
+        cap: f64,
+        extra_latency: Time,
+    ) -> Result<(), SimError> {
         let now = self.q.now();
         let jid = self.job_id();
         self.cpu_jobs.insert(jid, (req, extra_latency));
         self.cpu
             .insert(now, jid, Time::from_secs_f64(work_secs), cap);
         // Zero-work jobs may complete instantly.
-        self.drain_cpu_finished();
+        self.drain_cpu_finished()?;
         self.reschedule_cpu();
+        Ok(())
     }
 
-    fn drain_cpu_finished(&mut self) {
+    fn drain_cpu_finished(&mut self) -> Result<(), SimError> {
         let now = self.q.now();
         for jid in self.cpu.take_finished() {
-            let (req, lat) = self.cpu_jobs.remove(&jid).expect("tracked cpu job");
-            self.q.schedule_at(now + lat, Ev::StepDone(req));
+            let (req, lat) = self
+                .cpu_jobs
+                .remove(&jid)
+                .ok_or(SimError::UntrackedJob(jid))?;
+            self.schedule_step_done(now + lat, req)?;
         }
+        Ok(())
     }
 
     fn start_flow_with_extra(
@@ -385,14 +569,40 @@ impl<'a> Sim<'a> {
         to: NodeId,
         bytes: u64,
         extra_latency: Time,
-    ) {
+    ) -> Result<(), SimError> {
         let now = self.q.now();
-        let route = self.layout.topo.route(from, to);
+        let route = self.layout.topo.try_route(from, to)?;
         let fid = self.job_id();
-        self.flow_jobs.insert(fid, (req, route.latency + extra_latency));
-        self.flows.insert_route(now, fid, bytes, &route);
-        self.drain_flow_finished();
+        let mut bytes = bytes;
+        let mut extra = extra_latency;
+        // PCIe bit errors: corrupted chunks replay (extra bytes on the
+        // wire + turnaround latency); an error burst retrains the
+        // transfer's first link at degraded bandwidth for a while.
+        if let Some(plan) = &self.plan {
+            let tf = transfer_faults(plan, &self.cfg.replay, fid, bytes);
+            if tf.replays > 0 {
+                self.report.chunk_replays += tf.replays;
+                self.report.replay_extra_bytes += tf.extra_bytes;
+                bytes += tf.extra_bytes;
+                extra += tf.extra_latency;
+                if tf.retrain {
+                    let link = route.links[0];
+                    self.flows
+                        .degrade_link(now, link, self.cfg.replay.retrain_bw_scale);
+                    self.q.schedule_at(
+                        now + self.cfg.replay.retrain_time,
+                        Ev::LinkRestore(link.index()),
+                    );
+                    self.report.link_retrains += 1;
+                    self.report.degraded_link_time += self.cfg.replay.retrain_time;
+                }
+            }
+        }
+        self.flow_jobs.insert(fid, (req, route.latency + extra));
+        self.flows.try_insert(now, fid, bytes, &route.links)?;
+        self.drain_flow_finished()?;
         self.reschedule_flows();
+        Ok(())
     }
 
     /// Extra latency from segmenting a batch across DRX data-queue
@@ -407,36 +617,88 @@ impl<'a> Sim<'a> {
         self.cfg.driver.irq_latency * segments.saturating_sub(1)
     }
 
-    fn drain_flow_finished(&mut self) {
+    fn drain_flow_finished(&mut self) -> Result<(), SimError> {
         let now = self.q.now();
         for fid in self.flows.take_finished() {
-            let (req, lat) = self.flow_jobs.remove(&fid).expect("tracked flow");
-            self.q.schedule_at(now + lat, Ev::StepDone(req));
+            let (req, lat) = self
+                .flow_jobs
+                .remove(&fid)
+                .ok_or(SimError::UntrackedJob(fid))?;
+            self.schedule_step_done(now + lat, req)?;
         }
+        Ok(())
     }
 
-    /// The node where this edge's restructuring happens.
-    fn restr_node(&self, app: usize, stage: usize) -> NodeId {
+    /// The node where this edge's restructuring happens. Once the
+    /// edge's DRX unit is dead, restructuring falls back to the host
+    /// CPU, so data stages through host memory at the root.
+    fn restr_node(&self, app: usize, stage: usize) -> Result<NodeId, SimError> {
+        if self
+            .unit_for(app, stage)
+            .is_some_and(|u| self.dead_units.contains(&u))
+        {
+            return Ok(self.layout.topo.root());
+        }
         match self.cfg.mode {
             Mode::AllCpu | Mode::MultiAxl | Mode::Dmx(Placement::Integrated) => {
-                self.layout.topo.root()
+                Ok(self.layout.topo.root())
             }
             Mode::Dmx(Placement::BumpInTheWire) => {
-                self.layout.drx_nodes[app][stage].expect("bitw drx present")
+                self.layout.drx_nodes[app][stage].ok_or(SimError::MissingDrxUnit { app, stage })
             }
             Mode::Dmx(Placement::Standalone) => {
-                self.layout.card_nodes[app].expect("card present")
+                self.layout.card_nodes[app].ok_or(SimError::MissingDrxUnit { app, stage })
             }
-            Mode::Dmx(Placement::PcieIntegrated) => self.layout.switch_of[app][stage],
+            Mode::Dmx(Placement::PcieIntegrated) => Ok(self.layout.switch_of[app][stage]),
         }
     }
 
-    fn begin_step(&mut self, id: u64) {
+    /// The DRX unit serving restructuring of `(app, e)`, if the mode
+    /// uses one.
+    fn unit_for(&self, app: usize, e: usize) -> Option<u64> {
+        match self.cfg.mode {
+            Mode::AllCpu | Mode::MultiAxl => None,
+            Mode::Dmx(Placement::BumpInTheWire) => Some(units::bitw(app, e)),
+            Mode::Dmx(Placement::Standalone) => Some(units::card(app)),
+            Mode::Dmx(Placement::Integrated) => Some(units::pool(0)),
+            Mode::Dmx(Placement::PcieIntegrated) => Some(units::pool(
+                self.layout.switch_index(self.layout.switch_of[app][e]),
+            )),
+        }
+    }
+
+    /// All DRX units the current mode deploys (for death scheduling).
+    fn deployed_units(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        match self.cfg.mode {
+            Mode::AllCpu | Mode::MultiAxl => {}
+            Mode::Dmx(Placement::BumpInTheWire) => {
+                for (app, bench) in self.cfg.apps.iter().enumerate() {
+                    for e in 0..bench.edges.len() {
+                        out.push(units::bitw(app, e));
+                    }
+                }
+            }
+            Mode::Dmx(Placement::Standalone) => {
+                for app in 0..self.cfg.apps.len() {
+                    out.push(units::card(app));
+                }
+            }
+            Mode::Dmx(Placement::Integrated) | Mode::Dmx(Placement::PcieIntegrated) => {
+                for pool in 0..self.shared.len() {
+                    out.push(units::pool(pool));
+                }
+            }
+        }
+        out
+    }
+
+    fn begin_step(&mut self, id: u64) -> Result<(), SimError> {
         let now = self.q.now();
-        let (app, step) = {
-            let r = self.reqs.get_mut(&id).expect("live request");
+        let (app, step, step_index) = {
+            let r = self.reqs.get_mut(&id).ok_or(SimError::UnknownRequest(id))?;
             r.step_started = now;
-            (r.app, self.steps[r.app][r.step])
+            (r.app, self.steps[r.app][r.step], r.step)
         };
         let bench = &self.cfg.apps[app];
         match step {
@@ -445,105 +707,208 @@ impl<'a> Sim<'a> {
                 let model = stage.kind.model();
                 if self.cfg.mode == Mode::AllCpu {
                     let wall = model.cpu_time(stage.input_bytes).as_secs_f64();
-                    self.cpu_job(id, wall * KERNEL_CAP, KERNEL_CAP, Time::ZERO);
+                    self.cpu_job(id, wall * KERNEL_CAP, KERNEL_CAP, Time::ZERO)?;
                 } else {
-                    let done = self.accel[app][s].submit(now, model.service_time(stage.input_bytes));
-                    self.q.schedule_at(done, Ev::StepDone(id));
+                    let done =
+                        self.accel[app][s].submit(now, model.service_time(stage.input_bytes));
+                    self.schedule_step_done(done, id)?;
                 }
             }
             Step::DriverPost(_) | Step::DriverPre(_) => {
-                let cost = self.driver.on_completion(now);
-                self.cpu_job(id, cost.cpu_seconds, 1.0, cost.latency);
+                // A lost interrupt is recovered by the driver watchdog:
+                // the event is only noticed after the watchdog timeout,
+                // via a poll.
+                let lost = self.plan.as_ref().is_some_and(|p| {
+                    p.completion_lost(id.wrapping_mul(1_000_003).wrapping_add(step_index as u64))
+                });
+                let cost = if lost {
+                    self.report.lost_completions += 1;
+                    self.driver.on_lost_completion(now, &self.cfg.recovery)
+                } else {
+                    self.driver.on_completion(now)
+                };
+                self.cpu_job(id, cost.cpu_seconds, 1.0, cost.latency)?;
             }
             Step::ToRestr(e) => {
                 let from = self.layout.accel_nodes[app][e];
-                let to = self.restr_node(app, e);
+                let to = self.restr_node(app, e)?;
                 let extra = self.queue_handshake_latency(bench.edges[e].bytes_in);
-                self.start_flow_with_extra(id, from, to, bench.edges[e].bytes_in, extra);
+                self.start_flow_with_extra(id, from, to, bench.edges[e].bytes_in, extra)?;
             }
             Step::Restr(e) => {
-                if self.restr_busy[app][e] {
+                if self.restr_active[app][e].is_some() {
                     self.restr_queue[app][e].push_back(id);
                 } else {
-                    self.restr_busy[app][e] = true;
-                    self.submit_restr(id, app, e);
+                    self.restr_active[app][e] = Some(id);
+                    self.submit_restr(id, app, e)?;
                 }
             }
             Step::ToNext(e) => {
-                let from = self.restr_node(app, e);
+                let from = self.restr_node(app, e)?;
                 let to = self.layout.accel_nodes[app][e + 1];
                 let extra = self.queue_handshake_latency(bench.edges[e].bytes_out);
-                self.start_flow_with_extra(id, from, to, bench.edges[e].bytes_out, extra);
+                self.start_flow_with_extra(id, from, to, bench.edges[e].bytes_out, extra)?;
             }
         }
+        Ok(())
+    }
+
+    /// Restructures `id`'s batch on host cores — the Multi-Axl path,
+    /// also the graceful-degradation fallback when a DRX is dead or its
+    /// command retries are exhausted.
+    fn submit_restr_cpu(
+        &mut self,
+        id: u64,
+        app: usize,
+        e: usize,
+        extra_latency: Time,
+        degraded: bool,
+    ) -> Result<(), SimError> {
+        let edge = &self.cfg.apps[app].edges[e];
+        let work = self.cfg.cpu.restructure_core_seconds(&edge.profile);
+        let cap = self.cfg.cpu.restructure_core_cap(&edge.profile);
+        if degraded {
+            self.report.rerouted_batches += 1;
+            if let Some(r) = self.reqs.get_mut(&id) {
+                r.degraded = true;
+            }
+        }
+        self.cpu_job(id, work, cap, extra_latency)
     }
 
     /// Dispatches one restructuring batch to the mode's engine. Callers
     /// hold the per-(app, edge) gate.
-    fn submit_restr(&mut self, id: u64, app: usize, e: usize) {
+    fn submit_restr(&mut self, id: u64, app: usize, e: usize) -> Result<(), SimError> {
         let now = self.q.now();
-        let bench = &self.cfg.apps[app];
+        if matches!(self.cfg.mode, Mode::AllCpu | Mode::MultiAxl) {
+            return self.submit_restr_cpu(id, app, e, Time::ZERO, false);
+        }
+        let Mode::Dmx(p) = self.cfg.mode else {
+            unreachable!("host modes handled above")
+        };
+        // Graceful degradation: a dead unit's batches reroute to host
+        // cores (the Multi-Axl path) while healthy apps keep their DRXs.
+        if self
+            .unit_for(app, e)
+            .is_some_and(|u| self.dead_units.contains(&u))
         {
-            {
-                let edge = &bench.edges[e];
-                match self.cfg.mode {
-                    Mode::AllCpu | Mode::MultiAxl => {
-                        let work = self.cfg.cpu.restructure_core_seconds(&edge.profile);
-                        let cap = self.cfg.cpu.restructure_core_cap(&edge.profile);
-                        self.cpu_job(id, work, cap, Time::ZERO);
-                    }
-                    Mode::Dmx(p) => {
-                        let cost = edge.drx_cost(&self.cfg.drx);
-                        let energy_model = DrxEnergyModel::for_clock(self.cfg.drx.clock);
-                        self.drx_dynamic_j += (cost.lane_ops * energy_model.pj_per_lane_op
-                            + cost.spad_bytes * energy_model.pj_per_spad_byte
-                            + cost.dram_bytes * energy_model.pj_per_dram_byte)
-                            * 1e-12;
-                        match p {
-                            Placement::BumpInTheWire => {
-                                let done = self.bitw[app][e].submit(now, cost.time);
-                                self.q.schedule_at(done, Ev::StepDone(id));
-                            }
-                            Placement::Standalone => {
-                                let service =
-                                    cost.time.scale(self.cfg.fleet.standalone_slowdown);
-                                let done = self.cards[app].submit(now, service);
-                                self.q.schedule_at(done, Ev::StepDone(id));
-                            }
-                            Placement::Integrated => {
-                                let jid = self.job_id();
-                                self.shared_jobs[0].insert(jid, id);
-                                self.shared[0].insert(now, jid, cost.time, 1.0);
-                                self.drain_shared_finished(0);
-                                self.reschedule_shared(0);
-                            }
-                            Placement::PcieIntegrated => {
-                                let sw = self.layout.switch_of[app][e];
-                                let pool = self.layout.switch_index(sw);
-                                let jid = self.job_id();
-                                self.shared_jobs[pool].insert(jid, id);
-                                self.shared[pool].insert(now, jid, cost.time, 1.0);
-                                self.drain_shared_finished(pool);
-                                self.reschedule_shared(pool);
-                            }
+            return self.submit_restr_cpu(id, app, e, Time::ZERO, true);
+        }
+        // Transient stalls: each stalled attempt costs the command
+        // timeout plus exponential backoff before the retry; a batch
+        // whose retries are exhausted falls back to host cores.
+        let mut stall_penalty = Time::ZERO;
+        if let Some(plan) = &self.plan {
+            let rec = self.cfg.recovery;
+            let key = id
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(e as u64);
+            let mut attempt = 0u32;
+            while attempt <= rec.max_retries && plan.drx_stalled(key, attempt) {
+                self.report.command_timeouts += 1;
+                stall_penalty += rec.command_timeout + rec.backoff(attempt);
+                attempt += 1;
+                if attempt <= rec.max_retries {
+                    self.report.retries += 1;
+                }
+            }
+            if attempt > rec.max_retries {
+                return self.submit_restr_cpu(id, app, e, stall_penalty, true);
+            }
+        }
+        let edge = &self.cfg.apps[app].edges[e];
+        let cost = edge.drx_cost(&self.cfg.drx);
+        let energy_model = DrxEnergyModel::for_clock(self.cfg.drx.clock);
+        self.drx_dynamic_j += (cost.lane_ops * energy_model.pj_per_lane_op
+            + cost.spad_bytes * energy_model.pj_per_spad_byte
+            + cost.dram_bytes * energy_model.pj_per_dram_byte)
+            * 1e-12;
+        let service = cost.time + stall_penalty;
+        match p {
+            Placement::BumpInTheWire => {
+                let done = self.bitw[app][e].submit(now, service);
+                self.schedule_step_done(done, id)?;
+            }
+            Placement::Standalone => {
+                let slowed = cost.time.scale(self.cfg.fleet.standalone_slowdown) + stall_penalty;
+                let done = self.cards[app].submit(now, slowed);
+                self.schedule_step_done(done, id)?;
+            }
+            Placement::Integrated => {
+                let jid = self.job_id();
+                self.shared_jobs[0].insert(jid, id);
+                self.shared[0].insert(now, jid, service, 1.0);
+                self.drain_shared_finished(0)?;
+                self.reschedule_shared(0);
+            }
+            Placement::PcieIntegrated => {
+                let sw = self.layout.switch_of[app][e];
+                let pool = self.layout.switch_index(sw);
+                let jid = self.job_id();
+                self.shared_jobs[pool].insert(jid, id);
+                self.shared[pool].insert(now, jid, service, 1.0);
+                self.drain_shared_finished(pool)?;
+                self.reschedule_shared(pool);
+            }
+        }
+        Ok(())
+    }
+
+    fn drain_shared_finished(&mut self, pool: usize) -> Result<(), SimError> {
+        let now = self.q.now();
+        for jid in self.shared[pool].take_finished() {
+            match self.shared_jobs[pool].remove(&jid) {
+                Some(req) => self.schedule_step_done(now, req)?,
+                // A dead pool's jobs were rerouted; its residue drains
+                // untracked.
+                None if self.dead_units.contains(&units::pool(pool)) => {}
+                None => return Err(SimError::UntrackedJob(jid)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Permanent death of a DRX unit: mark it dead, then tear every
+    /// in-flight batch off it and resubmit on the host-CPU fallback
+    /// path. Queued batches reroute naturally when the gate releases.
+    fn unit_death(&mut self, unit: u64) -> Result<(), SimError> {
+        if !self.dead_units.insert(unit) {
+            return Ok(());
+        }
+        self.report.unit_deaths += 1;
+        let mut torn: Vec<(u64, usize, usize)> = Vec::new();
+        for app in 0..self.cfg.apps.len() {
+            for e in 0..self.cfg.apps[app].edges.len() {
+                if self.unit_for(app, e) == Some(unit) {
+                    if let Some(id) = self.restr_active[app][e] {
+                        // Only requests actually *in* the restructure
+                        // step ride on the unit.
+                        let in_restr = self
+                            .reqs
+                            .get(&id)
+                            .is_some_and(|r| matches!(self.steps[app][r.step], Step::Restr(_)));
+                        if in_restr {
+                            torn.push((id, app, e));
                         }
                     }
                 }
             }
         }
-    }
-
-    fn drain_shared_finished(&mut self, pool: usize) {
-        let now = self.q.now();
-        for jid in self.shared[pool].take_finished() {
-            let req = self.shared_jobs[pool]
-                .remove(&jid)
-                .expect("tracked shared job");
-            self.q.schedule_at(now, Ev::StepDone(req));
+        for (id, app, e) in torn {
+            // Invalidate the completion scheduled by the dead unit,
+            // then restart the batch on host cores. Time already spent
+            // on the unit is wasted and lands in the fallback account.
+            let r = self.reqs.get_mut(&id).ok_or(SimError::UnknownRequest(id))?;
+            r.epoch += 1;
+            self.shared_jobs
+                .iter_mut()
+                .for_each(|m| m.retain(|_, req| *req != id));
+            self.submit_restr_cpu(id, app, e, self.cfg.driver.irq_latency, true)?;
         }
+        Ok(())
     }
 
-    fn start_request(&mut self, app: usize) {
+    fn start_request(&mut self, app: usize) -> Result<(), SimError> {
         let now = self.q.now();
         self.stats[app].launched += 1;
         let id = self.next_req;
@@ -556,15 +921,25 @@ impl<'a> Sim<'a> {
                 step: 0,
                 step_started: now,
                 breakdown: Breakdown::default(),
+                epoch: 0,
+                degraded: false,
             },
         );
-        self.begin_step(id);
+        self.begin_step(id)
     }
 
-    fn step_done(&mut self, id: u64) {
+    fn step_done(&mut self, id: u64, epoch: u32) -> Result<(), SimError> {
         let now = self.q.now();
         let (finished, release) = {
-            let r = self.reqs.get_mut(&id).expect("live request");
+            let Some(r) = self.reqs.get_mut(&id) else {
+                // A request can finish only once; any extra completion
+                // must be a stale event from a torn-down unit.
+                return Ok(());
+            };
+            if r.epoch != epoch {
+                // Stale completion from a unit that died mid-service.
+                return Ok(());
+            }
             let elapsed = now - r.step_started;
             let mut release = None;
             match self.steps[r.app][r.step] {
@@ -572,6 +947,10 @@ impl<'a> Sim<'a> {
                 Step::Restr(e) => {
                     r.breakdown.restructure += elapsed;
                     release = Some((r.app, e));
+                    if r.degraded {
+                        r.degraded = false;
+                        self.report.fallback_time += elapsed;
+                    }
                 }
                 _ => r.breakdown.movement += elapsed,
             }
@@ -579,14 +958,14 @@ impl<'a> Sim<'a> {
             (r.step == self.steps[r.app].len(), release)
         };
         if let Some((app, e)) = release {
-            if let Some(next) = self.restr_queue[app][e].pop_front() {
-                self.submit_restr(next, app, e);
-            } else {
-                self.restr_busy[app][e] = false;
+            self.restr_active[app][e] = self.restr_queue[app][e].pop_front();
+            if let Some(next) = self.restr_active[app][e] {
+                self.submit_restr(next, app, e)?;
             }
         }
         if finished {
-            let r = self.reqs.remove(&id).expect("live request");
+            let r = self.reqs.remove(&id).ok_or(SimError::UnknownRequest(id))?;
+            self.remaining = self.remaining.saturating_sub(1);
             let st = &mut self.stats[r.app];
             st.completed += 1;
             st.latency_sum += (now - r.start).as_secs_f64();
@@ -596,46 +975,71 @@ impl<'a> Sim<'a> {
             st.breakdown.movement += r.breakdown.movement;
             st.last_done = now;
             if st.launched < self.cfg.requests_per_app {
-                self.start_request(r.app);
+                self.start_request(r.app)?;
             }
         } else {
-            self.begin_step(id);
+            self.begin_step(id)?;
         }
+        Ok(())
     }
 
-    fn run(mut self) -> RunResult {
+    /// Horizon past which scheduled unit deaths are ignored: far beyond
+    /// any experiment here, well inside the `Time` range.
+    const DEATH_HORIZON: Time = Time::from_secs(600);
+
+    fn run(mut self) -> Result<RunResult, SimError> {
+        if let Some(plan) = &self.plan {
+            for unit in self.deployed_units() {
+                if let Some(t) = plan.death_time(unit) {
+                    if t <= Self::DEATH_HORIZON {
+                        self.q.schedule_at(t, Ev::UnitDeath(unit));
+                    }
+                }
+            }
+        }
         for app in 0..self.cfg.apps.len() {
             for _ in 0..self.cfg.inflight_per_app.min(self.cfg.requests_per_app) {
-                self.start_request(app);
+                self.start_request(app)?;
             }
         }
         while let Some(ev) = self.q.pop() {
             match ev {
-                Ev::StepDone(id) => self.step_done(id),
+                Ev::StepDone(id, epoch) => self.step_done(id, epoch)?,
                 Ev::CpuTick(gen) => {
                     if gen == self.cpu.generation() {
                         self.cpu.advance(self.q.now());
-                        self.drain_cpu_finished();
+                        self.drain_cpu_finished()?;
                         self.reschedule_cpu();
                     }
                 }
                 Ev::FlowTick(gen) => {
                     if gen == self.flows.generation() {
                         self.flows.advance(self.q.now());
-                        self.drain_flow_finished();
+                        self.drain_flow_finished()?;
                         self.reschedule_flows();
                     }
                 }
                 Ev::SharedTick(pool, gen) => {
                     if gen == self.shared[pool].generation() {
                         self.shared[pool].advance(self.q.now());
-                        self.drain_shared_finished(pool);
+                        self.drain_shared_finished(pool)?;
                         self.reschedule_shared(pool);
                     }
                 }
+                Ev::UnitDeath(unit) => self.unit_death(unit)?,
+                Ev::LinkRestore(l) => {
+                    self.flows.restore_link(self.q.now(), LinkId::from_index(l));
+                    self.drain_flow_finished()?;
+                    self.reschedule_flows();
+                }
+            }
+            // Stop once every request has completed; remaining events
+            // (scheduled deaths, retrain restores) cannot change stats.
+            if self.remaining == 0 {
+                break;
             }
         }
-        self.finish()
+        Ok(self.finish())
     }
 
     fn finish(self) -> RunResult {
@@ -666,8 +1070,7 @@ impl<'a> Sim<'a> {
                         restructure: st.breakdown.restructure / nt,
                         movement: st.breakdown.movement / nt,
                     },
-                    throughput_rps: st.completed as f64
-                        / st.last_done.as_secs_f64().max(1e-12),
+                    throughput_rps: st.completed as f64 / st.last_done.as_secs_f64().max(1e-12),
                 }
             })
             .collect();
@@ -720,21 +1123,39 @@ impl<'a> Sim<'a> {
                 pcie_j,
             },
             notify_counts: self.driver.counts(),
+            faults: self.report,
         }
     }
 }
 
 /// Runs one system simulation.
 ///
-/// Deterministic: identical configs produce identical results.
+/// Deterministic: identical configs produce identical results, fault
+/// injection included — the fault schedule is a pure function of
+/// `(config, seed)`.
 ///
 /// # Panics
 ///
-/// Panics if the config has no applications or requests.
+/// Panics if the config has no applications or requests; use
+/// [`try_simulate`] to handle invalid configs as errors.
 pub fn simulate(cfg: &SystemConfig) -> RunResult {
-    assert!(!cfg.apps.is_empty(), "at least one application required");
-    assert!(cfg.requests_per_app > 0, "at least one request required");
-    assert!(cfg.inflight_per_app > 0, "at least one in-flight request required");
+    match try_simulate(cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`simulate`].
+pub fn try_simulate(cfg: &SystemConfig) -> Result<RunResult, SimError> {
+    if cfg.apps.is_empty() {
+        return Err(SimError::NoApps);
+    }
+    if cfg.requests_per_app == 0 {
+        return Err(SimError::NoRequests);
+    }
+    if cfg.inflight_per_app == 0 {
+        return Err(SimError::NoInflight);
+    }
     Sim::new(cfg).run()
 }
 

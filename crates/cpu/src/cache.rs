@@ -142,7 +142,7 @@ impl Default for CacheConfig {
 /// loop bookkeeping amortized by unrolling.
 fn instrs_per_byte(profile: &OpProfile) -> f64 {
     let base = 8.0 / 32.0; // ~8 instructions per 32 B chunk
-    // Irregular (gathered) elements need scalar address math.
+                           // Irregular (gathered) elements need scalar address math.
     base * (1.0 + 3.0 * profile.irregular) + profile.branch_per_kb / 1024.0
 }
 
@@ -163,8 +163,8 @@ pub fn characterize(profile: &OpProfile, config: &CacheConfig, max_bytes: u64) -
     let ipb = instrs_per_byte(profile);
 
     let elem: u64 = 32; // one vector chunk
-    // Simulate a fixed trace window; small working sets loop within it
-    // (amortizing cold misses), large ones stream through it.
+                        // Simulate a fixed trace window; small working sets loop within it
+                        // (amortizing cold misses), large ones stream through it.
     let steps = (max_bytes / elem).max(1);
     let in_span = profile.input_bytes.max(elem);
     let out_span = profile.output_bytes.max(elem);
@@ -216,7 +216,8 @@ pub fn characterize(profile: &OpProfile, config: &CacheConfig, max_bytes: u64) -
         // Write-allocate: a store miss also fetches the line.
         let wr = out_base + (i * elem) % out_span;
         data(&mut l1d, &mut l2, wr, true);
-        if extra_passes > 0.0 && (i as f64 * extra_passes) as u64 != ((i + 1) as f64 * extra_passes) as u64
+        if extra_passes > 0.0
+            && (i as f64 * extra_passes) as u64 != ((i + 1) as f64 * extra_passes) as u64
         {
             let sc = scratch_base + (i * elem) % scratch_span;
             data(&mut l1d, &mut l2, sc, true);
@@ -309,7 +310,12 @@ mod tests {
         p.scratch_bytes = 0;
         let r = characterize(&p, &CacheConfig::default(), 16 << 20);
         let big = characterize(&profile(8, 2.0, 0.0, 1.0), &CacheConfig::default(), 4 << 20);
-        assert!(r.l2_mpki < big.l2_mpki / 3.0, "{} vs {}", r.l2_mpki, big.l2_mpki);
+        assert!(
+            r.l2_mpki < big.l2_mpki / 3.0,
+            "{} vs {}",
+            r.l2_mpki,
+            big.l2_mpki
+        );
     }
 
     #[test]
@@ -317,7 +323,10 @@ mod tests {
         let reg = characterize(&profile(8, 2.0, 0.0, 1.0), &CacheConfig::default(), 2 << 20);
         let irr = characterize(&profile(8, 2.0, 0.9, 1.0), &CacheConfig::default(), 2 << 20);
         assert!(irr.l1d_mpki + 1.0 > reg.l1d_mpki * 0.5);
-        assert!(irr.instructions > reg.instructions, "gathers add address math");
+        assert!(
+            irr.instructions > reg.instructions,
+            "gathers add address math"
+        );
     }
 
     #[test]

@@ -63,17 +63,15 @@ impl HostCpuConfig {
     pub fn restructure_core_seconds(&self, profile: &OpProfile) -> f64 {
         let moved = (profile.input_bytes + profile.output_bytes) as f64;
         let total_ops = profile.ops_per_byte * moved;
-        let eff = self.vector_efficiency
-            * (1.0 - 0.6 * profile.irregular)
+        let eff = self.vector_efficiency * (1.0 - 0.6 * profile.irregular)
             / (1.0 + profile.branch_per_kb / 25.0);
         let compute = total_ops / (self.peak_vec_ops_per_sec() * eff.max(0.01));
         // Write-allocate and inter-pass evictions roughly double the
         // DRAM traffic of each streaming pass; scattered (irregular)
         // stores waste most of every cache line they allocate.
         let line_waste = 1.0 + 6.0 * profile.irregular;
-        let traffic = profile.traffic_bytes() as f64
-            * (profile.stream_passes / 2.0).max(1.0)
-            * line_waste;
+        let traffic =
+            profile.traffic_bytes() as f64 * (profile.stream_passes / 2.0).max(1.0) * line_waste;
         let memory = traffic * 2.0 / self.per_core_stream_bw as f64;
         compute + memory + self.launch_overhead_s
     }
@@ -87,8 +85,7 @@ impl HostCpuConfig {
     /// Effective single-instance restructuring throughput, bytes/s
     /// (running alone, at its parallelism cap).
     pub fn restructure_throughput(&self, profile: &OpProfile) -> f64 {
-        let secs =
-            self.restructure_core_seconds(profile) / self.restructure_core_cap(profile);
+        let secs = self.restructure_core_seconds(profile) / self.restructure_core_cap(profile);
         (profile.input_bytes + profile.output_bytes) as f64 / secs
     }
 
@@ -141,8 +138,7 @@ mod tests {
         let mut branchy = stream_profile(8);
         branchy.branch_per_kb = 20.0;
         assert!(
-            c.restructure_core_seconds(&branchy)
-                > c.restructure_core_seconds(&stream_profile(8))
+            c.restructure_core_seconds(&branchy) > c.restructure_core_seconds(&stream_profile(8))
         );
     }
 

@@ -67,9 +67,7 @@ pub fn characterize_op(profile: &OpProfile, config: &CacheConfig) -> Characteriz
 
     // Per-instruction cycle components.
     let retiring = BASE_CPI;
-    let frontend = mpki.l1i_mpki / 1000.0 * ICACHE_MISS_CYCLES
-        + 0.015
-        + branches_per_instr * 0.2; // uop-cache switches on branchy code
+    let frontend = mpki.l1i_mpki / 1000.0 * ICACHE_MISS_CYCLES + 0.015 + branches_per_instr * 0.2; // uop-cache switches on branchy code
     let bad_spec = branches_per_instr * mispredict_rate * MISPREDICT_PENALTY;
     let l1_only = (mpki.l1d_mpki - mpki.l2_mpki).max(0.0);
     let backend_memory = l1_only / 1000.0 * L2_HIT_CYCLES / L1_MLP
@@ -112,15 +110,20 @@ mod tests {
     fn buckets_sum_to_one() {
         let c = characterize_op(&streaming("s", 1.0, 0.0), &CacheConfig::default());
         let t = c.topdown;
-        let sum =
-            t.retiring + t.bad_speculation + t.frontend + t.backend_core + t.backend_memory;
+        let sum = t.retiring + t.bad_speculation + t.frontend + t.backend_core + t.backend_memory;
         assert!((sum - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn backend_dominates_restructuring() {
         // Fig. 5: back-end bound is 53%..77.6% across all five ops.
-        for (b, irr) in [(0.5, 0.0), (1.0, 0.0), (4.0, 0.3), (18.0, 0.05), (30.0, 1.0)] {
+        for (b, irr) in [
+            (0.5, 0.0),
+            (1.0, 0.0),
+            (4.0, 0.3),
+            (18.0, 0.05),
+            (30.0, 1.0),
+        ] {
             let c = characterize_op(&streaming("x", b, irr), &CacheConfig::default());
             let be = c.topdown.backend();
             assert!(
@@ -154,7 +157,10 @@ mod tests {
     #[test]
     fn mpki_shape_matches_paper() {
         let c = characterize_op(&streaming("s", 1.0, 0.0), &CacheConfig::default());
-        assert!(c.mpki.l1d_mpki > c.mpki.l2_mpki, "L1D misses exceed L2 misses");
+        assert!(
+            c.mpki.l1d_mpki > c.mpki.l2_mpki,
+            "L1D misses exceed L2 misses"
+        );
         assert!(c.mpki.l1i_mpki < 10.0, "instruction working set fits L1I");
     }
 }

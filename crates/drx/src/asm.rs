@@ -282,8 +282,7 @@ fn parse_line(line_no: usize, text: &str) -> Result<Option<Instr>, ParseError> {
                 },
                 "bnez" | "beqz" => {
                     let rs = parse_reg(tokens.get(1).copied().unwrap_or(""), line_no)?;
-                    let offset =
-                        parse_i64(tokens.get(2).copied().unwrap_or(""), line_no)? as i32;
+                    let offset = parse_i64(tokens.get(2).copied().unwrap_or(""), line_no)? as i32;
                     if op == "bnez" {
                         ScalarInstr::Bnez { rs, offset }
                     } else {

@@ -124,10 +124,16 @@ impl fmt::Display for CompileError {
                 write!(f, "nest {nest}: negative outer stride is unsupported")
             }
             CompileError::TooManyBuffers { nest } => {
-                write!(f, "nest {nest}: too many buffers for the scalar register file")
+                write!(
+                    f,
+                    "nest {nest}: too many buffers for the scalar register file"
+                )
             }
             CompileError::ResidentTooLarge { resident, spad } => {
-                write!(f, "resident buffers ({resident} B) overflow the scratchpad ({spad} B)")
+                write!(
+                    f,
+                    "resident buffers ({resident} B) overflow the scratchpad ({spad} B)"
+                )
             }
         }
     }
@@ -270,7 +276,16 @@ pub fn compile_unoptimized(kernel: &Kernel, config: &DrxConfig) -> Result<Compil
     }
 
     for (ni, nest) in kernel.nests.iter().enumerate() {
-        compile_nest(kernel, nest, ni, config, &layout, &resident_addr, spad_cursor, &mut prog)?;
+        compile_nest(
+            kernel,
+            nest,
+            ni,
+            config,
+            &layout,
+            &resident_addr,
+            spad_cursor,
+            &mut prog,
+        )?;
         // Full barrier between nests: the next nest reuses the
         // transient scratchpad region.
         prog.push(Instr::Sync(SyncKind::WaitVec));
@@ -307,7 +322,7 @@ fn dst_probably_dense(stmts: &[&Access], dims: &[u64]) -> bool {
         lo = lo.min(l);
         hi = hi.max(h);
     }
-    touched as i64 >= hi - lo + 1
+    touched as i64 > hi - lo
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -348,9 +363,9 @@ fn compile_nest(
     one_iter_dims[0] = 1;
 
     let record = |uses: &mut Vec<BufUse>,
-                      a: &Access,
-                      read: bool,
-                      written: bool|
+                  a: &Access,
+                  read: bool,
+                  written: bool|
      -> Result<(), CompileError> {
         if kernel.buffers[a.buf.index()].resident {
             return Ok(());
@@ -412,10 +427,9 @@ fn compile_nest(
             avail,
         });
     }
-    let t = if b_term == 0 {
-        d0
-    } else {
-        (1 + (avail - a_term) / b_term).min(d0)
+    let t = match (avail - a_term).checked_div(b_term) {
+        None => d0,
+        Some(q) => (1 + q).min(d0),
     };
     let ntiles = d0.div_ceil(t);
     let t_last = d0 - (ntiles - 1) * t;
@@ -444,11 +458,9 @@ fn compile_nest(
     // A read-modify-write buffer whose consecutive tile footprints
     // overlap carries data tile-to-tile through DRAM; prefetching the
     // next tile before the previous store would read stale data.
-    let serial = uses.iter().any(|u| {
-        u.is_read
-            && u.is_written
-            && (t * u.outer_stride.unsigned_abs()) < u.fp_elems(t)
-    });
+    let serial = uses
+        .iter()
+        .any(|u| u.is_read && u.is_written && (t * u.outer_stride.unsigned_abs()) < u.fp_elems(t));
 
     // ---- preamble ---------------------------------------------------
     let dram_tile0 = |u: &BufUse| -> u64 {
@@ -512,7 +524,17 @@ fn compile_nest(
         }
         prog.push(Instr::Sync(SyncKind::WaitMemPending(cnt_in)));
         for stmt in &nest.stmts {
-            emit_stmt(kernel, stmt, dims, t, side, config, resident_addr, &uses, prog);
+            emit_stmt(
+                kernel,
+                stmt,
+                dims,
+                t,
+                side,
+                config,
+                resident_addr,
+                &uses,
+                prog,
+            );
         }
         prog.push(Instr::Sync(SyncKind::WaitVec));
         for u in &uses {
@@ -657,7 +679,11 @@ fn emit_stmt(
 ) {
     let k = dims.len();
     let lanes = config.lanes as u64;
-    let inner = if k == 1 { t_eff } else { *dims.last().expect("nonempty") };
+    let inner = if k == 1 {
+        t_eff
+    } else {
+        *dims.last().expect("nonempty")
+    };
     // When the nest is one-dimensional the outer (tiled) dim IS the
     // vector dim; treat it as inner with a single outer iteration.
     let (outer_dims, inner_n): (Vec<u64>, u64) = if k == 1 {
@@ -839,8 +865,8 @@ mod tests {
         write_f32s(&mut m, c.layout.addr(b), &ys);
         let st = m.run(&c.program).unwrap();
         let out = read_f32s(&m, c.layout.addr(o), n as usize);
-        for i in 0..n as usize {
-            assert_eq!(out[i], 3.0 * i as f32, "element {i}");
+        for (i, &v) in out.iter().enumerate().take(n as usize) {
+            assert_eq!(v, 3.0 * i as f32, "element {i}");
         }
         // Double buffering must overlap DMA with compute.
         assert!(st.dma_count > 4);
@@ -931,11 +957,11 @@ mod tests {
         write_f32s(&mut m, c.layout.addr(acc), &vec![0.0; m_ as usize]);
         m.run(&c.program).unwrap();
         let out = read_f32s(&m, c.layout.addr(acc), m_ as usize);
-        for j in 0..m_ as usize {
+        for (j, &got) in out.iter().enumerate().take(m_ as usize) {
             let expect: f32 = (0..n as usize)
                 .map(|i| ((i * m_ as usize + j) % 7) as f32)
                 .sum();
-            assert!((out[j] - expect).abs() < 1e-3, "col {j}: {} vs {expect}", out[j]);
+            assert!((got - expect).abs() < 1e-3, "col {j}: {got} vs {expect}");
         }
     }
 
@@ -965,9 +991,9 @@ mod tests {
         m.write_dram(c.layout.addr(idx), &idxs);
         m.run(&c.program).unwrap();
         let out_v = read_f32s(&m, c.layout.addr(out), 300);
-        for i in 0..300usize {
+        for (i, &v) in out_v.iter().enumerate() {
             let j = (i * 7) % 256;
-            assert_eq!(out_v[i], (j * j) as f32, "element {i}");
+            assert_eq!(v, (j * j) as f32, "element {i}");
         }
     }
 
@@ -993,8 +1019,8 @@ mod tests {
         write_f32s(&mut m, c.layout.addr(a), &xs);
         m.run(&c.program).unwrap();
         let out = m.read_dram(c.layout.addr(b), n);
-        for i in 0..n as usize {
-            assert_eq!(out[i], i as u8);
+        for (i, &v) in out.iter().enumerate().take(n as usize) {
+            assert_eq!(v, i as u8);
         }
     }
 

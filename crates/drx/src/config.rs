@@ -102,6 +102,14 @@ impl DrxConfig {
         DrxConfig { lanes, ..self }
     }
 
+    /// Same configuration with a different scratchpad size.
+    pub fn with_scratchpad(self, scratchpad_bytes: u64) -> DrxConfig {
+        DrxConfig {
+            scratchpad_bytes,
+            ..self
+        }
+    }
+
     /// DRAM bytes the off-chip data access engine can move per DRX cycle.
     pub fn dram_bytes_per_cycle(&self) -> f64 {
         self.dram.bytes_per_sec() as f64 / self.clock.hz() as f64
@@ -114,7 +122,10 @@ impl DrxConfig {
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if self.lanes == 0 || !self.lanes.is_power_of_two() {
-            return Err(format!("lane count must be a power of two, got {}", self.lanes));
+            return Err(format!(
+                "lane count must be a power of two, got {}",
+                self.lanes
+            ));
         }
         if self.scratchpad_bytes < 1024 {
             return Err("scratchpad must be at least 1 KiB".to_owned());
@@ -161,8 +172,7 @@ mod tests {
     fn validation_rejects_bad_configs() {
         assert!(DrxConfig::default().with_lanes(0).validate().is_err());
         assert!(DrxConfig::default().with_lanes(96).validate().is_err());
-        let mut c = DrxConfig::default();
-        c.scratchpad_bytes = 100;
+        let c = DrxConfig::default().with_scratchpad(100);
         assert!(c.validate().is_err());
         let mut c = DrxConfig::default();
         c.dram.channels = 0;

@@ -103,9 +103,11 @@ mod tests {
     #[test]
     fn dynamic_energy_scales_with_work() {
         let m = DrxEnergyModel::for_clock(ClockDomain::Asic1GHz);
-        let mut s1 = ExecStats::default();
-        s1.lane_ops = 1_000_000;
-        s1.dram_bytes = 1_000_000;
+        let s1 = ExecStats {
+            lane_ops: 1_000_000,
+            dram_bytes: 1_000_000,
+            ..ExecStats::default()
+        };
         let mut s2 = s1.clone();
         s2.lane_ops *= 2;
         s2.dram_bytes *= 2;

@@ -283,12 +283,7 @@ impl Kernel {
     }
 
     /// Declares a resident (scratchpad-pinned, read-only) buffer.
-    pub fn resident_buffer(
-        &mut self,
-        name: impl Into<String>,
-        dtype: Dtype,
-        elems: u64,
-    ) -> BufId {
+    pub fn resident_buffer(&mut self, name: impl Into<String>, dtype: Dtype, elems: u64) -> BufId {
         self.buffers.push(BufferDecl {
             name: name.into(),
             dtype,
@@ -317,8 +312,8 @@ impl Kernel {
                 for a in accs {
                     let (lo, hi) = a.extent(&nest.dims);
                     let elems = (hi - lo + 1).max(0) as u64;
-                    total += elems.min(self.buffers[a.buf.0].elems)
-                        * self.buffers[a.buf.0].dtype.size();
+                    total +=
+                        elems.min(self.buffers[a.buf.0].elems) * self.buffers[a.buf.0].dtype.size();
                 }
             }
         }
@@ -335,7 +330,7 @@ impl Kernel {
             if nest.dims.is_empty() || nest.dims.len() > MAX_IR_DIMS {
                 return Err(IrError::BadDimCount { nest: ni });
             }
-            if nest.dims.iter().any(|d| *d == 0) {
+            if nest.dims.contains(&0) {
                 return Err(IrError::ZeroDim { nest: ni });
             }
             if nest.stmts.is_empty() {
@@ -359,8 +354,8 @@ impl Kernel {
                     let decl = &self.buffers[a.buf.0];
                     // Gather's src0 is indexed dynamically; bounds are
                     // the whole resident table, checked at runtime.
-                    let dynamic = matches!(stmt.op, VectorOp::Gather)
-                        && std::ptr::eq(a, &stmt.src0);
+                    let dynamic =
+                        matches!(stmt.op, VectorOp::Gather) && std::ptr::eq(a, &stmt.src0);
                     if !dynamic {
                         let (lo, hi) = a.extent(&nest.dims);
                         if lo < 0 || hi >= decl.elems as i64 {
@@ -388,8 +383,7 @@ impl Kernel {
                         if !self.buffers[stmt.src0.buf.0].resident {
                             return Err(IrError::GatherTableNotResident { nest: ni });
                         }
-                        let idx_dt =
-                            self.buffers[stmt.src1.as_ref().expect("checked").buf.0].dtype;
+                        let idx_dt = self.buffers[stmt.src1.as_ref().expect("checked").buf.0].dtype;
                         if idx_dt != Dtype::U32 {
                             return Err(IrError::DtypeMismatch { nest: ni });
                         }
@@ -467,10 +461,7 @@ mod tests {
     fn out_of_bounds_detected() {
         let mut k = scale_kernel();
         k.nests[0].stmts[0].src0.offset = 1; // 1..=1024 leaves the buffer
-        assert_eq!(
-            k.validate(),
-            Err(IrError::OutOfBounds { nest: 0, buf: 0 })
-        );
+        assert_eq!(k.validate(), Err(IrError::OutOfBounds { nest: 0, buf: 0 }));
     }
 
     #[test]

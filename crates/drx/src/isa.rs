@@ -239,11 +239,7 @@ impl VectorOp {
     /// gather/scatter pay scratchpad bank arbitration.
     pub fn issue_interval(self) -> u64 {
         match self {
-            VectorOp::Div
-            | VectorOp::Log
-            | VectorOp::Exp
-            | VectorOp::Sqrt
-            | VectorOp::Recip => 4,
+            VectorOp::Div | VectorOp::Log | VectorOp::Exp | VectorOp::Sqrt | VectorOp::Recip => 4,
             VectorOp::Gather | VectorOp::Scatter => 2,
             _ => 1,
         }

@@ -59,8 +59,8 @@ pub mod isa;
 pub mod machine;
 pub mod optimize;
 
-pub use compiler::{compile, compile_unoptimized, BufPlacement, Compiled, CompileError, Layout};
-pub use optimize::{check_sync_hazards, optimize, OptStats, SyncHazard};
+pub use compiler::{compile, compile_unoptimized, BufPlacement, CompileError, Compiled, Layout};
 pub use config::{ClockDomain, DramConfig, DrxConfig};
 pub use energy::DrxEnergyModel;
 pub use machine::{ExecError, ExecStats, Machine};
+pub use optimize::{check_sync_hazards, optimize, OptStats, SyncHazard};

@@ -107,7 +107,10 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::ProgramTooLarge { bytes, icache } => {
-                write!(f, "program of {bytes} B exceeds {icache} B instruction cache")
+                write!(
+                    f,
+                    "program of {bytes} B exceeds {icache} B instruction cache"
+                )
             }
             ExecError::OobScratchpad { addr } => {
                 write!(f, "scratchpad access out of bounds at byte {addr}")
@@ -363,7 +366,7 @@ impl Machine {
             let mut next_pc = pc + 1;
             match instr {
                 Instr::LoopDims { dims } => {
-                    if dims.iter().any(|d| *d == 0) {
+                    if dims.contains(&0) {
                         return Err(ExecError::ZeroLoopDim);
                     }
                     self.dims = *dims;
@@ -416,8 +419,8 @@ impl Machine {
                                 .copy_from_slice(&self.spad[s..s + *bytes as usize]);
                         }
                     }
-                    let cycles = 32 + (*bytes as f64 / self.config.dram_bytes_per_cycle()).ceil()
-                        as u64;
+                    let cycles =
+                        32 + (*bytes as f64 / self.config.dram_bytes_per_cycle()).ceil() as u64;
                     let start = mem_free.max(issue);
                     mem_free = start + cycles;
                     dma_done.push(mem_free);
@@ -619,10 +622,10 @@ impl Machine {
             let mut off0: i128 = 0;
             let mut off1: i128 = 0;
             let mut offd: i128 = 0;
-            for k in 0..MAX_DIMS {
-                off0 += idx[k] as i128 * s0.strides[k] as i128;
-                off1 += idx[k] as i128 * s1.strides[k] as i128;
-                offd += idx[k] as i128 * d.strides[k] as i128;
+            for (k, &ix) in idx.iter().enumerate() {
+                off0 += ix as i128 * s0.strides[k] as i128;
+                off1 += ix as i128 * s1.strides[k] as i128;
+                offd += ix as i128 * d.strides[k] as i128;
             }
             for lane in 0..vlen as i128 {
                 let a0 = s0.base + off0 + lane * s0.lane_stride as i128;
@@ -911,9 +914,7 @@ mod tests {
     }
 
     fn vec_cfg(ports: &mut Program, base0: u64, based: u64, n: u32, elem: i64) {
-        ports.push(Instr::LoopDims {
-            dims: [1, 1, 1, n],
-        });
+        ports.push(Instr::LoopDims { dims: [1, 1, 1, n] });
         ports.push(Instr::SetBase {
             port: Port::Src0,
             addr: base0,
@@ -994,19 +995,28 @@ mod tests {
             }
         }
         p.push(Instr::LoopDims { dims: [1, 1, 1, 4] });
-        p.push(Instr::SetBase { port: Port::Src0, addr: 0 });
+        p.push(Instr::SetBase {
+            port: Port::Src0,
+            addr: 0,
+        });
         p.push(Instr::SetStride {
             port: Port::Src0,
             strides: [0, 0, 0, 16],
             lane_stride: 4,
         });
-        p.push(Instr::SetBase { port: Port::Src1, addr: 64 });
+        p.push(Instr::SetBase {
+            port: Port::Src1,
+            addr: 64,
+        });
         p.push(Instr::SetStride {
             port: Port::Src1,
             strides: [0, 0, 0, 16],
             lane_stride: 4,
         });
-        p.push(Instr::SetBase { port: Port::Dst, addr: 256 });
+        p.push(Instr::SetBase {
+            port: Port::Dst,
+            addr: 256,
+        });
         p.push(Instr::SetStride {
             port: Port::Dst,
             strides: [0, 0, 0, 0],
@@ -1036,13 +1046,19 @@ mod tests {
         }
         let mut p = Program::new();
         p.push(Instr::LoopDims { dims: [1, 1, 1, 1] });
-        p.push(Instr::SetBase { port: Port::Src0, addr: 0 });
+        p.push(Instr::SetBase {
+            port: Port::Src0,
+            addr: 0,
+        });
         p.push(Instr::SetStride {
             port: Port::Src0,
             strides: [0; 4],
             lane_stride: 4,
         });
-        p.push(Instr::SetBase { port: Port::Dst, addr: 128 });
+        p.push(Instr::SetBase {
+            port: Port::Dst,
+            addr: 128,
+        });
         p.push(Instr::SetStride {
             port: Port::Dst,
             strides: [0; 4],
@@ -1071,19 +1087,28 @@ mod tests {
         }
         let mut p = Program::new();
         p.push(Instr::LoopDims { dims: [1, 1, 1, 1] });
-        p.push(Instr::SetBase { port: Port::Src0, addr: 0 });
+        p.push(Instr::SetBase {
+            port: Port::Src0,
+            addr: 0,
+        });
         p.push(Instr::SetStride {
             port: Port::Src0,
             strides: [0; 4],
             lane_stride: 4,
         });
-        p.push(Instr::SetBase { port: Port::Src1, addr: 64 });
+        p.push(Instr::SetBase {
+            port: Port::Src1,
+            addr: 64,
+        });
         p.push(Instr::SetStride {
             port: Port::Src1,
             strides: [0; 4],
             lane_stride: 4,
         });
-        p.push(Instr::SetBase { port: Port::Dst, addr: 128 });
+        p.push(Instr::SetBase {
+            port: Port::Dst,
+            addr: 128,
+        });
         p.push(Instr::SetStride {
             port: Port::Dst,
             strides: [0; 4],
@@ -1111,8 +1136,14 @@ mod tests {
             m.spad[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
         }
         let mut p = Program::new();
-        p.push(Instr::SetBase { port: Port::Src0, addr: 0 });
-        p.push(Instr::SetBase { port: Port::Dst, addr: 256 });
+        p.push(Instr::SetBase {
+            port: Port::Src0,
+            addr: 0,
+        });
+        p.push(Instr::SetBase {
+            port: Port::Dst,
+            addr: 256,
+        });
         p.push(Instr::Transpose {
             rows: 2,
             cols: 3,
@@ -1135,13 +1166,19 @@ mod tests {
         }
         let mut p = Program::new();
         p.push(Instr::LoopDims { dims: [1, 1, 1, 1] });
-        p.push(Instr::SetBase { port: Port::Src0, addr: 0 });
+        p.push(Instr::SetBase {
+            port: Port::Src0,
+            addr: 0,
+        });
         p.push(Instr::SetStride {
             port: Port::Src0,
             strides: [0; 4],
             lane_stride: 4,
         });
-        p.push(Instr::SetBase { port: Port::Dst, addr: 512 });
+        p.push(Instr::SetBase {
+            port: Port::Dst,
+            addr: 512,
+        });
         p.push(Instr::SetStride {
             port: Port::Dst,
             strides: [0; 4],
@@ -1155,8 +1192,14 @@ mod tests {
             vlen: 2,
             imm: 100.0,
         });
-        p.push(Instr::AdvanceBase { port: Port::Src0, delta: 8 });
-        p.push(Instr::AdvanceBase { port: Port::Dst, delta: 8 });
+        p.push(Instr::AdvanceBase {
+            port: Port::Src0,
+            delta: 8,
+        });
+        p.push(Instr::AdvanceBase {
+            port: Port::Dst,
+            delta: 8,
+        });
         p.push(Instr::Halt);
         let st = m.run(&p).unwrap();
         assert_eq!(st.vec_instrs, 4);
@@ -1289,10 +1332,7 @@ mod tests {
             vlen: 1,
             imm: 0.0,
         });
-        assert!(matches!(
-            m.run(&p),
-            Err(ExecError::OobScratchpad { .. })
-        ));
+        assert!(matches!(m.run(&p), Err(ExecError::OobScratchpad { .. })));
         // bad vlen
         let p: Program = [Instr::Vec {
             op: VectorOp::Copy,
@@ -1324,7 +1364,9 @@ mod tests {
         .collect();
         assert_eq!(m.run(&p), Err(ExecError::IntOpOnFloat(VectorOp::Xor)));
         // zero loop dim
-        let p: Program = [Instr::LoopDims { dims: [0, 1, 1, 1] }].into_iter().collect();
+        let p: Program = [Instr::LoopDims { dims: [0, 1, 1, 1] }]
+            .into_iter()
+            .collect();
         assert_eq!(m.run(&p), Err(ExecError::ZeroLoopDim));
     }
 
@@ -1345,13 +1387,19 @@ mod tests {
         m.spad[0..4].copy_from_slice(&0x1122_3344u32.to_le_bytes());
         let mut p = Program::new();
         p.push(Instr::LoopDims { dims: [1, 1, 1, 1] });
-        p.push(Instr::SetBase { port: Port::Src0, addr: 0 });
+        p.push(Instr::SetBase {
+            port: Port::Src0,
+            addr: 0,
+        });
         p.push(Instr::SetStride {
             port: Port::Src0,
             strides: [0; 4],
             lane_stride: 4,
         });
-        p.push(Instr::SetBase { port: Port::Dst, addr: 64 });
+        p.push(Instr::SetBase {
+            port: Port::Dst,
+            addr: 64,
+        });
         p.push(Instr::SetStride {
             port: Port::Dst,
             strides: [0; 4],
@@ -1376,10 +1424,7 @@ mod tests {
         p.push(Instr::Repeat { count: 2, body: 1 });
         p.push(Instr::Scalar(ScalarInstr::Beqz { rs: 0, offset: 5 }));
         p.push(Instr::Halt);
-        assert!(matches!(
-            m.run(&p),
-            Err(ExecError::BranchOutOfFrame { .. })
-        ));
+        assert!(matches!(m.run(&p), Err(ExecError::BranchOutOfFrame { .. })));
     }
 
     #[test]
@@ -1392,13 +1437,19 @@ mod tests {
             // 4096 elements in chunks of `lanes`.
             let n = 4096 / lanes;
             p.push(Instr::LoopDims { dims: [1, 1, 1, n] });
-            p.push(Instr::SetBase { port: Port::Src0, addr: 0 });
+            p.push(Instr::SetBase {
+                port: Port::Src0,
+                addr: 0,
+            });
             p.push(Instr::SetStride {
                 port: Port::Src0,
                 strides: [0, 0, 0, 4 * lanes as i64],
                 lane_stride: 4,
             });
-            p.push(Instr::SetBase { port: Port::Dst, addr: 16384 });
+            p.push(Instr::SetBase {
+                port: Port::Dst,
+                addr: 16384,
+            });
             p.push(Instr::SetStride {
                 port: Port::Dst,
                 strides: [0, 0, 0, 4 * lanes as i64],

@@ -443,9 +443,9 @@ pub fn check_sync_hazards(prog: &Program) -> Vec<SyncHazard> {
                 unfenced_vecs += 1;
             }
             Instr::Sync(kind) => match kind {
-                SyncKind::WaitMemAll
-                | SyncKind::WaitMemCount(_)
-                | SyncKind::WaitMemPending(_) => unfenced_loads = 0,
+                SyncKind::WaitMemAll | SyncKind::WaitMemCount(_) | SyncKind::WaitMemPending(_) => {
+                    unfenced_loads = 0
+                }
                 SyncKind::WaitVec => unfenced_vecs = 0,
                 SyncKind::End => {
                     unfenced_loads = 0;

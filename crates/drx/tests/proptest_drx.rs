@@ -1,129 +1,157 @@
 //! Property-based tests of the DRX toolchain: assembler round-trips on
 //! random programs, and random affine kernels that must match a direct
-//! host evaluation.
+//! host evaluation. Runs on the in-tree deterministic harness
+//! (`dmx_sim::check`).
 
 use dmx_drx::ir::{Access, Kernel, VecStmt};
 use dmx_drx::isa::{
     DmaDir, DramAddr, Dtype, Instr, Port, Program, ScalarInstr, ScalarOp, SyncKind, VectorOp,
 };
 use dmx_drx::{asm, compile, DrxConfig, Machine};
-use proptest::prelude::*;
+use dmx_sim::{cases, run_cases, Gen};
 
-fn arb_port() -> impl Strategy<Value = Port> {
-    prop_oneof![Just(Port::Src0), Just(Port::Src1), Just(Port::Dst)]
+fn n_cases() -> usize {
+    cases(if cfg!(feature = "heavy-tests") {
+        512
+    } else {
+        64
+    })
 }
 
-fn arb_dtype() -> impl Strategy<Value = Dtype> {
-    prop_oneof![
-        Just(Dtype::U8),
-        Just(Dtype::I8),
-        Just(Dtype::U16),
-        Just(Dtype::I16),
-        Just(Dtype::U32),
-        Just(Dtype::I32),
-        Just(Dtype::F32),
-    ]
+fn gen_port(g: &mut Gen) -> Port {
+    *g.pick(&[Port::Src0, Port::Src1, Port::Dst])
 }
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (1u32..64, 1u32..64, 1u32..64, 1u32..64)
-            .prop_map(|(a, b, c, d)| Instr::LoopDims { dims: [a, b, c, d] }),
-        (arb_port(), -512i64..512, -512i64..512, -16i64..16).prop_map(
-            |(port, s0, s1, lane)| Instr::SetStride {
-                port,
-                strides: [s0, s1, 0, 4],
-                lane_stride: lane,
-            }
-        ),
-        (arb_port(), 0u64..65536).prop_map(|(port, addr)| Instr::SetBase { port, addr }),
-        (arb_port(), -4096i64..4096)
-            .prop_map(|(port, delta)| Instr::AdvanceBase { port, delta }),
-        (0u64..1 << 20, 0u64..65536, 1u64..4096).prop_map(|(dram, spad, bytes)| Instr::Dma {
+fn gen_dtype(g: &mut Gen) -> Dtype {
+    *g.pick(&[
+        Dtype::U8,
+        Dtype::I8,
+        Dtype::U16,
+        Dtype::I16,
+        Dtype::U32,
+        Dtype::I32,
+        Dtype::F32,
+    ])
+}
+
+fn gen_instr(g: &mut Gen) -> Instr {
+    match g.usize_in(0, 14) {
+        0 => Instr::LoopDims {
+            dims: [
+                g.u64_in(1, 64) as u32,
+                g.u64_in(1, 64) as u32,
+                g.u64_in(1, 64) as u32,
+                g.u64_in(1, 64) as u32,
+            ],
+        },
+        1 => Instr::SetStride {
+            port: gen_port(g),
+            strides: [g.i64_in(-512, 512), g.i64_in(-512, 512), 0, 4],
+            lane_stride: g.i64_in(-16, 16),
+        },
+        2 => Instr::SetBase {
+            port: gen_port(g),
+            addr: g.u64_in(0, 65536),
+        },
+        3 => Instr::AdvanceBase {
+            port: gen_port(g),
+            delta: g.i64_in(-4096, 4096),
+        },
+        4 => Instr::Dma {
             dir: DmaDir::Load,
-            dram: DramAddr::Imm(dram),
-            spad,
-            bytes,
-        }),
-        (0u8..16, -1024i64..1024, 0u64..65536, 1u64..4096).prop_map(
-            |(reg, offset, spad, bytes)| Instr::Dma {
-                dir: DmaDir::Store,
-                dram: DramAddr::Reg { reg, offset },
-                spad,
-                bytes,
-            }
-        ),
-        (arb_dtype(), 1u32..256, prop_oneof![
-            Just(VectorOp::Add),
-            Just(VectorOp::Mac),
-            Just(VectorOp::Copy),
-            Just(VectorOp::Gather),
-            Just(VectorOp::Fill),
-        ])
-            .prop_map(|(dtype, vlen, op)| Instr::Vec {
+            dram: DramAddr::Imm(g.u64_in(0, 1 << 20)),
+            spad: g.u64_in(0, 65536),
+            bytes: g.u64_in(1, 4096),
+        },
+        5 => Instr::Dma {
+            dir: DmaDir::Store,
+            dram: DramAddr::Reg {
+                reg: g.u64_in(0, 16) as u8,
+                offset: g.i64_in(-1024, 1024),
+            },
+            spad: g.u64_in(0, 65536),
+            bytes: g.u64_in(1, 4096),
+        },
+        6 => {
+            let op = *g.pick(&[
+                VectorOp::Add,
+                VectorOp::Mac,
+                VectorOp::Copy,
+                VectorOp::Gather,
+                VectorOp::Fill,
+            ]);
+            Instr::Vec {
                 op,
-                dtype,
-                vlen,
+                dtype: gen_dtype(g),
+                vlen: g.u64_in(1, 256) as u32,
                 // Only imm-consuming ops print their immediate, so give
                 // the others the default the parser will reconstruct.
                 imm: if op.uses_imm() { 1.5 } else { 0.0 },
-            }),
-        (arb_dtype(), 1u32..64, 1u32..64)
-            .prop_map(|(dtype, rows, cols)| Instr::Transpose { rows, cols, dtype }),
-        (1u32..100, 1u32..20).prop_map(|(count, body)| Instr::Repeat { count, body }),
-        prop_oneof![
-            Just(Instr::Sync(SyncKind::Start)),
-            Just(Instr::Sync(SyncKind::End)),
-            Just(Instr::Sync(SyncKind::WaitVec)),
-            Just(Instr::Sync(SyncKind::WaitMemAll)),
-            (0u64..64).prop_map(|n| Instr::Sync(SyncKind::WaitMemCount(n))),
-            (0u64..8).prop_map(|n| Instr::Sync(SyncKind::WaitMemPending(n))),
-        ],
-        (0u8..16, -1_000_000i64..1_000_000)
-            .prop_map(|(rd, imm)| Instr::Scalar(ScalarInstr::LdImm { rd, imm })),
-        (0u8..16, 0u8..16, 0u8..16, prop_oneof![
-            Just(ScalarOp::Add),
-            Just(ScalarOp::Mul),
-            Just(ScalarOp::Slt),
-            Just(ScalarOp::Shr),
-        ])
-            .prop_map(|(rd, rs1, rs2, op)| Instr::Scalar(ScalarInstr::Alu { op, rd, rs1, rs2 })),
-        (0u8..16, 0u8..16, -64i64..64, arb_dtype()).prop_map(|(rd, ra, offset, dtype)| {
-            Instr::Scalar(ScalarInstr::Load {
-                rd,
-                ra,
-                offset,
-                dtype,
-            })
+            }
+        }
+        7 => Instr::Transpose {
+            rows: g.u64_in(1, 64) as u32,
+            cols: g.u64_in(1, 64) as u32,
+            dtype: gen_dtype(g),
+        },
+        8 => Instr::Repeat {
+            count: g.u64_in(1, 100) as u32,
+            body: g.u64_in(1, 20) as u32,
+        },
+        9 => Instr::Sync(match g.usize_in(0, 6) {
+            0 => SyncKind::Start,
+            1 => SyncKind::End,
+            2 => SyncKind::WaitVec,
+            3 => SyncKind::WaitMemAll,
+            4 => SyncKind::WaitMemCount(g.u64_in(0, 64)),
+            _ => SyncKind::WaitMemPending(g.u64_in(0, 8)),
         }),
-        (0u8..16, -10i32..10)
-            .prop_map(|(rs, offset)| Instr::Scalar(ScalarInstr::Bnez { rs, offset })),
-        Just(Instr::Halt),
-    ]
+        10 => Instr::Scalar(ScalarInstr::LdImm {
+            rd: g.u64_in(0, 16) as u8,
+            imm: g.i64_in(-1_000_000, 1_000_000),
+        }),
+        11 => Instr::Scalar(ScalarInstr::Alu {
+            op: *g.pick(&[ScalarOp::Add, ScalarOp::Mul, ScalarOp::Slt, ScalarOp::Shr]),
+            rd: g.u64_in(0, 16) as u8,
+            rs1: g.u64_in(0, 16) as u8,
+            rs2: g.u64_in(0, 16) as u8,
+        }),
+        12 => Instr::Scalar(ScalarInstr::Load {
+            rd: g.u64_in(0, 16) as u8,
+            ra: g.u64_in(0, 16) as u8,
+            offset: g.i64_in(-64, 64),
+            dtype: gen_dtype(g),
+        }),
+        13 => Instr::Scalar(ScalarInstr::Bnez {
+            rs: g.u64_in(0, 16) as u8,
+            offset: g.i64_in(-10, 10) as i32,
+        }),
+        _ => Instr::Halt,
+    }
 }
 
-proptest! {
-    /// Disassemble -> parse is the identity on arbitrary programs
-    /// (floats limited to exactly-representable immediates).
-    #[test]
-    fn assembler_round_trip(instrs in prop::collection::vec(arb_instr(), 0..60)) {
+/// Disassemble -> parse is the identity on arbitrary programs (floats
+/// limited to exactly-representable immediates).
+#[test]
+fn assembler_round_trip() {
+    run_cases("drx::assembler_round_trip", n_cases(), |g| {
+        let instrs = g.vec(0, 60, gen_instr);
         let prog: Program = instrs.into_iter().collect();
         let text = prog.disassemble();
         let parsed = asm::parse(&text).expect("disassembly parses");
-        prop_assert_eq!(parsed, prog);
-    }
+        assert_eq!(parsed, prog);
+    });
+}
 
-    /// Random element-wise affine kernels (scale + bias over random
-    /// lengths) match a direct host evaluation at any scratchpad size.
-    #[test]
-    fn random_scale_bias_kernels_match_host(
-        n in 1u64..3000,
-        scale in -8i32..8,
-        bias in -8i32..8,
-        spad_kib in prop::sample::select(vec![4u64, 8, 64]),
-    ) {
-        let scale = scale as f64 * 0.5;
-        let bias = bias as f64 * 0.25;
+/// Random element-wise affine kernels (scale + bias over random
+/// lengths) match a direct host evaluation at any scratchpad size.
+#[test]
+fn random_scale_bias_kernels_match_host() {
+    run_cases("drx::scale_bias_match_host", n_cases(), |g| {
+        let n = g.u64_in(1, 3000);
+        let scale = g.i64_in(-8, 8) as f64 * 0.5;
+        let bias = g.i64_in(-8, 8) as f64 * 0.25;
+        let spad_kib = *g.pick(&[4u64, 8, 64]);
         let mut k = Kernel::new("affine");
         let a = k.buffer("a", Dtype::F32, n);
         let out = k.buffer("out", Dtype::F32, n);
@@ -146,8 +174,7 @@ proptest! {
                 },
             ],
         );
-        let mut cfg = DrxConfig::default();
-        cfg.scratchpad_bytes = spad_kib << 10;
+        let mut cfg = DrxConfig::default().with_scratchpad(spad_kib << 10);
         cfg.dram.capacity_bytes = 64 << 20;
         let compiled = compile(&k, &cfg).expect("compiles");
         let mut m = Machine::new(cfg);
@@ -160,20 +187,21 @@ proptest! {
             let got = f32::from_le_bytes(chunk.try_into().unwrap());
             let scaled = (xs[i] as f64 * scale) as f32;
             let want = (scaled as f64 + bias) as f32;
-            prop_assert!(
+            assert!(
                 got == want || (got.is_nan() && want.is_nan()),
                 "element {i}: {got} vs {want}"
             );
         }
-    }
+    });
+}
 
-    /// Byte-swap twice is the identity on the machine, at random
-    /// lengths and lane counts.
-    #[test]
-    fn double_bswap_is_identity(
-        words in prop::collection::vec(any::<u32>(), 1..800),
-        lanes in prop::sample::select(vec![32u32, 128]),
-    ) {
+/// Byte-swap twice is the identity on the machine, at random lengths
+/// and lane counts.
+#[test]
+fn double_bswap_is_identity() {
+    run_cases("drx::double_bswap_identity", n_cases(), |g| {
+        let words = g.vec(1, 800, |g| g.u64_in(0, 1 << 32) as u32);
+        let lanes = *g.pick(&[32u32, 128]);
         let n = words.len() as u64;
         let mut k = Kernel::new("bswap2");
         let a = k.buffer("a", Dtype::U32, n);
@@ -199,8 +227,8 @@ proptest! {
         m.write_dram(compiled.layout.addr(a), &bytes);
         m.run(&compiled.program).expect("runs");
         let got = m.read_dram(compiled.layout.addr(out), n * 4);
-        prop_assert_eq!(got, bytes);
-    }
+        assert_eq!(got, bytes);
+    });
 }
 
 // ------------------------------------------------------------------
@@ -231,13 +259,29 @@ mod compile_errors {
             vec![32, 64],
             vec![
                 copy_stmt(
-                    Access { buf: b, offset: 0, strides: vec![64, 1] },
-                    Access { buf: a, offset: 0, strides: vec![64, 1] },
+                    Access {
+                        buf: b,
+                        offset: 0,
+                        strides: vec![64, 1],
+                    },
+                    Access {
+                        buf: a,
+                        offset: 0,
+                        strides: vec![64, 1],
+                    },
                 ),
                 // second statement reads `a` with a DIFFERENT outer stride
                 copy_stmt(
-                    Access { buf: b, offset: 2048, strides: vec![64, 1] },
-                    Access { buf: a, offset: 0, strides: vec![128, 1] },
+                    Access {
+                        buf: b,
+                        offset: 2048,
+                        strides: vec![64, 1],
+                    },
+                    Access {
+                        buf: a,
+                        offset: 0,
+                        strides: vec![128, 1],
+                    },
                 ),
             ],
         );
@@ -255,7 +299,11 @@ mod compile_errors {
         k.nest(
             vec![64, 64],
             vec![copy_stmt(
-                Access { buf: b, offset: 0, strides: vec![64, 1] },
+                Access {
+                    buf: b,
+                    offset: 0,
+                    strides: vec![64, 1],
+                },
                 // walks `a` backwards over the outer dim
                 Access {
                     buf: a,
@@ -369,7 +417,10 @@ mod machine_edges {
         let mut staged = Machine::new(small());
         staged.write_dram(0, &idx);
         let result = staged.run(&prog);
-        assert!(matches!(result, Err(ExecError::OobDram { .. })), "{result:?}");
+        assert!(
+            matches!(result, Err(ExecError::OobDram { .. })),
+            "{result:?}"
+        );
         drop(m);
     }
 
@@ -393,10 +444,7 @@ mod machine_edges {
         ]
         .into_iter()
         .collect();
-        assert!(matches!(
-            m.run(&prog),
-            Err(ExecError::OobScratchpad { .. })
-        ));
+        assert!(matches!(m.run(&prog), Err(ExecError::OobScratchpad { .. })));
     }
 
     #[test]

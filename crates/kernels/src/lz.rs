@@ -132,8 +132,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzError> {
                     return Err(LzError::Truncated);
                 }
                 let len = input[i + 1] as usize;
-                let dist =
-                    u16::from_le_bytes([input[i + 2], input[i + 3]]) as usize;
+                let dist = u16::from_le_bytes([input[i + 2], input[i + 3]]) as usize;
                 if dist == 0 || dist > out.len() {
                     return Err(LzError::BadDistance { at: out.len() });
                 }
@@ -188,7 +187,9 @@ mod tests {
         let mut x = 123456789u64;
         let data: Vec<u8> = (0..5000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as u8
             })
             .collect();

@@ -144,7 +144,9 @@ mod tests {
         }
         // Every band has some nonzero weight.
         for b in 0..fb.bands() {
-            let sum: f32 = fb.weights()[b * fb.bins()..(b + 1) * fb.bins()].iter().sum();
+            let sum: f32 = fb.weights()[b * fb.bins()..(b + 1) * fb.bins()]
+                .iter()
+                .sum();
             assert!(sum > 0.0, "band {b} is empty");
         }
     }

@@ -280,12 +280,10 @@ impl<'a> Parser<'a> {
                 })
             }
             Some(b'\\') => {
-                let e = self
-                    .bump()
-                    .ok_or(RegexError {
-                        pos: self.pos,
-                        message: "dangling escape".into(),
-                    })?;
+                let e = self.bump().ok_or(RegexError {
+                    pos: self.pos,
+                    message: "dangling escape".into(),
+                })?;
                 let items = escape_items(e);
                 let n = self.push(Node::Byte {
                     items,
@@ -441,7 +439,10 @@ impl Regex {
         let mut best: Option<usize> = None;
         let mut pos = start;
         loop {
-            if current.iter().any(|&s| matches!(self.nodes[s], Node::Accept)) {
+            if current
+                .iter()
+                .any(|&s| matches!(self.nodes[s], Node::Accept))
+            {
                 best = Some(pos);
             }
             if pos >= haystack.len() || current.is_empty() {
@@ -456,10 +457,8 @@ impl Regex {
                         items,
                         negated,
                         next: n,
-                    } => {
-                        if class_matches(items, *negated, byte) {
-                            self.add_state(*n, &mut next, &mut on2);
-                        }
+                    } if class_matches(items, *negated, byte) => {
+                        self.add_state(*n, &mut next, &mut on2);
                     }
                     Node::Any { next: n } => {
                         self.add_state(*n, &mut next, &mut on2);

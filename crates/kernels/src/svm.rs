@@ -98,8 +98,7 @@ impl LinearSvm {
                 for c in 0..classes {
                     let y = if label == c { 1.0f32 } else { -1.0 };
                     let w = &mut weights[c * dims..(c + 1) * dims];
-                    let margin: f32 =
-                        w.iter().zip(x).map(|(w, v)| w * v).sum::<f32>() + bias[c];
+                    let margin: f32 = w.iter().zip(x).map(|(w, v)| w * v).sum::<f32>() + bias[c];
                     let eta = 1.0 / (lambda * t);
                     let shrink = 1.0 - eta * lambda;
                     for wv in w.iter_mut() {

@@ -52,7 +52,7 @@ pub fn tokenize(text: &[u8], seq_len: usize) -> Vec<u32> {
 pub fn detokenize(tokens: &[u32]) -> Vec<u8> {
     tokens
         .iter()
-        .filter(|&&t| t >= special::BYTE_BASE && t < VOCAB_SIZE)
+        .filter(|&&t| (special::BYTE_BASE..VOCAB_SIZE).contains(&t))
         .map(|&t| (t - special::BYTE_BASE) as u8)
         .collect()
 }

@@ -33,7 +33,10 @@ impl Frame {
     /// Panics if width or height is zero or odd.
     pub fn black(width: usize, height: usize) -> Frame {
         assert!(width > 0 && height > 0, "empty frame");
-        assert!(width % 2 == 0 && height % 2 == 0, "dimensions must be even");
+        assert!(
+            width.is_multiple_of(2) && height.is_multiple_of(2),
+            "dimensions must be even"
+        );
         Frame {
             y: vec![16; width * height],
             u: vec![128; width * height / 4],
@@ -162,7 +165,7 @@ pub fn decode(input: &[u8]) -> Result<Vec<Frame>, CodecError> {
     let w = u32::from_le_bytes(input[0..4].try_into().expect("sized")) as usize;
     let h = u32::from_le_bytes(input[4..8].try_into().expect("sized")) as usize;
     let n = u32::from_le_bytes(input[8..12].try_into().expect("sized")) as usize;
-    if w == 0 || h == 0 || w % 2 != 0 || h % 2 != 0 || n == 0 {
+    if w == 0 || h == 0 || !w.is_multiple_of(2) || !h.is_multiple_of(2) || n == 0 {
         return Err(CodecError::BadHeader);
     }
     let mut pos = 12;
@@ -182,9 +185,18 @@ pub fn decode(input: &[u8]) -> Result<Vec<Frame>, CodecError> {
         } else {
             let p = &frames[fi - 1];
             Frame {
-                y: y.iter().zip(&p.y).map(|(d, b)| b.wrapping_add(*d)).collect(),
-                u: u.iter().zip(&p.u).map(|(d, b)| b.wrapping_add(*d)).collect(),
-                v: v.iter().zip(&p.v).map(|(d, b)| b.wrapping_add(*d)).collect(),
+                y: y.iter()
+                    .zip(&p.y)
+                    .map(|(d, b)| b.wrapping_add(*d))
+                    .collect(),
+                u: u.iter()
+                    .zip(&p.u)
+                    .map(|(d, b)| b.wrapping_add(*d))
+                    .collect(),
+                v: v.iter()
+                    .zip(&p.v)
+                    .map(|(d, b)| b.wrapping_add(*d))
+                    .collect(),
                 width: w,
                 height: h,
             }

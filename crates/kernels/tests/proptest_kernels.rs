@@ -1,43 +1,64 @@
-//! Property-based tests of the functional domain kernels.
+//! Property-based tests of the functional domain kernels, on the
+//! in-tree deterministic harness (`dmx_sim::check`).
 
 use dmx_kernels::{aes, fft, join, lz, regex, token, video};
-use proptest::prelude::*;
+use dmx_sim::{cases, run_cases, Gen};
 
-proptest! {
-    /// LZ compression round-trips arbitrary byte soup.
-    #[test]
-    fn lz_round_trips(data in prop::collection::vec(any::<u8>(), 0..20_000)) {
+fn n_cases() -> usize {
+    cases(if cfg!(feature = "heavy-tests") {
+        512
+    } else {
+        64
+    })
+}
+
+/// LZ compression round-trips arbitrary byte soup.
+#[test]
+fn lz_round_trips() {
+    run_cases("kernels::lz_round_trips", n_cases(), |g| {
+        let data = g.bytes(0, 20_000);
         let c = lz::compress(&data);
-        prop_assert_eq!(lz::decompress(&c).expect("valid stream"), data);
-    }
+        assert_eq!(lz::decompress(&c).expect("valid stream"), data);
+    });
+}
 
-    /// LZ decompression never panics on arbitrary (possibly corrupt)
-    /// input — it either decodes or returns an error.
-    #[test]
-    fn lz_decompress_total(garbage in prop::collection::vec(any::<u8>(), 0..4096)) {
+/// LZ decompression never panics on arbitrary (possibly corrupt)
+/// input — it either decodes or returns an error.
+#[test]
+fn lz_decompress_total() {
+    run_cases("kernels::lz_decompress_total", n_cases(), |g| {
+        let garbage = g.bytes(0, 4096);
         let _ = lz::decompress(&garbage);
-    }
+    });
+}
 
-    /// AES-CTR is an involution under any key/nonce.
-    #[test]
-    fn aes_ctr_involution(
-        key in prop::array::uniform16(any::<u8>()),
-        nonce in prop::array::uniform12(any::<u8>()),
-        data in prop::collection::vec(any::<u8>(), 0..2048),
-    ) {
+/// AES-CTR is an involution under any key/nonce.
+#[test]
+fn aes_ctr_involution() {
+    run_cases("kernels::aes_ctr_involution", n_cases(), |g| {
+        let mut key = [0u8; 16];
+        for b in &mut key {
+            *b = g.u64_in(0, 256) as u8;
+        }
+        let mut nonce = [0u8; 12];
+        for b in &mut nonce {
+            *b = g.u64_in(0, 256) as u8;
+        }
+        let data = g.bytes(0, 2048);
         let cipher = aes::Aes128::new(&key);
         let mut buf = data.clone();
         cipher.ctr_transform(&nonce, &mut buf);
         cipher.ctr_transform(&nonce, &mut buf);
-        prop_assert_eq!(buf, data);
-    }
+        assert_eq!(buf, data);
+    });
+}
 
-    /// Parseval's theorem holds for random power-of-two signals.
-    #[test]
-    fn fft_parseval(
-        log_n in 3u32..10,
-        seed in any::<u32>(),
-    ) {
+/// Parseval's theorem holds for random power-of-two signals.
+#[test]
+fn fft_parseval() {
+    run_cases("kernels::fft_parseval", n_cases(), |g| {
+        let log_n = g.u64_in(3, 10) as u32;
+        let seed = g.u64_in(0, 1 << 32) as u32;
         let n = 1usize << log_n;
         let mut state = seed | 1;
         let signal: Vec<f32> = (0..n)
@@ -50,26 +71,29 @@ proptest! {
             .collect();
         let time_energy: f64 = signal.iter().map(|x| (*x as f64) * (*x as f64)).sum();
         let spec = fft::fft_real(&signal);
-        let freq_energy: f64 =
-            spec.iter().map(|c| c.norm_sq() as f64).sum::<f64>() / n as f64;
-        prop_assert!(
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sq() as f64).sum::<f64>() / n as f64;
+        assert!(
             (time_energy - freq_energy).abs() <= time_energy.max(1e-6) * 1e-3,
             "{time_energy} vs {freq_energy}"
         );
-    }
+    });
+}
 
-    /// Partitioned hash join produces exactly the same multiset of
-    /// rows as the direct join.
-    #[test]
-    fn partitioned_join_equivalence(
-        build_keys in prop::collection::vec(0u64..64, 0..200),
-        probe_keys in prop::collection::vec(0u64..64, 0..200),
-        radix in 1u32..6,
-    ) {
+/// Partitioned hash join produces exactly the same multiset of rows as
+/// the direct join.
+#[test]
+fn partitioned_join_equivalence() {
+    run_cases("kernels::partitioned_join_equivalence", n_cases(), |g| {
+        let build_keys = g.vec(0, 200, |g| g.u64_in(0, 64));
+        let probe_keys = g.vec(0, 200, |g| g.u64_in(0, 64));
+        let radix = g.u64_in(1, 6) as u32;
         let rows = |ks: &[u64], base: u64| -> Vec<join::Row> {
             ks.iter()
                 .enumerate()
-                .map(|(i, &key)| join::Row { key, payload: base + i as u64 })
+                .map(|(i, &key)| join::Row {
+                    key,
+                    payload: base + i as u64,
+                })
                 .collect()
         };
         let b = rows(&build_keys, 0);
@@ -79,83 +103,96 @@ proptest! {
         let key = |r: &join::Joined| (r.key, r.left, r.right);
         plain.sort_by_key(key);
         parted.sort_by_key(key);
-        prop_assert_eq!(plain, parted);
-    }
+        assert_eq!(plain, parted);
+    });
+}
 
-    /// Tokenize/detokenize round-trips arbitrary text at any legal
-    /// sequence length.
-    #[test]
-    fn tokenize_round_trips(
-        text in prop::collection::vec(any::<u8>(), 0..2000),
-        seq_len in 3usize..64,
-    ) {
+/// Tokenize/detokenize round-trips arbitrary text at any legal
+/// sequence length.
+#[test]
+fn tokenize_round_trips() {
+    run_cases("kernels::tokenize_round_trips", n_cases(), |g| {
+        let text = g.bytes(0, 2000);
+        let seq_len = g.usize_in(3, 64);
         let toks = token::tokenize(&text, seq_len);
-        prop_assert_eq!(token::detokenize(&toks), text.clone());
-        prop_assert_eq!(toks.len() % seq_len, 0);
+        assert_eq!(token::detokenize(&toks), text);
+        assert_eq!(toks.len() % seq_len, 0);
         for t in &toks {
-            prop_assert!(*t < token::VOCAB_SIZE);
+            assert!(*t < token::VOCAB_SIZE);
         }
-    }
+    });
+}
 
-    /// The video codec round-trips random frame stacks.
-    #[test]
-    fn video_round_trips(
-        w_half in 2usize..12,
-        h_half in 2usize..10,
-        n in 1usize..5,
-        seed in any::<u32>(),
-    ) {
-        let (w, h) = (w_half * 2, h_half * 2);
-        let mut state = seed | 1;
-        let mut rand_byte = move || {
-            state ^= state << 13;
-            state ^= state >> 17;
-            state ^= state << 5;
-            (state >> 8) as u8
-        };
+/// The video codec round-trips random frame stacks.
+#[test]
+fn video_round_trips() {
+    run_cases("kernels::video_round_trips", n_cases(), |g| {
+        let (w, h) = (g.usize_in(2, 12) * 2, g.usize_in(2, 10) * 2);
+        let n = g.usize_in(1, 5);
         let frames: Vec<video::Frame> = (0..n)
             .map(|_| {
                 let mut f = video::Frame::black(w, h);
                 for p in f.y.iter_mut().chain(f.u.iter_mut()).chain(f.v.iter_mut()) {
-                    *p = rand_byte();
+                    *p = g.u64_in(0, 256) as u8;
                 }
                 f
             })
             .collect();
         let enc = video::encode(&frames);
-        prop_assert_eq!(video::decode(&enc).expect("valid"), frames);
-    }
+        assert_eq!(video::decode(&enc).expect("valid"), frames);
+    });
+}
 
-    /// A literal pattern always matches itself (after escaping the
-    /// regex metacharacters out of the alphabet).
-    #[test]
-    fn regex_literal_self_match(
-        needle in "[a-z0-9 ]{1,12}",
-        prefix in "[a-z0-9 ]{0,10}",
-        suffix in "[a-z0-9 ]{0,10}",
-    ) {
+/// Lowercase alphanumeric text from the harness alphabet.
+fn text(g: &mut Gen, lo: usize, hi: usize, alphabet: &[u8]) -> String {
+    let v = g.vec(lo, hi, |g| alphabet[g.usize_in(0, alphabet.len())]);
+    String::from_utf8(v).expect("ascii alphabet")
+}
+
+/// A literal pattern always matches itself (the alphabet contains no
+/// regex metacharacters).
+#[test]
+fn regex_literal_self_match() {
+    const AB: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789 ";
+    run_cases("kernels::regex_literal_self_match", n_cases(), |g| {
+        let needle = text(g, 1, 13, AB);
+        let prefix = text(g, 0, 11, AB);
+        let suffix = text(g, 0, 11, AB);
         let re = regex::Regex::new(&needle).expect("literal compiles");
         let hay = format!("{prefix}{needle}{suffix}");
         let found = re.find(hay.as_bytes());
-        prop_assert!(found.is_some(), "`{needle}` not found in `{hay}`");
+        assert!(found.is_some(), "`{needle}` not found in `{hay}`");
         let (s, e) = found.expect("checked");
-        prop_assert_eq!(&hay.as_bytes()[s..e], needle.as_bytes());
-    }
+        assert_eq!(&hay.as_bytes()[s..e], needle.as_bytes());
+    });
+}
 
-    /// Redaction output always has the same length as the input and
-    /// never contains the (non-empty, literal) pattern afterwards.
-    #[test]
-    fn regex_redaction_is_complete(
-        needle in "[a-z]{2,8}",
-        chunks in prop::collection::vec("[a-z ]{0,12}", 0..6),
-    ) {
+/// Redaction output always has the same length as the input and never
+/// contains the (non-empty, literal) pattern afterwards.
+#[test]
+fn regex_redaction_is_complete() {
+    run_cases("kernels::regex_redaction_is_complete", n_cases(), |g| {
+        let needle = text(g, 2, 9, b"abcdefghijklmnopqrstuvwxyz");
+        let chunks = g.vec(0, 6, |g| {
+            let n = g.usize_in(0, 13);
+            let mut s = String::new();
+            for _ in 0..n {
+                s.push(*g.pick(b"abcdefghijklmnopqrstuvwxyz ") as char);
+            }
+            s
+        });
         let re = regex::Regex::new(&needle).expect("compiles");
         let hay = chunks.join(&needle);
         let (red, _count) = re.redact(hay.as_bytes(), b'#');
-        prop_assert_eq!(red.len(), hay.len());
+        assert_eq!(red.len(), hay.len());
         let survived = red
             .windows(needle.len().max(1))
             .any(|w| w == needle.as_bytes());
-        prop_assert!(!survived, "`{}` survived in `{}`", needle, String::from_utf8_lossy(&red));
-    }
+        assert!(
+            !survived,
+            "`{}` survived in `{}`",
+            needle,
+            String::from_utf8_lossy(&red)
+        );
+    });
 }

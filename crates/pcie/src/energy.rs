@@ -121,10 +121,7 @@ mod tests {
     #[test]
     fn newer_gens_cheaper_per_bit() {
         let m = PcieEnergyModel::default();
-        assert!(
-            m.scaled_for_gen(Gen::Gen5).pj_per_bit
-                < m.scaled_for_gen(Gen::Gen4).pj_per_bit
-        );
+        assert!(m.scaled_for_gen(Gen::Gen5).pj_per_bit < m.scaled_for_gen(Gen::Gen4).pj_per_bit);
         assert_eq!(m.scaled_for_gen(Gen::Gen3).pj_per_bit, m.pj_per_bit);
     }
 

@@ -11,7 +11,7 @@
 //! upstream link saturating in the Multi-Axl baseline, Sec. VII.A)
 //! come from.
 
-use crate::topology::{LinkId, Route};
+use crate::topology::{FabricError, LinkId, Route};
 use dmx_sim::Time;
 
 /// Identifier a caller assigns to a flow.
@@ -44,7 +44,11 @@ struct Flow {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FlowNet {
-    link_bw: Vec<f64>, // bytes per second
+    link_bw: Vec<f64>, // current bytes per second (after degradations)
+    base_bw: Vec<f64>, // nominal bytes per second
+    /// Active degradation factors per link (stacked: overlapping
+    /// retrains multiply).
+    degradations: Vec<Vec<f64>>,
     flows: Vec<Flow>,
     last: Time,
     generation: u64,
@@ -66,8 +70,11 @@ impl FlowNet {
             "links must have nonzero bandwidth"
         );
         let n = bandwidths.len();
+        let bw: Vec<f64> = bandwidths.into_iter().map(|b| b as f64).collect();
         FlowNet {
-            link_bw: bandwidths.into_iter().map(|b| b as f64).collect(),
+            link_bw: bw.clone(),
+            base_bw: bw,
+            degradations: vec![Vec::new(); n],
             flows: Vec::new(),
             last: Time::ZERO,
             generation: 0,
@@ -190,22 +197,90 @@ impl FlowNet {
         }
     }
 
+    /// Temporarily degrades a link's bandwidth by `scale` (a link
+    /// retrain after an error burst). Degradations stack: overlapping
+    /// retrains multiply. Pair every call with [`FlowNet::restore_link`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is unknown, `scale` is not in `(0, 1]`, or
+    /// `now` is before the previous advance.
+    pub fn degrade_link(&mut self, now: Time, link: LinkId, scale: f64) {
+        let l = link.index();
+        assert!(l < self.link_bw.len(), "degrading unknown link");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "degradation scale must be in (0, 1]"
+        );
+        self.advance(now);
+        self.degradations[l].push(scale);
+        self.recompute_link(l);
+        self.generation += 1;
+    }
+
+    /// Lifts the oldest active degradation of `link` (retrain done).
+    /// A no-op if the link is not degraded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is unknown or `now` is before the previous
+    /// advance.
+    pub fn restore_link(&mut self, now: Time, link: LinkId) {
+        let l = link.index();
+        assert!(l < self.link_bw.len(), "restoring unknown link");
+        self.advance(now);
+        if self.degradations[l].is_empty() {
+            return;
+        }
+        self.degradations[l].remove(0);
+        self.recompute_link(l);
+        self.generation += 1;
+    }
+
+    /// Number of links currently running degraded.
+    pub fn degraded_links(&self) -> usize {
+        self.degradations.iter().filter(|d| !d.is_empty()).count()
+    }
+
+    fn recompute_link(&mut self, l: usize) {
+        // Recompute from the nominal rate so repeated degrade/restore
+        // cycles never accumulate float drift.
+        self.link_bw[l] = self.degradations[l]
+            .iter()
+            .fold(self.base_bw[l], |bw, s| bw * s);
+    }
+
     /// Starts a flow of `bytes` over `route_links`. The network must be
     /// advanced to `now` first (or `insert` does it for you).
     ///
     /// # Panics
     ///
-    /// Panics if the route is empty or references an unknown link.
+    /// Panics if the route is empty or references an unknown link; use
+    /// [`FlowNet::try_insert`] to handle those as errors.
     pub fn insert(&mut self, now: Time, id: FlowId, bytes: u64, route_links: &[LinkId]) {
-        assert!(
-            !route_links.is_empty(),
-            "flows must cross at least one link; model local copies separately"
-        );
-        self.advance(now);
-        let links: Vec<usize> = route_links.iter().map(|l| l.index()).collect();
-        for &l in &links {
-            assert!(l < self.link_bw.len(), "route references unknown link");
+        if let Err(e) = self.try_insert(now, id, bytes, route_links) {
+            panic!("{e}");
         }
+    }
+
+    /// Fallible variant of [`FlowNet::insert`].
+    pub fn try_insert(
+        &mut self,
+        now: Time,
+        id: FlowId,
+        bytes: u64,
+        route_links: &[LinkId],
+    ) -> Result<(), FabricError> {
+        if route_links.is_empty() {
+            return Err(FabricError::EmptyRoute);
+        }
+        let links: Vec<usize> = route_links.iter().map(|l| l.index()).collect();
+        for (&l, &lid) in links.iter().zip(route_links) {
+            if l >= self.link_bw.len() {
+                return Err(FabricError::UnknownLink(lid));
+            }
+        }
+        self.advance(now);
         if bytes == 0 {
             self.finished.push(id);
             self.flows_completed += 1;
@@ -217,6 +292,7 @@ impl FlowNet {
             });
         }
         self.generation += 1;
+        Ok(())
     }
 
     /// Convenience: inserts a flow along a [`Route`].
@@ -353,6 +429,55 @@ mod tests {
     }
 
     #[test]
+    fn degraded_link_slows_flows_until_restored() {
+        let mut net = FlowNet::new(vec![1_000_000_000]);
+        net.insert(Time::ZERO, 1, 1_500_000_000, &[lid(0)]);
+        // Halve the link for the first second: only 500 MB moves.
+        net.degrade_link(Time::ZERO, lid(0), 0.5);
+        assert_eq!(net.degraded_links(), 1);
+        assert_eq!(net.rates(), vec![500_000_000.0]);
+        net.restore_link(Time::from_secs(1), lid(0));
+        assert_eq!(net.degraded_links(), 0);
+        // 1.0 GB left at the full 1 GB/s -> finishes at t=2s.
+        assert_eq!(net.next_event(Time::from_secs(1)), Some(Time::from_secs(2)));
+    }
+
+    #[test]
+    fn overlapping_degradations_stack_and_unwind() {
+        let mut net = FlowNet::new(vec![1_000_000_000]);
+        net.insert(Time::ZERO, 1, u64::MAX / 2, &[lid(0)]);
+        net.degrade_link(Time::ZERO, lid(0), 0.5);
+        net.degrade_link(Time::ZERO, lid(0), 0.5);
+        assert_eq!(net.rates(), vec![250_000_000.0]);
+        net.restore_link(Time::ZERO, lid(0));
+        assert_eq!(net.rates(), vec![500_000_000.0]);
+        net.restore_link(Time::ZERO, lid(0));
+        assert_eq!(net.rates(), vec![1_000_000_000.0]);
+        // Extra restore is a no-op, and rates stay exactly nominal.
+        net.restore_link(Time::ZERO, lid(0));
+        assert_eq!(net.rates(), vec![1_000_000_000.0]);
+    }
+
+    #[test]
+    fn try_insert_reports_errors() {
+        use crate::topology::FabricError;
+        let mut net = FlowNet::new(vec![1_000_000_000]);
+        assert_eq!(
+            net.try_insert(Time::ZERO, 1, 10, &[]),
+            Err(FabricError::EmptyRoute)
+        );
+        assert_eq!(
+            net.try_insert(Time::ZERO, 1, 10, &[lid(7)]),
+            Err(FabricError::UnknownLink(lid(7)))
+        );
+        // Failed inserts leave the network untouched.
+        assert_eq!(net.active_flows(), 0);
+        assert_eq!(net.generation(), 0);
+        assert!(net.try_insert(Time::ZERO, 1, 10, &[lid(0)]).is_ok());
+        assert_eq!(net.active_flows(), 1);
+    }
+
+    #[test]
     fn rates_never_oversubscribe_links() {
         // Randomized-ish structural check over a fixed scenario set.
         let mut net = FlowNet::new(vec![3_000_000_000, 1_000_000_000, 2_000_000_000]);
@@ -367,7 +492,7 @@ mod tests {
             net.insert(Time::ZERO, i as u64, 1_000_000_000, r);
         }
         let rates = net.rates();
-        let mut per_link = vec![0.0f64; 3];
+        let mut per_link = [0.0f64; 3];
         for (f, r) in routes.iter().zip(&rates) {
             for l in f {
                 per_link[l.index()] += r;

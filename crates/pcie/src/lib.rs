@@ -42,9 +42,11 @@
 pub mod energy;
 pub mod flow;
 pub mod link;
+pub mod replay;
 pub mod topology;
 
 pub use energy::{Joules, PcieEnergyModel};
 pub use flow::{FlowId, FlowNet};
 pub use link::{Gen, InvalidLanes, Lanes, LinkSpec};
-pub use topology::{LinkId, NodeId, NodeKind, Route, Topology};
+pub use replay::{transfer_faults, ReplayParams, TransferFaults};
+pub use topology::{FabricError, LinkId, NodeId, NodeKind, Route, Topology};

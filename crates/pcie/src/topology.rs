@@ -5,6 +5,47 @@ use crate::link::{Gen, LinkSpec};
 use dmx_sim::Time;
 use std::fmt;
 
+/// Errors the fabric model can report instead of panicking.
+///
+/// The hot paths ([`Topology::route`], [`crate::FlowNet::insert`]) keep
+/// their panicking signatures for ergonomic use from the simulator, but
+/// each is a thin wrapper over a `try_*` variant returning this error,
+/// so callers that must survive malformed inputs (e.g. fuzzing, fault
+/// injection with dead nodes) can handle them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricError {
+    /// A non-root node had no parent link: the tree is malformed.
+    OrphanNode(NodeId),
+    /// A node id out of range for this topology.
+    UnknownNode(NodeId),
+    /// A route referenced a link the flow network does not know.
+    UnknownLink(LinkId),
+    /// A flow was inserted over an empty route.
+    EmptyRoute,
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::OrphanNode(n) => {
+                write!(
+                    f,
+                    "malformed topology: non-root node {} has no parent",
+                    n.index()
+                )
+            }
+            FabricError::UnknownNode(n) => write!(f, "unknown node {}", n.index()),
+            FabricError::UnknownLink(l) => write!(f, "route references unknown link {}", l.index()),
+            FabricError::EmptyRoute => write!(
+                f,
+                "flows must cross at least one link; model local copies separately"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
 /// Index of a node in a [`Topology`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) usize);
@@ -238,10 +279,31 @@ impl Topology {
     /// The route lists links in traversal order and every intermediate
     /// node (whose traversal latencies are summed into `Route::latency`).
     /// The endpoints themselves contribute no traversal latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range node ids or a malformed tree; use
+    /// [`Topology::try_route`] to handle those as errors.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Route {
-        if src == dst {
-            return Route::empty();
+        match self.try_route(src, dst) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Fallible variant of [`Topology::route`].
+    pub fn try_route(&self, src: NodeId, dst: NodeId) -> Result<Route, FabricError> {
+        for n in [src, dst] {
+            if n.0 >= self.nodes.len() {
+                return Err(FabricError::UnknownNode(n));
+            }
+        }
+        if src == dst {
+            return Ok(Route::empty());
+        }
+        let parent_of = |n: NodeId| -> Result<(NodeId, LinkId), FabricError> {
+            self.nodes[n.0].parent.ok_or(FabricError::OrphanNode(n))
+        };
         // Walk both nodes up to their lowest common ancestor.
         let mut up_links = Vec::new(); // src -> lca
         let mut up_nodes = Vec::new();
@@ -250,20 +312,20 @@ impl Topology {
         let mut a = src;
         let mut b = dst;
         while self.nodes[a.0].depth > self.nodes[b.0].depth {
-            let (p, l) = self.nodes[a.0].parent.expect("non-root has parent");
+            let (p, l) = parent_of(a)?;
             up_links.push(l);
             up_nodes.push(p);
             a = p;
         }
         while self.nodes[b.0].depth > self.nodes[a.0].depth {
-            let (p, l) = self.nodes[b.0].parent.expect("non-root has parent");
+            let (p, l) = parent_of(b)?;
             down_links.push(l);
             down_nodes.push(p);
             b = p;
         }
         while a != b {
-            let (pa, la) = self.nodes[a.0].parent.expect("non-root has parent");
-            let (pb, lb) = self.nodes[b.0].parent.expect("non-root has parent");
+            let (pa, la) = parent_of(a)?;
+            let (pb, lb) = parent_of(b)?;
             up_links.push(la);
             up_nodes.push(pa);
             down_links.push(lb);
@@ -286,7 +348,11 @@ impl Topology {
             .iter()
             .map(|n| self.nodes[n.0].kind.traversal_latency())
             .sum();
-        Route { links, via, latency }
+        Ok(Route {
+            links,
+            via,
+            latency,
+        })
     }
 
     /// Bottleneck (minimum) bandwidth along a route, in bytes/second.
@@ -428,6 +494,24 @@ mod tests {
             a0,
             LinkSpec::new(Gen::Gen3, Lanes::X1),
         );
+    }
+
+    #[test]
+    fn try_route_rejects_unknown_nodes() {
+        let (t, _, _, _, a0, _, _) = two_switch_topo();
+        let bogus = NodeId(999);
+        assert_eq!(t.try_route(a0, bogus), Err(FabricError::UnknownNode(bogus)));
+        assert_eq!(t.try_route(bogus, a0), Err(FabricError::UnknownNode(bogus)));
+        assert!(t.try_route(a0, a0).unwrap().links.is_empty());
+        let msg = FabricError::UnknownNode(bogus).to_string();
+        assert!(msg.contains("999"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn route_panics_on_unknown_node() {
+        let (t, _, _, _, a0, _, _) = two_switch_topo();
+        t.route(a0, NodeId(999));
     }
 
     #[test]

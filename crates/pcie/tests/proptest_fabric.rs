@@ -1,16 +1,24 @@
 //! Property-based tests of the PCIe fabric: routing on random trees and
-//! max-min fairness of the flow network.
+//! max-min fairness of the flow network, on the in-tree deterministic
+//! harness (`dmx_sim::check`).
 
-use dmx_pcie::{FlowNet, Gen, Lanes, LinkSpec, NodeId, NodeKind, Topology};
-use dmx_sim::Time;
-use proptest::prelude::*;
+use dmx_pcie::{FlowNet, Gen as PcieGen, Lanes, LinkSpec, NodeId, NodeKind, Topology};
+use dmx_sim::{cases, run_cases, Time};
 
-/// Builds a random two-level tree: `n_switches` switches under the
-/// root, each with a few devices.
+fn n_cases() -> usize {
+    cases(if cfg!(feature = "heavy-tests") {
+        512
+    } else {
+        64
+    })
+}
+
+/// Builds a random two-level tree: one switch per entry of
+/// `switch_sizes` under the root, each with that many devices.
 fn random_tree(switch_sizes: &[usize]) -> (Topology, Vec<NodeId>) {
     let mut topo = Topology::new();
-    let up = LinkSpec::new(Gen::Gen3, Lanes::X8);
-    let down = LinkSpec::new(Gen::Gen3, Lanes::X16);
+    let up = LinkSpec::new(PcieGen::Gen3, Lanes::X8);
+    let down = LinkSpec::new(PcieGen::Gen3, Lanes::X16);
     let mut devices = Vec::new();
     for (i, &n) in switch_sizes.iter().enumerate() {
         let sw = topo.add_node(NodeKind::Switch, format!("sw{i}"), topo.root(), up);
@@ -21,45 +29,42 @@ fn random_tree(switch_sizes: &[usize]) -> (Topology, Vec<NodeId>) {
     (topo, devices)
 }
 
-proptest! {
-    /// Tree routes are symmetric in length and latency, stay within the
-    /// link table, and the same-switch/cross-switch hop counts are
-    /// exactly 2 and 4.
-    #[test]
-    fn routes_on_random_trees(
-        sizes in prop::collection::vec(1usize..5, 1..5),
-        a_pick in 0usize..100,
-        b_pick in 0usize..100,
-    ) {
+/// Tree routes are symmetric in length and latency, stay within the
+/// link table, and the same-switch/cross-switch hop counts are exactly
+/// 2 and 4.
+#[test]
+fn routes_on_random_trees() {
+    run_cases("pcie::routes_on_random_trees", n_cases(), |g| {
+        let sizes = g.vec(1, 5, |g| g.usize_in(1, 5));
         let (topo, devices) = random_tree(&sizes);
-        let a = devices[a_pick % devices.len()];
-        let b = devices[b_pick % devices.len()];
+        let a = devices[g.usize_in(0, 100) % devices.len()];
+        let b = devices[g.usize_in(0, 100) % devices.len()];
         let fwd = topo.route(a, b);
         let back = topo.route(b, a);
-        prop_assert_eq!(fwd.hop_count(), back.hop_count());
-        prop_assert_eq!(fwd.latency, back.latency);
+        assert_eq!(fwd.hop_count(), back.hop_count());
+        assert_eq!(fwd.latency, back.latency);
         for l in &fwd.links {
-            prop_assert!(l.index() < topo.link_count());
+            assert!(l.index() < topo.link_count());
         }
         if a == b {
-            prop_assert_eq!(fwd.hop_count(), 0);
+            assert_eq!(fwd.hop_count(), 0);
         } else {
             let same_switch = topo.parent(a).map(|(p, _)| p) == topo.parent(b).map(|(p, _)| p);
-            prop_assert_eq!(fwd.hop_count(), if same_switch { 2 } else { 4 });
+            assert_eq!(fwd.hop_count(), if same_switch { 2 } else { 4 });
         }
-    }
+    });
+}
 
-    /// Max-min rates never oversubscribe a link, are work-conserving on
-    /// the bottleneck, and every flow eventually finishes with all its
-    /// bytes accounted on every link it crossed.
-    #[test]
-    fn flow_network_fairness_and_conservation(
-        bws in prop::collection::vec(1_000u64..1_000_000, 1..6),
-        flows in prop::collection::vec(
-            (1u64..500_000, prop::collection::vec(0usize..6, 1..4)),
-            1..8,
-        ),
-    ) {
+/// Max-min rates never oversubscribe a link, are work-conserving on the
+/// bottleneck, and every flow eventually finishes with all its bytes
+/// accounted on every link it crossed.
+#[test]
+fn flow_network_fairness_and_conservation() {
+    run_cases("pcie::flow_fairness_conservation", n_cases(), |g| {
+        let bws = g.vec(1, 6, |g| g.u64_in(1_000, 1_000_000));
+        let flows = g.vec(1, 8, |g| {
+            (g.u64_in(1, 500_000), g.vec(1, 4, |g| g.usize_in(0, 6)))
+        });
         let nlinks = bws.len();
         let mut net = FlowNet::new(bws.clone());
         let mut valid = Vec::new();
@@ -81,7 +86,10 @@ proptest! {
             }
         }
         for (l, used) in per_link.iter().enumerate() {
-            prop_assert!(*used <= bws[l] as f64 * (1.0 + 1e-6), "link {l} oversubscribed");
+            assert!(
+                *used <= bws[l] as f64 * (1.0 + 1e-6),
+                "link {l} oversubscribed"
+            );
         }
         // Run to completion.
         let mut done = net.take_finished().len();
@@ -92,7 +100,7 @@ proptest! {
             net.advance(now);
             done += net.take_finished().len();
             guard += 1;
-            prop_assert!(guard < 10_000, "network did not drain");
+            assert!(guard < 10_000, "network did not drain");
         }
         // Byte conservation per link.
         let mut expect = vec![0.0f64; nlinks];
@@ -102,17 +110,18 @@ proptest! {
             }
         }
         for (got, want) in net.link_bytes().iter().zip(&expect) {
-            prop_assert!((got - want).abs() <= want * 1e-6 + 1.0, "{got} vs {want}");
+            assert!((got - want).abs() <= want * 1e-6 + 1.0, "{got} vs {want}");
         }
-    }
+    });
+}
 
-    /// A single flow's completion time equals bytes / bottleneck
-    /// bandwidth regardless of the rest of the route.
-    #[test]
-    fn single_flow_bottleneck_exact(
-        bws in prop::collection::vec(10_000u64..10_000_000, 1..5),
-        bytes in 1u64..50_000_000,
-    ) {
+/// A single flow's completion time equals bytes / bottleneck bandwidth
+/// regardless of the rest of the route.
+#[test]
+fn single_flow_bottleneck_exact() {
+    run_cases("pcie::single_flow_bottleneck", n_cases(), |g| {
+        let bws = g.vec(1, 5, |g| g.u64_in(10_000, 10_000_000));
+        let bytes = g.u64_in(1, 50_000_000);
         let route: Vec<dmx_pcie::LinkId> =
             (0..bws.len()).map(dmx_pcie::LinkId::from_index).collect();
         let bottleneck = *bws.iter().min().expect("nonempty");
@@ -121,6 +130,9 @@ proptest! {
         let done = net.next_event(Time::ZERO).expect("flow pending");
         let ideal = bytes as f64 / bottleneck as f64;
         let got = done.as_secs_f64();
-        prop_assert!((got - ideal).abs() <= ideal * 1e-6 + 1e-9, "{got} vs {ideal}");
-    }
+        assert!(
+            (got - ideal).abs() <= ideal * 1e-6 + 1e-9,
+            "{got} vs {ideal}"
+        );
+    });
 }

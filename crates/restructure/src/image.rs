@@ -44,7 +44,10 @@ impl YuvToTensor {
     /// Panics if a dimension is zero or odd.
     pub fn new(width: u64, height: u64) -> YuvToTensor {
         assert!(width > 0 && height > 0, "empty frame");
-        assert!(width % 2 == 0 && height % 2 == 0, "dimensions must be even");
+        assert!(
+            width.is_multiple_of(2) && height.is_multiple_of(2),
+            "dimensions must be even"
+        );
         YuvToTensor { width, height }
     }
 
@@ -245,7 +248,10 @@ impl RestructureOp for YuvToTensor {
         let compiled = compile(&kernel, config)?;
         let hw = self.width * self.height;
         let qw = hw / 4;
-        let coef_bytes: Vec<u8> = Self::coeffs().iter().flat_map(|v| v.to_le_bytes()).collect();
+        let coef_bytes: Vec<u8> = Self::coeffs()
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
         Ok(Lowered {
             inputs: vec![
                 (compiled.layout.addr(inputs[0]), hw),
@@ -286,8 +292,7 @@ mod tests {
     #[test]
     fn cpu_and_drx_agree_multi_tile() {
         let op = YuvToTensor::new(64, 48);
-        let mut cfg = DrxConfig::default();
-        cfg.scratchpad_bytes = 16 << 10;
+        let cfg = DrxConfig::default().with_scratchpad(16 << 10);
         assert_cpu_drx_equal(&op, &cfg, &frame_bytes(64, 48));
     }
 

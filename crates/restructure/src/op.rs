@@ -167,10 +167,7 @@ pub fn run_on_drx(
         });
     }
     let mut cfg = *config;
-    cfg.dram.capacity_bytes = cfg
-        .dram
-        .capacity_bytes
-        .max(lowered.dram_bytes + (1 << 20));
+    cfg.dram.capacity_bytes = cfg.dram.capacity_bytes.max(lowered.dram_bytes + (1 << 20));
     let mut machine = Machine::new(cfg);
     for (addr, data) in &lowered.consts {
         machine.write_dram(*addr, data);

@@ -43,9 +43,7 @@ impl DbPivot {
         assert!(rows > 0 && cols > 0, "empty table");
         DbPivot { rows, cols }
     }
-
 }
-
 
 /// Shared Transposition-Engine program builder: streams `rows x cols`
 /// row-major tiles of `dtype` elements, transposes each block, optionally
@@ -63,12 +61,14 @@ fn build_block_transpose(
     let max_br = (budget / (cols * elem)).min(rows);
     let br = (1..=max_br)
         .rev()
-        .find(|b| rows % b == 0)
-        .ok_or(OpError::Compile(dmx_drx::CompileError::WorkingSetTooLarge {
-            nest: 0,
-            need: cols * elem * 2,
-            avail: config.scratchpad_bytes,
-        }))?;
+        .find(|b| rows.is_multiple_of(*b))
+        .ok_or(OpError::Compile(
+            dmx_drx::CompileError::WorkingSetTooLarge {
+                nest: 0,
+                need: cols * elem * 2,
+                avail: config.scratchpad_bytes,
+            },
+        ))?;
     let nblocks = rows / br;
     let bytes = rows * cols * elem;
     let block_bytes = br * cols * elem;
@@ -93,27 +93,28 @@ fn build_block_transpose(
         imm: out_addr as i64,
     }));
 
-    let mut body = Vec::new();
-    body.push(Instr::Dma {
-        dir: DmaDir::Load,
-        dram: DramAddr::Reg { reg: 1, offset: 0 },
-        spad: tile,
-        bytes: block_bytes,
-    });
-    body.push(Instr::Sync(SyncKind::WaitMemAll));
-    body.push(Instr::SetBase {
-        port: Port::Src0,
-        addr: tile,
-    });
-    body.push(Instr::SetBase {
-        port: Port::Dst,
-        addr: trans,
-    });
-    body.push(Instr::Transpose {
-        rows: br as u32,
-        cols: cols as u32,
-        dtype,
-    });
+    let mut body = vec![
+        Instr::Dma {
+            dir: DmaDir::Load,
+            dram: DramAddr::Reg { reg: 1, offset: 0 },
+            spad: tile,
+            bytes: block_bytes,
+        },
+        Instr::Sync(SyncKind::WaitMemAll),
+        Instr::SetBase {
+            port: Port::Src0,
+            addr: tile,
+        },
+        Instr::SetBase {
+            port: Port::Dst,
+            addr: trans,
+        },
+        Instr::Transpose {
+            rows: br as u32,
+            cols: cols as u32,
+            dtype,
+        },
+    ];
     if bswap {
         // In-place byte swap of the transposed block.
         let emit = |base_shift: u64, count: u64, vlen: u64, body: &mut Vec<Instr>| {
@@ -561,8 +562,7 @@ mod tests {
     #[test]
     fn pivot_cpu_drx_agree_multi_block() {
         let op = DbPivot::new(1024, 8);
-        let mut cfg = DrxConfig::default();
-        cfg.scratchpad_bytes = 8 << 10; // forces several blocks
+        let cfg = DrxConfig::default().with_scratchpad(8 << 10); // forces several blocks
         assert_cpu_drx_equal(&op, &cfg, &table_bytes(1024, 8));
     }
 
@@ -584,7 +584,7 @@ mod tests {
         let op = DbPivot::new(256, 4);
         let (_, stats) = run_on_drx(&op, &DrxConfig::default(), &table_bytes(256, 4)).unwrap();
         assert!(stats.vec_instrs > 0);
-        assert!(stats.dma_count >= 1 + 4); // at least one load + per-column stores
+        assert!(stats.dma_count > 4); // at least one load + per-column stores
     }
 
     #[test]
@@ -607,7 +607,10 @@ mod tests {
             .collect();
         // Partition ids must be nondecreasing across the output.
         let pids: Vec<u64> = keys.iter().map(|k| partition_id(*k, 8)).collect();
-        assert!(pids.windows(2).all(|w| w[0] <= w[1]), "not grouped: {pids:?}");
+        assert!(
+            pids.windows(2).all(|w| w[0] <= w[1]),
+            "not grouped: {pids:?}"
+        );
         // And it is a permutation of the input.
         let mut orig: Vec<u32> = input
             .chunks_exact(4)
@@ -678,8 +681,7 @@ mod deinterleave_tests {
     #[test]
     fn cpu_and_drx_agree_many_fields_small_spad() {
         let op = Deinterleave::new(512, 6);
-        let mut cfg = DrxConfig::default();
-        cfg.scratchpad_bytes = 8 << 10;
+        let cfg = DrxConfig::default().with_scratchpad(8 << 10);
         assert_cpu_drx_equal(&op, &cfg, &planar_input(512, 6));
     }
 

@@ -111,7 +111,9 @@ mod tests {
     #[test]
     fn scales_with_lanes() {
         let op = VecSum { elems: 65536 };
-        let input: Vec<u8> = (0..131072u32).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        let input: Vec<u8> = (0..131072u32)
+            .flat_map(|i| (i as f32).to_le_bytes())
+            .collect();
         let cfg32 = DrxConfig::default().with_lanes(32);
         let cfg128 = DrxConfig::default();
         let (_, s32) = run_on_drx(&op, &cfg32, &input).unwrap();

@@ -40,7 +40,10 @@ impl BandPower {
     ///
     /// Panics if `bins` is not a multiple of `bands`.
     pub fn new(frames: u64, bins: u64, bands: u64, scale: f64, bias: f64) -> BandPower {
-        assert!(bands > 0 && bins % bands == 0, "bins must divide into bands");
+        assert!(
+            bands > 0 && bins.is_multiple_of(bands),
+            "bins must divide into bands"
+        );
         BandPower {
             frames,
             bins,
@@ -381,8 +384,7 @@ mod tests {
         let input: Vec<u8> = (0..40 * 32 * 2)
             .flat_map(|i| ((i % 13) as f32).to_le_bytes())
             .collect();
-        let mut cfg = DrxConfig::default();
-        cfg.scratchpad_bytes = 4 << 10;
+        let cfg = DrxConfig::default().with_scratchpad(4 << 10);
         assert_cpu_drx_equal(&op, &cfg, &input);
     }
 
@@ -553,10 +555,7 @@ impl RestructureOp for PadFrame {
         let compiled = compile(&k, config)?;
         Ok(Lowered {
             inputs: vec![(compiled.layout.addr(input), self.rows_in * self.cols_in * 4)],
-            outputs: vec![(
-                compiled.layout.addr(out),
-                self.rows_out * self.cols_out * 4,
-            )],
+            outputs: vec![(compiled.layout.addr(out), self.rows_out * self.cols_out * 4)],
             consts: vec![],
             dram_bytes: compiled.layout.total_bytes(),
             program: compiled.program,
@@ -584,8 +583,7 @@ mod pad_tests {
     #[test]
     fn cpu_and_drx_agree_small_spad() {
         let op = PadFrame::new(100, 60, 128, 64);
-        let mut cfg = DrxConfig::default();
-        cfg.scratchpad_bytes = 4 << 10;
+        let cfg = DrxConfig::default().with_scratchpad(4 << 10);
         assert_cpu_drx_equal(&op, &cfg, &tile(100, 60));
     }
 

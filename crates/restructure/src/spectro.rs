@@ -297,8 +297,7 @@ mod tests {
     #[test]
     fn cpu_and_drx_agree_with_tiny_scratchpad() {
         let op = small();
-        let mut cfg = DrxConfig::default();
-        cfg.scratchpad_bytes = 8 << 10; // force multi-tile schedules
+        let cfg = DrxConfig::default().with_scratchpad(8 << 10); // force multi-tile schedules
         assert_cpu_drx_equal(&op, &cfg, &synth_input(&op));
     }
 

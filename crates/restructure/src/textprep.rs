@@ -173,8 +173,7 @@ mod tests {
     fn cpu_and_drx_agree_small_spad() {
         let op = TokenizeGather::new(20, 18);
         let text: Vec<u8> = (0..20 * 16).map(|i| (i * 7 % 256) as u8).collect();
-        let mut cfg = DrxConfig::default();
-        cfg.scratchpad_bytes = 8 << 10;
+        let cfg = DrxConfig::default().with_scratchpad(8 << 10);
         assert_cpu_drx_equal(&op, &cfg, &text);
     }
 

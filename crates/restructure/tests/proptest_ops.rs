@@ -1,32 +1,46 @@
 //! Property-based tests: every restructuring op's DRX execution equals
-//! its CPU reference on random shapes and random inputs.
+//! its CPU reference on random shapes and random inputs. Runs on the
+//! in-tree deterministic harness (`dmx_sim::check`).
 
 use dmx_drx::DrxConfig;
 use dmx_restructure::{
     assert_cpu_drx_equal, BandPower, Deinterleave, EndianSwap, HashPartition, PadFrame,
     QuantizeTensor, SpectrogramMel, TokenizeGather, VecSum, YuvToTensor,
 };
-use proptest::prelude::*;
+use dmx_sim::{cases, run_cases};
+
+// These cases run a full compile + DRX execution each, so the base
+// count stays low (proptest used 24).
+fn n_cases() -> usize {
+    cases(if cfg!(feature = "heavy-tests") {
+        96
+    } else {
+        24
+    })
+}
 
 fn cfg() -> DrxConfig {
     DrxConfig::default()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn endian_swap_matches(words in 1u64..3000, seed in any::<u8>()) {
+#[test]
+fn endian_swap_matches() {
+    run_cases("restructure::endian_swap", n_cases(), |g| {
+        let words = g.u64_in(1, 3000);
+        let seed = g.u64_in(0, 256) as u8;
         let op = EndianSwap { words };
-        let input: Vec<u8> = (0..words * 4).map(|i| (i as u8).wrapping_add(seed)).collect();
+        let input: Vec<u8> = (0..words * 4)
+            .map(|i| (i as u8).wrapping_add(seed))
+            .collect();
         assert_cpu_drx_equal(&op, &cfg(), &input);
-    }
+    });
+}
 
-    #[test]
-    fn quantize_matches(
-        elems in 1u64..2000,
-        scale in -100i32..100,
-    ) {
+#[test]
+fn quantize_matches() {
+    run_cases("restructure::quantize", n_cases(), |g| {
+        let elems = g.u64_in(1, 2000);
+        let scale = g.i64_in(-100, 100);
         let op = QuantizeTensor {
             elems,
             scale: scale as f64 * 0.37,
@@ -35,23 +49,27 @@ proptest! {
             .flat_map(|i| (((i * 37) % 997) as f32 - 500.0).to_le_bytes())
             .collect();
         assert_cpu_drx_equal(&op, &cfg(), &input);
-    }
+    });
+}
 
-    #[test]
-    fn vec_sum_matches(elems in 1u64..4000) {
+#[test]
+fn vec_sum_matches() {
+    run_cases("restructure::vec_sum", n_cases(), |g| {
+        let elems = g.u64_in(1, 4000);
         let op = VecSum { elems };
         let input: Vec<u8> = (0..2 * elems)
             .flat_map(|i| ((i as f32 * 0.7).cos() * 100.0).to_le_bytes())
             .collect();
         assert_cpu_drx_equal(&op, &cfg(), &input);
-    }
+    });
+}
 
-    #[test]
-    fn hash_partition_matches(
-        keys in 1u64..2048,
-        parts_log in 1u32..6,
-        seed in any::<u32>(),
-    ) {
+#[test]
+fn hash_partition_matches() {
+    run_cases("restructure::hash_partition", n_cases(), |g| {
+        let keys = g.u64_in(1, 2048);
+        let parts_log = g.u64_in(1, 6) as u32;
+        let seed = g.u64_in(0, 1 << 32) as u32;
         let op = HashPartition::new(keys, 1 << parts_log);
         let mut state = seed | 1;
         let input: Vec<u8> = (0..keys)
@@ -63,35 +81,43 @@ proptest! {
             })
             .collect();
         assert_cpu_drx_equal(&op, &cfg(), &input);
-    }
+    });
+}
 
-    #[test]
-    fn tokenize_matches(n_seqs in 1u64..40, seq_len in 3u64..80, seed in any::<u8>()) {
+#[test]
+fn tokenize_matches() {
+    run_cases("restructure::tokenize", n_cases(), |g| {
+        let n_seqs = g.u64_in(1, 40);
+        let seq_len = g.u64_in(3, 80);
+        let seed = g.u64_in(0, 256) as u8;
         let op = TokenizeGather::new(n_seqs, seq_len);
         let input: Vec<u8> = (0..n_seqs * (seq_len - 2))
             .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
             .collect();
         assert_cpu_drx_equal(&op, &cfg(), &input);
-    }
+    });
+}
 
-    #[test]
-    fn band_power_matches(
-        frames in 1u64..20,
-        bands_log in 1u32..4,
-        k0 in 1u64..8,
-    ) {
-        let bands = 1u64 << bands_log;
+#[test]
+fn band_power_matches() {
+    run_cases("restructure::band_power", n_cases(), |g| {
+        let frames = g.u64_in(1, 20);
+        let bands = 1u64 << g.u64_in(1, 4);
+        let k0 = g.u64_in(1, 8);
         let bins = bands * k0;
         let op = BandPower::new(frames, bins, bands, 0.125, -0.5);
         let input: Vec<u8> = (0..frames * bins * 2)
             .flat_map(|i| (((i % 53) as f32) * 0.25 - 6.0).to_le_bytes())
             .collect();
         assert_cpu_drx_equal(&op, &cfg(), &input);
-    }
+    });
+}
 
-    #[test]
-    fn spectrogram_mel_matches(frames in 1u64..10, bins_log in 4u32..6) {
-        let bins = (1u64 << bins_log) + 1;
+#[test]
+fn spectrogram_mel_matches() {
+    run_cases("restructure::spectrogram_mel", n_cases(), |g| {
+        let frames = g.u64_in(1, 10);
+        let bins = (1u64 << g.u64_in(4, 6)) + 1;
         let op = SpectrogramMel {
             frames,
             bins,
@@ -102,38 +128,47 @@ proptest! {
             .flat_map(|i| (((i * 29) % 101) as f32 * 0.5 - 25.0).to_le_bytes())
             .collect();
         assert_cpu_drx_equal(&op, &cfg(), &input);
-    }
+    });
+}
 
-    #[test]
-    fn deinterleave_matches(records in 1u64..600, fields in 1u64..8, seed in any::<u8>()) {
+#[test]
+fn deinterleave_matches() {
+    run_cases("restructure::deinterleave", n_cases(), |g| {
+        let records = g.u64_in(1, 600);
+        let fields = g.u64_in(1, 8);
+        let seed = g.u64_in(0, 256) as u8;
         let op = Deinterleave::new(records, fields);
         let input: Vec<u8> = (0..records * fields * 4)
             .map(|i| (i as u8).wrapping_mul(13).wrapping_add(seed))
             .collect();
         assert_cpu_drx_equal(&op, &cfg(), &input);
-    }
+    });
+}
 
-    #[test]
-    fn pad_frame_matches(
-        rows in 1u64..40,
-        cols in 1u64..40,
-        pad_r in 0u64..10,
-        pad_c in 0u64..10,
-    ) {
+#[test]
+fn pad_frame_matches() {
+    run_cases("restructure::pad_frame", n_cases(), |g| {
+        let rows = g.u64_in(1, 40);
+        let cols = g.u64_in(1, 40);
+        let pad_r = g.u64_in(0, 10);
+        let pad_c = g.u64_in(0, 10);
         let op = PadFrame::new(rows, cols, rows + pad_r, cols + pad_c);
         let input: Vec<u8> = (0..rows * cols)
             .flat_map(|i| ((i as f32) - 7.0).to_le_bytes())
             .collect();
         assert_cpu_drx_equal(&op, &cfg(), &input);
-    }
+    });
+}
 
-    #[test]
-    fn yuv_to_tensor_matches(w_half in 2u64..20, h_half in 2u64..12, seed in any::<u8>()) {
-        let (w, h) = (w_half * 2, h_half * 2);
+#[test]
+fn yuv_to_tensor_matches() {
+    run_cases("restructure::yuv_to_tensor", n_cases(), |g| {
+        let (w, h) = (g.u64_in(2, 20) * 2, g.u64_in(2, 12) * 2);
+        let seed = g.u64_in(0, 256) as u8;
         let op = YuvToTensor::new(w, h);
         let input: Vec<u8> = (0..w * h * 3 / 2)
             .map(|i| (i as u8).wrapping_mul(7).wrapping_add(seed))
             .collect();
         assert_cpu_drx_equal(&op, &cfg(), &input);
-    }
+    });
 }

@@ -1,0 +1,272 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] answers every "did this go wrong?" question the
+//! system model asks — chunk corruption on a PCIe transfer, a lost
+//! completion notification, a stalled DRX command, a unit dying — from
+//! a single seed. Each query draws from its own [`SplitMix64`]
+//! sub-stream keyed on `(seed, domain, ids)`, so answers are
+//! *order-independent*: the same `(config, seed)` yields the same fault
+//! schedule no matter which order the simulator happens to ask in, and
+//! a run is exactly reproducible from its config.
+
+use crate::rng::SplitMix64;
+use crate::time::Time;
+
+/// Domain tags keeping sub-streams disjoint.
+const DOMAIN_CHUNK: u64 = 0x01;
+const DOMAIN_COMPLETION: u64 = 0x02;
+const DOMAIN_STALL: u64 = 0x03;
+const DOMAIN_DEATH: u64 = 0x04;
+
+/// Fault-injection configuration. All rates default to zero; a
+/// zero-rate config is *inert* — it must not perturb the simulation in
+/// any way (verified by integration tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Root seed for every fault sub-stream.
+    pub seed: u64,
+    /// PCIe bit-error rate (errors per bit transferred). Real links
+    /// guarantee ~1e-12; sweeps push this far higher to expose the
+    /// replay/retrain machinery.
+    pub bit_error_rate: f64,
+    /// Probability a completion notification (interrupt) is lost and
+    /// the driver's watchdog must recover by polling.
+    pub lost_completion_rate: f64,
+    /// Probability a DRX command attempt stalls past its timeout.
+    pub stall_rate: f64,
+    /// Mean time to permanent unit failure, in seconds. `None`
+    /// disables random deaths.
+    pub death_mttf_secs: Option<f64>,
+    /// Explicit `(unit, time)` kill schedule, independent of the seed.
+    pub kills: Vec<(u64, Time)>,
+}
+
+impl FaultConfig {
+    /// An inert config: nothing ever fails.
+    pub fn none() -> Self {
+        FaultConfig {
+            seed: 0,
+            bit_error_rate: 0.0,
+            lost_completion_rate: 0.0,
+            stall_rate: 0.0,
+            death_mttf_secs: None,
+            kills: Vec::new(),
+        }
+    }
+
+    /// True when no fault of any kind can fire.
+    pub fn is_inert(&self) -> bool {
+        self.bit_error_rate == 0.0
+            && self.lost_completion_rate == 0.0
+            && self.stall_rate == 0.0
+            && self.death_mttf_secs.is_none()
+            && self.kills.is_empty()
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// A compiled fault schedule. Cheap to clone; all state is derived on
+/// demand from the config.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Compiles a plan from a config.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultPlan { cfg }
+    }
+
+    /// The underlying config.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// True when no fault of any kind can fire.
+    pub fn is_inert(&self) -> bool {
+        self.cfg.is_inert()
+    }
+
+    /// A fresh sub-stream for `(domain, a, b)`. SplitMix64's output
+    /// function is a strong 64-bit mixer, so feeding each key through
+    /// one round decorrelates the streams.
+    fn stream(&self, domain: u64, a: u64, b: u64) -> SplitMix64 {
+        let mut k = SplitMix64::new(self.cfg.seed ^ domain.wrapping_mul(0xA076_1D64_78BD_642F));
+        let s1 = k.next_u64() ^ SplitMix64::new(a).next_u64();
+        SplitMix64::new(s1 ^ SplitMix64::new(b.wrapping_add(1)).next_u64())
+    }
+
+    /// Probability that one `chunk_bits`-bit chunk carries at least one
+    /// bit error at this plan's bit-error rate.
+    pub fn chunk_corruption_probability(&self, chunk_bits: f64) -> f64 {
+        if self.cfg.bit_error_rate <= 0.0 {
+            return 0.0;
+        }
+        1.0 - (1.0 - self.cfg.bit_error_rate).powf(chunk_bits)
+    }
+
+    /// How many of `chunks` chunks of transfer `flow` arrive corrupted
+    /// and must be replayed. Binomial via per-chunk Bernoulli draws on
+    /// the flow's own stream.
+    pub fn corrupted_chunks(&self, flow: u64, chunks: u64, per_chunk_p: f64) -> u64 {
+        if per_chunk_p <= 0.0 || chunks == 0 {
+            return 0;
+        }
+        let mut rng = self.stream(DOMAIN_CHUNK, flow, chunks);
+        (0..chunks).filter(|_| rng.next_f64() < per_chunk_p).count() as u64
+    }
+
+    /// Whether completion notification `event` is lost in delivery.
+    pub fn completion_lost(&self, event: u64) -> bool {
+        if self.cfg.lost_completion_rate <= 0.0 {
+            return false;
+        }
+        self.stream(DOMAIN_COMPLETION, event, 0).next_f64() < self.cfg.lost_completion_rate
+    }
+
+    /// Whether attempt `attempt` of DRX command `job` stalls past its
+    /// timeout and must be retried.
+    pub fn drx_stalled(&self, job: u64, attempt: u32) -> bool {
+        if self.cfg.stall_rate <= 0.0 {
+            return false;
+        }
+        self.stream(DOMAIN_STALL, job, attempt as u64).next_f64() < self.cfg.stall_rate
+    }
+
+    /// When unit `unit` permanently dies, if ever: the earlier of its
+    /// explicit kill entry and a seed-driven exponential draw.
+    pub fn death_time(&self, unit: u64) -> Option<Time> {
+        let scheduled = self
+            .cfg
+            .kills
+            .iter()
+            .filter(|(u, _)| *u == unit)
+            .map(|(_, t)| *t)
+            .min();
+        let sampled = self.cfg.death_mttf_secs.map(|mttf| {
+            let secs = self.stream(DOMAIN_DEATH, unit, 0).next_exp(mttf);
+            Time::from_secs_f64(secs)
+        });
+        match (scheduled, sampled) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy() -> FaultPlan {
+        FaultPlan::new(FaultConfig {
+            seed: 42,
+            bit_error_rate: 1e-9,
+            lost_completion_rate: 0.1,
+            stall_rate: 0.2,
+            death_mttf_secs: Some(1.0),
+            kills: vec![(3, Time::from_ms(5))],
+        })
+    }
+
+    #[test]
+    fn order_independent_queries() {
+        let p = lossy();
+        let a = (
+            p.corrupted_chunks(7, 100, 0.05),
+            p.completion_lost(9),
+            p.drx_stalled(4, 2),
+        );
+        // Ask in a different order, interleaved with other queries.
+        let q = lossy();
+        let stalled = q.drx_stalled(4, 2);
+        let _ = q.completion_lost(1000);
+        let lost = q.completion_lost(9);
+        let _ = q.corrupted_chunks(8, 50, 0.05);
+        let chunks = q.corrupted_chunks(7, 100, 0.05);
+        assert_eq!(a, (chunks, lost, stalled));
+    }
+
+    #[test]
+    fn seeds_change_outcomes() {
+        let a = FaultPlan::new(FaultConfig {
+            seed: 1,
+            ..lossy().config().clone()
+        });
+        let b = FaultPlan::new(FaultConfig {
+            seed: 2,
+            ..lossy().config().clone()
+        });
+        let hits = |p: &FaultPlan| (0..1000).filter(|&e| p.completion_lost(e)).count();
+        let (ha, hb) = (hits(&a), hits(&b));
+        // Both near 10% but not identical sets.
+        assert!((50..200).contains(&ha));
+        assert!((50..200).contains(&hb));
+        assert_ne!(
+            (0..1000)
+                .filter(|&e| a.completion_lost(e))
+                .collect::<Vec<_>>(),
+            (0..1000)
+                .filter(|&e| b.completion_lost(e))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn inert_plan_never_fires() {
+        let p = FaultPlan::new(FaultConfig::none());
+        assert!(p.is_inert());
+        for i in 0..100 {
+            assert_eq!(
+                p.corrupted_chunks(i, 1000, p.chunk_corruption_probability(2e6)),
+                0
+            );
+            assert!(!p.completion_lost(i));
+            assert!(!p.drx_stalled(i, 0));
+            assert_eq!(p.death_time(i), None);
+        }
+    }
+
+    #[test]
+    fn chunk_probability_matches_ber() {
+        let p = lossy();
+        // 256 KB = 2^21 bits; p ~= 1 - (1-1e-9)^(2^21) ~= 2.1e-3.
+        let pc = p.chunk_corruption_probability((256 * 1024 * 8) as f64);
+        assert!((pc - 2.1e-3).abs() < 2e-4, "{pc}");
+    }
+
+    #[test]
+    fn corruption_rate_tracks_probability() {
+        let p = lossy();
+        let total: u64 = (0..200).map(|f| p.corrupted_chunks(f, 100, 0.05)).sum();
+        // 20_000 chunks at 5%: expect ~1000.
+        assert!((700..1300).contains(&total), "{total}");
+    }
+
+    #[test]
+    fn explicit_kill_beats_sampled_death() {
+        let p = lossy();
+        assert_eq!(p.death_time(3), Some(Time::from_ms(5)).min(p.death_time(3)));
+        assert!(p.death_time(3).expect("dies") <= Time::from_ms(5));
+        // Unit without a kill entry still dies eventually via MTTF.
+        assert!(p.death_time(4).is_some());
+        // No MTTF, no kill entry: immortal.
+        let immortal = FaultPlan::new(FaultConfig {
+            death_mttf_secs: None,
+            kills: vec![],
+            ..lossy().config().clone()
+        });
+        assert_eq!(immortal.death_time(4), None);
+    }
+
+    #[test]
+    fn death_times_deterministic() {
+        assert_eq!(lossy().death_time(9), lossy().death_time(9));
+    }
+}

@@ -45,12 +45,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod check;
+pub mod fault;
 pub mod queue;
 pub mod resources;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use check::{cases, run_cases, Gen};
+pub use fault::{FaultConfig, FaultPlan};
 pub use queue::EventQueue;
 pub use resources::{water_fill, FifoServer, PsJobId, PsPool};
 pub use rng::SplitMix64;

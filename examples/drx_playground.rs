@@ -73,10 +73,7 @@ fn main() {
     println!("DMA engine busy:   {} cycles", stats.mem_busy_cycles);
     println!("lane operations:   {}", stats.lane_ops);
     println!("DRAM bytes moved:  {}", stats.dram_bytes);
-    println!(
-        "wall time @1 GHz:  {}\n",
-        stats.time(&cfg)
-    );
+    println!("wall time @1 GHz:  {}\n", stats.time(&cfg));
 
     // Check a few results: out[i] = clamp(in[i] * 0.5, -100, 100).
     let out = m.read_dram(0x10000, 4096);

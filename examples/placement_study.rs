@@ -27,7 +27,10 @@ fn main() {
                 .map(|b| simulate(&SystemConfig::latency(Mode::MultiAxl, vec![b.clone()])))
                 .collect::<Vec<_>>()
         } else {
-            vec![simulate(&SystemConfig::latency(Mode::MultiAxl, suite.mix(n)))]
+            vec![simulate(&SystemConfig::latency(
+                Mode::MultiAxl,
+                suite.mix(n),
+            ))]
         };
         let base_lat: f64 = base
             .iter()

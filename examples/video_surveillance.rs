@@ -48,7 +48,10 @@ fn main() {
         // Normalize to [0,1] for the detector.
         let max = r_plane.iter().cloned().fold(f32::MIN, f32::max);
         let min = r_plane.iter().cloned().fold(f32::MAX, f32::min);
-        let norm: Vec<f32> = r_plane.iter().map(|v| (v - min) / (max - min + 1e-6)).collect();
+        let norm: Vec<f32> = r_plane
+            .iter()
+            .map(|v| (v - min) / (max - min + 1e-6))
+            .collect();
         let mut dets = detector.detect(&norm, w, h, 0.0);
         dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
         let top = dets[0];

@@ -5,9 +5,8 @@
 
 use dmx_drx::{asm, DrxConfig};
 use dmx_restructure::{
-    assert_cpu_drx_equal, BandPower, DbPivot, Deinterleave, EndianSwap, HashPartition,
-    PadFrame, QuantizeTensor, RestructureOp, SpectrogramMel, TokenizeGather, VecSum,
-    YuvToTensor,
+    assert_cpu_drx_equal, BandPower, DbPivot, Deinterleave, EndianSwap, HashPartition, PadFrame,
+    QuantizeTensor, RestructureOp, SpectrogramMel, TokenizeGather, VecSum, YuvToTensor,
 };
 
 fn ops() -> Vec<(Box<dyn RestructureOp>, Vec<u8>)> {
@@ -53,8 +52,7 @@ fn every_op_matches_cpu_at_default_config() {
 
 #[test]
 fn every_op_matches_cpu_with_tiny_scratchpad() {
-    let mut cfg = DrxConfig::default();
-    cfg.scratchpad_bytes = 8 << 10;
+    let cfg = DrxConfig::default().with_scratchpad(8 << 10);
     for (op, input) in ops() {
         assert_cpu_drx_equal(op.as_ref(), &cfg, &input);
     }
@@ -160,8 +158,8 @@ fn optimizer_preserves_semantics_and_shrinks_programs() {
             },
         ],
     );
-    let mut cfg = DrxConfig::default();
-    cfg.scratchpad_bytes = 8 << 10; // many tiles -> big repeat bodies
+    // many tiles -> big repeat bodies
+    let mut cfg = DrxConfig::default().with_scratchpad(8 << 10);
     cfg.dram.capacity_bytes = 16 << 20;
 
     let raw = compile_unoptimized(&k, &cfg).expect("compiles");
@@ -172,7 +170,9 @@ fn optimizer_preserves_semantics_and_shrinks_programs() {
     );
     assert!(opt_prog.len() < raw.program.len());
 
-    let input: Vec<u8> = (0..n).flat_map(|i| ((i as f32).cos()).to_le_bytes()).collect();
+    let input: Vec<u8> = (0..n)
+        .flat_map(|i| ((i as f32).cos()).to_le_bytes())
+        .collect();
     let run = |prog: &dmx_drx::isa::Program| {
         let mut m = Machine::new(cfg);
         m.write_dram(raw.layout.addr(a), &input);
@@ -200,7 +200,12 @@ fn optimizer_is_idempotent_on_real_ops() {
         let lowered = op.lower(&DrxConfig::default()).expect("lowers");
         let (once, _) = optimize(&lowered.program);
         let (twice, stats) = optimize(&once);
-        assert_eq!(stats.removed(), 0, "{}: optimizer must be idempotent", op.name());
+        assert_eq!(
+            stats.removed(),
+            0,
+            "{}: optimizer must be idempotent",
+            op.name()
+        );
         assert_eq!(twice, once);
     }
 }
@@ -212,11 +217,6 @@ fn compiled_programs_are_fence_clean() {
     for (op, _input) in ops() {
         let lowered = op.lower(&DrxConfig::default()).expect("lowers");
         let hazards = dmx_drx::check_sync_hazards(&lowered.program);
-        assert!(
-            hazards.is_empty(),
-            "{}: {:?}",
-            op.name(),
-            hazards
-        );
+        assert!(hazards.is_empty(), "{}: {:?}", op.name(), hazards);
     }
 }

@@ -57,10 +57,11 @@ fn video_surveillance_chain_tracks_the_object() {
             .collect();
         // The V-tinted object produces the hottest red pixels; its
         // argmax must sit inside the known object square.
-        let (argmax, _) = r
-            .iter()
-            .enumerate()
-            .fold((0, f32::MIN), |acc, (j, &v)| if v > acc.1 { (j, v) } else { acc });
+        let (argmax, _) =
+            r.iter().enumerate().fold(
+                (0, f32::MIN),
+                |acc, (j, &v)| if v > acc.1 { (j, v) } else { acc },
+            );
         let (px, py) = (argmax % w, argmax / w);
         let size = w.min(h) / 8;
         let x0 = (i * 3) % (w - size);
@@ -131,9 +132,7 @@ fn sound_detection_features_separate_genres() {
         sample_rate: 16_000.0,
     };
     let samples = 512 + 256 * 15;
-    let tone: Vec<f32> = (0..samples)
-        .map(|i| (i as f32 * 0.05).sin())
-        .collect();
+    let tone: Vec<f32> = (0..samples).map(|i| (i as f32 * 0.05).sin()).collect();
     let mut state = 12345u32;
     let noise: Vec<f32> = (0..samples)
         .map(|_| {

@@ -69,11 +69,7 @@ fn fig11_speedup_rises_with_concurrency() {
     let g: Vec<f64> = f.rows.iter().map(|r| r.geomean).collect();
     // Paper: 3.5x at 1 app up to 8.2x at 15.
     assert!(g[0] > 2.0 && g[0] < 5.5, "1 app geomean {:.2}", g[0]);
-    assert!(
-        g[3] > 5.5 && g[3] < 11.0,
-        "15 apps geomean {:.2}",
-        g[3]
-    );
+    assert!(g[3] > 5.5 && g[3] < 11.0, "15 apps geomean {:.2}", g[3]);
     assert!(g[3] > 1.5 * g[0], "speedup must grow with concurrency");
     // Database Hash Join benefits most — "data restructuring takes up
     // the majority of the runtime for this benchmark" (Sec. VII.A) —
@@ -197,7 +193,11 @@ fn fig19_newer_pcie_narrows_the_gap() {
     let f = experiments::fig19::run(&suite());
     // Geomean across concurrency per generation.
     let mean = |r: &experiments::fig19::Fig19Row| {
-        r.speedups.iter().map(|(_, s)| s).product::<f64>().powf(1.0 / 4.0)
+        r.speedups
+            .iter()
+            .map(|(_, s)| s)
+            .product::<f64>()
+            .powf(1.0 / 4.0)
     };
     let g3 = mean(&f.rows[0]);
     let g4 = mean(&f.rows[1]);

@@ -112,11 +112,13 @@ fn pcie_generations_shrink_but_keep_the_gap() {
         let mut dmx = SystemConfig::latency(Mode::Dmx(Placement::BumpInTheWire), mix(10));
         dmx.gen = gen;
         dmx.requests_per_app = 4;
-        simulate(&base).mean_latency().as_secs_f64()
-            / simulate(&dmx).mean_latency().as_secs_f64()
+        simulate(&base).mean_latency().as_secs_f64() / simulate(&dmx).mean_latency().as_secs_f64()
     };
     let g3 = speedup(Gen::Gen3);
     let g5 = speedup(Gen::Gen5);
-    assert!(g5 <= g3 * 1.02, "Gen5 speedup {g5} should not exceed Gen3 {g3}");
+    assert!(
+        g5 <= g3 * 1.02,
+        "Gen5 speedup {g5} should not exceed Gen3 {g3}"
+    );
     assert!(g5 > 2.0, "DMX still wins on Gen5: {g5}");
 }
