@@ -3,23 +3,48 @@
 //! ```text
 //! cargo run -p dmx-bench --release --bin repro -- all
 //! cargo run -p dmx-bench --release --bin repro -- fig11 fig12
+//! cargo run -p dmx-bench --release --bin repro -- --seed 7 overload
 //! ```
+//!
+//! `--seed N` threads an explicit seed into the experiments that take
+//! one (`faults`, `overload`). Exits nonzero if any experiment's
+//! embedded determinism/robustness checks fail.
 
-use dmx_bench::{run_experiment, EXPERIMENTS};
+use dmx_bench::{run_experiment_checked, EXPERIMENTS};
 use dmx_core::experiments::Suite;
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--seed N] <experiment>... | all");
+    eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!("usage: repro <experiment>... | all");
-        eprintln!("experiments: {}", EXPERIMENTS.join(" "));
-        std::process::exit(2);
+    let mut seed: Option<u64> = None;
+    let mut ids: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--seed needs a value");
+                    usage()
+                });
+                seed = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--seed needs an unsigned integer, got `{v}`");
+                    usage()
+                }));
+            }
+            other => ids.push(other),
+        }
     }
-    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
-        EXPERIMENTS.to_vec()
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
+    if ids.is_empty() {
+        usage();
+    }
+    if ids.contains(&"all") {
+        ids = EXPERIMENTS.to_vec();
+    }
     for id in &ids {
         if !EXPERIMENTS.contains(id) {
             eprintln!(
@@ -31,8 +56,17 @@ fn main() {
     }
     eprintln!("building benchmark suite (compiling + executing DRX kernels)...");
     let suite = Suite::new();
+    let mut failed = Vec::new();
     for id in ids {
         println!("{}", "=".repeat(72));
-        println!("{}", run_experiment(&suite, id));
+        let out = run_experiment_checked(&suite, id, seed);
+        println!("{}", out.report);
+        if !out.ok {
+            failed.push(id);
+        }
+    }
+    if !failed.is_empty() {
+        eprintln!("FAILED embedded checks: {}", failed.join(" "));
+        std::process::exit(1);
     }
 }

@@ -13,7 +13,7 @@ use dmx_core::experiments::{self, Suite};
 pub mod timing;
 
 /// All experiment identifiers `repro` accepts.
-pub const EXPERIMENTS: [&str; 16] = [
+pub const EXPERIMENTS: [&str; 17] = [
     "tab1",
     "fig3",
     "fig5",
@@ -29,8 +29,19 @@ pub const EXPERIMENTS: [&str; 16] = [
     "fig19",
     "ablations",
     "faults",
+    "overload",
     "summary",
 ];
+
+/// A rendered experiment report plus the verdict of its embedded
+/// checks. Experiments without embedded checks are vacuously `ok`.
+#[derive(Debug)]
+pub struct Outcome {
+    /// The rendered report.
+    pub report: String,
+    /// Whether every embedded acceptance check passed.
+    pub ok: bool,
+}
 
 /// Runs one experiment by id and returns its rendered report.
 ///
@@ -38,6 +49,47 @@ pub const EXPERIMENTS: [&str; 16] = [
 ///
 /// Panics on an unknown id; call with a member of [`EXPERIMENTS`].
 pub fn run_experiment(suite: &Suite, id: &str) -> String {
+    run_experiment_checked(suite, id, None).report
+}
+
+/// Runs one experiment by id, threading `seed` into the experiments
+/// that take one (`faults`, `overload`; others ignore it), and reports
+/// whether the experiment's embedded determinism/robustness checks
+/// passed.
+///
+/// # Panics
+///
+/// Panics on an unknown id; call with a member of [`EXPERIMENTS`].
+pub fn run_experiment_checked(suite: &Suite, id: &str, seed: Option<u64>) -> Outcome {
+    match id {
+        "faults" => {
+            let f = experiments::faults::run_with_seed(
+                suite,
+                seed.unwrap_or(experiments::faults::SEED),
+            );
+            Outcome {
+                ok: f.ok(),
+                report: f.render(),
+            }
+        }
+        "overload" => {
+            let o = experiments::overload::run_with_seed(
+                suite,
+                seed.unwrap_or(experiments::overload::SEED),
+            );
+            Outcome {
+                ok: o.ok(),
+                report: o.render(),
+            }
+        }
+        other => Outcome {
+            report: run_unchecked(suite, other),
+            ok: true,
+        },
+    }
+}
+
+fn run_unchecked(suite: &Suite, id: &str) -> String {
     match id {
         "tab1" => experiments::tab1::run(suite),
         "fig3" => experiments::fig3::run(suite).render(),
@@ -52,7 +104,6 @@ pub fn run_experiment(suite: &Suite, id: &str) -> String {
         "fig17" => experiments::fig17::run().render(),
         "fig18" => experiments::fig18::run(suite).render(),
         "fig19" => experiments::fig19::run(suite).render(),
-        "faults" => experiments::faults::run(suite).render(),
         "summary" => experiments::summary::run(suite).render(),
         "ablations" => format!(
             "{}\n{}\n{}\n{}",

@@ -22,6 +22,7 @@ fn experiment_list_is_complete() {
         "fig19",
         "ablations",
         "faults",
+        "overload",
         "summary",
     ] {
         assert!(EXPERIMENTS.contains(&id), "missing {id}");
@@ -35,6 +36,14 @@ fn cheap_experiments_render() {
         let out = run_experiment(&suite, id);
         assert!(out.len() > 100, "{id} rendered almost nothing");
     }
+}
+
+#[test]
+fn checked_runner_is_vacuously_ok_without_embedded_checks() {
+    let suite = Suite::new();
+    let out = dmx_bench::run_experiment_checked(&suite, "tab1", Some(1));
+    assert!(out.ok, "tab1 has no embedded checks to fail");
+    assert!(out.report.len() > 100);
 }
 
 #[test]

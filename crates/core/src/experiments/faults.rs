@@ -66,6 +66,8 @@ pub struct KillOutcome {
 /// Full resilience-sweep results.
 #[derive(Debug, Clone)]
 pub struct Faults {
+    /// Seed the sweep ran under.
+    pub seed: u64,
     /// BER degradation curves, one per placement.
     pub sweeps: Vec<PlacementSweep>,
     /// The mid-run DRX-kill scenario.
@@ -82,8 +84,13 @@ fn faulty(mode: Mode, suite: &Suite, faults: Option<FaultConfig>) -> SystemConfi
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment under the default [`SEED`].
 pub fn run(suite: &Suite) -> Faults {
+    run_with_seed(suite, SEED)
+}
+
+/// Runs the experiment under an explicit seed.
+pub fn run_with_seed(suite: &Suite, seed: u64) -> Faults {
     let sweeps = Placement::ALL
         .iter()
         .map(|&p| {
@@ -95,7 +102,7 @@ pub fn run(suite: &Suite) -> Faults {
                     mode,
                     suite,
                     Some(FaultConfig {
-                        seed: SEED,
+                        seed,
                         bit_error_rate: ber,
                         ..FaultConfig::none()
                     }),
@@ -128,7 +135,7 @@ pub fn run(suite: &Suite) -> Faults {
         mode,
         suite,
         Some(FaultConfig {
-            seed: SEED,
+            seed,
             kills: vec![(units::bitw(0, 0), Time::from_us(100))],
             ..FaultConfig::none()
         }),
@@ -147,6 +154,7 @@ pub fn run(suite: &Suite) -> Faults {
     let zero_fault_identity = format!("{baseline:?}") == format!("{inert:?}");
 
     Faults {
+        seed,
         sweeps,
         kill,
         zero_fault_identity,
@@ -154,6 +162,13 @@ pub fn run(suite: &Suite) -> Faults {
 }
 
 impl Faults {
+    /// True when the embedded determinism and completeness checks
+    /// passed: the zero-fault plan took the bit-identical path and the
+    /// DRX-kill scenario lost no requests.
+    pub fn ok(&self) -> bool {
+        self.zero_fault_identity && self.kill.completed == self.kill.expected
+    }
+
     /// Renders the report.
     pub fn render(&self) -> String {
         let mut header = vec!["placement".to_string()];
@@ -188,7 +203,7 @@ impl Faults {
              fallback time         {fallback}\n\
              unit deaths           {deaths}\n\n\
              zero-fault plan identical to fault-layer-absent run: {ident}\n",
-            seed = SEED,
+            seed = self.seed,
             table = t.render(),
             completed = k.completed,
             expected = k.expected,

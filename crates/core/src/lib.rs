@@ -44,11 +44,16 @@ pub mod apps;
 pub mod collectives;
 pub mod driver;
 pub mod experiments;
+pub mod overload;
 pub mod params;
 pub mod placement;
 pub mod report;
 pub mod system;
 
 pub use apps::{Benchmark, BenchmarkId, BenchmarkRef};
+pub use overload::{
+    AdmissionParams, Breaker, BreakerParams, BreakerRoute, OverloadConfig, OverloadReport,
+    ShedPolicy, TenantOverload, TokenBucket,
+};
 pub use placement::{Mode, Placement};
 pub use system::{simulate, Breakdown, EnergyReport, RunResult, SystemConfig};

@@ -1,0 +1,555 @@
+//! Overload control: admission, deadlines, load shedding, and circuit
+//! breaking.
+//!
+//! PR 1's fault layer keeps the chain alive when hardware misbehaves;
+//! this layer keeps it *stable* when demand exceeds capacity. Four
+//! cooperating mechanisms, all deterministic:
+//!
+//! * **Admission control** — a [`TokenBucket`] per tenant caps each
+//!   tenant's sustained request rate (with a burst allowance), and a
+//!   global concurrency limit caps work in flight. Requests that pass
+//!   admission but find the server busy wait in a bounded EDF queue
+//!   ([`dmx_sim::BoundedQueue`] keyed by deadline).
+//! * **Deadlines** — every open-loop request carries
+//!   `arrival + deadline`; completions after it count as *late*, not
+//!   goodput.
+//! * **Load shedding** — a full queue rejects new arrivals, and (under
+//!   [`ShedPolicy::Reject`]) a request whose deadline already passed
+//!   when it reaches the head of the queue is dropped instead of
+//!   wasting capacity; [`ShedPolicy::Downgrade`] runs it anyway as
+//!   best-effort.
+//! * **Circuit breaker** — a per-DRX [`Breaker`] watches the recovery
+//!   layer's fault signals (command timeouts, chunk replays). When the
+//!   recent fault count crosses a threshold the breaker opens and the
+//!   unit's batches reroute to the host-CPU path; after a cooldown it
+//!   half-opens and sends a single probe batch, closing again only if
+//!   the probe runs clean.
+
+use crate::apps::BenchmarkRef;
+use dmx_sim::{ArrivalProcess, Time};
+
+/// Per-tenant rate limiting plus a global concurrency cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionParams {
+    /// Sustained request rate each tenant may submit (tokens/second).
+    /// `f64::INFINITY` disables rate limiting.
+    pub tokens_per_sec: f64,
+    /// Bucket depth: how many requests a tenant may burst above the
+    /// sustained rate.
+    pub burst: f64,
+    /// Requests the whole server processes concurrently; arrivals
+    /// beyond it queue. `usize::MAX` disables the limit.
+    pub max_inflight: usize,
+}
+
+impl AdmissionParams {
+    /// No admission control at all.
+    pub fn unlimited() -> AdmissionParams {
+        AdmissionParams {
+            tokens_per_sec: f64::INFINITY,
+            burst: f64::INFINITY,
+            max_inflight: usize::MAX,
+        }
+    }
+
+    /// True when neither the rate limiter nor the concurrency cap can
+    /// ever refuse or queue a request.
+    pub fn is_unlimited(&self) -> bool {
+        self.tokens_per_sec.is_infinite() && self.max_inflight == usize::MAX
+    }
+}
+
+/// Deterministic token bucket (leaky-bucket admission).
+///
+/// ```
+/// use dmx_core::overload::TokenBucket;
+/// use dmx_sim::Time;
+/// let mut b = TokenBucket::new(1000.0, 2.0); // 1k rps, burst of 2
+/// assert!(b.try_take(Time::ZERO));
+/// assert!(b.try_take(Time::ZERO));
+/// assert!(!b.try_take(Time::ZERO)); // burst exhausted
+/// assert!(b.try_take(Time::from_ms(1))); // refilled one token
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: Time,
+}
+
+impl TokenBucket {
+    /// Creates a full bucket refilling at `rate` tokens/second up to
+    /// `burst` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` or `burst` is not positive.
+    pub fn new(rate: f64, burst: f64) -> TokenBucket {
+        assert!(rate > 0.0, "token rate must be positive");
+        assert!(burst >= 1.0, "burst must allow at least one token");
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst.min(1e18),
+            last: Time::ZERO,
+        }
+    }
+
+    /// Takes one token at `now` if available.
+    pub fn try_take(&mut self, now: Time) -> bool {
+        if self.rate.is_infinite() {
+            return true;
+        }
+        let dt = now.saturating_sub(self.last).as_secs_f64();
+        self.last = self.last.max(now);
+        self.tokens = (self.tokens + self.rate * dt).min(self.burst.min(1e18));
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// What to do with a request whose deadline has already passed when it
+/// is dequeued for dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Drop it: the capacity goes to requests that can still make
+    /// their deadlines (counted in `shed_deadline`).
+    Reject,
+    /// Run it anyway as best-effort; its completion counts as late.
+    Downgrade,
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerParams {
+    /// Master switch; `false` keeps every unit permanently closed.
+    pub enabled: bool,
+    /// Sliding window over which fault events are counted.
+    pub window: Time,
+    /// Fault events within the window that trip the breaker open.
+    pub threshold: u32,
+    /// How long an open breaker rejects traffic before it half-opens
+    /// and sends a probe.
+    pub cooldown: Time,
+}
+
+impl Default for BreakerParams {
+    fn default() -> Self {
+        BreakerParams {
+            enabled: false,
+            window: Time::from_ms(1),
+            threshold: 8,
+            cooldown: Time::from_ms(2),
+        }
+    }
+}
+
+/// Routing verdict for one batch on a breaker-guarded unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerRoute {
+    /// Closed: use the unit normally.
+    Primary,
+    /// Half-open: use the unit, but report the outcome via
+    /// [`Breaker::probe_result`] — it decides close vs re-open.
+    Probe,
+    /// Open: reroute this batch to the fallback path.
+    Fallback,
+}
+
+/// Per-unit circuit-breaker state machine (closed → open → half-open).
+///
+/// Fault events are timestamps; the breaker trips when `threshold`
+/// events land within `window`. While open, all traffic reroutes; once
+/// `cooldown` elapses the next batch becomes a probe. A clean probe
+/// closes the breaker (and clears the window), a faulty one re-opens it
+/// for another cooldown.
+#[derive(Debug, Clone, Default)]
+pub struct Breaker {
+    /// Recent fault-event timestamps, oldest first.
+    events: Vec<Time>,
+    /// `Some(t)`: open, rerouting until `t`, then half-open.
+    open_until: Option<Time>,
+    /// Times the breaker tripped (including re-opens after a failed
+    /// probe).
+    activations: u64,
+}
+
+impl Breaker {
+    /// Routing decision for a batch arriving at `now`.
+    pub fn route(&self, now: Time) -> BreakerRoute {
+        match self.open_until {
+            None => BreakerRoute::Primary,
+            Some(t) if now < t => BreakerRoute::Fallback,
+            Some(_) => BreakerRoute::Probe,
+        }
+    }
+
+    /// Records a fault event on the unit; returns `true` when this
+    /// event trips the breaker open.
+    pub fn record_fault(&mut self, now: Time, p: &BreakerParams) -> bool {
+        if self.open_until.is_some() {
+            // Already rerouting; residual faults don't re-trip.
+            return false;
+        }
+        let cutoff = now.saturating_sub(p.window);
+        self.events.retain(|&t| t >= cutoff);
+        self.events.push(now);
+        if self.events.len() as u32 >= p.threshold {
+            self.trip(now, p);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reports the outcome of a probe batch dispatched after
+    /// [`Breaker::route`] returned [`BreakerRoute::Probe`].
+    pub fn probe_result(&mut self, now: Time, clean: bool, p: &BreakerParams) {
+        if clean {
+            self.open_until = None;
+            self.events.clear();
+        } else {
+            self.trip(now, p);
+        }
+    }
+
+    fn trip(&mut self, now: Time, p: &BreakerParams) {
+        self.open_until = Some(now + p.cooldown);
+        self.events.clear();
+        self.activations += 1;
+    }
+
+    /// Times the breaker tripped open so far.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// True while the breaker reroutes traffic (open, cooldown not yet
+    /// elapsed at `now`).
+    pub fn is_open(&self, now: Time) -> bool {
+        self.open_until.is_some_and(|t| now < t)
+    }
+}
+
+/// Full overload-control configuration of one run.
+///
+/// `None` in [`crate::system::SystemConfig::overload`] disables the
+/// layer entirely; an inert config ([`OverloadConfig::none`]) must
+/// produce results identical to `None` (the simulator takes the same
+/// zero-overhead path, verified by integration tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadConfig {
+    /// Seed for the arrival streams (tenant `i` draws from a sub-seed
+    /// derived from `seed` and `i`).
+    pub seed: u64,
+    /// Open-loop arrival process per tenant, one entry per app in
+    /// config order. Empty keeps the closed loop (inert). Each tenant
+    /// submits `requests_per_app` arrivals.
+    pub arrivals: Vec<ArrivalProcess>,
+    /// Admission control.
+    pub admission: AdmissionParams,
+    /// Relative deadline stamped on every arrival; `Time::MAX` (with
+    /// no other limits) means deadlines never bind.
+    pub deadline: Time,
+    /// Policy for requests already late at dispatch.
+    pub shed: ShedPolicy,
+    /// Bound of the pending (admitted, not yet dispatched) EDF queue.
+    pub queue_capacity: usize,
+    /// Per-DRX ingress credit in bytes for end-to-end backpressure;
+    /// `0` disables the credit gate.
+    pub ingress_queue_bytes: u64,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerParams,
+}
+
+impl OverloadConfig {
+    /// An inert config: closed loop, no limits, no breaker, no gate.
+    pub fn none() -> OverloadConfig {
+        OverloadConfig {
+            seed: 0,
+            arrivals: Vec::new(),
+            admission: AdmissionParams::unlimited(),
+            deadline: Time::MAX,
+            shed: ShedPolicy::Downgrade,
+            queue_capacity: usize::MAX,
+            ingress_queue_bytes: 0,
+            breaker: BreakerParams::default(),
+        }
+    }
+
+    /// True when no mechanism of the layer can ever fire: the config
+    /// behaves exactly like `overload: None`.
+    pub fn is_inert(&self) -> bool {
+        self.arrivals.is_empty()
+            && self.admission.is_unlimited()
+            && self.deadline == Time::MAX
+            && self.ingress_queue_bytes == 0
+            && !self.breaker.enabled
+    }
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig::none()
+    }
+}
+
+/// Per-tenant overload accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantOverload {
+    /// Benchmark name of the tenant's app.
+    pub name: &'static str,
+    /// Open-loop arrivals generated.
+    pub offered: u64,
+    /// Arrivals that passed the token bucket.
+    pub admitted: u64,
+    /// Arrivals refused by the token bucket.
+    pub rejected_admission: u64,
+    /// Admitted arrivals refused because the pending queue was full.
+    pub rejected_queue_full: u64,
+    /// Requests dropped at dispatch because their deadline had passed.
+    pub shed_deadline: u64,
+    /// Completions within their deadline.
+    pub goodput: u64,
+    /// Completions after their deadline (best-effort).
+    pub late: u64,
+    /// Restructure batches rerouted to the host path by an open
+    /// breaker.
+    pub breaker_rerouted: u64,
+    /// Breaker trips attributed to this tenant's units.
+    pub breaker_activations: u64,
+    /// Median end-to-end latency of goodput completions.
+    pub goodput_p50: Time,
+    /// 99th-percentile goodput latency.
+    pub goodput_p99: Time,
+    /// 99.9th-percentile goodput latency.
+    pub goodput_p999: Time,
+}
+
+impl TenantOverload {
+    /// Fraction of offered load shed anywhere (admission, queue, or
+    /// deadline).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        (self.rejected_admission + self.rejected_queue_full + self.shed_deadline) as f64
+            / self.offered as f64
+    }
+}
+
+/// What the overload-control layer did during a run. `None` in
+/// [`crate::system::RunResult::overload`] when the layer was disabled
+/// or inert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadReport {
+    /// Per-tenant accounting, in app order.
+    pub tenants: Vec<TenantOverload>,
+    /// Largest pending-queue occupancy observed (must stay within the
+    /// configured bound).
+    pub queue_peak: usize,
+    /// Time-weighted mean pending-queue occupancy.
+    pub queue_mean: f64,
+    /// Mean time dispatched requests waited in the pending queue.
+    pub queue_wait_mean: Time,
+    /// Transfers that stalled for ingress credit (backpressure).
+    pub backpressure_stalls: u64,
+    /// Total time transfers spent stalled for credit.
+    pub backpressure_stall_time: Time,
+    /// Breaker trips across all units.
+    pub breaker_activations: u64,
+}
+
+impl OverloadReport {
+    /// Total arrivals across tenants.
+    pub fn offered(&self) -> u64 {
+        self.tenants.iter().map(|t| t.offered).sum()
+    }
+
+    /// Total within-deadline completions.
+    pub fn goodput(&self) -> u64 {
+        self.tenants.iter().map(|t| t.goodput).sum()
+    }
+
+    /// Total sheds of any kind.
+    pub fn shed(&self) -> u64 {
+        self.tenants
+            .iter()
+            .map(|t| t.rejected_admission + t.rejected_queue_full + t.shed_deadline)
+            .sum()
+    }
+
+    /// Shed fraction of offered load.
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / offered as f64
+        }
+    }
+}
+
+/// Builds the per-tenant report skeletons for `apps`.
+pub(crate) fn tenant_skeletons(apps: &[BenchmarkRef]) -> Vec<TenantOverload> {
+    apps.iter()
+        .map(|a| TenantOverload {
+            name: a.name,
+            offered: 0,
+            admitted: 0,
+            rejected_admission: 0,
+            rejected_queue_full: 0,
+            shed_deadline: 0,
+            goodput: 0,
+            late: 0,
+            breaker_rerouted: 0,
+            breaker_activations: 0,
+            goodput_p50: Time::ZERO,
+            goodput_p99: Time::ZERO,
+            goodput_p999: Time::ZERO,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_bucket_enforces_rate() {
+        let mut b = TokenBucket::new(100.0, 1.0);
+        let mut granted = 0;
+        // Offer 1 request/ms for 100 ms at a 100 rps cap: ~10 grants.
+        for i in 0..100u64 {
+            if b.try_take(Time::from_ms(i)) {
+                granted += 1;
+            }
+        }
+        assert!((9..=12).contains(&granted), "granted {granted}");
+    }
+
+    #[test]
+    fn token_bucket_burst_depth() {
+        let mut b = TokenBucket::new(1.0, 5.0);
+        let burst = (0..10).filter(|_| b.try_take(Time::ZERO)).count();
+        assert_eq!(burst, 5);
+        // A second later exactly one token is back.
+        assert!(b.try_take(Time::from_secs(1)));
+        assert!(!b.try_take(Time::from_secs(1)));
+    }
+
+    #[test]
+    fn token_bucket_time_moving_backwards_is_safe() {
+        // Fault-free queries may arrive at equal timestamps; the bucket
+        // must not mint tokens from a zero or negative dt.
+        let mut b = TokenBucket::new(10.0, 1.0);
+        assert!(b.try_take(Time::from_ms(100)));
+        assert!(!b.try_take(Time::from_ms(100)));
+        assert!(!b.try_take(Time::from_ms(50)));
+    }
+
+    #[test]
+    fn breaker_trips_at_threshold_and_recovers_via_probe() {
+        let p = BreakerParams {
+            enabled: true,
+            window: Time::from_ms(1),
+            threshold: 3,
+            cooldown: Time::from_ms(5),
+        };
+        let mut b = Breaker::default();
+        assert_eq!(b.route(Time::ZERO), BreakerRoute::Primary);
+        assert!(!b.record_fault(Time::from_us(10), &p));
+        assert!(!b.record_fault(Time::from_us(20), &p));
+        assert!(b.record_fault(Time::from_us(30), &p), "third fault trips");
+        assert_eq!(b.activations(), 1);
+        // Open: reroute during the cooldown.
+        assert_eq!(b.route(Time::from_us(40)), BreakerRoute::Fallback);
+        assert!(b.is_open(Time::from_us(40)));
+        // Cooldown over: half-open, next batch probes.
+        let after = Time::from_us(30) + p.cooldown;
+        assert_eq!(b.route(after), BreakerRoute::Probe);
+        // Clean probe closes; faulty probe re-opens.
+        b.probe_result(after, true, &p);
+        assert_eq!(b.route(after), BreakerRoute::Primary);
+        assert!(b.record_fault(after + Time::from_us(1), &p) || b.events.len() == 1);
+    }
+
+    #[test]
+    fn breaker_failed_probe_reopens() {
+        let p = BreakerParams {
+            enabled: true,
+            window: Time::from_ms(1),
+            threshold: 1,
+            cooldown: Time::from_ms(1),
+        };
+        let mut b = Breaker::default();
+        assert!(b.record_fault(Time::ZERO, &p));
+        let probe_at = p.cooldown;
+        assert_eq!(b.route(probe_at), BreakerRoute::Probe);
+        b.probe_result(probe_at, false, &p);
+        assert_eq!(b.activations(), 2);
+        assert_eq!(b.route(probe_at + Time::from_us(1)), BreakerRoute::Fallback);
+        assert_eq!(b.route(probe_at + p.cooldown), BreakerRoute::Probe);
+    }
+
+    #[test]
+    fn breaker_window_expires_old_events() {
+        let p = BreakerParams {
+            enabled: true,
+            window: Time::from_us(100),
+            threshold: 3,
+            cooldown: Time::from_ms(1),
+        };
+        let mut b = Breaker::default();
+        assert!(!b.record_fault(Time::from_us(0), &p));
+        assert!(!b.record_fault(Time::from_us(50), &p));
+        // The first event has aged out of the window by now.
+        assert!(!b.record_fault(Time::from_us(200), &p));
+        assert_eq!(b.activations(), 0);
+    }
+
+    #[test]
+    fn inert_config_detection() {
+        assert!(OverloadConfig::none().is_inert());
+        assert!(OverloadConfig::default().is_inert());
+        let open_loop = OverloadConfig {
+            arrivals: vec![ArrivalProcess::Poisson { rate_rps: 100.0 }],
+            ..OverloadConfig::none()
+        };
+        assert!(!open_loop.is_inert());
+        let breaker_only = OverloadConfig {
+            breaker: BreakerParams {
+                enabled: true,
+                ..BreakerParams::default()
+            },
+            ..OverloadConfig::none()
+        };
+        assert!(!breaker_only.is_inert());
+        let gated = OverloadConfig {
+            ingress_queue_bytes: 1 << 20,
+            ..OverloadConfig::none()
+        };
+        assert!(!gated.is_inert());
+        let deadlined = OverloadConfig {
+            deadline: Time::from_ms(1),
+            ..OverloadConfig::none()
+        };
+        assert!(!deadlined.is_inert());
+    }
+
+    #[test]
+    fn shed_rate_arithmetic() {
+        let mut t = tenant_skeletons(&[crate::apps::BenchmarkId::SoundDetection.build()]);
+        let t = &mut t[0];
+        t.offered = 10;
+        t.rejected_admission = 1;
+        t.rejected_queue_full = 1;
+        t.shed_deadline = 1;
+        assert!((t.shed_rate() - 0.3).abs() < 1e-12);
+    }
+}

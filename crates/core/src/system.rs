@@ -15,6 +15,10 @@
 
 use crate::apps::BenchmarkRef;
 use crate::driver::DriverState;
+use crate::overload::{
+    tenant_skeletons, Breaker, BreakerRoute, OverloadConfig, OverloadReport, ShedPolicy,
+    TenantOverload, TokenBucket,
+};
 use crate::params::{
     DriverParams, DrxFleetParams, RecoveryParams, LATENCY_REQUESTS, THROUGHPUT_INFLIGHT,
     THROUGHPUT_REQUESTS,
@@ -23,10 +27,13 @@ use crate::placement::{build_layout, Mode, Placement, ServerLayout};
 use dmx_cpu::{CpuEnergyModel, HostCpuConfig};
 use dmx_drx::{DrxConfig, DrxEnergyModel};
 use dmx_pcie::{
-    transfer_faults, FabricError, FlowId, FlowNet, Gen, LinkId, NodeId, PcieEnergyModel,
-    ReplayParams,
+    transfer_faults, CreditGate, FabricError, FlowId, FlowNet, Gen, LinkId, NodeId,
+    PcieEnergyModel, ReplayParams,
 };
-use dmx_sim::{EventQueue, FaultConfig, FaultPlan, FifoServer, PsJobId, PsPool, Time};
+use dmx_sim::{
+    ArrivalGen, BoundedQueue, EventQueue, FaultConfig, FaultPlan, FifoServer, Percentiles, PsJobId,
+    PsPool, SplitMix64, Time,
+};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -68,6 +75,11 @@ pub struct SystemConfig {
     pub replay: ReplayParams,
     /// Retry/timeout/backoff policy of the recovery layer.
     pub recovery: RecoveryParams,
+    /// Overload control: open-loop arrivals, admission, deadlines, load
+    /// shedding, circuit breaking, ingress backpressure. `None` disables
+    /// the layer entirely; an inert config (`OverloadConfig::none()`)
+    /// must produce results identical to `None`.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl SystemConfig {
@@ -88,6 +100,7 @@ impl SystemConfig {
             faults: None,
             replay: ReplayParams::default(),
             recovery: RecoveryParams::default(),
+            overload: None,
         }
     }
 
@@ -286,6 +299,9 @@ pub struct RunResult {
     /// Fault-injection and recovery accounting (all-zero without
     /// faults).
     pub faults: FaultReport,
+    /// Overload-control accounting; `None` when the layer is disabled
+    /// or inert.
+    pub overload: Option<OverloadReport>,
 }
 
 impl RunResult {
@@ -363,6 +379,13 @@ struct Req {
     epoch: u32,
     /// The current step is running on the degraded fallback path.
     degraded: bool,
+    /// Absolute completion deadline (open-loop mode); `Time::MAX` for
+    /// closed-loop requests, which have no deadline.
+    deadline: Time,
+    /// Ingress credit currently held: `(DRX unit, bytes)`. Acquired
+    /// when the transfer into the unit begins, released when the unit
+    /// consumes the batch (restructure completes).
+    credit: Option<(u64, u64)>,
 }
 
 #[derive(Debug)]
@@ -375,6 +398,89 @@ enum Ev {
     UnitDeath(u64),
     /// A link retrain completes; bandwidth returns to nominal.
     LinkRestore(usize),
+    /// An open-loop request of tenant `app` arrives.
+    Arrival(usize),
+}
+
+/// One open-loop tenant: its arrival stream, rate limiter, and
+/// accounting.
+#[derive(Debug)]
+struct TenantState {
+    /// Arrival-gap generator; `None` in closed-loop (breaker/gate-only)
+    /// configs.
+    arrivals: Option<ArrivalGen>,
+    /// Token bucket; `None` when the rate is unlimited.
+    bucket: Option<TokenBucket>,
+    /// Arrivals still to generate.
+    to_offer: usize,
+    /// Counters destined for the report.
+    stats: TenantOverload,
+    /// End-to-end latencies of within-deadline completions.
+    goodput_lat: Percentiles,
+}
+
+/// A request admitted but waiting for an inflight slot.
+#[derive(Debug)]
+struct Pending {
+    app: usize,
+    arrived: Time,
+    deadline: Time,
+}
+
+/// Live state of the overload-control layer; `None` on `Sim` when the
+/// config has no (or an inert) overload section, so the hot path is
+/// byte-identical to the pre-overload simulator.
+#[derive(Debug)]
+struct OvState {
+    cfg: OverloadConfig,
+    /// Arrivals drive the run (vs closed-loop with breaker/gate only).
+    open_loop: bool,
+    tenants: Vec<TenantState>,
+    /// Admitted-but-not-dispatched requests, EDF order (key =
+    /// absolute deadline in ps).
+    pending: BoundedQueue<Pending>,
+    /// Requests currently dispatched into the chain.
+    inflight: usize,
+    /// Per-DRX-unit circuit breakers (created on first use).
+    breakers: HashMap<u64, Breaker>,
+    /// Ingress credit gate; `None` when backpressure is disabled.
+    gate: Option<CreditGate>,
+}
+
+impl OvState {
+    fn new(o: &OverloadConfig, apps: &[BenchmarkRef], requests_per_app: usize) -> OvState {
+        let open_loop = !o.arrivals.is_empty();
+        // Independent per-tenant sub-streams drawn from the root seed.
+        let mut root = SplitMix64::new(o.seed);
+        let tenants =
+            tenant_skeletons(apps)
+                .into_iter()
+                .enumerate()
+                .map(|(i, stats)| {
+                    let sub = root.next_u64();
+                    TenantState {
+                        arrivals: open_loop.then(|| {
+                            ArrivalGen::new(o.arrivals[i % o.arrivals.len()], SplitMix64::new(sub))
+                        }),
+                        bucket: o.admission.tokens_per_sec.is_finite().then(|| {
+                            TokenBucket::new(o.admission.tokens_per_sec, o.admission.burst)
+                        }),
+                        to_offer: requests_per_app,
+                        stats,
+                        goodput_lat: Percentiles::new(),
+                    }
+                })
+                .collect();
+        OvState {
+            cfg: o.clone(),
+            open_loop,
+            tenants,
+            pending: BoundedQueue::new(o.queue_capacity.max(1)),
+            inflight: 0,
+            breakers: HashMap::new(),
+            gate: (o.ingress_queue_bytes > 0).then(|| CreditGate::new(o.ingress_queue_bytes)),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -421,7 +527,13 @@ struct Sim<'a> {
     plan: Option<FaultPlan>,
     report: FaultReport,
     dead_units: HashSet<u64>,
-    /// Requests still to complete before the run can stop.
+    /// Overload-control state; `None` when the layer is disabled or the
+    /// config is inert (so the no-overload path is exactly the
+    /// pre-overload simulator).
+    ov: Option<OvState>,
+    /// Requests still to complete before the run can stop. In open-loop
+    /// mode every offered arrival resolves exactly once — completed,
+    /// rejected, or shed — so the count still reaches zero.
     remaining: usize,
 }
 
@@ -490,6 +602,11 @@ impl<'a> Sim<'a> {
                 .map(|f| FaultPlan::new(f.clone())),
             report: FaultReport::default(),
             dead_units: HashSet::new(),
+            ov: cfg
+                .overload
+                .as_ref()
+                .filter(|o| !o.is_inert())
+                .map(|o| OvState::new(o, &cfg.apps, cfg.requests_per_app)),
             remaining: cfg.apps.len() * cfg.requests_per_app,
         }
     }
@@ -569,6 +686,7 @@ impl<'a> Sim<'a> {
         to: NodeId,
         bytes: u64,
         extra_latency: Time,
+        fault_unit: Option<u64>,
     ) -> Result<(), SimError> {
         let now = self.q.now();
         let route = self.layout.topo.try_route(from, to)?;
@@ -596,6 +714,14 @@ impl<'a> Sim<'a> {
                     self.report.link_retrains += 1;
                     self.report.degraded_link_time += self.cfg.replay.retrain_time;
                 }
+                // Replays on a transfer into a DRX count against that
+                // unit's circuit breaker.
+                if let Some(unit) = fault_unit {
+                    let app = self.reqs.get(&req).map(|r| r.app);
+                    if let Some(app) = app {
+                        self.breaker_faults(unit, app, tf.replays);
+                    }
+                }
             }
         }
         self.flow_jobs.insert(fid, (req, route.latency + extra));
@@ -603,6 +729,25 @@ impl<'a> Sim<'a> {
         self.drain_flow_finished()?;
         self.reschedule_flows();
         Ok(())
+    }
+
+    /// Feeds `count` fault events on `unit` into its circuit breaker,
+    /// attributing any resulting trip to tenant `app`. No-op without an
+    /// enabled breaker.
+    fn breaker_faults(&mut self, unit: u64, app: usize, count: u64) {
+        let now = self.q.now();
+        let Some(ov) = self.ov.as_mut() else { return };
+        if !ov.cfg.breaker.enabled {
+            return;
+        }
+        let p = ov.cfg.breaker;
+        let br = ov.breakers.entry(unit).or_default();
+        let before = br.activations();
+        for _ in 0..count {
+            br.record_fault(now, &p);
+        }
+        let after = br.activations();
+        ov.tenants[app].stats.breaker_activations += after - before;
     }
 
     /// Extra latency from segmenting a batch across DRX data-queue
@@ -730,10 +875,27 @@ impl<'a> Sim<'a> {
                 self.cpu_job(id, cost.cpu_seconds, 1.0, cost.latency)?;
             }
             Step::ToRestr(e) => {
-                let from = self.layout.accel_nodes[app][e];
-                let to = self.restr_node(app, e)?;
-                let extra = self.queue_handshake_latency(bench.edges[e].bytes_in);
-                self.start_flow_with_extra(id, from, to, bench.edges[e].bytes_in, extra)?;
+                // Ingress backpressure: the transfer into a DRX must
+                // first reserve endpoint credit; a full ingress queue
+                // parks the transfer at the source until the unit
+                // consumes a batch.
+                let bytes = bench.edges[e].bytes_in;
+                let unit = self
+                    .unit_for(app, e)
+                    .filter(|u| !self.dead_units.contains(u));
+                let mut parked = false;
+                if let (Some(u), Some(ov)) = (unit, self.ov.as_mut()) {
+                    if let Some(gate) = ov.gate.as_mut() {
+                        let granted = gate.try_acquire(now, u, id, bytes);
+                        if let Some(r) = self.reqs.get_mut(&id) {
+                            r.credit = Some((u, bytes));
+                        }
+                        parked = !granted;
+                    }
+                }
+                if !parked {
+                    self.flow_to_restr(id, app, e)?;
+                }
             }
             Step::Restr(e) => {
                 if self.restr_active[app][e].is_some() {
@@ -747,10 +909,35 @@ impl<'a> Sim<'a> {
                 let from = self.restr_node(app, e)?;
                 let to = self.layout.accel_nodes[app][e + 1];
                 let extra = self.queue_handshake_latency(bench.edges[e].bytes_out);
-                self.start_flow_with_extra(id, from, to, bench.edges[e].bytes_out, extra)?;
+                self.start_flow_with_extra(id, from, to, bench.edges[e].bytes_out, extra, None)?;
             }
         }
         Ok(())
+    }
+
+    /// Starts the DMA into the restructuring engine for `id`'s edge `e`
+    /// (possibly after a backpressure stall).
+    fn flow_to_restr(&mut self, id: u64, app: usize, e: usize) -> Result<(), SimError> {
+        let from = self.layout.accel_nodes[app][e];
+        let to = self.restr_node(app, e)?;
+        let bytes = self.cfg.apps[app].edges[e].bytes_in;
+        let extra = self.queue_handshake_latency(bytes);
+        let unit = self.unit_for(app, e);
+        self.start_flow_with_extra(id, from, to, bytes, extra, unit)
+    }
+
+    /// Resumes a ToRestr transfer whose ingress credit was just
+    /// granted. Ignores tokens whose request already moved on (e.g.
+    /// finished another way) — they cannot regress.
+    fn resume_to_restr(&mut self, id: u64) -> Result<(), SimError> {
+        let Some(r) = self.reqs.get(&id) else {
+            return Ok(());
+        };
+        let app = r.app;
+        let Step::ToRestr(e) = self.steps[app][r.step] else {
+            return Ok(());
+        };
+        self.flow_to_restr(id, app, e)
     }
 
     /// Restructures `id`'s batch on host cores — the Multi-Axl path,
@@ -788,16 +975,38 @@ impl<'a> Sim<'a> {
         };
         // Graceful degradation: a dead unit's batches reroute to host
         // cores (the Multi-Axl path) while healthy apps keep their DRXs.
-        if self
-            .unit_for(app, e)
-            .is_some_and(|u| self.dead_units.contains(&u))
-        {
+        let unit = self.unit_for(app, e);
+        if unit.is_some_and(|u| self.dead_units.contains(&u)) {
             return self.submit_restr_cpu(id, app, e, Time::ZERO, true);
+        }
+        // Circuit breaker: an open unit's batches reroute to host cores
+        // without touching the unit; once the cooldown elapses a single
+        // probe batch tests whether it recovered.
+        let mut probing = false;
+        let mut rerouted = false;
+        if let (Some(u), Some(ov)) = (unit, self.ov.as_mut()) {
+            if ov.cfg.breaker.enabled {
+                match ov.breakers.entry(u).or_default().route(now) {
+                    BreakerRoute::Fallback => {
+                        ov.tenants[app].stats.breaker_rerouted += 1;
+                        rerouted = true;
+                    }
+                    BreakerRoute::Probe => probing = true,
+                    BreakerRoute::Primary => {}
+                }
+            }
+        }
+        if rerouted {
+            // Not `degraded`: breaker reroutes are overload-control
+            // actions, accounted separately from fault recovery.
+            return self.submit_restr_cpu(id, app, e, Time::ZERO, false);
         }
         // Transient stalls: each stalled attempt costs the command
         // timeout plus exponential backoff before the retry; a batch
         // whose retries are exhausted falls back to host cores.
         let mut stall_penalty = Time::ZERO;
+        let mut stall_events = 0u64;
+        let mut exhausted = false;
         if let Some(plan) = &self.plan {
             let rec = self.cfg.recovery;
             let key = id
@@ -806,15 +1015,36 @@ impl<'a> Sim<'a> {
             let mut attempt = 0u32;
             while attempt <= rec.max_retries && plan.drx_stalled(key, attempt) {
                 self.report.command_timeouts += 1;
+                stall_events += 1;
                 stall_penalty += rec.command_timeout + rec.backoff(attempt);
                 attempt += 1;
                 if attempt <= rec.max_retries {
                     self.report.retries += 1;
                 }
             }
-            if attempt > rec.max_retries {
-                return self.submit_restr_cpu(id, app, e, stall_penalty, true);
+            exhausted = attempt > rec.max_retries;
+        }
+        // Command timeouts feed the unit's breaker; a half-open probe
+        // closes the breaker only when its batch saw no stall at all
+        // (the outcome is known at submit time because stall draws
+        // resolve synchronously).
+        if stall_events > 0 {
+            if let Some(u) = unit {
+                self.breaker_faults(u, app, stall_events);
             }
+        }
+        if probing {
+            if let (Some(u), Some(ov)) = (unit, self.ov.as_mut()) {
+                let p = ov.cfg.breaker;
+                let br = ov.breakers.entry(u).or_default();
+                let before = br.activations();
+                br.probe_result(now, stall_events == 0, &p);
+                let after = br.activations();
+                ov.tenants[app].stats.breaker_activations += after - before;
+            }
+        }
+        if exhausted {
+            return self.submit_restr_cpu(id, app, e, stall_penalty, true);
         }
         let edge = &self.cfg.apps[app].edges[e];
         let cost = edge.drx_cost(&self.cfg.drx);
@@ -910,6 +1140,19 @@ impl<'a> Sim<'a> {
 
     fn start_request(&mut self, app: usize) -> Result<(), SimError> {
         let now = self.q.now();
+        self.start_request_at(app, now, Time::MAX)
+    }
+
+    /// Dispatches a request whose latency clock started at `start`
+    /// (its arrival time, so queueing delay counts) with an absolute
+    /// completion `deadline`.
+    fn start_request_at(
+        &mut self,
+        app: usize,
+        start: Time,
+        deadline: Time,
+    ) -> Result<(), SimError> {
+        let now = self.q.now();
         self.stats[app].launched += 1;
         let id = self.next_req;
         self.next_req += 1;
@@ -917,20 +1160,117 @@ impl<'a> Sim<'a> {
             id,
             Req {
                 app,
-                start: now,
+                start,
                 step: 0,
                 step_started: now,
                 breakdown: Breakdown::default(),
                 epoch: 0,
                 degraded: false,
+                deadline,
+                credit: None,
             },
         );
         self.begin_step(id)
     }
 
+    /// One open-loop arrival of tenant `app`: count it, schedule the
+    /// next one, then run it through admission — token bucket, inflight
+    /// slot, bounded EDF queue — shedding it if every stage refuses.
+    fn arrival(&mut self, app: usize) -> Result<(), SimError> {
+        enum Verdict {
+            Start(Time),
+            Queued,
+            Shed,
+        }
+        let now = self.q.now();
+        let (next_gap, verdict) = {
+            let ov = self.ov.as_mut().expect("arrival without overload state");
+            let ts = &mut ov.tenants[app];
+            ts.stats.offered += 1;
+            ts.to_offer -= 1;
+            let next_gap = if ts.to_offer > 0 {
+                Some(ts.arrivals.as_mut().expect("open-loop tenant").next_gap())
+            } else {
+                None
+            };
+            let admitted = ts.bucket.as_mut().is_none_or(|b| b.try_take(now));
+            let verdict = if !admitted {
+                ts.stats.rejected_admission += 1;
+                Verdict::Shed
+            } else {
+                ts.stats.admitted += 1;
+                let deadline = now.checked_add(ov.cfg.deadline).unwrap_or(Time::MAX);
+                if ov.inflight < ov.cfg.admission.max_inflight {
+                    ov.inflight += 1;
+                    Verdict::Start(deadline)
+                } else if ov.pending.try_push(
+                    now,
+                    deadline.as_ps(),
+                    Pending {
+                        app,
+                        arrived: now,
+                        deadline,
+                    },
+                ) {
+                    Verdict::Queued
+                } else {
+                    ov.tenants[app].stats.rejected_queue_full += 1;
+                    Verdict::Shed
+                }
+            };
+            (next_gap, verdict)
+        };
+        if let Some(gap) = next_gap {
+            self.q.schedule_at(now + gap, Ev::Arrival(app));
+        }
+        match verdict {
+            Verdict::Start(deadline) => self.start_request_at(app, now, deadline)?,
+            Verdict::Queued => {}
+            Verdict::Shed => self.remaining = self.remaining.saturating_sub(1),
+        }
+        Ok(())
+    }
+
+    /// Bookkeeping after an open-loop request finishes: classify it
+    /// against its deadline, free its inflight slot, and dispatch from
+    /// the EDF queue — shedding (under `ShedPolicy::Reject`) requests
+    /// whose deadlines already passed while they waited.
+    fn open_loop_completion(&mut self, r: &Req, now: Time) -> Result<(), SimError> {
+        let mut to_start: Vec<(usize, Time, Time)> = Vec::new();
+        let mut shed = 0usize;
+        {
+            let ov = self.ov.as_mut().expect("open-loop completion");
+            let ts = &mut ov.tenants[r.app];
+            if now <= r.deadline {
+                ts.stats.goodput += 1;
+                ts.goodput_lat.record((now - r.start).as_secs_f64());
+            } else {
+                ts.stats.late += 1;
+            }
+            ov.inflight = ov.inflight.saturating_sub(1);
+            while ov.inflight < ov.cfg.admission.max_inflight {
+                let Some((_, p, _)) = ov.pending.pop_min(now) else {
+                    break;
+                };
+                if now > p.deadline && ov.cfg.shed == ShedPolicy::Reject {
+                    ov.tenants[p.app].stats.shed_deadline += 1;
+                    shed += 1;
+                    continue;
+                }
+                ov.inflight += 1;
+                to_start.push((p.app, p.arrived, p.deadline));
+            }
+        }
+        self.remaining = self.remaining.saturating_sub(shed);
+        for (app, arrived, deadline) in to_start {
+            self.start_request_at(app, arrived, deadline)?;
+        }
+        Ok(())
+    }
+
     fn step_done(&mut self, id: u64, epoch: u32) -> Result<(), SimError> {
         let now = self.q.now();
-        let (finished, release) = {
+        let (finished, release, credit) = {
             let Some(r) = self.reqs.get_mut(&id) else {
                 // A request can finish only once; any extra completion
                 // must be a stale event from a torn-down unit.
@@ -942,11 +1282,15 @@ impl<'a> Sim<'a> {
             }
             let elapsed = now - r.step_started;
             let mut release = None;
+            let mut credit = None;
             match self.steps[r.app][r.step] {
                 Step::Kernel(_) => r.breakdown.kernel += elapsed,
                 Step::Restr(e) => {
                     r.breakdown.restructure += elapsed;
                     release = Some((r.app, e));
+                    // The unit consumed the batch: return its ingress
+                    // credit and wake stalled upstream transfers.
+                    credit = r.credit.take();
                     if r.degraded {
                         r.degraded = false;
                         self.report.fallback_time += elapsed;
@@ -955,8 +1299,19 @@ impl<'a> Sim<'a> {
                 _ => r.breakdown.movement += elapsed,
             }
             r.step += 1;
-            (r.step == self.steps[r.app].len(), release)
+            (r.step == self.steps[r.app].len(), release, credit)
         };
+        if let Some((unit, bytes)) = credit {
+            let woken = self
+                .ov
+                .as_mut()
+                .and_then(|ov| ov.gate.as_mut())
+                .map(|g| g.release(now, unit, bytes))
+                .unwrap_or_default();
+            for token in woken {
+                self.resume_to_restr(token)?;
+            }
+        }
         if let Some((app, e)) = release {
             self.restr_active[app][e] = self.restr_queue[app][e].pop_front();
             if let Some(next) = self.restr_active[app][e] {
@@ -966,15 +1321,19 @@ impl<'a> Sim<'a> {
         if finished {
             let r = self.reqs.remove(&id).ok_or(SimError::UnknownRequest(id))?;
             self.remaining = self.remaining.saturating_sub(1);
-            let st = &mut self.stats[r.app];
-            st.completed += 1;
-            st.latency_sum += (now - r.start).as_secs_f64();
-            st.latencies.record((now - r.start).as_secs_f64());
-            st.breakdown.kernel += r.breakdown.kernel;
-            st.breakdown.restructure += r.breakdown.restructure;
-            st.breakdown.movement += r.breakdown.movement;
-            st.last_done = now;
-            if st.launched < self.cfg.requests_per_app {
+            {
+                let st = &mut self.stats[r.app];
+                st.completed += 1;
+                st.latency_sum += (now - r.start).as_secs_f64();
+                st.latencies.record((now - r.start).as_secs_f64());
+                st.breakdown.kernel += r.breakdown.kernel;
+                st.breakdown.restructure += r.breakdown.restructure;
+                st.breakdown.movement += r.breakdown.movement;
+                st.last_done = now;
+            }
+            if self.ov.as_ref().is_some_and(|o| o.open_loop) {
+                self.open_loop_completion(&r, now)?;
+            } else if self.stats[r.app].launched < self.cfg.requests_per_app {
                 self.start_request(r.app)?;
             }
         } else {
@@ -997,14 +1356,33 @@ impl<'a> Sim<'a> {
                 }
             }
         }
-        for app in 0..self.cfg.apps.len() {
-            for _ in 0..self.cfg.inflight_per_app.min(self.cfg.requests_per_app) {
-                self.start_request(app)?;
+        if self.ov.as_ref().is_some_and(|o| o.open_loop) {
+            // Open loop: tenants submit on their own schedule — seed
+            // each arrival stream instead of pre-launching requests.
+            for app in 0..self.cfg.apps.len() {
+                let gap = self.ov.as_mut().and_then(|ov| {
+                    let ts = &mut ov.tenants[app];
+                    if ts.to_offer > 0 {
+                        Some(ts.arrivals.as_mut().expect("open-loop tenant").next_gap())
+                    } else {
+                        None
+                    }
+                });
+                if let Some(gap) = gap {
+                    self.q.schedule_at(gap, Ev::Arrival(app));
+                }
+            }
+        } else {
+            for app in 0..self.cfg.apps.len() {
+                for _ in 0..self.cfg.inflight_per_app.min(self.cfg.requests_per_app) {
+                    self.start_request(app)?;
+                }
             }
         }
         while let Some(ev) = self.q.pop() {
             match ev {
                 Ev::StepDone(id, epoch) => self.step_done(id, epoch)?,
+                Ev::Arrival(app) => self.arrival(app)?,
                 Ev::CpuTick(gen) => {
                     if gen == self.cpu.generation() {
                         self.cpu.advance(self.q.now());
@@ -1042,7 +1420,7 @@ impl<'a> Sim<'a> {
         Ok(self.finish())
     }
 
-    fn finish(self) -> RunResult {
+    fn finish(mut self) -> RunResult {
         let makespan = self
             .stats
             .iter()
@@ -1050,6 +1428,36 @@ impl<'a> Sim<'a> {
             .max()
             .unwrap_or(Time::ZERO);
         let wall = makespan.as_secs_f64().max(1e-12);
+
+        // Overload accounting. The horizon for queue-occupancy
+        // integration is the later of the last completion and the last
+        // processed event (late arrivals can be shed after the final
+        // completion).
+        let horizon = makespan.max(self.q.now());
+        let overload = self.ov.take().map(|mut ov| {
+            let queue_mean = ov.pending.occupancy_mean(horizon);
+            let queue_wait_mean = Time::from_secs_f64(ov.pending.wait_stats().mean());
+            let tenants: Vec<TenantOverload> = ov
+                .tenants
+                .into_iter()
+                .map(|ts| {
+                    let mut t = ts.stats;
+                    t.goodput_p50 = Time::from_secs_f64(ts.goodput_lat.p50().unwrap_or(0.0));
+                    t.goodput_p99 = Time::from_secs_f64(ts.goodput_lat.p99().unwrap_or(0.0));
+                    t.goodput_p999 = Time::from_secs_f64(ts.goodput_lat.p999().unwrap_or(0.0));
+                    t
+                })
+                .collect();
+            OverloadReport {
+                breaker_activations: tenants.iter().map(|t| t.breaker_activations).sum(),
+                tenants,
+                queue_peak: ov.pending.peak(),
+                queue_mean,
+                queue_wait_mean,
+                backpressure_stalls: ov.gate.as_ref().map_or(0, |g| g.stalls()),
+                backpressure_stall_time: ov.gate.as_ref().map_or(Time::ZERO, |g| g.stall_time()),
+            }
+        });
 
         let apps: Vec<AppResult> = self
             .cfg
@@ -1124,6 +1532,7 @@ impl<'a> Sim<'a> {
             },
             notify_counts: self.driver.counts(),
             faults: self.report,
+            overload,
         }
     }
 }

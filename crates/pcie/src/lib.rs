@@ -39,12 +39,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backpressure;
 pub mod energy;
 pub mod flow;
 pub mod link;
 pub mod replay;
 pub mod topology;
 
+pub use backpressure::{CreditGate, CreditToken};
 pub use energy::{Joules, PcieEnergyModel};
 pub use flow::{FlowId, FlowNet};
 pub use link::{Gen, InvalidLanes, Lanes, LinkSpec};

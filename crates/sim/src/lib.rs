@@ -52,6 +52,7 @@ pub mod resources;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod workload;
 
 pub use check::{cases, run_cases, Gen};
 pub use fault::{FaultConfig, FaultPlan};
@@ -60,3 +61,4 @@ pub use resources::{water_fill, FifoServer, PsJobId, PsPool};
 pub use rng::SplitMix64;
 pub use stats::{geomean, BusyTracker, Percentiles, Summary, TimeWeighted};
 pub use time::{transfer_time, Time};
+pub use workload::{ArrivalGen, ArrivalProcess, BoundedQueue};

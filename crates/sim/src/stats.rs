@@ -327,6 +327,11 @@ impl Percentiles {
     pub fn p99(&self) -> Option<f64> {
         self.quantile(0.99)
     }
+
+    /// 99.9th percentile (the tail the overload experiments watch).
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
 }
 
 #[cfg(test)]
@@ -341,6 +346,7 @@ mod percentile_tests {
         }
         assert_eq!(p.p50(), Some(50.0));
         assert_eq!(p.p99(), Some(99.0));
+        assert_eq!(p.p999(), Some(100.0));
         assert_eq!(p.quantile(1.0), Some(100.0));
         assert_eq!(p.quantile(0.0), Some(1.0));
         assert_eq!(p.count(), 100);

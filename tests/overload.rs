@@ -1,0 +1,323 @@
+//! Overload-control acceptance tests: the inert-config identity
+//! invariant (the zero-overhead path), same-seed determinism of
+//! open-loop runs, bounded queues and load shedding under 2x load,
+//! ingress backpressure, circuit breaking on a faulty DRX, and a
+//! property sweep over random overload configs.
+
+use dmx_core::experiments::Suite;
+use dmx_core::overload::{AdmissionParams, BreakerParams, OverloadConfig, ShedPolicy};
+use dmx_core::placement::{Mode, Placement};
+use dmx_core::system::{simulate, RunResult, SystemConfig};
+use dmx_sim::{cases, run_cases, ArrivalProcess, FaultConfig, Time};
+
+fn cfg(suite: &Suite, mode: Mode, overload: Option<OverloadConfig>) -> SystemConfig {
+    SystemConfig {
+        overload,
+        ..SystemConfig::latency(mode, suite.mix(5))
+    }
+}
+
+/// An open-loop config loading a server whose clean per-request latency
+/// (measured closed-loop with all tenants running) is `clean_latency`.
+/// Each tenant's fair share of service capacity is then ~1/latency, so
+/// per-tenant Poisson at `load` times that share drives the whole
+/// server at `load` times capacity. Deadline, admission, and queue
+/// bounds are tight enough that sustained overload must shed.
+fn open_loop(seed: u64, clean: &Clean, load: f64) -> OverloadConfig {
+    let share_rps = 1.0 / clean.mean.as_secs_f64();
+    OverloadConfig {
+        seed,
+        arrivals: vec![ArrivalProcess::Poisson {
+            rate_rps: load * share_rps,
+        }],
+        admission: AdmissionParams {
+            tokens_per_sec: 1.3 * load * share_rps,
+            burst: 4.0,
+            max_inflight: 8,
+        },
+        // Relative to the *slowest* tenant's clean latency, so an
+        // uncontended request always fits regardless of its app.
+        deadline: clean.slowest * 4,
+        shed: ShedPolicy::Reject,
+        queue_capacity: 8,
+        ..OverloadConfig::none()
+    }
+}
+
+/// Enough arrivals per tenant that an overloaded server reaches steady
+/// state (a backlog several queue depths deep) instead of absorbing the
+/// whole run in its queue.
+fn open_cfg(suite: &Suite, mode: Mode, overload: OverloadConfig) -> SystemConfig {
+    SystemConfig {
+        requests_per_app: 24,
+        ..cfg(suite, mode, Some(overload))
+    }
+}
+
+/// Clean (no-overload) latencies: the cross-tenant mean (capacity
+/// calibration) and the slowest tenant's mean (deadline calibration).
+struct Clean {
+    mean: Time,
+    slowest: Time,
+}
+
+fn clean_latency(suite: &Suite, mode: Mode) -> Clean {
+    let r = simulate(&cfg(suite, mode, None));
+    Clean {
+        mean: r.mean_latency(),
+        slowest: r.apps.iter().map(|a| a.latency).max().expect("apps"),
+    }
+}
+
+fn shed_total(r: &RunResult) -> u64 {
+    r.overload.as_ref().map_or(0, |o| o.shed())
+}
+
+#[test]
+fn inert_overload_config_is_bit_identical_to_no_overload_layer() {
+    let suite = Suite::new();
+    for mode in [
+        Mode::Dmx(Placement::BumpInTheWire),
+        Mode::Dmx(Placement::Integrated),
+        Mode::MultiAxl,
+    ] {
+        let absent = simulate(&cfg(&suite, mode, None));
+        let inert = simulate(&cfg(&suite, mode, Some(OverloadConfig::none())));
+        // Debug output covers every field: per-app latencies and
+        // breakdowns, makespan, energy, notify counts, both reports.
+        assert_eq!(
+            format!("{absent:?}"),
+            format!("{inert:?}"),
+            "inert overload config perturbed {mode:?}"
+        );
+        assert!(inert.overload.is_none(), "inert config produced a report");
+    }
+}
+
+#[test]
+fn inert_overload_composes_with_inert_faults() {
+    // Both optional layers inert at once must still be the bare path.
+    let suite = Suite::new();
+    let mode = Mode::Dmx(Placement::BumpInTheWire);
+    let absent = simulate(&cfg(&suite, mode, None));
+    let both = simulate(&SystemConfig {
+        faults: Some(FaultConfig::none()),
+        overload: Some(OverloadConfig::none()),
+        ..SystemConfig::latency(mode, suite.mix(5))
+    });
+    assert_eq!(format!("{absent:?}"), format!("{both:?}"));
+}
+
+#[test]
+fn same_seed_open_loop_runs_are_byte_identical() {
+    let suite = Suite::new();
+    let mode = Mode::Dmx(Placement::BumpInTheWire);
+    let lat = clean_latency(&suite, mode);
+    let a = simulate(&open_cfg(&suite, mode, open_loop(7, &lat, 2.0)));
+    let b = simulate(&open_cfg(&suite, mode, open_loop(7, &lat, 2.0)));
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert!(a.overload.is_some(), "open-loop run produced no report");
+}
+
+#[test]
+fn different_seeds_draw_different_arrival_streams() {
+    let suite = Suite::new();
+    let mode = Mode::Dmx(Placement::BumpInTheWire);
+    let lat = clean_latency(&suite, mode);
+    let a = simulate(&open_cfg(&suite, mode, open_loop(1, &lat, 2.0)));
+    let b = simulate(&open_cfg(&suite, mode, open_loop(2, &lat, 2.0)));
+    assert_ne!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "distinct seeds should sample distinct arrivals"
+    );
+}
+
+#[test]
+fn overload_sheds_and_keeps_queues_bounded() {
+    let suite = Suite::new();
+    let mode = Mode::Dmx(Placement::BumpInTheWire);
+    let lat = clean_latency(&suite, mode);
+    let over = simulate(&open_cfg(&suite, mode, open_loop(3, &lat, 2.0)));
+    let o = over.overload.as_ref().expect("overload report");
+
+    // Every arrival resolves exactly once.
+    let resolved = o.goodput() + o.shed() + o.tenants.iter().map(|t| t.late).sum::<u64>();
+    assert_eq!(o.offered(), resolved, "arrival accounting leaked");
+
+    // 2x load must shed, but the server must still do useful work with
+    // the pending queue inside its bound.
+    assert!(o.shed_rate() > 0.0, "2x load shed nothing");
+    assert!(o.goodput() > 0, "2x load produced no goodput");
+    assert!(
+        o.queue_peak <= 8,
+        "queue peak {} exceeded the bound",
+        o.queue_peak
+    );
+}
+
+#[test]
+fn underloaded_server_sheds_nothing_and_meets_deadlines() {
+    let suite = Suite::new();
+    let mode = Mode::Dmx(Placement::BumpInTheWire);
+    let lat = clean_latency(&suite, mode);
+    // 0.1x capacity share: arrivals are far apart, nothing competes.
+    // The token bucket may still clip a rare Poisson cluster, so allow
+    // a few percent of admission rejects — but an uncontended server
+    // must never miss a deadline it accepted.
+    let under = simulate(&open_cfg(&suite, mode, open_loop(3, &lat, 0.1)));
+    let o = under.overload.as_ref().expect("overload report");
+    assert!(
+        o.shed_rate() < 0.05,
+        "underload shed {:.1}%",
+        100.0 * o.shed_rate()
+    );
+    let late: u64 = o.tenants.iter().map(|t| t.late).sum();
+    assert_eq!(late, 0, "underload missed accepted deadlines");
+    assert_eq!(o.goodput() + shed_total(&under), o.offered());
+}
+
+#[test]
+fn ingress_backpressure_stalls_but_loses_nothing() {
+    let suite = Suite::new();
+    let mode = Mode::Dmx(Placement::BumpInTheWire);
+    // Tiny ingress queues: transfers must stall at the source. A
+    // closed-loop config with several requests in flight per app keeps
+    // the endpoints contended.
+    let gated = SystemConfig {
+        inflight_per_app: 4,
+        overload: Some(OverloadConfig {
+            ingress_queue_bytes: 64 << 10,
+            ..OverloadConfig::none()
+        }),
+        ..SystemConfig::latency(mode, suite.mix(5))
+    };
+    let r = simulate(&gated);
+    let o = r.overload.as_ref().expect("overload report");
+    assert!(o.backpressure_stalls > 0, "tiny queues never stalled");
+    assert!(o.backpressure_stall_time > Time::ZERO);
+    for a in &r.apps {
+        assert_eq!(
+            a.completed, gated.requests_per_app,
+            "{} lost requests",
+            a.name
+        );
+    }
+    // Backpressure delays work; it must not accelerate it. Compare
+    // against the same pipelined config without the gate.
+    let free = simulate(&SystemConfig {
+        overload: None,
+        ..gated.clone()
+    });
+    assert!(r.makespan >= free.makespan);
+}
+
+#[test]
+fn circuit_breaker_trips_on_stalling_unit_and_run_completes() {
+    let suite = Suite::new();
+    let mode = Mode::Dmx(Placement::BumpInTheWire);
+    let stormy = SystemConfig {
+        faults: Some(FaultConfig {
+            seed: 5,
+            stall_rate: 0.6,
+            ..FaultConfig::none()
+        }),
+        overload: Some(OverloadConfig {
+            // Window and cooldown sized to the ~30ms request cadence:
+            // the window spans many batches so stalls accumulate, and
+            // the cooldown outlasts several batches so follow-up work
+            // actually hits the open breaker.
+            breaker: BreakerParams {
+                enabled: true,
+                window: Time::from_secs(1),
+                threshold: 3,
+                cooldown: Time::from_ms(200),
+            },
+            ..OverloadConfig::none()
+        }),
+        ..SystemConfig::latency(mode, suite.mix(5))
+    };
+    let r = simulate(&stormy);
+    let o = r.overload.as_ref().expect("overload report");
+    assert!(o.breaker_activations > 0, "heavy stalls never tripped");
+    assert!(
+        o.tenants.iter().any(|t| t.breaker_rerouted > 0),
+        "open breaker rerouted nothing"
+    );
+    for a in &r.apps {
+        assert_eq!(
+            a.completed, stormy.requests_per_app,
+            "{} lost requests",
+            a.name
+        );
+    }
+}
+
+/// Random overload configs: the pending queue never exceeds its bound,
+/// arrival accounting conserves, and randomly-drawn *inert* configs
+/// take the zero-overhead path.
+#[test]
+fn random_overload_configs_hold_invariants() {
+    let suite = Suite::new();
+    let mode = Mode::Dmx(Placement::BumpInTheWire);
+    let base = cfg(&suite, mode, None);
+    let base_dbg = format!("{:?}", simulate(&base));
+    let lat = simulate(&base).mean_latency();
+    let serial_rps = 1.0 / lat.as_secs_f64();
+    run_cases("overload_invariants", cases(6), |g| {
+        if g.chance(0.25) {
+            // Inert draw: must be byte-identical to no layer at all.
+            let inert = SystemConfig {
+                overload: Some(OverloadConfig::none()),
+                ..base.clone()
+            };
+            assert_eq!(format!("{:?}", simulate(&inert)), base_dbg);
+            return;
+        }
+        let queue_capacity = g.usize_in(1, 24);
+        let load = g.f64_in(0.3, 2.5);
+        let o = OverloadConfig {
+            seed: g.u64_in(0, u64::MAX - 1),
+            arrivals: vec![if g.chance(0.5) {
+                ArrivalProcess::Poisson {
+                    rate_rps: load * serial_rps,
+                }
+            } else {
+                ArrivalProcess::Mmpp {
+                    low_rps: 0.2 * load * serial_rps,
+                    high_rps: 1.8 * load * serial_rps,
+                    mean_dwell: lat * g.u64_in(2, 10),
+                }
+            }],
+            admission: AdmissionParams {
+                tokens_per_sec: g.f64_in(0.5, 2.0) * load * serial_rps,
+                burst: g.f64_in(1.0, 8.0),
+                max_inflight: g.usize_in(1, 12),
+            },
+            deadline: lat * g.u64_in(2, 12),
+            shed: *g.pick(&[ShedPolicy::Reject, ShedPolicy::Downgrade]),
+            queue_capacity,
+            ..OverloadConfig::none()
+        };
+        let mut c = base.clone();
+        c.requests_per_app = 4;
+        c.overload = Some(o);
+        let r = simulate(&c);
+        let rep = r.overload.as_ref().expect("report");
+        assert!(
+            rep.queue_peak <= queue_capacity,
+            "peak {} over bound {queue_capacity}",
+            rep.queue_peak
+        );
+        let per_app = c.requests_per_app as u64;
+        for t in &rep.tenants {
+            assert_eq!(t.offered, per_app, "{}: offered != configured", t.name);
+            assert_eq!(
+                t.offered,
+                t.rejected_admission + t.rejected_queue_full + t.shed_deadline + t.goodput + t.late,
+                "{}: arrival accounting leaked",
+                t.name
+            );
+        }
+    });
+}
