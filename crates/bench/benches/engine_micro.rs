@@ -1,0 +1,100 @@
+//! Microbenchmarks of the simulation-engine hot paths: event-queue
+//! churn, the max-min flow solver under arrival/departure sequences,
+//! route resolution, and percentile snapshots. These isolate the paths
+//! the `repro bench` end-to-end numbers blend with kernel execution.
+
+use dmx_bench::timing::bench;
+use dmx_pcie::{FlowNet, Gen, Lanes, LinkId, LinkSpec, NodeKind, Topology};
+use dmx_sim::{EventQueue, Percentiles, Time};
+use std::hint::black_box;
+
+fn main() {
+    // Steady-state event churn: one slab slot recycled 100k times plus
+    // a 64-deep pending window, payload large enough to notice copies.
+    bench("queue_churn_100k", || {
+        let mut q: EventQueue<[u64; 4]> = EventQueue::new();
+        for i in 0..64u64 {
+            q.schedule_at(Time::from_ns(i), [i; 4]);
+        }
+        let mut acc = 0u64;
+        for i in 64..100_000u64 {
+            let e = q.pop().expect("pending");
+            acc = acc.wrapping_add(e[0]);
+            q.schedule_at(Time::from_ns(i), [i; 4]);
+        }
+        while let Some(e) = q.pop() {
+            acc = acc.wrapping_add(e[0]);
+        }
+        acc
+    });
+
+    // Max-min re-solves under churn: 24 flows over 8 links, then 200
+    // staggered arrivals/retirements, querying rates() after each
+    // mutation (the per-transfer pattern of the system model).
+    bench("flow_solver_churn", || {
+        let mut net = FlowNet::new(vec![4_000_000_000; 8]);
+        let mut id = 0u64;
+        let mut now = Time::ZERO;
+        for _ in 0..24 {
+            let links = [
+                LinkId::from_index((id % 8) as usize),
+                LinkId::from_index(((id / 3) % 8) as usize),
+            ];
+            net.insert(now, id, 40_000_000 + id * 1_000_000, &links);
+            id += 1;
+        }
+        let mut acc = 0.0f64;
+        for _ in 0..200 {
+            acc += net.rates().iter().sum::<f64>();
+            if let Some(t) = net.next_event(now) {
+                now = t;
+                net.advance(now);
+                net.take_finished();
+            }
+            let links = [LinkId::from_index((id % 8) as usize)];
+            net.insert(now, id, 40_000_000, &links);
+            id += 1;
+        }
+        acc
+    });
+
+    // Route resolution over a two-level tree, every (endpoint, peer)
+    // pair queried 50 times — the memo's hit pattern in a run.
+    let mut topo = Topology::new();
+    let up = LinkSpec::new(Gen::Gen4, Lanes::X8);
+    let down = LinkSpec::new(Gen::Gen4, Lanes::X16);
+    let mut leaves = Vec::new();
+    for s in 0..4 {
+        let sw = topo.add_node(NodeKind::Switch, format!("sw{s}"), topo.root(), up);
+        for d in 0..4 {
+            leaves.push(topo.add_node(NodeKind::Device, format!("dev{s}.{d}"), sw, down));
+        }
+    }
+    bench("route_16dev_all_pairs_x50", || {
+        let mut hops = 0usize;
+        for _ in 0..50 {
+            for &a in &leaves {
+                for &b in &leaves {
+                    if a != b {
+                        hops += topo.route(a, b).links.len();
+                    }
+                }
+            }
+        }
+        black_box(hops)
+    });
+
+    // Quantile snapshot: 10k samples, the three tail queries per
+    // snapshot the overload report makes.
+    bench("percentiles_10k_snapshot", || {
+        let mut p = Percentiles::new();
+        let mut x = 0x9E37_79B9u64;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            p.record((x >> 11) as f64);
+        }
+        (p.p50(), p.p99(), p.p999())
+    });
+}

@@ -1,0 +1,274 @@
+//! Wall-clock measurement harness behind `repro bench`.
+//!
+//! Times every requested experiment twice — once serial, once on the
+//! parallel sweep runner — and reports wall-clock, simulated events per
+//! second, and peak RSS, writing the numbers to `BENCH_<date>.json` so
+//! regressions can be compared across commits. The parallel pass must
+//! render byte-identically to the serial pass; `ok()` (and the repro
+//! exit code) reflect that check.
+
+use crate::run_experiment_checked;
+use dmx_core::experiments::Suite;
+use dmx_sim::{events_delivered, par_map};
+use std::time::Instant;
+
+/// One experiment's serial measurement.
+#[derive(Debug, Clone)]
+pub struct ExperimentBench {
+    /// Experiment id (a member of [`crate::EXPERIMENTS`]).
+    pub id: &'static str,
+    /// Serial wall-clock seconds.
+    pub wall_secs: f64,
+    /// Simulated events delivered by the experiment's runs.
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Process peak RSS (VmHWM, kB) sampled after the experiment; the
+    /// kernel reports a lifetime high-water mark, so this is monotone
+    /// across rows. `None` off Linux.
+    pub peak_rss_kb: Option<u64>,
+}
+
+/// Full `repro bench` results.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    /// ISO date (UTC) the bench ran, used in the JSON filename.
+    pub date: String,
+    /// Worker threads used for the parallel pass.
+    pub threads: usize,
+    /// Seed forwarded to the seeded experiments, if any.
+    pub seed: Option<u64>,
+    /// Per-experiment serial measurements, in run order.
+    pub experiments: Vec<ExperimentBench>,
+    /// Total serial wall-clock seconds.
+    pub serial_wall_secs: f64,
+    /// Total wall-clock seconds for the parallel pass over the same
+    /// experiment list.
+    pub parallel_wall_secs: f64,
+    /// Serial over parallel wall-clock.
+    pub speedup: f64,
+    /// Whether the parallel pass rendered byte-identically to serial.
+    pub parallel_output_identical: bool,
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`).
+pub fn peak_rss_kb() -> Option<u64> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock alone (the
+/// container has no timezone database and the crate tree no chrono).
+pub fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Gregorian date from days since 1970-01-01 (Hinnant's civil-from-days).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    (y, m, d)
+}
+
+/// Runs the bench: a serial timed pass per experiment, then one
+/// parallel pass over the whole list on `threads` workers, compared
+/// byte-for-byte against the serial renders.
+pub fn run(suite: &Suite, ids: &[&'static str], seed: Option<u64>, threads: usize) -> Bench {
+    // Serial pass: per-experiment wall clock and event counts.
+    let prev = dmx_sim::par::set_threads(1);
+    let mut experiments = Vec::with_capacity(ids.len());
+    let mut serial_reports = Vec::with_capacity(ids.len());
+    let serial_start = Instant::now();
+    for &id in ids {
+        let ev0 = events_delivered();
+        let t0 = Instant::now();
+        let out = run_experiment_checked(suite, id, seed);
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let events = events_delivered() - ev0;
+        experiments.push(ExperimentBench {
+            id,
+            wall_secs,
+            events,
+            events_per_sec: events as f64 / wall_secs.max(1e-9),
+            peak_rss_kb: peak_rss_kb(),
+        });
+        serial_reports.push(out.report);
+    }
+    let serial_wall_secs = serial_start.elapsed().as_secs_f64();
+
+    // Parallel pass: the whole experiment list fanned across workers,
+    // collected in input order.
+    dmx_sim::par::set_threads(threads);
+    let par_start = Instant::now();
+    let par_reports: Vec<String> =
+        par_map(ids, |_, &id| run_experiment_checked(suite, id, seed).report);
+    let parallel_wall_secs = par_start.elapsed().as_secs_f64();
+    dmx_sim::par::set_threads(prev);
+
+    Bench {
+        date: utc_date(),
+        threads,
+        seed,
+        experiments,
+        serial_wall_secs,
+        parallel_wall_secs,
+        speedup: serial_wall_secs / parallel_wall_secs.max(1e-9),
+        parallel_output_identical: serial_reports == par_reports,
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl Bench {
+    /// True when the parallel pass reproduced the serial output.
+    pub fn ok(&self) -> bool {
+        self.parallel_output_identical
+    }
+
+    /// The filename the JSON report is written under.
+    pub fn json_filename(&self) -> String {
+        format!("BENCH_{}.json", self.date)
+    }
+
+    /// Serializes the report (hand-rolled; the tree carries no serde).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .experiments
+            .iter()
+            .map(|e| {
+                format!(
+                    "    {{\"id\": {id}, \"wall_secs\": {w:.6}, \"events\": {ev}, \
+                     \"events_per_sec\": {eps:.1}, \"peak_rss_kb\": {rss}}}",
+                    id = json_str(e.id),
+                    w = e.wall_secs,
+                    ev = e.events,
+                    eps = e.events_per_sec,
+                    rss = e.peak_rss_kb.map_or("null".to_string(), |v| v.to_string()),
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"date\": {date},\n  \"threads\": {threads},\n  \"seed\": {seed},\n  \
+             \"experiments\": [\n{rows}\n  ],\n  \
+             \"serial_wall_secs\": {sw:.6},\n  \"parallel_wall_secs\": {pw:.6},\n  \
+             \"speedup\": {sp:.3},\n  \"parallel_output_identical\": {ident}\n}}\n",
+            date = json_str(&self.date),
+            threads = self.threads,
+            seed = self.seed.map_or("null".to_string(), |s| s.to_string()),
+            rows = rows.join(",\n"),
+            sw = self.serial_wall_secs,
+            pw = self.parallel_wall_secs,
+            sp = self.speedup,
+            ident = self.parallel_output_identical,
+        )
+    }
+
+    /// Renders the human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "repro bench — wall-clock harness ({} experiments, {} thread{})\n\n",
+            self.experiments.len(),
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+        ));
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>12} {:>14} {:>12}\n",
+            "experiment", "wall (s)", "events", "events/sec", "rss (kB)"
+        ));
+        for e in &self.experiments {
+            out.push_str(&format!(
+                "{:<12} {:>10.3} {:>12} {:>14.0} {:>12}\n",
+                e.id,
+                e.wall_secs,
+                e.events,
+                e.events_per_sec,
+                e.peak_rss_kb.map_or("n/a".to_string(), |v| v.to_string()),
+            ));
+        }
+        out.push_str(&format!(
+            "\nserial total    {:.3} s\nparallel total  {:.3} s ({} threads)\n\
+             speedup         {:.2}x\nparallel output identical to serial: {}\n",
+            self.serial_wall_secs,
+            self.parallel_wall_secs,
+            self.threads,
+            self.speedup,
+            if self.parallel_output_identical {
+                "yes"
+            } else {
+                "NO (BUG)"
+            },
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        assert_eq!(civil_from_days(20_675), (2026, 8, 10));
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn rss_is_reported_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_kb().expect("VmHWM") > 0);
+        }
+    }
+
+    #[test]
+    fn bench_runs_and_serializes() {
+        let suite = Suite::new();
+        let b = run(&suite, &["fig8", "fig16"], None, 2);
+        assert!(b.ok(), "parallel pass must reproduce serial output");
+        assert_eq!(b.experiments.len(), 2);
+        assert!(b.serial_wall_secs > 0.0);
+        let j = b.to_json();
+        assert!(j.contains("\"fig8\""));
+        assert!(j.contains("\"parallel_output_identical\": true"));
+        assert!(b.json_filename().starts_with("BENCH_"));
+        assert!(b.render().contains("speedup"));
+    }
+}

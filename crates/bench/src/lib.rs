@@ -10,6 +10,7 @@
 
 use dmx_core::experiments::{self, Suite};
 
+pub mod bench;
 pub mod timing;
 
 /// All experiment identifiers `repro` accepts.

@@ -16,10 +16,9 @@ use dmx_restructure::{
     YuvToTensor,
 };
 use dmx_sim::Time;
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One accelerated kernel in a chain.
 #[derive(Debug, Clone, Copy)]
@@ -65,7 +64,7 @@ pub struct Edge {
     pub bytes_out: u64,
     /// Full-scale combined work profile.
     pub profile: OpProfile,
-    drx_cache: RefCell<HashMap<DrxConfig, DrxCost>>,
+    drx_cache: Mutex<HashMap<DrxConfig, DrxCost>>,
 }
 
 impl fmt::Debug for Edge {
@@ -138,7 +137,7 @@ impl Edge {
             bytes_in,
             bytes_out,
             profile,
-            drx_cache: RefCell::new(HashMap::new()),
+            drx_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -150,7 +149,7 @@ impl Edge {
     /// Panics if an op fails to lower or execute — the benchmark suite
     /// is expected to fit every evaluated configuration.
     pub fn drx_cost(&self, config: &DrxConfig) -> DrxCost {
-        if let Some(c) = self.drx_cache.borrow().get(config) {
+        if let Some(c) = self.drx_cache.lock().expect("drx cache").get(config) {
             return *c;
         }
         let mut total = DrxCost {
@@ -184,7 +183,10 @@ impl Edge {
             total.dram_bytes += stats.dram_bytes as f64 * scale;
             total.spad_bytes += stats.spad_bytes as f64 * scale;
         }
-        self.drx_cache.borrow_mut().insert(*config, total);
+        self.drx_cache
+            .lock()
+            .expect("drx cache")
+            .insert(*config, total);
         total
     }
 }
@@ -202,8 +204,9 @@ pub struct Benchmark {
 }
 
 /// Shared handle — benchmarks are built once and reused across system
-/// configurations (the DRX-cost cache lives inside).
-pub type BenchmarkRef = Rc<Benchmark>;
+/// configurations and sweep worker threads (the DRX-cost cache lives
+/// inside, behind a mutex, so concurrent runs share measurements).
+pub type BenchmarkRef = Arc<Benchmark>;
 
 /// The benchmark identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -431,7 +434,7 @@ impl BenchmarkId {
                 }
             }
         };
-        Rc::new(b)
+        Arc::new(b)
     }
 }
 

@@ -15,7 +15,7 @@ use super::Suite;
 use crate::placement::{Mode, Placement};
 use crate::report::{ms, ratio, Table};
 use crate::system::{simulate, units, FaultReport, SystemConfig};
-use dmx_sim::{FaultConfig, Time};
+use dmx_sim::{par_map, FaultConfig, Time};
 
 /// Seed for every run in this experiment.
 pub const SEED: u64 = 0xD31A;
@@ -91,34 +91,44 @@ pub fn run(suite: &Suite) -> Faults {
 
 /// Runs the experiment under an explicit seed.
 pub fn run_with_seed(suite: &Suite, seed: u64) -> Faults {
+    // Every (placement, BER) point is an independent simulation, so
+    // the grid is flattened and fanned across the worker pool; the
+    // slowdown (relative to the same placement's BER-0 point) is
+    // computed after collection, once each placement's clean latency
+    // is known.
+    let grid: Vec<(Placement, f64)> = Placement::ALL
+        .iter()
+        .flat_map(|&p| BERS.iter().map(move |&ber| (p, ber)))
+        .collect();
+    let raw = par_map(&grid, |_, &(p, ber)| {
+        let cfg = faulty(
+            Mode::Dmx(p),
+            suite,
+            Some(FaultConfig {
+                seed,
+                bit_error_rate: ber,
+                ..FaultConfig::none()
+            }),
+        );
+        let r = simulate(&cfg);
+        (r.mean_latency(), r.faults)
+    });
     let sweeps = Placement::ALL
         .iter()
-        .map(|&p| {
-            let mode = Mode::Dmx(p);
-            let mut points = Vec::new();
-            let mut clean = Time::ZERO;
-            for &ber in &BERS {
-                let cfg = faulty(
-                    mode,
-                    suite,
-                    Some(FaultConfig {
-                        seed,
-                        bit_error_rate: ber,
-                        ..FaultConfig::none()
-                    }),
-                );
-                let r = simulate(&cfg);
-                let latency = r.mean_latency();
-                if ber == 0.0 {
-                    clean = latency;
-                }
-                points.push(BerPoint {
+        .enumerate()
+        .map(|(pi, &p)| {
+            let row = &raw[pi * BERS.len()..(pi + 1) * BERS.len()];
+            let clean = row[0].0; // BERS[0] is 0.0: the clean point
+            let points = BERS
+                .iter()
+                .zip(row)
+                .map(|(&ber, (latency, faults))| BerPoint {
                     ber,
-                    latency,
+                    latency: *latency,
                     slowdown: latency.as_secs_f64() / clean.as_secs_f64(),
-                    faults: r.faults,
-                });
-            }
+                    faults: *faults,
+                })
+                .collect();
             PlacementSweep {
                 placement: p,
                 points,
@@ -130,16 +140,23 @@ pub fn run_with_seed(suite: &Suite, seed: u64) -> Faults {
     // run; its restructuring must fall back to host cores while the
     // other four apps keep their DRXs.
     let mode = Mode::Dmx(Placement::BumpInTheWire);
-    let baseline = simulate(&faulty(mode, suite, None));
-    let killed = simulate(&faulty(
-        mode,
-        suite,
+    // Three independent runs: the clean baseline, the kill scenario,
+    // and the inert-plan identity check.
+    let scenario_faults: [Option<FaultConfig>; 3] = [
+        None,
         Some(FaultConfig {
             seed,
             kills: vec![(units::bitw(0, 0), Time::from_us(100))],
             ..FaultConfig::none()
         }),
-    ));
+        Some(FaultConfig::none()),
+    ];
+    let mut runs = par_map(&scenario_faults, |_, f| {
+        simulate(&faulty(mode, suite, f.clone()))
+    });
+    let inert = runs.pop().expect("three runs");
+    let killed = runs.pop().expect("two runs");
+    let baseline = runs.pop().expect("one run");
     let expected = APPS * killed.apps[0].completed.max(1); // all apps share requests_per_app
     let kill = KillOutcome {
         expected,
@@ -150,7 +167,6 @@ pub fn run_with_seed(suite: &Suite, seed: u64) -> Faults {
     };
 
     // The inert-plan invariant, re-checked on every repro run.
-    let inert = simulate(&faulty(mode, suite, Some(FaultConfig::none())));
     let zero_fault_identity = format!("{baseline:?}") == format!("{inert:?}");
 
     Faults {

@@ -3,12 +3,12 @@
 //! the slowest stage" — for the baseline that stage is CPU
 //! restructuring; DMX shifts the bottleneck back to the kernels.
 
-use super::Suite;
+use super::{ratio_geomean, Suite};
 use crate::params::APP_COUNTS;
 use crate::placement::{Mode, Placement};
 use crate::report::{ratio, Table};
 use crate::system::{simulate, SystemConfig};
-use dmx_sim::geomean;
+use dmx_sim::par_map;
 
 /// One concurrency point.
 #[derive(Debug, Clone)]
@@ -35,14 +35,14 @@ pub fn run(suite: &Suite) -> Fig13 {
         .map(|&n| {
             let mut per_benchmark = Vec::new();
             if n == 1 {
-                for b in suite.benchmarks() {
+                per_benchmark = par_map(suite.benchmarks(), |_, b| {
                     let base = simulate(&SystemConfig::throughput(Mode::MultiAxl, vec![b.clone()]));
                     let dmx = simulate(&SystemConfig::throughput(
                         Mode::Dmx(Placement::BumpInTheWire),
                         vec![b.clone()],
                     ));
-                    per_benchmark.push((b.name, dmx.total_throughput() / base.total_throughput()));
-                }
+                    (b.name, dmx.total_throughput() / base.total_throughput())
+                });
             } else {
                 let base = simulate(&SystemConfig::throughput(Mode::MultiAxl, suite.mix(n)));
                 let dmx = simulate(&SystemConfig::throughput(
@@ -60,8 +60,7 @@ pub fn run(suite: &Suite) -> Fig13 {
                     per_benchmark.push((b.name, tp(&dmx) / tp(&base)));
                 }
             }
-            let geomean = geomean(&per_benchmark.iter().map(|(_, s)| *s).collect::<Vec<_>>())
-                .expect("positive throughput ratios");
+            let geomean = ratio_geomean(per_benchmark.iter().map(|(_, s)| *s));
             Fig13Row {
                 n,
                 per_benchmark,

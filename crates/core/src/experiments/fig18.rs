@@ -2,12 +2,12 @@
 //! finds diminishing returns past 128 lanes — the DDR4 channel becomes
 //! the bottleneck — and fixes 128 as the default.
 
-use super::Suite;
+use super::{ratio_geomean, Suite};
 use crate::placement::{Mode, Placement};
 use crate::report::{ratio, Table};
 use crate::system::{simulate, SystemConfig};
 use dmx_drx::DrxConfig;
-use dmx_sim::geomean;
+use dmx_sim::par_map;
 
 /// Lane counts swept.
 pub const LANE_COUNTS: [u32; 4] = [32, 64, 128, 256];
@@ -37,34 +37,27 @@ pub struct Fig18 {
 pub fn run(suite: &Suite) -> Fig18 {
     let n = 5;
     let base = simulate(&SystemConfig::latency(Mode::MultiAxl, suite.mix(n)));
-    let rows = LANE_COUNTS
-        .iter()
-        .map(|&lanes| {
-            let mut cfg = SystemConfig::latency(Mode::Dmx(Placement::BumpInTheWire), suite.mix(n));
-            cfg.drx = DrxConfig::fpga().with_lanes(lanes);
-            let dmx = simulate(&cfg);
-            let per: Vec<f64> = suite
-                .benchmarks()
-                .iter()
-                .map(|b| {
-                    let mean = |r: &crate::system::RunResult| {
-                        let xs: Vec<f64> = r
-                            .apps
-                            .iter()
-                            .filter(|a| a.name == b.name)
-                            .map(|a| a.latency.as_secs_f64())
-                            .collect();
-                        xs.iter().sum::<f64>() / xs.len() as f64
-                    };
-                    mean(&base) / mean(&dmx)
-                })
-                .collect();
-            Fig18Row {
-                lanes,
-                speedup: geomean(&per).expect("positive"),
-            }
-        })
-        .collect();
+    let rows = par_map(&LANE_COUNTS, |_, &lanes| {
+        let mut cfg = SystemConfig::latency(Mode::Dmx(Placement::BumpInTheWire), suite.mix(n));
+        cfg.drx = DrxConfig::fpga().with_lanes(lanes);
+        let dmx = simulate(&cfg);
+        let per = suite.benchmarks().iter().map(|b| {
+            let mean = |r: &crate::system::RunResult| {
+                let xs: Vec<f64> = r
+                    .apps
+                    .iter()
+                    .filter(|a| a.name == b.name)
+                    .map(|a| a.latency.as_secs_f64())
+                    .collect();
+                xs.iter().sum::<f64>() / xs.len() as f64
+            };
+            mean(&base) / mean(&dmx)
+        });
+        Fig18Row {
+            lanes,
+            speedup: ratio_geomean(per),
+        }
+    });
     Fig18 { rows }
 }
 

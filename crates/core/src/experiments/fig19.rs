@@ -4,13 +4,12 @@
 //! speedup shrinks slightly — evidence that the bottleneck is the
 //! restructuring computation, not just the interconnect.
 
-use super::Suite;
+use super::{ratio_geomean, Suite};
 use crate::params::APP_COUNTS;
 use crate::placement::{Mode, Placement};
 use crate::report::{ratio, Table};
 use crate::system::{simulate, SystemConfig};
 use dmx_pcie::Gen;
-use dmx_sim::geomean;
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -65,7 +64,7 @@ pub fn run(suite: &Suite) -> Fig19 {
                         let rd = simulate(&dmx);
                         vec![rb.mean_latency().as_secs_f64() / rd.mean_latency().as_secs_f64()]
                     };
-                    (n, geomean(&per).expect("positive"))
+                    (n, ratio_geomean(per))
                 })
                 .collect();
             Fig19Row { gen, speedups }

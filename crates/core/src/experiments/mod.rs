@@ -24,7 +24,20 @@ pub mod tab1;
 use crate::apps::{BenchmarkId, BenchmarkRef};
 use crate::placement::Mode;
 use crate::system::{simulate, RunResult, SystemConfig};
-use dmx_sim::geomean;
+use dmx_sim::{geomean, par_map};
+
+/// Geometric mean of per-benchmark speedup/slowdown ratios.
+///
+/// Every experiment reports its aggregate this way; ratios are always
+/// positive for a working simulation, so a non-positive value is a bug
+/// worth panicking over.
+///
+/// # Panics
+///
+/// Panics when `ratios` is empty or contains a non-positive value.
+pub fn ratio_geomean(ratios: impl IntoIterator<Item = f64>) -> f64 {
+    geomean(&ratios.into_iter().collect::<Vec<_>>()).expect("positive ratios")
+}
 
 /// The shared benchmark suite: the five Table I applications built
 /// once, so DRX cost measurements are cached across experiments.
@@ -64,33 +77,37 @@ impl Suite {
     /// averaged. Returns `(name, ratio_a_over_b)` per benchmark plus
     /// the geometric mean.
     pub fn latency_ratios(&self, a: Mode, b: Mode, n: usize) -> (Vec<(&'static str, f64)>, f64) {
-        let mut out = Vec::new();
-        if n == 1 {
-            for bench in &self.benchmarks {
+        let out: Vec<(&'static str, f64)> = if n == 1 {
+            par_map(&self.benchmarks, |_, bench| {
                 let ra = simulate(&SystemConfig::latency(a, vec![bench.clone()]));
                 let rb = simulate(&SystemConfig::latency(b, vec![bench.clone()]));
-                out.push((
+                (
                     bench.name,
                     ra.mean_latency().as_secs_f64() / rb.mean_latency().as_secs_f64(),
-                ));
-            }
+                )
+            })
         } else {
-            let ra = simulate(&SystemConfig::latency(a, self.mix(n)));
-            let rb = simulate(&SystemConfig::latency(b, self.mix(n)));
-            for bench in &self.benchmarks {
-                let mean = |r: &RunResult| {
-                    let xs: Vec<f64> = r
-                        .apps
-                        .iter()
-                        .filter(|x| x.name == bench.name)
-                        .map(|x| x.latency.as_secs_f64())
-                        .collect();
-                    xs.iter().sum::<f64>() / xs.len() as f64
-                };
-                out.push((bench.name, mean(&ra) / mean(&rb)));
-            }
-        }
-        let g = geomean(&out.iter().map(|(_, s)| *s).collect::<Vec<_>>()).expect("positive");
+            let rs = par_map(&[a, b], |_, &m| {
+                simulate(&SystemConfig::latency(m, self.mix(n)))
+            });
+            let (ra, rb) = (&rs[0], &rs[1]);
+            self.benchmarks
+                .iter()
+                .map(|bench| {
+                    let mean = |r: &RunResult| {
+                        let xs: Vec<f64> = r
+                            .apps
+                            .iter()
+                            .filter(|x| x.name == bench.name)
+                            .map(|x| x.latency.as_secs_f64())
+                            .collect();
+                        xs.iter().sum::<f64>() / xs.len() as f64
+                    };
+                    (bench.name, mean(ra) / mean(rb))
+                })
+                .collect()
+        };
+        let g = ratio_geomean(out.iter().map(|(_, s)| *s));
         (out, g)
     }
 
@@ -98,10 +115,9 @@ impl Suite {
     /// per-benchmark breakdowns (for `n == 1`, each benchmark alone).
     pub fn breakdown_runs(&self, mode: Mode, n: usize) -> Vec<RunResult> {
         if n == 1 {
-            self.benchmarks
-                .iter()
-                .map(|b| simulate(&SystemConfig::latency(mode, vec![b.clone()])))
-                .collect()
+            par_map(&self.benchmarks, |_, b| {
+                simulate(&SystemConfig::latency(mode, vec![b.clone()]))
+            })
         } else {
             vec![simulate(&SystemConfig::latency(mode, self.mix(n)))]
         }

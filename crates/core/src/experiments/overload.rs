@@ -24,7 +24,7 @@ use crate::overload::{AdmissionParams, OverloadConfig, OverloadReport, ShedPolic
 use crate::placement::{Mode, Placement};
 use crate::report::{ms, pct, Table};
 use crate::system::{simulate, SystemConfig};
-use dmx_sim::{ArrivalProcess, Time};
+use dmx_sim::{par_map, ArrivalProcess, Time};
 
 /// Default seed for every run in this experiment.
 pub const SEED: u64 = 0x10AD;
@@ -151,21 +151,20 @@ pub fn run_with_seed(suite: &Suite, seed: u64) -> Overload {
     let mean = clean.mean_latency();
     let slowest = clean.apps.iter().map(|a| a.latency).max().expect("apps");
 
-    let points: Vec<LoadPoint> = LOADS
-        .iter()
-        .map(|&load| {
-            let r = simulate(&sweep_cfg(
-                suite,
-                Some(open_loop(seed, mean, slowest, load)),
-            ));
-            let report = r.overload.expect("open-loop run must report");
-            LoadPoint {
-                load,
-                worst_p99: worst_p99(&report),
-                report,
-            }
-        })
-        .collect();
+    // The load points only depend on the calibration above, so they
+    // fan out across the worker pool.
+    let points: Vec<LoadPoint> = par_map(&LOADS, |_, &load| {
+        let r = simulate(&sweep_cfg(
+            suite,
+            Some(open_loop(seed, mean, slowest, load)),
+        ));
+        let report = r.overload.expect("open-loop run must report");
+        LoadPoint {
+            load,
+            worst_p99: worst_p99(&report),
+            report,
+        }
+    });
 
     let bounded_queues = points.iter().all(|p| p.report.queue_peak <= QUEUE_CAPACITY);
     let last = points.last().expect("loads");

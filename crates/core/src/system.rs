@@ -1440,7 +1440,7 @@ impl<'a> Sim<'a> {
             let tenants: Vec<TenantOverload> = ov
                 .tenants
                 .into_iter()
-                .map(|ts| {
+                .map(|mut ts| {
                     let mut t = ts.stats;
                     t.goodput_p50 = Time::from_secs_f64(ts.goodput_lat.p50().unwrap_or(0.0));
                     t.goodput_p99 = Time::from_secs_f64(ts.goodput_lat.p99().unwrap_or(0.0));
@@ -1463,7 +1463,7 @@ impl<'a> Sim<'a> {
             .cfg
             .apps
             .iter()
-            .zip(&self.stats)
+            .zip(self.stats.iter_mut())
             .map(|(bench, st)| {
                 let n = st.completed.max(1) as f64;
                 let nt = st.completed.max(1) as u64;

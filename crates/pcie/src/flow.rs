@@ -13,6 +13,7 @@
 
 use crate::topology::{FabricError, LinkId, Route};
 use dmx_sim::Time;
+use std::cell::RefCell;
 
 /// Identifier a caller assigns to a flow.
 pub type FlowId = u64;
@@ -50,6 +51,14 @@ pub struct FlowNet {
     /// retrains multiply).
     degradations: Vec<Vec<f64>>,
     flows: Vec<Flow>,
+    /// Active flows crossing each link, maintained incrementally on
+    /// insert/retire so the max-min solver never rebuilds it.
+    link_flows: Vec<u32>,
+    /// Memoized max-min rates; valid until the flow set or a link
+    /// bandwidth changes. The allocation itself depends only on which
+    /// flows cross which links, not on remaining bytes, so it is
+    /// constant between such changes.
+    rates_cache: RefCell<Option<Vec<f64>>>,
     last: Time,
     generation: u64,
     finished: Vec<FlowId>,
@@ -76,12 +85,20 @@ impl FlowNet {
             base_bw: bw,
             degradations: vec![Vec::new(); n],
             flows: Vec::new(),
+            link_flows: vec![0; n],
+            rates_cache: RefCell::new(None),
             last: Time::ZERO,
             generation: 0,
             finished: Vec::new(),
             link_bytes: vec![0.0; n],
             flows_completed: 0,
         }
+    }
+
+    /// Drops the memoized rates; call after any change to the flow set
+    /// or link bandwidths.
+    fn invalidate_rates(&self) {
+        self.rates_cache.borrow_mut().take();
     }
 
     /// Current generation, bumped on every state change.
@@ -110,7 +127,76 @@ impl FlowNet {
     /// Water-filling: repeatedly find the most contended link, freeze
     /// the flows crossing it at its fair share, remove their bandwidth,
     /// and continue until all flows are frozen.
+    ///
+    /// The allocation is memoized between state changes and re-solved
+    /// incrementally from the maintained per-link flow counts; debug
+    /// builds cross-check the result against the from-scratch solver.
     pub fn rates(&self) -> Vec<f64> {
+        if let Some(r) = self.rates_cache.borrow().as_ref() {
+            return r.clone();
+        }
+        let rates = self.solve_rates();
+        debug_assert_eq!(
+            rates,
+            self.solve_rates_reference(),
+            "incremental max-min solver diverged from reference"
+        );
+        *self.rates_cache.borrow_mut() = Some(rates.clone());
+        rates
+    }
+
+    /// Incremental water-fill: starts from the maintained per-link flow
+    /// counts and decrements them as flows freeze, instead of rebuilding
+    /// the count table from every flow on every bottleneck level. The
+    /// arithmetic (order of subtractions, clamping) is identical to
+    /// [`FlowNet::solve_rates_reference`], so the two agree bit-for-bit.
+    fn solve_rates(&self) -> Vec<f64> {
+        let nf = self.flows.len();
+        let mut rate = vec![f64::INFINITY; nf];
+        let mut frozen = vec![false; nf];
+        let mut cap = self.link_bw.clone();
+        let mut counts = self.link_flows.clone();
+        let mut remaining = nf;
+        while remaining > 0 {
+            // Most contended link among the unfrozen flows.
+            let mut bottleneck: Option<(usize, f64)> = None;
+            for (l, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    let share = cap[l] / c as f64;
+                    if bottleneck.is_none_or(|(_, s)| share < s) {
+                        bottleneck = Some((l, share));
+                    }
+                }
+            }
+            let Some((bl, share)) = bottleneck else {
+                // Remaining flows cross no links at all; they are not
+                // allowed by `insert`, so this cannot happen.
+                unreachable!("unfrozen flow with empty route");
+            };
+            for (fi, f) in self.flows.iter().enumerate() {
+                if !frozen[fi] && f.links.contains(&bl) {
+                    frozen[fi] = true;
+                    rate[fi] = share;
+                    remaining -= 1;
+                    for &l in &f.links {
+                        cap[l] -= share;
+                        counts[l] -= 1;
+                    }
+                }
+            }
+            // Guard against negative drift from float subtraction.
+            for c in &mut cap {
+                if *c < 0.0 {
+                    *c = 0.0;
+                }
+            }
+        }
+        rate
+    }
+
+    /// The original from-scratch solver, kept as the debug-build
+    /// reference for the incremental one.
+    fn solve_rates_reference(&self) -> Vec<f64> {
         let nf = self.flows.len();
         let mut rate = vec![f64::INFINITY; nf];
         let mut frozen = vec![false; nf];
@@ -136,8 +222,6 @@ impl FlowNet {
                 }
             }
             let Some((bl, share)) = bottleneck else {
-                // Remaining flows cross no links at all; they are not
-                // allowed by `insert`, so this cannot happen.
                 unreachable!("unfrozen flow with empty route");
             };
             for (fi, f) in self.flows.iter().enumerate() {
@@ -150,7 +234,6 @@ impl FlowNet {
                     }
                 }
             }
-            // Guard against negative drift from float subtraction.
             for c in &mut cap {
                 if *c < 0.0 {
                     *c = 0.0;
@@ -183,17 +266,25 @@ impl FlowNet {
         }
         // Finished when less than one byte remains: completion events
         // are rounded up to whole picoseconds, which absorbs float error.
-        let done: Vec<FlowId> = self
-            .flows
-            .iter()
-            .filter(|f| f.remaining < 1.0)
-            .map(|f| f.id)
-            .collect();
+        let flows = &mut self.flows;
+        let link_flows = &mut self.link_flows;
+        let mut done: Vec<FlowId> = Vec::new();
+        flows.retain(|f| {
+            if f.remaining < 1.0 {
+                for &l in &f.links {
+                    link_flows[l] -= 1;
+                }
+                done.push(f.id);
+                false
+            } else {
+                true
+            }
+        });
         if !done.is_empty() {
-            self.flows.retain(|f| f.remaining >= 1.0);
             self.flows_completed += done.len() as u64;
             self.finished.extend(done);
             self.generation += 1;
+            self.invalidate_rates();
         }
     }
 
@@ -248,6 +339,7 @@ impl FlowNet {
         self.link_bw[l] = self.degradations[l]
             .iter()
             .fold(self.base_bw[l], |bw, s| bw * s);
+        self.invalidate_rates();
     }
 
     /// Starts a flow of `bytes` over `route_links`. The network must be
@@ -285,11 +377,15 @@ impl FlowNet {
             self.finished.push(id);
             self.flows_completed += 1;
         } else {
+            for &l in &links {
+                self.link_flows[l] += 1;
+            }
             self.flows.push(Flow {
                 id,
                 remaining: bytes as f64,
                 links,
             });
+            self.invalidate_rates();
         }
         self.generation += 1;
         Ok(())
@@ -475,6 +571,89 @@ mod tests {
         assert_eq!(net.generation(), 0);
         assert!(net.try_insert(Time::ZERO, 1, 10, &[lid(0)]).is_ok());
         assert_eq!(net.active_flows(), 1);
+    }
+
+    #[test]
+    fn incremental_solver_matches_reference_on_random_histories() {
+        use dmx_sim::{cases, run_cases};
+        // Drive random arrival / completion / degrade / restore
+        // sequences and demand the incremental water-fill agree
+        // bit-for-bit with the from-scratch reference after every
+        // mutation (stronger than the debug_assert in `rates`, which
+        // only fires on cache misses and only in debug builds).
+        run_cases("flow::incremental_vs_reference", cases(40), |g| {
+            let nl = g.usize_in(1, 5);
+            let bw: Vec<u64> = (0..nl).map(|_| g.u64_in(1, 11) * 100_000_000).collect();
+            let mut net = FlowNet::new(bw);
+            let mut now = Time::ZERO;
+            let mut next_id = 0u64;
+            for _ in 0..g.usize_in(5, 40) {
+                match g.usize_in(0, 10) {
+                    // Mostly arrivals, so contention actually builds up.
+                    0..=4 => {
+                        let mut links: Vec<LinkId> =
+                            (0..nl).filter(|_| g.chance(0.6)).map(lid).collect();
+                        if links.is_empty() {
+                            links.push(lid(g.usize_in(0, nl)));
+                        }
+                        let bytes = g.u64_in(1, 2_000_000_000);
+                        net.insert(now, next_id, bytes, &links);
+                        next_id += 1;
+                    }
+                    // Jump to the next completion (exercises retire).
+                    5..=6 => {
+                        if let Some(t) = net.next_event(now) {
+                            now = t;
+                            net.advance(now);
+                            net.take_finished();
+                        }
+                    }
+                    // A partial advance that retires nothing for sure.
+                    7 => {
+                        now += Time::from_ps(g.u64_in(1, 1_000_000));
+                        net.advance(now);
+                        net.take_finished();
+                    }
+                    8 => net.degrade_link(now, lid(g.usize_in(0, nl)), g.f64_in(0.1, 1.0)),
+                    _ => net.restore_link(now, lid(g.usize_in(0, nl))),
+                }
+                if net.active_flows() > 0 {
+                    let fast = net.solve_rates();
+                    let reference = net.solve_rates_reference();
+                    assert_eq!(fast, reference, "solvers diverged");
+                    assert_eq!(net.rates(), fast, "memoized rates stale");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn link_flow_counts_stay_consistent() {
+        use dmx_sim::{cases, run_cases};
+        // The incrementally maintained per-link counts must equal a
+        // recount from the live flow set at any point in a history.
+        run_cases("flow::link_counts", cases(40), |g| {
+            let nl = g.usize_in(1, 4);
+            let mut net = FlowNet::new(vec![1_000_000_000; nl]);
+            let mut now = Time::ZERO;
+            for id in 0..g.u64_in(3, 25) {
+                if g.chance(0.7) {
+                    let links: Vec<LinkId> = vec![lid(g.usize_in(0, nl))];
+                    net.insert(now, id, g.u64_in(0, 1_000_000_000), &links);
+                } else if let Some(t) = net.next_event(now) {
+                    now = t;
+                    net.advance(now);
+                    net.take_finished();
+                }
+                let mut recount = vec![0u32; nl];
+                for f in &net.flows {
+                    for &l in &f.links {
+                        recount[l] += 1;
+                    }
+                }
+                assert_eq!(net.link_flows, recount, "link counts drifted");
+            }
+        });
     }
 
     #[test]

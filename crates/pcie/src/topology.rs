@@ -3,7 +3,9 @@
 
 use crate::link::{Gen, LinkSpec};
 use dmx_sim::Time;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Mutex;
 
 /// Errors the fabric model can report instead of panicking.
 ///
@@ -165,10 +167,26 @@ impl Route {
 /// assert_eq!(route.hop_count(), 2);          // a->switch, switch->b
 /// assert_eq!(route.via, vec![sw]);           // through one switch
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Edge>,
+    /// `(src, dst) → Route` memo. The tree is append-only — nodes are
+    /// never re-parented and traversal latencies are fixed per kind —
+    /// so memoized routes never go stale; no eviction is needed. Behind
+    /// a mutex so `route(&self)` stays shareable across sweep workers.
+    route_memo: Mutex<HashMap<(usize, usize), Route>>,
+}
+
+impl Clone for Topology {
+    fn clone(&self) -> Topology {
+        Topology {
+            nodes: self.nodes.clone(),
+            links: self.links.clone(),
+            // The clone starts with a cold memo; it refills on use.
+            route_memo: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl Topology {
@@ -182,6 +200,7 @@ impl Topology {
                 depth: 0,
             }],
             links: Vec::new(),
+            route_memo: Mutex::new(HashMap::new()),
         }
     }
 
@@ -301,6 +320,24 @@ impl Topology {
         if src == dst {
             return Ok(Route::empty());
         }
+        if let Some(r) = self
+            .route_memo
+            .lock()
+            .expect("route memo")
+            .get(&(src.0, dst.0))
+        {
+            return Ok(r.clone());
+        }
+        let route = self.walk_route(src, dst)?;
+        self.route_memo
+            .lock()
+            .expect("route memo")
+            .insert((src.0, dst.0), route.clone());
+        Ok(route)
+    }
+
+    /// The uncached LCA walk behind [`Topology::try_route`].
+    fn walk_route(&self, src: NodeId, dst: NodeId) -> Result<Route, FabricError> {
         let parent_of = |n: NodeId| -> Result<(NodeId, LinkId), FabricError> {
             self.nodes[n.0].parent.ok_or(FabricError::OrphanNode(n))
         };
@@ -512,6 +549,32 @@ mod tests {
     fn route_panics_on_unknown_node() {
         let (t, _, _, _, a0, _, _) = two_switch_topo();
         t.route(a0, NodeId(999));
+    }
+
+    #[test]
+    fn memoized_routes_match_fresh_walks_after_growth() {
+        let (mut t, root, _, _, a0, _, b0) = two_switch_topo();
+        let first = t.route(a0, b0);
+        // Growing the tree must not invalidate memoized routes (nodes
+        // are never re-parented).
+        let sw2 = t.add_node(
+            NodeKind::Switch,
+            "sw2",
+            root,
+            LinkSpec::new(Gen::Gen3, Lanes::X8),
+        );
+        let c0 = t.add_node(
+            NodeKind::Device,
+            "c0",
+            sw2,
+            LinkSpec::new(Gen::Gen3, Lanes::X16),
+        );
+        assert_eq!(t.route(a0, b0), first);
+        assert_eq!(t.route(a0, b0), t.clone().route(a0, b0));
+        // A route to the new subtree computes and memoizes fine.
+        let r = t.route(a0, c0);
+        assert_eq!(t.route(a0, c0), r);
+        assert_eq!(r.via, vec![NodeId(1), root, sw2]);
     }
 
     #[test]

@@ -122,7 +122,10 @@ impl From<ExecError> for OpError {
 }
 
 /// One data-restructuring operator.
-pub trait RestructureOp: fmt::Debug {
+///
+/// `Send + Sync` so benchmarks holding boxed ops can be shared across
+/// the parallel sweep runner's worker threads; ops are plain data.
+pub trait RestructureOp: fmt::Debug + Send + Sync {
     /// Operator name (diagnostics and reports).
     fn name(&self) -> &str;
 

@@ -47,6 +47,7 @@
 
 pub mod check;
 pub mod fault;
+pub mod par;
 pub mod queue;
 pub mod resources;
 pub mod rng;
@@ -56,7 +57,8 @@ pub mod workload;
 
 pub use check::{cases, run_cases, Gen};
 pub use fault::{FaultConfig, FaultPlan};
-pub use queue::EventQueue;
+pub use par::{par_map, par_map_with};
+pub use queue::{events_delivered, EventQueue};
 pub use resources::{water_fill, FifoServer, PsJobId, PsPool};
 pub use rng::SplitMix64;
 pub use stats::{geomean, BusyTracker, Percentiles, Summary, TimeWeighted};

@@ -3,25 +3,41 @@
 use crate::time::Time;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
-struct Entry<E> {
-    time: Time,
-    seq: u64,
-    payload: E,
+/// Process-global count of delivered events, accumulated as queues are
+/// dropped (one atomic add per queue lifetime, nothing on the hot
+/// path). The `repro bench` harness samples this for events/sec.
+static DELIVERED: AtomicU64 = AtomicU64::new(0);
+
+/// Total events delivered by all [`EventQueue`]s *dropped so far*,
+/// process-wide. Live queues contribute only once they drop, so sample
+/// this before and after a complete run.
+pub fn events_delivered() -> u64 {
+    DELIVERED.load(AtomicOrdering::Relaxed)
 }
 
-impl<E> PartialEq for Entry<E> {
+/// An ordering key in the heap; the payload lives in the slab, so heap
+/// sift operations move 24 bytes regardless of payload size.
+#[derive(Clone, Copy)]
+struct Entry {
+    time: Time,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl Eq for Entry {}
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl Ord for Entry {
     // Reverse ordering: BinaryHeap is a max-heap, we want earliest first,
     // and among equal times, lowest sequence number (insertion order).
     fn cmp(&self, other: &Self) -> Ordering {
@@ -38,6 +54,10 @@ impl<E> Ord for Entry<E> {
 /// Events scheduled for the same instant are delivered in the order they
 /// were scheduled, which keeps simulations deterministic.
 ///
+/// Payloads are stored in a slab whose slots are recycled as events are
+/// delivered, so a steady-state simulation reuses the same allocations
+/// for its entire run; the binary heap orders small fixed-size keys.
+///
 /// ```
 /// use dmx_sim::{EventQueue, Time};
 /// let mut q = EventQueue::new();
@@ -51,10 +71,19 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Default)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<Entry>,
+    /// Payload storage; `None` slots are free and listed in `free`.
+    slab: Vec<Option<E>>,
+    free: Vec<u32>,
     now: Time,
     seq: u64,
     popped: u64,
+}
+
+impl<E> Drop for EventQueue<E> {
+    fn drop(&mut self) {
+        DELIVERED.fetch_add(self.popped, AtomicOrdering::Relaxed);
+    }
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {
@@ -72,6 +101,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
             now: Time::ZERO,
             seq: 0,
             popped: 0,
@@ -112,10 +143,21 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = Some(payload);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slab.len()).expect("pending events fit in u32 slots");
+                self.slab.push(Some(payload));
+                s
+            }
+        };
         self.heap.push(Entry {
             time: at,
             seq,
-            payload,
+            slot,
         });
     }
 
@@ -137,7 +179,11 @@ impl<E> EventQueue<E> {
         debug_assert!(entry.time >= self.now);
         self.now = entry.time;
         self.popped += 1;
-        Some(entry.payload)
+        let payload = self.slab[entry.slot as usize]
+            .take()
+            .expect("heap entry references a live slot");
+        self.free.push(entry.slot);
+        Some(payload)
     }
 }
 
@@ -198,6 +244,44 @@ mod tests {
         q.pop();
         q.schedule_at(Time::from_ns(10), 2);
         assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut q = EventQueue::new();
+        // Steady state: one event in flight at a time. The slab must
+        // not grow beyond the peak concurrency.
+        for i in 0..1000u64 {
+            q.schedule_at(Time::from_ns(i), i);
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.slab.len(), 1);
+        // Peak of 3 pending -> 3 slots, reused forever after.
+        for i in 0..3u64 {
+            q.schedule_after(Time::from_ns(i + 1), i);
+        }
+        while q.pop().is_some() {}
+        for i in 0..100u64 {
+            q.schedule_after(Time::from_ns(i + 1), i);
+            if i % 2 == 0 {
+                q.pop();
+            }
+        }
+        while q.pop().is_some() {}
+        assert!(q.slab.len() <= 51, "slab grew to {}", q.slab.len());
+    }
+
+    #[test]
+    fn delivered_counter_flushes_on_drop() {
+        let before = events_delivered();
+        {
+            let mut q = EventQueue::new();
+            for i in 0..5u64 {
+                q.schedule_at(Time::from_ns(i), i);
+            }
+            while q.pop().is_some() {}
+        }
+        assert!(events_delivered() >= before + 5);
     }
 
     #[test]

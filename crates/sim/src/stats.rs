@@ -279,11 +279,14 @@ mod tests {
     }
 }
 
-/// Collects samples for quantile queries (exact, sort-on-demand; fine
-/// for the request counts a simulation produces).
+/// Collects samples for quantile queries (exact; sorted at most once
+/// per snapshot, so querying p50/p99/p999 on the same data pays one
+/// sort, not three).
 #[derive(Debug, Clone, Default)]
 pub struct Percentiles {
     samples: Vec<f64>,
+    /// True while `samples` is known to be sorted; cleared by `record`.
+    sorted: bool,
 }
 
 impl Percentiles {
@@ -295,6 +298,7 @@ impl Percentiles {
     /// Records one sample.
     pub fn record(&mut self, v: f64) {
         self.samples.push(v);
+        self.sorted = false;
     }
 
     /// Number of samples.
@@ -303,33 +307,38 @@ impl Percentiles {
     }
 
     /// The `q`-quantile (0..=1) by nearest-rank; `None` when empty.
+    /// Sorts in place on the first query after a record; subsequent
+    /// queries index directly.
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]` or any sample was NaN.
-    pub fn quantile(&self, q: f64) -> Option<f64> {
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         if self.samples.is_empty() {
             return None;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        Some(sorted[rank - 1])
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        Some(self.samples[rank - 1])
     }
 
     /// Median.
-    pub fn p50(&self) -> Option<f64> {
+    pub fn p50(&mut self) -> Option<f64> {
         self.quantile(0.5)
     }
 
     /// 99th percentile.
-    pub fn p99(&self) -> Option<f64> {
+    pub fn p99(&mut self) -> Option<f64> {
         self.quantile(0.99)
     }
 
     /// 99.9th percentile (the tail the overload experiments watch).
-    pub fn p999(&self) -> Option<f64> {
+    pub fn p999(&mut self) -> Option<f64> {
         self.quantile(0.999)
     }
 }

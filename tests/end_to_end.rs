@@ -203,10 +203,10 @@ fn four_kernel_custom_chain() {
     use dmx_accel::AccelKind;
     use dmx_core::apps::{Benchmark, Edge, Stage};
     use dmx_restructure::{EndianSwap, QuantizeTensor, VecSum};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     const MB: u64 = 1 << 20;
-    let bench = Rc::new(Benchmark {
+    let bench = Arc::new(Benchmark {
         name: "Custom 4-kernel",
         stages: vec![
             Stage {

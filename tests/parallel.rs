@@ -1,0 +1,57 @@
+//! Determinism contract of the parallel sweep runner: for any worker
+//! count and any seed, a parallel run must render byte-identically to
+//! the serial run. The thread-count knob is process-global, so every
+//! check lives in one test function (cargo runs test functions on
+//! separate threads).
+
+use dmx_core::experiments::{faults, overload, Suite};
+use dmx_core::placement::{Mode, Placement};
+use dmx_sim::{cases, par, run_cases};
+
+#[test]
+fn parallel_sweeps_are_byte_identical_to_serial() {
+    let suite = Suite::new();
+
+    // Serial references under the default seeds.
+    par::set_threads(1);
+    let faults_serial = faults::run(&suite).render();
+    let overload_serial = overload::run(&suite).render();
+    let ratios_serial =
+        suite.latency_ratios(Mode::MultiAxl, Mode::Dmx(Placement::BumpInTheWire), 1);
+
+    // The per-benchmark fan-out must reproduce the serial ratios
+    // exactly (f64 equality, not tolerance: same simulations, same
+    // float ops, same order).
+    par::set_threads(4);
+    let ratios_par = suite.latency_ratios(Mode::MultiAxl, Mode::Dmx(Placement::BumpInTheWire), 1);
+    assert_eq!(ratios_serial, ratios_par, "latency_ratios diverged");
+
+    run_cases("parallel::threads_and_seeds", cases(2), |g| {
+        let threads = g.usize_in(2, 9);
+
+        // Default-seed sweeps at a random worker count.
+        par::set_threads(threads);
+        assert_eq!(
+            faults::run(&suite).render(),
+            faults_serial,
+            "faults sweep diverged at {threads} threads"
+        );
+        assert_eq!(
+            overload::run(&suite).render(),
+            overload_serial,
+            "overload sweep diverged at {threads} threads"
+        );
+
+        // A random seed, serial vs parallel.
+        let seed = g.u64_in(1, u64::MAX);
+        par::set_threads(1);
+        let serial = faults::run_with_seed(&suite, seed).render();
+        par::set_threads(threads);
+        let parallel = faults::run_with_seed(&suite, seed).render();
+        assert_eq!(
+            serial, parallel,
+            "faults sweep diverged for seed {seed:#x} at {threads} threads"
+        );
+        par::set_threads(1);
+    });
+}
