@@ -14,7 +14,7 @@ pub mod bench;
 pub mod timing;
 
 /// All experiment identifiers `repro` accepts.
-pub const EXPERIMENTS: [&str; 17] = [
+pub const EXPERIMENTS: [&str; 18] = [
     "tab1",
     "fig3",
     "fig5",
@@ -31,6 +31,7 @@ pub const EXPERIMENTS: [&str; 17] = [
     "ablations",
     "faults",
     "overload",
+    "integrity",
     "summary",
 ];
 
@@ -54,7 +55,8 @@ pub fn run_experiment(suite: &Suite, id: &str) -> String {
 }
 
 /// Runs one experiment by id, threading `seed` into the experiments
-/// that take one (`faults`, `overload`; others ignore it), and reports
+/// that take one (`faults`, `overload`, `integrity`; others ignore
+/// it), and reports
 /// whether the experiment's embedded determinism/robustness checks
 /// passed.
 ///
@@ -81,6 +83,16 @@ pub fn run_experiment_checked(suite: &Suite, id: &str, seed: Option<u64>) -> Out
             Outcome {
                 ok: o.ok(),
                 report: o.render(),
+            }
+        }
+        "integrity" => {
+            let i = experiments::integrity::run_with_seed(
+                suite,
+                seed.unwrap_or(experiments::integrity::SEED),
+            );
+            Outcome {
+                ok: i.ok(),
+                report: i.render(),
             }
         }
         other => Outcome {

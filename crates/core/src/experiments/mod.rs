@@ -17,6 +17,7 @@ pub mod fig19;
 pub mod fig3;
 pub mod fig5;
 pub mod fig8;
+pub mod integrity;
 pub mod overload;
 pub mod summary;
 pub mod tab1;

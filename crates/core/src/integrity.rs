@@ -1,0 +1,201 @@
+//! End-to-end data integrity: chain checksums, poison tracking, and
+//! quarantine/re-execute recovery.
+//!
+//! The silent-corruption fault domain (`dmx_sim::fault::SdcConfig`)
+//! flips bits in DRX scratchpads, DMA staging buffers, and host DDR
+//! with *no* fault signal — no LCRC NAK, no timeout, no interrupt.
+//! Left alone, a flipped bit sails through the rest of the accelerator
+//! chain and corrupts the final result. This module is the driver-side
+//! countermeasure: an optional integrity mode that digests each batch
+//! at chain boundaries (modeled FNV-style rolling checksum, see
+//! `dmx_kernels::checksum`), tags mismatching batches as *poisoned*,
+//! quarantines the affected tenant's queue, and recovers by
+//! re-executing the request from its last verified boundary with the
+//! recovery layer's exponential backoff.
+//!
+//! The config is layered like the fault and overload layers: `None` on
+//! [`SystemConfig`](crate::system::SystemConfig) disables it entirely,
+//! and an inert config ([`IntegrityConfig::none`]) must be
+//! byte-identical to the layer-absent run. Injection accounting
+//! (injected / escaped counts) is driven by the *fault* layer and
+//! works even with checksums off — silent corruption never perturbs
+//! timing, only data — so the `repro integrity` sweep can show the
+//! escape count that checksum mode `None` leaves on the table.
+
+use dmx_sim::Time;
+
+/// Where integrity checksums are computed along the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChecksumMode {
+    /// No checksums: every injected corruption escapes into the final
+    /// result. This is today's default hardware behavior.
+    None,
+    /// Verify at every chain boundary (each accelerator-to-accelerator
+    /// hop) plus the final result. Smallest blast radius and cheapest
+    /// re-execution (rewind one hop), highest checksum overhead.
+    PerHop,
+    /// Verify only the final result against the source digest. One
+    /// check per request, but a detection re-executes the whole chain
+    /// and the poison travels every hop before it is caught.
+    EndToEnd,
+}
+
+/// Configuration of the integrity layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntegrityConfig {
+    /// Checksum placement.
+    pub mode: ChecksumMode,
+    /// Modeled digest throughput of the checking device. The check
+    /// blocks the request for `bytes / checksum_bytes_per_sec`; ~25
+    /// GB/s matches a single-core software FNV/CRC sweep, which is the
+    /// conservative cost (a hardware CRC block would be free).
+    pub checksum_bytes_per_sec: f64,
+    /// How long a tenant's queue is quarantined after one of its
+    /// batches is found poisoned: open-loop arrivals inside the window
+    /// are shed before admission. [`Time::ZERO`] disables quarantine.
+    pub quarantine: Time,
+    /// Re-executions allowed per request before the driver gives up
+    /// and passes the batch through unchecked (every later flip then
+    /// escapes). Each attempt re-rolls the fault exposure, so at sane
+    /// SDC rates exhaustion is astronomically unlikely; the cap exists
+    /// to bound pathological configs.
+    pub max_reexec: u32,
+}
+
+impl IntegrityConfig {
+    /// An inert config: no checks, no cost, nothing detected.
+    pub fn none() -> Self {
+        IntegrityConfig {
+            mode: ChecksumMode::None,
+            checksum_bytes_per_sec: 25e9,
+            quarantine: Time::from_ms(1),
+            max_reexec: 32,
+        }
+    }
+
+    /// Checking enabled with placement `mode` and default costs.
+    pub fn checked(mode: ChecksumMode) -> Self {
+        IntegrityConfig {
+            mode,
+            ..IntegrityConfig::none()
+        }
+    }
+
+    /// True when the layer does nothing: results must be byte-identical
+    /// to a run with the layer absent.
+    pub fn is_inert(&self) -> bool {
+        self.mode == ChecksumMode::None
+    }
+
+    /// Modeled wall time to digest `bytes`.
+    pub fn check_time(&self, bytes: u64) -> Time {
+        Time::from_secs_f64(bytes as f64 / self.checksum_bytes_per_sec.max(1.0))
+    }
+}
+
+impl Default for IntegrityConfig {
+    fn default() -> Self {
+        IntegrityConfig::none()
+    }
+}
+
+/// What the silent-corruption and integrity layers did during a run.
+/// All-zero when no SDC fired and the integrity layer is off.
+///
+/// Invariant (checked by the `repro integrity` harness): every
+/// injected flip is either detected at a checksum boundary or escapes
+/// into a completed request — `injected == detected + escaped`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// Silent bit flips injected by the fault layer (all domains, all
+    /// attempts).
+    pub injected: u64,
+    /// Injected flips caught at a checksum boundary.
+    pub detected: u64,
+    /// Injected flips that reached a completed request undetected.
+    pub escaped: u64,
+    /// Poisoning incidents: times a clean request picked up its first
+    /// undetected flip (one incident can carry several flips).
+    pub poisoned_batches: u64,
+    /// Blast radius: total chain steps traversed while poisoned,
+    /// summed over all incidents (poison caught at its injection hop
+    /// contributes 1).
+    pub poison_hops: u64,
+    /// Largest single-incident blast radius.
+    pub max_blast: u64,
+    /// Checksum verifications performed.
+    pub checks: u64,
+    /// Wall time spent computing checksums (charged to the requests).
+    pub checksum_time: Time,
+    /// Re-executions triggered by detections.
+    pub reexecs: u64,
+    /// Wall time of work thrown away by re-executions (from the last
+    /// verified boundary to the detection point).
+    pub reexec_time: Time,
+    /// Requests that exhausted `max_reexec` and continued unchecked.
+    pub reexec_giveups: u64,
+    /// Tenant quarantine windows opened by detections.
+    pub quarantines: u64,
+    /// Open-loop arrivals shed because their tenant was quarantined.
+    pub quarantine_shed: u64,
+}
+
+impl IntegrityReport {
+    /// True if any corruption fired or any integrity action ran.
+    pub fn any(&self) -> bool {
+        *self != IntegrityReport::default()
+    }
+
+    /// The conservation invariant: every flip is accounted exactly
+    /// once.
+    pub fn conserved(&self) -> bool {
+        self.injected == self.detected + self.escaped
+    }
+
+    /// Mean blast radius per poisoning incident (0 with none).
+    pub fn mean_blast(&self) -> f64 {
+        if self.poisoned_batches == 0 {
+            0.0
+        } else {
+            self.poison_hops as f64 / self.poisoned_batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_config_is_mode_none() {
+        assert!(IntegrityConfig::none().is_inert());
+        assert!(!IntegrityConfig::checked(ChecksumMode::PerHop).is_inert());
+        assert!(!IntegrityConfig::checked(ChecksumMode::EndToEnd).is_inert());
+    }
+
+    #[test]
+    fn check_time_scales_with_bytes() {
+        let c = IntegrityConfig::checked(ChecksumMode::EndToEnd);
+        let small = c.check_time(1 << 20);
+        let big = c.check_time(1 << 30);
+        assert!(big > small * 100);
+        assert!(small > Time::ZERO);
+    }
+
+    #[test]
+    fn report_conservation_and_blast() {
+        let mut r = IntegrityReport::default();
+        assert!(r.conserved());
+        assert!(!r.any());
+        r.injected = 5;
+        r.detected = 3;
+        r.escaped = 2;
+        r.poisoned_batches = 2;
+        r.poison_hops = 6;
+        assert!(r.conserved());
+        assert!(r.any());
+        assert!((r.mean_blast() - 3.0).abs() < 1e-12);
+        r.escaped = 1;
+        assert!(!r.conserved());
+    }
+}

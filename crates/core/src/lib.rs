@@ -44,6 +44,7 @@ pub mod apps;
 pub mod collectives;
 pub mod driver;
 pub mod experiments;
+pub mod integrity;
 pub mod overload;
 pub mod params;
 pub mod placement;
@@ -51,6 +52,7 @@ pub mod report;
 pub mod system;
 
 pub use apps::{Benchmark, BenchmarkId, BenchmarkRef};
+pub use integrity::{ChecksumMode, IntegrityConfig, IntegrityReport};
 pub use overload::{
     AdmissionParams, Breaker, BreakerParams, BreakerRoute, OverloadConfig, OverloadReport,
     ShedPolicy, TenantOverload, TokenBucket,

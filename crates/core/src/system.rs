@@ -15,6 +15,7 @@
 
 use crate::apps::BenchmarkRef;
 use crate::driver::DriverState;
+use crate::integrity::{ChecksumMode, IntegrityConfig, IntegrityReport};
 use crate::overload::{
     tenant_skeletons, Breaker, BreakerRoute, OverloadConfig, OverloadReport, ShedPolicy,
     TenantOverload, TokenBucket,
@@ -32,7 +33,7 @@ use dmx_pcie::{
 };
 use dmx_sim::{
     ArrivalGen, BoundedQueue, EventQueue, FaultConfig, FaultPlan, FifoServer, Percentiles, PsJobId,
-    PsPool, SplitMix64, Time,
+    PsPool, SdcDomain, SplitMix64, Time,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -80,6 +81,14 @@ pub struct SystemConfig {
     /// the layer entirely; an inert config (`OverloadConfig::none()`)
     /// must produce results identical to `None`.
     pub overload: Option<OverloadConfig>,
+    /// End-to-end integrity: chain-boundary checksums, poison
+    /// tracking, quarantine, and re-execution against silent data
+    /// corruption. `None` disables the layer entirely; an inert config
+    /// (`IntegrityConfig::none()`) must produce results identical to
+    /// `None`. SDC *injection* is part of the fault layer
+    /// ([`FaultConfig`]'s `sdc` rates) and never perturbs timing — only
+    /// this layer's checks and recoveries do.
+    pub integrity: Option<IntegrityConfig>,
 }
 
 impl SystemConfig {
@@ -101,6 +110,7 @@ impl SystemConfig {
             replay: ReplayParams::default(),
             recovery: RecoveryParams::default(),
             overload: None,
+            integrity: None,
         }
     }
 
@@ -302,6 +312,9 @@ pub struct RunResult {
     /// Overload-control accounting; `None` when the layer is disabled
     /// or inert.
     pub overload: Option<OverloadReport>,
+    /// Silent-corruption and integrity accounting (all-zero without
+    /// SDC faults and with the integrity layer off).
+    pub integrity: IntegrityReport,
 }
 
 impl RunResult {
@@ -386,6 +399,24 @@ struct Req {
     /// when the transfer into the unit begins, released when the unit
     /// consumes the batch (restructure completes).
     credit: Option<(u64, u64)>,
+    /// Silent bit flips injected into this request's data and not yet
+    /// caught by a checksum. Nonzero = the batch is *poisoned*.
+    flips: u64,
+    /// Chain steps traversed while poisoned (the blast radius when the
+    /// poison is finally caught — or escapes).
+    poison_hops: u64,
+    /// Step index of the last checksum-verified boundary; a detection
+    /// rewinds execution here.
+    verified_step: usize,
+    /// When the request passed that boundary (work since then is what a
+    /// re-execution throws away).
+    verified_at: Time,
+    /// Re-executions so far; also keys the fault plan's SDC draws so
+    /// each attempt re-rolls its exposure.
+    reexecs: u32,
+    /// Integrity checking disabled after `max_reexec` was exhausted;
+    /// any further corruption escapes.
+    unchecked: bool,
 }
 
 #[derive(Debug)]
@@ -400,6 +431,12 @@ enum Ev {
     LinkRestore(usize),
     /// An open-loop request of tenant `app` arrives.
     Arrival(usize),
+    /// A chain-boundary checksum finishes (epoch-tagged like
+    /// `StepDone`); the request then advances, or rewinds on mismatch.
+    IntegrityDone(u64, u32),
+    /// A re-execution backoff elapsed; the request restarts from its
+    /// last verified boundary.
+    Reexec(u64, u32),
 }
 
 /// One open-loop tenant: its arrival stream, rate limiter, and
@@ -527,6 +564,13 @@ struct Sim<'a> {
     plan: Option<FaultPlan>,
     report: FaultReport,
     dead_units: HashSet<u64>,
+    /// Integrity layer; `None` when disabled or inert (so the unchecked
+    /// path is exactly the pre-integrity simulator).
+    integ: Option<IntegrityConfig>,
+    ireport: IntegrityReport,
+    /// Per-tenant quarantine deadlines: open-loop arrivals before this
+    /// instant are shed without admission.
+    quarantine_until: Vec<Time>,
     /// Overload-control state; `None` when the layer is disabled or the
     /// config is inert (so the no-overload path is exactly the
     /// pre-overload simulator).
@@ -602,6 +646,9 @@ impl<'a> Sim<'a> {
                 .map(|f| FaultPlan::new(f.clone())),
             report: FaultReport::default(),
             dead_units: HashSet::new(),
+            integ: cfg.integrity.filter(|i| !i.is_inert()),
+            ireport: IntegrityReport::default(),
+            quarantine_until: vec![Time::ZERO; cfg.apps.len()],
             ov: cfg
                 .overload
                 .as_ref()
@@ -750,6 +797,42 @@ impl<'a> Sim<'a> {
         ov.tenants[app].stats.breaker_activations += after - before;
     }
 
+    /// Draws the silent bit flips batch `id` picks up while its
+    /// current step exposes `bytes` bytes to `domain` on `device`, and
+    /// poisons the request accordingly. Returns the flip count (for
+    /// breaker attribution). SDC is *silent*: injection never perturbs
+    /// timing — only the integrity layer's checks and re-executions do
+    /// — so a fault plan whose only live rates are SDC is
+    /// timing-identical to a clean run.
+    fn inject_sdc(
+        &mut self,
+        id: u64,
+        domain: SdcDomain,
+        device: u64,
+        bytes: u64,
+        residency_secs: f64,
+    ) -> u64 {
+        let Some(plan) = &self.plan else { return 0 };
+        let Some(r) = self.reqs.get_mut(&id) else {
+            return 0;
+        };
+        // One sub-stream per (request, step); the re-execution attempt
+        // is part of the key so retries re-roll their exposure.
+        let batch = id.wrapping_mul(1_000_003).wrapping_add(r.step as u64);
+        let n = plan
+            .sdc_flips(domain, device, batch, r.reexecs, bytes, residency_secs)
+            .len() as u64;
+        if n == 0 {
+            return 0;
+        }
+        self.ireport.injected += n;
+        if r.flips == 0 {
+            self.ireport.poisoned_batches += 1;
+        }
+        r.flips += n;
+        n
+    }
+
     /// Extra latency from segmenting a batch across DRX data-queue
     /// refills: each additional segment costs one driver handshake
     /// (Fig. 10 steps 3-4 re-run per segment). With the paper's 100 MB
@@ -883,6 +966,9 @@ impl<'a> Sim<'a> {
                 let unit = self
                     .unit_for(app, e)
                     .filter(|u| !self.dead_units.contains(u));
+                // The batch sits in a DMA staging buffer on its way to
+                // the restructuring engine.
+                self.inject_sdc(id, SdcDomain::DmaStaging, unit.unwrap_or(0), bytes, 0.0);
                 let mut parked = false;
                 if let (Some(u), Some(ov)) = (unit, self.ov.as_mut()) {
                     if let Some(gate) = ov.gate.as_mut() {
@@ -908,8 +994,14 @@ impl<'a> Sim<'a> {
             Step::ToNext(e) => {
                 let from = self.restr_node(app, e)?;
                 let to = self.layout.accel_nodes[app][e + 1];
-                let extra = self.queue_handshake_latency(bench.edges[e].bytes_out);
-                self.start_flow_with_extra(id, from, to, bench.edges[e].bytes_out, extra, None)?;
+                let bytes = bench.edges[e].bytes_out;
+                // Staged again on the way out to the next accelerator.
+                let unit = self
+                    .unit_for(app, e)
+                    .filter(|u| !self.dead_units.contains(u));
+                self.inject_sdc(id, SdcDomain::DmaStaging, unit.unwrap_or(0), bytes, 0.0);
+                let extra = self.queue_handshake_latency(bytes);
+                self.start_flow_with_extra(id, from, to, bytes, extra, None)?;
             }
         }
         Ok(())
@@ -954,6 +1046,11 @@ impl<'a> Sim<'a> {
         let edge = &self.cfg.apps[app].edges[e];
         let work = self.cfg.cpu.restructure_core_seconds(&edge.profile);
         let cap = self.cfg.cpu.restructure_core_cap(&edge.profile);
+        // Host-path restructuring stages the batch in (non-ECC) DDR;
+        // its exposure window is the nominal core-seconds of the pass —
+        // a deterministic proxy for wall residency, which would depend
+        // on event order.
+        self.inject_sdc(id, SdcDomain::Ddr, 0, edge.bytes_in, work);
         if degraded {
             self.report.rerouted_batches += 1;
             if let Some(r) = self.reqs.get_mut(&id) {
@@ -1047,6 +1144,16 @@ impl<'a> Sim<'a> {
             return self.submit_restr_cpu(id, app, e, stall_penalty, true);
         }
         let edge = &self.cfg.apps[app].edges[e];
+        // The batch streams through the DRX's (ECC-less) scratchpad.
+        // Repeated silent corruption on one unit trips its breaker —
+        // but only when the integrity layer is on: with checksums off
+        // nothing in the system can observe a silent flip.
+        if let Some(u) = unit {
+            let n = self.inject_sdc(id, SdcDomain::Scratchpad, u, edge.bytes_in, 0.0);
+            if n > 0 && self.integ.is_some() {
+                self.breaker_faults(u, app, n);
+            }
+        }
         let cost = edge.drx_cost(&self.cfg.drx);
         let energy_model = DrxEnergyModel::for_clock(self.cfg.drx.clock);
         self.drx_dynamic_j += (cost.lane_ops * energy_model.pj_per_lane_op
@@ -1168,6 +1275,12 @@ impl<'a> Sim<'a> {
                 degraded: false,
                 deadline,
                 credit: None,
+                flips: 0,
+                poison_hops: 0,
+                verified_step: 0,
+                verified_at: now,
+                reexecs: 0,
+                unchecked: false,
             },
         );
         self.begin_step(id)
@@ -1183,6 +1296,7 @@ impl<'a> Sim<'a> {
             Shed,
         }
         let now = self.q.now();
+        let quarantined = now < self.quarantine_until[app];
         let (next_gap, verdict) = {
             let ov = self.ov.as_mut().expect("arrival without overload state");
             let ts = &mut ov.tenants[app];
@@ -1193,8 +1307,15 @@ impl<'a> Sim<'a> {
             } else {
                 None
             };
-            let admitted = ts.bucket.as_mut().is_none_or(|b| b.try_take(now));
-            let verdict = if !admitted {
+            let admitted = !quarantined && ts.bucket.as_mut().is_none_or(|b| b.try_take(now));
+            let verdict = if quarantined {
+                // Tenant is quarantined after a poisoned batch: shed
+                // before admission (no token is consumed; counted in
+                // the integrity report, not the tenant's overload
+                // stats, so the two causes stay distinguishable).
+                self.ireport.quarantine_shed += 1;
+                Verdict::Shed
+            } else if !admitted {
                 ts.stats.rejected_admission += 1;
                 Verdict::Shed
             } else {
@@ -1270,7 +1391,7 @@ impl<'a> Sim<'a> {
 
     fn step_done(&mut self, id: u64, epoch: u32) -> Result<(), SimError> {
         let now = self.q.now();
-        let (finished, release, credit) = {
+        let (app, prev_step, finished, release, credit) = {
             let Some(r) = self.reqs.get_mut(&id) else {
                 // A request can finish only once; any extra completion
                 // must be a stale event from a torn-down unit.
@@ -1283,7 +1404,8 @@ impl<'a> Sim<'a> {
             let elapsed = now - r.step_started;
             let mut release = None;
             let mut credit = None;
-            match self.steps[r.app][r.step] {
+            let prev_step = self.steps[r.app][r.step];
+            match prev_step {
                 Step::Kernel(_) => r.breakdown.kernel += elapsed,
                 Step::Restr(e) => {
                     r.breakdown.restructure += elapsed;
@@ -1299,7 +1421,17 @@ impl<'a> Sim<'a> {
                 _ => r.breakdown.movement += elapsed,
             }
             r.step += 1;
-            (r.step == self.steps[r.app].len(), release, credit)
+            if r.flips > 0 {
+                // Poison rides the chain: one more hop of blast radius.
+                r.poison_hops += 1;
+            }
+            (
+                r.app,
+                prev_step,
+                r.step == self.steps[r.app].len(),
+                release,
+                credit,
+            )
         };
         if let Some((unit, bytes)) = credit {
             let woken = self
@@ -1318,28 +1450,177 @@ impl<'a> Sim<'a> {
                 self.submit_restr(next, app, e)?;
             }
         }
+        // Integrity boundary: digest the batch before it advances. The
+        // check blocks the request for the modeled digest time; it
+        // resumes — or rewinds — when `IntegrityDone` fires.
+        if let Some(bytes) = self.check_bytes(id, app, prev_step, finished) {
+            let integ = self.integ.expect("check_bytes implies integrity config");
+            let t = integ.check_time(bytes);
+            self.ireport.checks += 1;
+            self.ireport.checksum_time += t;
+            if let Some(r) = self.reqs.get_mut(&id) {
+                r.step_started = now;
+                let ep = r.epoch;
+                self.q.schedule_at(now + t, Ev::IntegrityDone(id, ep));
+            }
+            return Ok(());
+        }
         if finished {
-            let r = self.reqs.remove(&id).ok_or(SimError::UnknownRequest(id))?;
-            self.remaining = self.remaining.saturating_sub(1);
-            {
-                let st = &mut self.stats[r.app];
-                st.completed += 1;
-                st.latency_sum += (now - r.start).as_secs_f64();
-                st.latencies.record((now - r.start).as_secs_f64());
-                st.breakdown.kernel += r.breakdown.kernel;
-                st.breakdown.restructure += r.breakdown.restructure;
-                st.breakdown.movement += r.breakdown.movement;
-                st.last_done = now;
-            }
-            if self.ov.as_ref().is_some_and(|o| o.open_loop) {
-                self.open_loop_completion(&r, now)?;
-            } else if self.stats[r.app].launched < self.cfg.requests_per_app {
-                self.start_request(r.app)?;
-            }
+            self.complete_request(id)?;
         } else {
             self.begin_step(id)?;
         }
         Ok(())
+    }
+
+    /// Bytes to digest if the step just completed lands on an integrity
+    /// boundary: each chain hop's arrival in per-hop mode, and the
+    /// final result in both checking modes. `None` = no check here.
+    fn check_bytes(&self, id: u64, app: usize, prev_step: Step, finished: bool) -> Option<u64> {
+        let integ = self.integ.as_ref()?;
+        let r = self.reqs.get(&id)?;
+        if r.unchecked {
+            return None;
+        }
+        match (integ.mode, prev_step) {
+            (ChecksumMode::PerHop, Step::ToNext(e)) => Some(self.cfg.apps[app].edges[e].bytes_out),
+            _ if finished => {
+                // The final result: its size is the last stage's batch.
+                self.cfg.apps[app].stages.last().map(|s| s.input_bytes)
+            }
+            _ => None,
+        }
+    }
+
+    /// A request's final completion: escape accounting for any poison
+    /// that made it through, stats, and follow-on dispatch (next
+    /// closed-loop request or EDF queue pop).
+    fn complete_request(&mut self, id: u64) -> Result<(), SimError> {
+        let now = self.q.now();
+        let r = self.reqs.remove(&id).ok_or(SimError::UnknownRequest(id))?;
+        if r.flips > 0 {
+            // Silent corruption reached the final result undetected.
+            self.ireport.escaped += r.flips;
+            self.ireport.poison_hops += r.poison_hops;
+            self.ireport.max_blast = self.ireport.max_blast.max(r.poison_hops);
+        }
+        self.remaining = self.remaining.saturating_sub(1);
+        {
+            let st = &mut self.stats[r.app];
+            st.completed += 1;
+            st.latency_sum += (now - r.start).as_secs_f64();
+            st.latencies.record((now - r.start).as_secs_f64());
+            st.breakdown.kernel += r.breakdown.kernel;
+            st.breakdown.restructure += r.breakdown.restructure;
+            st.breakdown.movement += r.breakdown.movement;
+            st.last_done = now;
+        }
+        if self.ov.as_ref().is_some_and(|o| o.open_loop) {
+            self.open_loop_completion(&r, now)?;
+        } else if self.stats[r.app].launched < self.cfg.requests_per_app {
+            self.start_request(r.app)?;
+        }
+        Ok(())
+    }
+
+    /// A chain-boundary checksum finished. Clean digest: the boundary
+    /// becomes the request's verified rewind point and it advances.
+    /// Mismatch: the batch is poisoned — account the detection, trip
+    /// the tenant's quarantine, and re-execute from the last verified
+    /// boundary after the recovery layer's exponential backoff.
+    fn integrity_done(&mut self, id: u64, epoch: u32) -> Result<(), SimError> {
+        let now = self.q.now();
+        let integ = self.integ.expect("integrity event without config");
+        enum Next {
+            Complete,
+            Continue,
+            Rewind(Time),
+        }
+        let (app, next) = {
+            let Some(r) = self.reqs.get_mut(&id) else {
+                return Ok(());
+            };
+            if r.epoch != epoch {
+                return Ok(());
+            }
+            // The digest itself is data-motion overhead.
+            r.breakdown.movement += now - r.step_started;
+            let finished = r.step == self.steps[r.app].len();
+            let next = if r.flips == 0 {
+                r.verified_step = r.step;
+                r.verified_at = now;
+                if finished {
+                    Next::Complete
+                } else {
+                    Next::Continue
+                }
+            } else {
+                self.ireport.detected += r.flips;
+                self.ireport.poison_hops += r.poison_hops;
+                self.ireport.max_blast = self.ireport.max_blast.max(r.poison_hops);
+                r.flips = 0;
+                r.poison_hops = 0;
+                r.reexecs += 1;
+                if r.reexecs > integ.max_reexec {
+                    // Give up: pass the known-bad batch through and stop
+                    // checking; any further corruption escapes.
+                    self.ireport.reexec_giveups += 1;
+                    r.unchecked = true;
+                    if finished {
+                        Next::Complete
+                    } else {
+                        Next::Continue
+                    }
+                } else {
+                    self.ireport.reexecs += 1;
+                    // Work since the verified boundary is thrown away.
+                    self.ireport.reexec_time += now - r.verified_at;
+                    r.step = r.verified_step;
+                    // Invalidate anything still in flight for the
+                    // discarded attempt.
+                    r.epoch += 1;
+                    Next::Rewind(self.cfg.recovery.backoff(r.reexecs - 1))
+                }
+            };
+            (r.app, next)
+        };
+        match next {
+            Next::Complete => self.complete_request(id),
+            Next::Continue => self.begin_step(id),
+            Next::Rewind(delay) => {
+                self.quarantine_tenant(app, now);
+                if let Some(r) = self.reqs.get(&id) {
+                    self.q.schedule_at(now + delay, Ev::Reexec(id, r.epoch));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Opens (or extends) tenant `app`'s quarantine window after one of
+    /// its batches was found poisoned. Only meaningful open-loop, where
+    /// arrivals exist to shed.
+    fn quarantine_tenant(&mut self, app: usize, now: Time) {
+        let Some(integ) = &self.integ else { return };
+        if integ.quarantine == Time::ZERO || !self.ov.as_ref().is_some_and(|o| o.open_loop) {
+            return;
+        }
+        self.ireport.quarantines += 1;
+        let until = now + integ.quarantine;
+        if until > self.quarantine_until[app] {
+            self.quarantine_until[app] = until;
+        }
+    }
+
+    /// Resumes a re-execution whose backoff elapsed.
+    fn reexec_resume(&mut self, id: u64, epoch: u32) -> Result<(), SimError> {
+        let Some(r) = self.reqs.get(&id) else {
+            return Ok(());
+        };
+        if r.epoch != epoch {
+            return Ok(());
+        }
+        self.begin_step(id)
     }
 
     /// Horizon past which scheduled unit deaths are ignored: far beyond
@@ -1405,6 +1686,8 @@ impl<'a> Sim<'a> {
                     }
                 }
                 Ev::UnitDeath(unit) => self.unit_death(unit)?,
+                Ev::IntegrityDone(id, epoch) => self.integrity_done(id, epoch)?,
+                Ev::Reexec(id, epoch) => self.reexec_resume(id, epoch)?,
                 Ev::LinkRestore(l) => {
                     self.flows.restore_link(self.q.now(), LinkId::from_index(l));
                     self.drain_flow_finished()?;
@@ -1533,6 +1816,7 @@ impl<'a> Sim<'a> {
             notify_counts: self.driver.counts(),
             faults: self.report,
             overload,
+            integrity: self.ireport,
         }
     }
 }

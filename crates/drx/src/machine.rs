@@ -249,6 +249,32 @@ impl Machine {
         self.regs[r as usize]
     }
 
+    /// Flips one bit of scratchpad SRAM in place: the silent-data-
+    /// corruption hook for the fault-injection layer. Out-of-range
+    /// offsets are ignored (the plan draws against the configured
+    /// scratchpad size, which is always `spad.len()`, but callers may
+    /// inject against a staged sub-buffer).
+    pub fn flip_spad_bit(&mut self, offset: u64, bit: u8) {
+        if let Some(b) = self.spad.get_mut(offset as usize) {
+            *b ^= 1 << (bit & 7);
+        }
+    }
+
+    /// Flips one bit of device DRAM in place (silent-corruption hook).
+    /// Bytes past the current backing store are logically zero, so the
+    /// store grows to cover the flip — matching `read_dram`'s
+    /// zero-fill view — as long as it stays within capacity;
+    /// out-of-capacity offsets are ignored.
+    pub fn flip_dram_bit(&mut self, offset: u64, bit: u8) {
+        if offset >= self.config.dram.capacity_bytes {
+            return;
+        }
+        if self.dram.len() <= offset as usize {
+            self.dram.resize(offset as usize + 1, 0);
+        }
+        self.dram[offset as usize] ^= 1 << (bit & 7);
+    }
+
     fn dram_ensure(&mut self, addr: u64, len: u64) -> Result<(), ExecError> {
         let end = addr.checked_add(len).ok_or(ExecError::OobDram { addr })?;
         if end > self.config.dram.capacity_bytes {
@@ -911,6 +937,26 @@ mod tests {
         let mut c = DrxConfig::default();
         c.dram.capacity_bytes = 1 << 20;
         c
+    }
+
+    #[test]
+    fn bit_flip_hooks_corrupt_and_restore() {
+        let mut m = Machine::new(small_cfg());
+        m.write_dram(0, &[0u8; 64]);
+        m.flip_dram_bit(9, 3);
+        assert_eq!(m.read_dram(9, 1), vec![0x08]);
+        m.flip_dram_bit(9, 3);
+        assert_eq!(m.read_dram(9, 1), vec![0x00]);
+        // Flipping past the backing store grows it (zero-fill view)...
+        m.flip_dram_bit(1000, 0);
+        assert_eq!(m.read_dram(1000, 1), vec![0x01]);
+        // ...but out-of-capacity flips are ignored.
+        m.flip_dram_bit(1 << 21, 0);
+        m.flip_spad_bit(5, 7);
+        assert_eq!(m.read_spad(5, 1), &[0x80]);
+        m.flip_spad_bit(u64::MAX, 0); // ignored
+        m.flip_spad_bit(5, 7);
+        assert_eq!(m.read_spad(5, 1), &[0x00]);
     }
 
     fn vec_cfg(ports: &mut Program, base0: u64, based: u64, n: u32, elem: i64) {

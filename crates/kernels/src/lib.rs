@@ -13,6 +13,9 @@
 //! | Personal Info Redaction | [`aes`] (CTR decrypt), [`regex`], [`token`], [`nn`] (NER stand-in) |
 //! | Database Hash Join | [`lz`] (decompress), [`join`] |
 //!
+//! Cross-cutting: [`checksum`] is the FNV-1a-64 chain-boundary digest
+//! the end-to-end integrity layer uses to catch silent corruption.
+//!
 //! Timing and energy for these kernels on their accelerators is modeled
 //! separately in `dmx-accel`; this crate is purely functional.
 
@@ -20,6 +23,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod aes;
+pub mod checksum;
 pub mod fft;
 pub mod join;
 pub mod lz;

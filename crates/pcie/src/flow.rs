@@ -351,7 +351,7 @@ impl FlowNet {
     /// [`FlowNet::try_insert`] to handle those as errors.
     pub fn insert(&mut self, now: Time, id: FlowId, bytes: u64, route_links: &[LinkId]) {
         if let Err(e) = self.try_insert(now, id, bytes, route_links) {
-            panic!("{e}");
+            panic!("FlowNet::insert({id:?}, {bytes} B) failed: {e}");
         }
     }
 

@@ -306,7 +306,7 @@ impl Topology {
     pub fn route(&self, src: NodeId, dst: NodeId) -> Route {
         match self.try_route(src, dst) {
             Ok(r) => r,
-            Err(e) => panic!("{e}"),
+            Err(e) => panic!("Topology::route({src:?} -> {dst:?}) failed: {e}"),
         }
     }
 
@@ -320,10 +320,12 @@ impl Topology {
         if src == dst {
             return Ok(Route::empty());
         }
+        // A poisoned memo is still a valid cache (entries are written
+        // whole); recover it rather than cascading another panic.
         if let Some(r) = self
             .route_memo
             .lock()
-            .expect("route memo")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&(src.0, dst.0))
         {
             return Ok(r.clone());
@@ -331,7 +333,7 @@ impl Topology {
         let route = self.walk_route(src, dst)?;
         self.route_memo
             .lock()
-            .expect("route memo")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert((src.0, dst.0), route.clone());
         Ok(route)
     }

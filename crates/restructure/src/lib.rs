@@ -38,7 +38,10 @@ pub mod spectro;
 pub mod textprep;
 
 pub use image::YuvToTensor;
-pub use op::{assert_cpu_drx_equal, run_on_drx, Lowered, OpError, OpProfile, RestructureOp};
+pub use op::{
+    assert_cpu_drx_equal, run_on_drx, run_on_drx_with_flips, Lowered, OpError, OpProfile,
+    RestructureOp,
+};
 pub use pivot::{partition_id, DbPivot, Deinterleave, HashPartition};
 pub use reduce::VecSum;
 pub use reshape::{BandPower, EndianSwap, PadFrame, QuantizeTensor};

@@ -162,6 +162,28 @@ pub fn run_on_drx(
     config: &DrxConfig,
     input: &[u8],
 ) -> Result<(Vec<u8>, ExecStats), OpError> {
+    run_on_drx_with_flips(op, config, input, &[])
+}
+
+/// [`run_on_drx`] with silent bit flips injected into the staged input
+/// after it lands in device DRAM and before the program runs — the
+/// functional half of the SDC fault model. Each `(offset, bit)` pair
+/// indexes into the op's *logical input buffer* (the same bytes
+/// `input` holds), so a flip corrupts exactly one staged input bit and
+/// the corruption propagates through the real restructuring datapath
+/// into the output, where blast radius can be measured. Offsets at or
+/// past the input end are ignored.
+///
+/// # Errors
+///
+/// Returns an [`OpError`] on size mismatch, lowering failure, or
+/// machine fault.
+pub fn run_on_drx_with_flips(
+    op: &dyn RestructureOp,
+    config: &DrxConfig,
+    input: &[u8],
+    flips: &[(u64, u8)],
+) -> Result<(Vec<u8>, ExecStats), OpError> {
     let lowered = op.lower(config)?;
     if input.len() as u64 != lowered.input_bytes() {
         return Err(OpError::InputSize {
@@ -179,6 +201,19 @@ pub fn run_on_drx(
     for &(addr, bytes) in &lowered.inputs {
         machine.write_dram(addr, &input[cursor..cursor + bytes as usize]);
         cursor += bytes as usize;
+    }
+    // Map logical-input offsets onto the staged DRAM regions. Input
+    // regions are staged back to back, so a logical offset lands in
+    // the region whose cumulative range covers it.
+    for &(offset, bit) in flips {
+        let mut base = 0u64;
+        for &(addr, bytes) in &lowered.inputs {
+            if offset < base + bytes {
+                machine.flip_dram_bit(addr + (offset - base), bit);
+                break;
+            }
+            base += bytes;
+        }
     }
     let stats = machine.run(&lowered.program)?;
     let mut out = Vec::with_capacity(lowered.output_bytes() as usize);

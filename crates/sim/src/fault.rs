@@ -17,6 +17,80 @@ const DOMAIN_CHUNK: u64 = 0x01;
 const DOMAIN_COMPLETION: u64 = 0x02;
 const DOMAIN_STALL: u64 = 0x03;
 const DOMAIN_DEATH: u64 = 0x04;
+const DOMAIN_SDC: u64 = 0x05;
+
+/// Silent-data-corruption rates: bit flips that raise *no* fault
+/// signal — no LCRC NAK, no timeout, no interrupt — and can only be
+/// caught by an end-to-end integrity check. Rates are per *byte* of
+/// the exposed buffer (per pass for scratchpad/DMA, per second of
+/// residency for DDR), so the expected flip count scales with batch
+/// size the way real soft-error rates do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SdcConfig {
+    /// Flip probability per byte staged through a DRX scratchpad
+    /// (SRAM without ECC), applied once per restructuring pass.
+    pub spad_flip_rate: f64,
+    /// Flip probability per byte held in a DMA staging buffer, applied
+    /// once per chain-hop transfer.
+    pub dma_flip_rate: f64,
+    /// Flip probability per byte per *second* of DDR residency
+    /// (non-ECC DIMM soft-error model); scaled by how long the batch
+    /// sat in host memory.
+    pub ddr_flip_rate_per_sec: f64,
+}
+
+impl SdcConfig {
+    /// An inert config: no silent corruption ever.
+    pub fn none() -> Self {
+        SdcConfig {
+            spad_flip_rate: 0.0,
+            dma_flip_rate: 0.0,
+            ddr_flip_rate_per_sec: 0.0,
+        }
+    }
+
+    /// True when no silent corruption can fire.
+    pub fn is_inert(&self) -> bool {
+        self.spad_flip_rate == 0.0 && self.dma_flip_rate == 0.0 && self.ddr_flip_rate_per_sec == 0.0
+    }
+}
+
+impl Default for SdcConfig {
+    fn default() -> Self {
+        SdcConfig::none()
+    }
+}
+
+/// Which memory a silent bit flip lands in. Selects the [`SdcConfig`]
+/// rate and keeps the per-memory fault sub-streams disjoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdcDomain {
+    /// DRX scratchpad SRAM, exposed once per restructuring pass.
+    Scratchpad,
+    /// DMA staging buffer, exposed once per chain-hop transfer.
+    DmaStaging,
+    /// Host DDR, exposed for the batch's residency time.
+    Ddr,
+}
+
+impl SdcDomain {
+    fn tag(self) -> u64 {
+        match self {
+            SdcDomain::Scratchpad => 1,
+            SdcDomain::DmaStaging => 2,
+            SdcDomain::Ddr => 3,
+        }
+    }
+}
+
+/// One injected silent bit flip inside a batch buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdcEvent {
+    /// Byte offset of the flipped bit within the buffer.
+    pub offset: u64,
+    /// Which bit (0..8) of that byte flips.
+    pub bit: u8,
+}
 
 /// Fault-injection configuration. All rates default to zero; a
 /// zero-rate config is *inert* — it must not perturb the simulation in
@@ -39,6 +113,8 @@ pub struct FaultConfig {
     pub death_mttf_secs: Option<f64>,
     /// Explicit `(unit, time)` kill schedule, independent of the seed.
     pub kills: Vec<(u64, Time)>,
+    /// Silent-data-corruption rates (bit flips with no fault signal).
+    pub sdc: SdcConfig,
 }
 
 impl FaultConfig {
@@ -51,6 +127,7 @@ impl FaultConfig {
             stall_rate: 0.0,
             death_mttf_secs: None,
             kills: Vec::new(),
+            sdc: SdcConfig::none(),
         }
     }
 
@@ -61,6 +138,7 @@ impl FaultConfig {
             && self.stall_rate == 0.0
             && self.death_mttf_secs.is_none()
             && self.kills.is_empty()
+            && self.sdc.is_inert()
     }
 }
 
@@ -139,6 +217,67 @@ impl FaultPlan {
         self.stream(DOMAIN_STALL, job, attempt as u64).next_f64() < self.cfg.stall_rate
     }
 
+    /// The silent bit flips batch `batch` of device `device` picks up
+    /// while exposed to `domain` for one pass of `bytes` bytes
+    /// (`residency_secs` scales the DDR rate; ignored elsewhere).
+    ///
+    /// `attempt` is the re-execution attempt: a retried batch re-rolls
+    /// its exposure rather than deterministically re-corrupting, which
+    /// is what makes quarantine/re-execute recovery converge.
+    ///
+    /// The flip *count* is a Poisson draw on the batch's own sub-stream
+    /// with mean `bytes x rate` (inverse-transform, so one stream walk
+    /// per query regardless of buffer size — a per-byte Bernoulli over
+    /// megabyte batches would dominate the run), followed by one
+    /// `(offset, bit)` draw per flip. Order-independent like every
+    /// other plan query.
+    pub fn sdc_flips(
+        &self,
+        domain: SdcDomain,
+        device: u64,
+        batch: u64,
+        attempt: u32,
+        bytes: u64,
+        residency_secs: f64,
+    ) -> Vec<SdcEvent> {
+        let rate = match domain {
+            SdcDomain::Scratchpad => self.cfg.sdc.spad_flip_rate,
+            SdcDomain::DmaStaging => self.cfg.sdc.dma_flip_rate,
+            SdcDomain::Ddr => self.cfg.sdc.ddr_flip_rate_per_sec * residency_secs.max(0.0),
+        };
+        let mean = bytes as f64 * rate;
+        if mean <= 0.0 || bytes == 0 {
+            return Vec::new();
+        }
+        let mut rng = self.stream(
+            DOMAIN_SDC ^ (domain.tag() << 8),
+            device,
+            batch
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(attempt as u64),
+        );
+        // Knuth's inverse-transform Poisson; exact for the small means
+        // swept here. The cap bounds pathological configs, not sane
+        // ones (P(N > 4096) is negligible for any mean under ~3800).
+        let limit = (bytes * 8).min(4096);
+        let floor = (-mean).exp();
+        let mut count = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.next_f64();
+            if p <= floor || count >= limit {
+                break;
+            }
+            count += 1;
+        }
+        (0..count)
+            .map(|_| SdcEvent {
+                offset: rng.next_below(bytes),
+                bit: (rng.next_u64() & 7) as u8,
+            })
+            .collect()
+    }
+
     /// When unit `unit` permanently dies, if ever: the earlier of its
     /// explicit kill entry and a seed-driven exponential draw.
     pub fn death_time(&self, unit: u64) -> Option<Time> {
@@ -172,6 +311,11 @@ mod tests {
             stall_rate: 0.2,
             death_mttf_secs: Some(1.0),
             kills: vec![(3, Time::from_ms(5))],
+            sdc: SdcConfig {
+                spad_flip_rate: 1e-6,
+                dma_flip_rate: 1e-6,
+                ddr_flip_rate_per_sec: 1e-5,
+            },
         })
     }
 
@@ -268,5 +412,81 @@ mod tests {
     #[test]
     fn death_times_deterministic() {
         assert_eq!(lossy().death_time(9), lossy().death_time(9));
+    }
+
+    #[test]
+    fn sdc_flips_deterministic_and_in_bounds() {
+        let p = lossy();
+        let a = p.sdc_flips(SdcDomain::Scratchpad, 7, 3, 0, 1 << 20, 0.0);
+        let b = lossy().sdc_flips(SdcDomain::Scratchpad, 7, 3, 0, 1 << 20, 0.0);
+        assert_eq!(a, b);
+        for f in &a {
+            assert!(f.offset < 1 << 20);
+            assert!(f.bit < 8);
+        }
+    }
+
+    #[test]
+    fn sdc_flip_count_tracks_mean() {
+        let p = lossy();
+        // 1 MB at 1e-6/byte: mean ~1.05 flips per batch; over 500
+        // batches expect ~524.
+        let total: usize = (0..500)
+            .map(|b| {
+                p.sdc_flips(SdcDomain::DmaStaging, 1, b, 0, 1 << 20, 0.0)
+                    .len()
+            })
+            .sum();
+        assert!((350..750).contains(&total), "{total}");
+    }
+
+    #[test]
+    fn sdc_domains_and_attempts_draw_disjoint_streams() {
+        let p = lossy();
+        let spad = p.sdc_flips(SdcDomain::Scratchpad, 7, 3, 0, 1 << 22, 0.0);
+        let dma = p.sdc_flips(SdcDomain::DmaStaging, 7, 3, 0, 1 << 22, 0.0);
+        assert_ne!(spad, dma, "domains must not alias");
+        // A re-execution re-rolls the exposure: over many batches the
+        // attempt-1 schedule must differ from attempt-0 somewhere.
+        let differs = (0..50).any(|b| {
+            p.sdc_flips(SdcDomain::Scratchpad, 7, b, 0, 1 << 22, 0.0)
+                != p.sdc_flips(SdcDomain::Scratchpad, 7, b, 1, 1 << 22, 0.0)
+        });
+        assert!(differs, "attempt must be part of the draw key");
+    }
+
+    #[test]
+    fn sdc_ddr_scales_with_residency() {
+        let p = lossy();
+        let short: usize = (0..200)
+            .map(|b| p.sdc_flips(SdcDomain::Ddr, 2, b, 0, 1 << 20, 1e-3).len())
+            .sum();
+        let long: usize = (0..200)
+            .map(|b| p.sdc_flips(SdcDomain::Ddr, 2, b, 0, 1 << 20, 1.0).len())
+            .sum();
+        assert!(long > short * 10, "long {long} short {short}");
+        // Zero residency: DDR rate is per-second, so nothing can fire.
+        assert!(p
+            .sdc_flips(SdcDomain::Ddr, 2, 0, 0, 1 << 20, 0.0)
+            .is_empty());
+    }
+
+    #[test]
+    fn inert_sdc_never_fires() {
+        let p = FaultPlan::new(FaultConfig::none());
+        for b in 0..100 {
+            assert!(p
+                .sdc_flips(SdcDomain::Scratchpad, 1, b, 0, 1 << 24, 1.0)
+                .is_empty());
+        }
+        // A config whose only live rates are SDC is not inert.
+        let sdc_only = FaultConfig {
+            sdc: SdcConfig {
+                spad_flip_rate: 1e-9,
+                ..SdcConfig::none()
+            },
+            ..FaultConfig::none()
+        };
+        assert!(!sdc_only.is_inert());
     }
 }

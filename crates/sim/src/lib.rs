@@ -56,9 +56,9 @@ pub mod time;
 pub mod workload;
 
 pub use check::{cases, run_cases, Gen};
-pub use fault::{FaultConfig, FaultPlan};
+pub use fault::{FaultConfig, FaultPlan, SdcConfig, SdcDomain, SdcEvent};
 pub use par::{par_map, par_map_with};
-pub use queue::{events_delivered, EventQueue};
+pub use queue::{events_delivered, set_default_stall_limit, EventQueue};
 pub use resources::{water_fill, FifoServer, PsJobId, PsPool};
 pub use rng::SplitMix64;
 pub use stats::{geomean, BusyTracker, Percentiles, Summary, TimeWeighted};

@@ -104,7 +104,12 @@ where
                     // re-raised below on the caller's thread.
                     let out =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, &items[i])));
-                    *slots[i].lock().expect("slot") = Some(out.map_err(|_| i));
+                    // Item panics are caught above, so the only writer
+                    // of a slot can never die holding its lock.
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) =
+                        Some(out.map_err(|_| i));
                 }
                 IN_PAR.with(|g| g.set(false));
             });
@@ -116,8 +121,8 @@ where
         .map(|(i, s)| {
             match s
                 .into_inner()
-                .expect("slot")
-                .expect("worker pool visited every item")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("par_map worker pool exited without visiting every item")
             {
                 Ok(r) => r,
                 Err(_) => panic!("par_map worker panicked on item {i}"),

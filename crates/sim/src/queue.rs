@@ -17,6 +17,21 @@ pub fn events_delivered() -> u64 {
     DELIVERED.load(AtomicOrdering::Relaxed)
 }
 
+/// Process-global default for the no-progress watchdog, read once by
+/// each [`EventQueue::new`]. 0 = disabled (the library default).
+static DEFAULT_STALL_LIMIT: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the default no-progress watchdog limit for every
+/// [`EventQueue`] created *after* this call: a queue that delivers
+/// `limit` consecutive events without simulated time advancing panics
+/// with a diagnostic dump of its pending events instead of spinning
+/// forever. `0` disables the watchdog (the default). Test harnesses
+/// arm this so a livelocked simulation aborts loudly; individual
+/// queues can override via [`EventQueue::set_stall_limit`].
+pub fn set_default_stall_limit(limit: u64) {
+    DEFAULT_STALL_LIMIT.store(limit, AtomicOrdering::Relaxed);
+}
+
 /// An ordering key in the heap; the payload lives in the slab, so heap
 /// sift operations move 24 bytes regardless of payload size.
 #[derive(Clone, Copy)]
@@ -69,7 +84,6 @@ impl Ord for Entry {
 /// assert_eq!(q.now(), Time::from_ns(10));
 /// assert_eq!(q.pop(), None);
 /// ```
-#[derive(Default)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry>,
     /// Payload storage; `None` slots are free and listed in `free`.
@@ -78,11 +92,21 @@ pub struct EventQueue<E> {
     now: Time,
     seq: u64,
     popped: u64,
+    /// No-progress watchdog: abort after this many consecutive
+    /// deliveries at one instant. 0 = disabled.
+    stall_limit: u64,
+    stall_streak: u64,
 }
 
 impl<E> Drop for EventQueue<E> {
     fn drop(&mut self) {
         DELIVERED.fetch_add(self.popped, AtomicOrdering::Relaxed);
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
     }
 }
 
@@ -97,7 +121,9 @@ impl<E> std::fmt::Debug for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue with the clock at [`Time::ZERO`].
+    /// Creates an empty queue with the clock at [`Time::ZERO`]. The
+    /// no-progress watchdog starts at the process-global default set by
+    /// [`set_default_stall_limit`] (disabled unless a harness armed it).
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
@@ -106,7 +132,17 @@ impl<E> EventQueue<E> {
             now: Time::ZERO,
             seq: 0,
             popped: 0,
+            stall_limit: DEFAULT_STALL_LIMIT.load(AtomicOrdering::Relaxed),
+            stall_streak: 0,
         }
+    }
+
+    /// Overrides the no-progress watchdog for this queue: deliver
+    /// `limit` consecutive events without the clock advancing and
+    /// [`pop`](EventQueue::pop) panics with a dump of the pending
+    /// queue. 0 disables.
+    pub fn set_stall_limit(&mut self, limit: u64) {
+        self.stall_limit = limit;
     }
 
     /// Current simulated time (the timestamp of the last popped event).
@@ -149,7 +185,8 @@ impl<E> EventQueue<E> {
                 s
             }
             None => {
-                let s = u32::try_from(self.slab.len()).expect("pending events fit in u32 slots");
+                let s = u32::try_from(self.slab.len())
+                    .expect("event queue slab overflow: more than u32::MAX events pending at once");
                 self.slab.push(Some(payload));
                 s
             }
@@ -174,16 +211,70 @@ impl<E> EventQueue<E> {
     /// Removes and returns the next event, advancing the clock to its
     /// timestamp. Returns `None` when the queue is empty (the clock is
     /// left where it was).
-    pub fn pop(&mut self) -> Option<E> {
+    ///
+    /// # Panics
+    ///
+    /// With the no-progress watchdog armed (see
+    /// [`set_default_stall_limit`] / [`set_stall_limit`](EventQueue::set_stall_limit)),
+    /// panics with a dump of the pending queue once `stall_limit`
+    /// consecutive events are delivered without the clock advancing —
+    /// the signature of a model livelock (e.g. two stages endlessly
+    /// rescheduling each other at the same instant).
+    pub fn pop(&mut self) -> Option<E>
+    where
+        E: std::fmt::Debug,
+    {
         let entry = self.heap.pop()?;
         debug_assert!(entry.time >= self.now);
+        if self.stall_limit > 0 {
+            if entry.time > self.now {
+                self.stall_streak = 0;
+            } else {
+                self.stall_streak += 1;
+                if self.stall_streak >= self.stall_limit {
+                    self.no_progress_abort(entry);
+                }
+            }
+        }
         self.now = entry.time;
         self.popped += 1;
         let payload = self.slab[entry.slot as usize]
             .take()
-            .expect("heap entry references a live slot");
+            .expect("event queue corruption: heap entry references an already-freed slot");
         self.free.push(entry.slot);
         Some(payload)
+    }
+
+    /// Watchdog trip: render the stuck instant and the head of the
+    /// pending queue (delivery order), then panic. Cold — only reached
+    /// on a genuine livelock.
+    #[cold]
+    fn no_progress_abort(&self, tripped: Entry) -> !
+    where
+        E: std::fmt::Debug,
+    {
+        const DUMP: usize = 32;
+        let mut pending: Vec<Entry> = self.heap.iter().copied().collect();
+        pending.sort_by(|a, b| a.time.cmp(&b.time).then(a.seq.cmp(&b.seq)));
+        let mut dump = String::new();
+        for e in std::iter::once(&tripped).chain(pending.iter()).take(DUMP) {
+            dump.push_str(&format!(
+                "  at {:?} seq {}: {:?}\n",
+                e.time, e.seq, self.slab[e.slot as usize]
+            ));
+        }
+        let omitted = (pending.len() + 1).saturating_sub(DUMP);
+        panic!(
+            "event queue made no progress: {} consecutive events delivered at {:?} \
+             (stall limit {}); the simulation is livelocked. Next {} pending events \
+             in delivery order ({} more omitted):\n{}",
+            self.stall_streak,
+            self.now,
+            self.stall_limit,
+            (pending.len() + 1).min(DUMP),
+            omitted,
+            dump
+        );
     }
 }
 
@@ -282,6 +373,50 @@ mod tests {
             while q.pop().is_some() {}
         }
         assert!(events_delivered() >= before + 5);
+    }
+
+    #[test]
+    fn watchdog_off_by_default_tolerates_long_same_time_runs() {
+        let mut q = EventQueue::new();
+        q.set_stall_limit(0);
+        for i in 0..10_000u64 {
+            q.schedule_at(Time::from_ns(7), i);
+        }
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "event queue made no progress")]
+    fn watchdog_trips_on_livelock() {
+        let mut q = EventQueue::new();
+        q.set_stall_limit(100);
+        // A self-rescheduling zero-delay event: time never advances.
+        q.schedule_at(Time::from_ns(1), 0u64);
+        while let Some(e) = q.pop() {
+            q.schedule_after(Time::ZERO, e + 1);
+        }
+    }
+
+    #[test]
+    fn watchdog_streak_resets_when_time_advances() {
+        let mut q = EventQueue::new();
+        q.set_stall_limit(50);
+        // 40 same-instant events per step stays under the limit as
+        // long as the clock moves between bursts.
+        for step in 0..10u64 {
+            for i in 0..40u64 {
+                q.schedule_at(Time::from_ns(step + 1), i);
+            }
+        }
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 400);
     }
 
     #[test]

@@ -67,7 +67,7 @@ impl FifoServer {
             .enumerate()
             .min_by_key(|(_, t)| **t)
             .map(|(i, _)| i)
-            .expect("nonempty server bank");
+            .expect("submit on an empty server bank: construct it with at least one server");
         let start = self.free_at[slot].max(now);
         let done = start + service;
         self.free_at[slot] = done;
@@ -305,7 +305,7 @@ pub fn water_fill(capacity: f64, caps: &[f64]) -> Vec<f64> {
         return Vec::new();
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| caps[a].partial_cmp(&caps[b]).expect("caps are not NaN"));
+    order.sort_by(|&a, &b| caps[a].total_cmp(&caps[b]));
     let mut rates = vec![0.0; n];
     let mut remaining_cap = capacity;
     let mut remaining_jobs = n as f64;

@@ -308,19 +308,19 @@ impl Percentiles {
 
     /// The `q`-quantile (0..=1) by nearest-rank; `None` when empty.
     /// Sorts in place on the first query after a record; subsequent
-    /// queries index directly.
+    /// queries index directly. NaN samples sort to the end (IEEE total
+    /// order) rather than aborting the whole report.
     ///
     /// # Panics
     ///
-    /// Panics if `q` is outside `[0, 1]` or any sample was NaN.
+    /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         if self.samples.is_empty() {
             return None;
         }
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());

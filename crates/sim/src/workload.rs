@@ -241,7 +241,10 @@ impl<T> BoundedQueue<T> {
     /// key, the item, and how long it waited.
     pub fn pop_min(&mut self, now: Time) -> Option<(u64, T, Time)> {
         let (&(key, seq), _) = self.items.iter().next()?;
-        let (item, enqueued) = self.items.remove(&(key, seq)).expect("key just observed");
+        let (item, enqueued) = self
+            .items
+            .remove(&(key, seq))
+            .expect("EDF queue entry vanished between peek and remove: map corrupted");
         let waited = now.saturating_sub(enqueued);
         self.wait.record_time(waited);
         self.occupancy.set(now, self.items.len() as f64);

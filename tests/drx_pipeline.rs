@@ -10,6 +10,9 @@ use dmx_restructure::{
 };
 
 fn ops() -> Vec<(Box<dyn RestructureOp>, Vec<u8>)> {
+    // Arm the engine's no-progress watchdog for any simulation this
+    // suite triggers transitively.
+    dmx_sim::set_default_stall_limit(1_000_000);
     let filler = |n: usize| -> Vec<u8> { (0..n).map(|i| (i % 251) as u8).collect() };
     vec![
         (

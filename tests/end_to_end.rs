@@ -7,6 +7,9 @@ use dmx_core::system::{simulate, SystemConfig};
 use dmx_sim::Time;
 
 fn quick(mode: Mode, n: usize, requests: usize) -> dmx_core::system::RunResult {
+    // Arm the engine's no-progress watchdog: a simulation that stops
+    // advancing time aborts with an event dump instead of hanging.
+    dmx_sim::set_default_stall_limit(1_000_000);
     let apps = (0..n).map(|i| BenchmarkId::FIVE[i % 5].build()).collect();
     let mut cfg = SystemConfig::latency(mode, apps);
     cfg.requests_per_app = requests;

@@ -9,6 +9,14 @@ use dmx_core::placement::{Mode, Placement};
 use dmx_core::system::{simulate, units, SystemConfig};
 use dmx_sim::{FaultConfig, Time};
 
+/// Builds the suite with the engine's no-progress watchdog armed: a
+/// simulation that stops advancing time aborts with an event dump
+/// instead of hanging the test run.
+fn suite() -> Suite {
+    dmx_sim::set_default_stall_limit(1_000_000);
+    Suite::new()
+}
+
 fn mix(suite: &Suite, n: usize) -> Vec<dmx_core::apps::BenchmarkRef> {
     suite.mix(n)
 }
@@ -23,7 +31,7 @@ fn cfg(suite: &Suite, mode: Mode, faults: Option<FaultConfig>) -> SystemConfig {
 
 #[test]
 fn zero_fault_plan_is_bit_identical_to_no_fault_layer() {
-    let suite = Suite::new();
+    let suite = suite();
     for mode in [
         Mode::Dmx(Placement::BumpInTheWire),
         Mode::Dmx(Placement::Integrated),
@@ -44,7 +52,7 @@ fn zero_fault_plan_is_bit_identical_to_no_fault_layer() {
 
 #[test]
 fn same_seed_faulty_runs_are_byte_identical() {
-    let suite = Suite::new();
+    let suite = suite();
     let storm = FaultConfig {
         seed: 7,
         bit_error_rate: 1e-8,
@@ -62,7 +70,7 @@ fn same_seed_faulty_runs_are_byte_identical() {
 
 #[test]
 fn different_seeds_diverge_under_faults() {
-    let suite = Suite::new();
+    let suite = suite();
     let mode = Mode::Dmx(Placement::BumpInTheWire);
     let storm = |seed| FaultConfig {
         seed,
@@ -81,7 +89,7 @@ fn different_seeds_diverge_under_faults() {
 
 #[test]
 fn drx_death_mid_run_degrades_gracefully() {
-    let suite = Suite::new();
+    let suite = suite();
     let mode = Mode::Dmx(Placement::BumpInTheWire);
     let clean = simulate(&cfg(&suite, mode, None));
     let killed = simulate(&cfg(
@@ -124,7 +132,7 @@ fn drx_death_mid_run_degrades_gracefully() {
 fn healthy_apps_survive_every_placement_kill() {
     // Kill a unit in each placement's own topology flavor: the shared
     // integrated engine, a standalone card, and a switch-pool engine.
-    let suite = Suite::new();
+    let suite = suite();
     for (mode, unit) in [
         (Mode::Dmx(Placement::Integrated), units::pool(0)),
         (Mode::Dmx(Placement::Standalone), units::card(2)),

@@ -10,8 +10,15 @@ use dmx_kernels::lz::compress;
 use dmx_kernels::video::{encode, synthetic_scene};
 use dmx_restructure::{run_on_drx, DbPivot, TokenizeGather, YuvToTensor};
 
+/// Arms the engine's no-progress watchdog for any simulation this
+/// suite triggers transitively.
+fn arm_watchdog() {
+    dmx_sim::set_default_stall_limit(1_000_000);
+}
+
 #[test]
 fn personal_info_redaction_chain() {
+    arm_watchdog();
     // encrypt -> AES accel decrypt -> regex redact -> nothing leaks.
     let text = b"record: name=jane ssn 123-45-6789 mail jane@corp.com end".to_vec();
     let aes = AesAccel::default();
@@ -28,6 +35,7 @@ fn personal_info_redaction_chain() {
 
 #[test]
 fn pir_with_ner_extension_chain() {
+    arm_watchdog();
     // Fig. 16: ... -> tokenize on DRX -> BERT-NER stand-in tags tokens.
     let text = b"agent 007 met agent 008 at hq 12345678".to_vec();
     let redacted = RegexAccel::pii().process(&text);
@@ -43,6 +51,7 @@ fn pir_with_ner_extension_chain() {
 
 #[test]
 fn video_surveillance_chain_tracks_the_object() {
+    arm_watchdog();
     let (w, h) = (64usize, 48usize);
     let scene = synthetic_scene(w, h, 4);
     let decoded = VideoAccel.process(&encode(&scene));
@@ -75,6 +84,7 @@ fn video_surveillance_chain_tracks_the_object() {
 
 #[test]
 fn database_chain_preserves_join_semantics() {
+    arm_watchdog();
     // compress -> gzip accel -> DRX pivot -> keys recovered -> join.
     let n = 512usize;
     let build: Vec<Row> = (0..n as u64)
@@ -123,6 +133,7 @@ fn database_chain_preserves_join_semantics() {
 
 #[test]
 fn sound_detection_features_separate_genres() {
+    arm_watchdog();
     use dmx_kernels::fft::stft;
     use dmx_restructure::SpectrogramMel;
     let op = SpectrogramMel {

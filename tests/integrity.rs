@@ -1,0 +1,370 @@
+//! Data-integrity acceptance tests: silent-corruption (SDC) injection,
+//! chain checksums, poison tracking, and quarantine/re-execute
+//! recovery.
+//!
+//! The invariants under test:
+//! * an inert integrity config is byte-identical to the layer absent;
+//! * SDC injection is *silent* — it corrupts data, never timing, so a
+//!   checksum-off run is timing-identical to a clean run;
+//! * conservation: every injected flip is either detected at a
+//!   boundary or escapes into a completed request;
+//! * end-to-end checksums catch every flip at every swept rate, while
+//!   checksum-off escapes every flip at the same seeds;
+//! * per-hop checksums bound the blast radius below end-to-end's;
+//! * the functional DRX model really corrupts payload bytes, so the
+//!   blast radius is measurable on real restructuring datapaths.
+
+use dmx_core::apps::BenchmarkId;
+use dmx_core::experiments::Suite;
+use dmx_core::overload::{AdmissionParams, OverloadConfig, ShedPolicy};
+use dmx_core::placement::{Mode, Placement};
+use dmx_core::system::{simulate, RunResult, SystemConfig};
+use dmx_core::{ChecksumMode, IntegrityConfig};
+use dmx_sim::{ArrivalProcess, FaultConfig, SdcConfig, Time};
+
+/// Arm the no-progress watchdog for every test in this file: any
+/// simulation that spins without advancing time aborts with an event
+/// dump instead of hanging the suite.
+fn suite() -> Suite {
+    dmx_sim::set_default_stall_limit(1_000_000);
+    Suite::new()
+}
+
+/// SDC rates swept by the acceptance tests (per byte staged; DDR gets
+/// a per-second rate an order of magnitude up since residency is
+/// short). Chosen so the five-app latency mix sees at least one flip
+/// at the lowest rate and heavy multi-flip poisoning at the highest.
+const RATES: [f64; 3] = [5e-9, 2e-8, 1e-7];
+
+fn sdc(seed: u64, rate: f64) -> FaultConfig {
+    FaultConfig {
+        seed,
+        sdc: SdcConfig {
+            spad_flip_rate: rate,
+            dma_flip_rate: rate,
+            ddr_flip_rate_per_sec: rate * 10.0,
+        },
+        ..FaultConfig::none()
+    }
+}
+
+fn cfg(
+    suite: &Suite,
+    faults: Option<FaultConfig>,
+    integrity: Option<IntegrityConfig>,
+) -> SystemConfig {
+    SystemConfig {
+        faults,
+        integrity,
+        ..SystemConfig::latency(Mode::Dmx(Placement::BumpInTheWire), suite.mix(5))
+    }
+}
+
+/// Everything timing-visible about a run: per-app results, makespan,
+/// energy, driver counts — but *not* the integrity report, which is
+/// allowed to differ between a clean run and a silent-corruption run.
+fn timing_fingerprint(r: &RunResult) -> String {
+    format!(
+        "{:?} {:?} {:?} {:?} {:?} {:?}",
+        r.apps, r.makespan, r.energy, r.notify_counts, r.faults, r.overload
+    )
+}
+
+#[test]
+fn inert_integrity_config_is_bit_identical_to_no_integrity_layer() {
+    let suite = suite();
+    // Without faults, and with SDC flips flying: mode None must take
+    // the byte-identical path either way.
+    for faults in [None, Some(sdc(9, 2e-8))] {
+        let absent = simulate(&cfg(&suite, faults.clone(), None));
+        let inert = simulate(&cfg(&suite, faults, Some(IntegrityConfig::none())));
+        assert_eq!(
+            format!("{absent:?}"),
+            format!("{inert:?}"),
+            "inert integrity config perturbed the run"
+        );
+    }
+}
+
+#[test]
+fn sdc_injection_is_timing_silent() {
+    // Silent corruption produces no fault signal: a run with SDC
+    // enabled and checksums off must be timing-identical to a clean
+    // run — only the integrity report (escaped counts) may differ.
+    let suite = suite();
+    let clean = simulate(&cfg(&suite, None, None));
+    let corrupt = simulate(&cfg(&suite, Some(sdc(0x51DC, 2e-8)), None));
+    assert_eq!(
+        timing_fingerprint(&clean),
+        timing_fingerprint(&corrupt),
+        "silent corruption perturbed timing"
+    );
+    assert!(corrupt.integrity.injected > 0, "nothing was injected");
+    assert_eq!(
+        corrupt.integrity.escaped, corrupt.integrity.injected,
+        "checksums are off: every flip must escape"
+    );
+    assert_eq!(corrupt.integrity.detected, 0);
+    assert!(clean.integrity == Default::default());
+}
+
+#[test]
+fn end_to_end_checksums_catch_everything_checksum_off_escapes_everything() {
+    let suite = suite();
+    for rate in RATES {
+        let off = simulate(&cfg(&suite, Some(sdc(0x51DC, rate)), None));
+        let e2e = simulate(&cfg(
+            &suite,
+            Some(sdc(0x51DC, rate)),
+            Some(IntegrityConfig::checked(ChecksumMode::EndToEnd)),
+        ));
+        let hop = simulate(&cfg(
+            &suite,
+            Some(sdc(0x51DC, rate)),
+            Some(IntegrityConfig::checked(ChecksumMode::PerHop)),
+        ));
+        for r in [&off, &e2e, &hop] {
+            assert!(r.integrity.injected > 0, "rate {rate:e}: nothing injected");
+            assert!(
+                r.integrity.conserved(),
+                "rate {rate:e}: injected {} != detected {} + escaped {}",
+                r.integrity.injected,
+                r.integrity.detected,
+                r.integrity.escaped
+            );
+        }
+        assert_eq!(
+            off.integrity.escaped, off.integrity.injected,
+            "rate {rate:e}: checksum-off must escape every flip"
+        );
+        assert_eq!(off.integrity.detected, 0);
+        assert_eq!(
+            e2e.integrity.escaped, 0,
+            "rate {rate:e}: end-to-end leaked corruption"
+        );
+        assert_eq!(
+            hop.integrity.escaped, 0,
+            "rate {rate:e}: per-hop leaked corruption"
+        );
+        assert!(e2e.integrity.reexecs > 0, "detections must re-execute");
+        // The checking modes pay for it: checks performed and time
+        // charged, visible in the makespan.
+        for r in [&e2e, &hop] {
+            assert!(r.integrity.checks > 0);
+            assert!(r.integrity.checksum_time > Time::ZERO);
+        }
+    }
+}
+
+#[test]
+fn per_hop_blast_radius_is_no_larger_than_end_to_end() {
+    // Per-hop catches poison at the next boundary; end-to-end lets it
+    // ride the whole chain. Mean blast radius must reflect that.
+    let suite = suite();
+    let rate = 2e-8;
+    let hop = simulate(&cfg(
+        &suite,
+        Some(sdc(0x51DC, rate)),
+        Some(IntegrityConfig::checked(ChecksumMode::PerHop)),
+    ));
+    let e2e = simulate(&cfg(
+        &suite,
+        Some(sdc(0x51DC, rate)),
+        Some(IntegrityConfig::checked(ChecksumMode::EndToEnd)),
+    ));
+    assert!(hop.integrity.poisoned_batches > 0);
+    assert!(e2e.integrity.poisoned_batches > 0);
+    assert!(
+        hop.integrity.mean_blast() < e2e.integrity.mean_blast(),
+        "per-hop blast {} !< end-to-end blast {}",
+        hop.integrity.mean_blast(),
+        e2e.integrity.mean_blast()
+    );
+    assert!(hop.integrity.max_blast <= e2e.integrity.max_blast);
+}
+
+#[test]
+fn checksum_cost_is_charged_but_corruption_free_runs_never_reexecute() {
+    let suite = suite();
+    let clean = simulate(&cfg(&suite, None, None));
+    let checked = simulate(&cfg(
+        &suite,
+        None,
+        Some(IntegrityConfig::checked(ChecksumMode::EndToEnd)),
+    ));
+    assert!(checked.integrity.checks > 0, "no checks performed");
+    assert!(checked.integrity.checksum_time > Time::ZERO);
+    assert_eq!(checked.integrity.reexecs, 0, "clean data re-executed");
+    assert_eq!(checked.integrity.detected, 0);
+    assert!(
+        checked.makespan >= clean.makespan,
+        "checksums made the run faster"
+    );
+    // All requests still complete.
+    for (a, b) in checked.apps.iter().zip(&clean.apps) {
+        assert_eq!(a.completed, b.completed, "{} lost requests", a.name);
+    }
+}
+
+#[test]
+fn same_seed_integrity_runs_are_byte_identical_and_seeds_diverge() {
+    let suite = suite();
+    let mk = |seed| {
+        simulate(&cfg(
+            &suite,
+            Some(sdc(seed, 2e-8)),
+            Some(IntegrityConfig::checked(ChecksumMode::PerHop)),
+        ))
+    };
+    let a = mk(1);
+    let b = mk(1);
+    let c = mk(2);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_ne!(
+        format!("{a:?}"),
+        format!("{c:?}"),
+        "distinct seeds should sample distinct flip patterns"
+    );
+}
+
+#[test]
+fn reexec_cap_gives_up_but_the_run_still_terminates() {
+    // A pathological rate exhausts max_reexec on some requests; the
+    // driver passes them through unchecked rather than looping forever,
+    // and every request still completes (watchdog armed — a hang would
+    // abort).
+    let suite = suite();
+    let base = cfg(
+        &suite,
+        Some(sdc(0x51DC, 1e-7)),
+        Some(IntegrityConfig {
+            max_reexec: 4,
+            ..IntegrityConfig::checked(ChecksumMode::PerHop)
+        }),
+    );
+    let r = simulate(&base);
+    assert!(r.integrity.reexec_giveups > 0, "cap of 4 never exhausted");
+    assert!(r.integrity.conserved());
+    for a in &r.apps {
+        assert_eq!(a.completed, base.requests_per_app, "{} hung", a.name);
+    }
+}
+
+#[test]
+fn quarantine_sheds_poisoned_tenant_arrivals_open_loop() {
+    // Open-loop tenants with a hot SDC rate and per-hop checking: every
+    // detection quarantines the tenant, and arrivals landing inside the
+    // window are shed before admission. Total arrival accounting must
+    // conserve with the quarantine sheds included.
+    let suite = suite();
+    let clean = simulate(&cfg(&suite, None, None));
+    let share_rps = 1.0 / clean.mean_latency().as_secs_f64();
+    let slowest = clean.apps.iter().map(|a| a.latency).max().expect("apps");
+    let over = OverloadConfig {
+        seed: 3,
+        arrivals: vec![ArrivalProcess::Poisson {
+            rate_rps: 1.5 * share_rps,
+        }],
+        admission: AdmissionParams {
+            tokens_per_sec: 2.0 * share_rps,
+            burst: 4.0,
+            max_inflight: 8,
+        },
+        deadline: slowest * 4,
+        shed: ShedPolicy::Reject,
+        queue_capacity: 8,
+        ..OverloadConfig::none()
+    };
+    let c = SystemConfig {
+        requests_per_app: 24,
+        faults: Some(sdc(0x51DC, 1e-7)),
+        integrity: Some(IntegrityConfig {
+            quarantine: Time::from_ms(5),
+            ..IntegrityConfig::checked(ChecksumMode::PerHop)
+        }),
+        overload: Some(over),
+        ..SystemConfig::latency(Mode::Dmx(Placement::BumpInTheWire), suite.mix(5))
+    };
+    let r = simulate(&c);
+    let o = r.overload.as_ref().expect("overload report");
+    assert!(r.integrity.quarantines > 0, "detections never quarantined");
+    assert!(
+        r.integrity.quarantine_shed > 0,
+        "quarantine windows shed nothing at 1.5x load"
+    );
+    // Every arrival resolves exactly once; quarantine sheds are
+    // accounted in the integrity report, not the tenant stats.
+    let late: u64 = o.tenants.iter().map(|t| t.late).sum();
+    assert_eq!(
+        o.offered(),
+        o.goodput() + o.shed() + late + r.integrity.quarantine_shed,
+        "arrival accounting leaked"
+    );
+    assert!(o.goodput() > 0, "quarantine starved the server entirely");
+    // Determinism holds with all three layers composed.
+    let again = simulate(&c);
+    assert_eq!(format!("{r:?}"), format!("{again:?}"));
+}
+
+#[test]
+fn functional_bit_flips_corrupt_real_datapaths_measurably() {
+    // The simulator models *when*; the functional DRX model shows
+    // *what*: a single staged-input bit flip propagates through a real
+    // restructuring kernel into the output, the FNV digest catches it,
+    // and the no-flip path stays bit-identical.
+    use dmx_drx::DrxConfig;
+    use dmx_kernels::checksum::fnv1a;
+    use dmx_restructure::{run_on_drx, run_on_drx_with_flips};
+
+    let config = DrxConfig::default();
+    let mut checked_ops = 0usize;
+    let benches: Vec<_> = BenchmarkId::FIVE.iter().map(|id| id.build()).collect();
+    for edge in benches.iter().flat_map(|b| &b.edges) {
+        for (op, _) in &edge.ops {
+            let lowered = op.lower(&config).expect("suite ops fit the default DRX");
+            // Fill the input with modest f32 values: valid for the
+            // float-consuming ops (raw byte noise decodes to NaN/Inf,
+            // which absorbs flips), and perfectly good byte soup for
+            // the byte-oriented ones.
+            let mut input: Vec<u8> = (0..lowered.input_bytes().div_ceil(4))
+                .flat_map(|i| (((i * 37) % 101) as f32 * 0.25 - 10.0).to_le_bytes())
+                .collect();
+            input.truncate(lowered.input_bytes() as usize);
+            let (clean, _) = run_on_drx(op.as_ref(), &config, &input).expect("clean run");
+            let (same, _) =
+                run_on_drx_with_flips(op.as_ref(), &config, &input, &[]).expect("no-flip run");
+            assert_eq!(clean, same, "{}: empty flip list changed output", op.name());
+            // A single staged-input bit flip must be able to reach the
+            // output. Individual positions can legitimately be absorbed
+            // (a zero-weight mel bin, sub-quantum noise under an int8
+            // quantizer), so try a handful of positions spread across
+            // the input — the top exponent bit of an f32 lane, which
+            // rescales the value by 2^±64 — and require at least one to
+            // corrupt the digest.
+            let mut propagated = false;
+            for k in 1..6u64 {
+                let offset = (input.len() as u64 * k / 6) & !3 | 3;
+                let (dirty, _) =
+                    run_on_drx_with_flips(op.as_ref(), &config, &input, &[(offset, 6)])
+                        .expect("flipped run");
+                assert_eq!(
+                    clean.len(),
+                    dirty.len(),
+                    "{}: flip resized output",
+                    op.name()
+                );
+                if fnv1a(&dirty) != fnv1a(&clean) {
+                    propagated = true;
+                    break;
+                }
+            }
+            assert!(
+                propagated,
+                "{}: no staged-input bit flip reached the output digest",
+                op.name()
+            );
+            checked_ops += 1;
+        }
+    }
+    assert!(checked_ops >= 5, "suite exposed too few ops");
+}

@@ -7,8 +7,16 @@
 use dmx_core::experiments::Suite;
 use dmx_core::overload::{AdmissionParams, BreakerParams, OverloadConfig, ShedPolicy};
 use dmx_core::placement::{Mode, Placement};
-use dmx_core::system::{simulate, RunResult, SystemConfig};
+use dmx_core::system::{simulate, units, RunResult, SystemConfig};
 use dmx_sim::{cases, run_cases, ArrivalProcess, FaultConfig, Time};
+
+/// Builds the suite with the engine's no-progress watchdog armed: a
+/// simulation that stops advancing time aborts with an event dump
+/// instead of hanging the test run.
+fn suite() -> Suite {
+    dmx_sim::set_default_stall_limit(1_000_000);
+    Suite::new()
+}
 
 fn cfg(suite: &Suite, mode: Mode, overload: Option<OverloadConfig>) -> SystemConfig {
     SystemConfig {
@@ -75,7 +83,7 @@ fn shed_total(r: &RunResult) -> u64 {
 
 #[test]
 fn inert_overload_config_is_bit_identical_to_no_overload_layer() {
-    let suite = Suite::new();
+    let suite = suite();
     for mode in [
         Mode::Dmx(Placement::BumpInTheWire),
         Mode::Dmx(Placement::Integrated),
@@ -97,7 +105,7 @@ fn inert_overload_config_is_bit_identical_to_no_overload_layer() {
 #[test]
 fn inert_overload_composes_with_inert_faults() {
     // Both optional layers inert at once must still be the bare path.
-    let suite = Suite::new();
+    let suite = suite();
     let mode = Mode::Dmx(Placement::BumpInTheWire);
     let absent = simulate(&cfg(&suite, mode, None));
     let both = simulate(&SystemConfig {
@@ -110,7 +118,7 @@ fn inert_overload_composes_with_inert_faults() {
 
 #[test]
 fn same_seed_open_loop_runs_are_byte_identical() {
-    let suite = Suite::new();
+    let suite = suite();
     let mode = Mode::Dmx(Placement::BumpInTheWire);
     let lat = clean_latency(&suite, mode);
     let a = simulate(&open_cfg(&suite, mode, open_loop(7, &lat, 2.0)));
@@ -121,7 +129,7 @@ fn same_seed_open_loop_runs_are_byte_identical() {
 
 #[test]
 fn different_seeds_draw_different_arrival_streams() {
-    let suite = Suite::new();
+    let suite = suite();
     let mode = Mode::Dmx(Placement::BumpInTheWire);
     let lat = clean_latency(&suite, mode);
     let a = simulate(&open_cfg(&suite, mode, open_loop(1, &lat, 2.0)));
@@ -135,7 +143,7 @@ fn different_seeds_draw_different_arrival_streams() {
 
 #[test]
 fn overload_sheds_and_keeps_queues_bounded() {
-    let suite = Suite::new();
+    let suite = suite();
     let mode = Mode::Dmx(Placement::BumpInTheWire);
     let lat = clean_latency(&suite, mode);
     let over = simulate(&open_cfg(&suite, mode, open_loop(3, &lat, 2.0)));
@@ -158,7 +166,7 @@ fn overload_sheds_and_keeps_queues_bounded() {
 
 #[test]
 fn underloaded_server_sheds_nothing_and_meets_deadlines() {
-    let suite = Suite::new();
+    let suite = suite();
     let mode = Mode::Dmx(Placement::BumpInTheWire);
     let lat = clean_latency(&suite, mode);
     // 0.1x capacity share: arrivals are far apart, nothing competes.
@@ -179,7 +187,7 @@ fn underloaded_server_sheds_nothing_and_meets_deadlines() {
 
 #[test]
 fn ingress_backpressure_stalls_but_loses_nothing() {
-    let suite = Suite::new();
+    let suite = suite();
     let mode = Mode::Dmx(Placement::BumpInTheWire);
     // Tiny ingress queues: transfers must stall at the source. A
     // closed-loop config with several requests in flight per app keeps
@@ -214,7 +222,7 @@ fn ingress_backpressure_stalls_but_loses_nothing() {
 
 #[test]
 fn circuit_breaker_trips_on_stalling_unit_and_run_completes() {
-    let suite = Suite::new();
+    let suite = suite();
     let mode = Mode::Dmx(Placement::BumpInTheWire);
     let stormy = SystemConfig {
         faults: Some(FaultConfig {
@@ -253,12 +261,69 @@ fn circuit_breaker_trips_on_stalling_unit_and_run_completes() {
     }
 }
 
+#[test]
+fn overload_under_faults_terminates_without_double_counting() {
+    // The PR2 open-loop overload sweep with the PR1 fault layer live:
+    // link bit errors, DRX stalls, lost completions, and a mid-run
+    // unit kill, all while arrivals outrun capacity. The run must
+    // terminate (the no-progress watchdog is armed and would abort a
+    // livelock), account every arrival exactly once, and count every
+    // completion exactly once despite retries and reroutes.
+    let suite = suite();
+    let mode = Mode::Dmx(Placement::BumpInTheWire);
+    let lat = clean_latency(&suite, mode);
+    let c = SystemConfig {
+        faults: Some(FaultConfig {
+            seed: 13,
+            bit_error_rate: 1e-8,
+            stall_rate: 0.2,
+            lost_completion_rate: 0.02,
+            kills: vec![(units::bitw(1, 0), Time::from_ms(2))],
+            ..FaultConfig::none()
+        }),
+        ..open_cfg(&suite, mode, open_loop(7, &lat, 2.0))
+    };
+    let r = simulate(&c);
+    assert!(r.faults.any(), "the storm config should actually fault");
+    let o = r.overload.as_ref().expect("overload report");
+
+    // Every arrival resolves exactly once, overall and per tenant.
+    let late: u64 = o.tenants.iter().map(|t| t.late).sum();
+    assert_eq!(
+        o.offered(),
+        o.goodput() + o.shed() + late,
+        "arrival accounting leaked under faults"
+    );
+    for t in &o.tenants {
+        assert_eq!(
+            t.offered,
+            t.rejected_admission + t.rejected_queue_full + t.shed_deadline + t.goodput + t.late,
+            "{}: per-tenant accounting leaked",
+            t.name
+        );
+    }
+
+    // Retried and rerouted requests complete exactly once: the
+    // completion count must equal the admitted-and-served count.
+    let done: u64 = r.apps.iter().map(|a| a.completed as u64).sum();
+    assert_eq!(
+        done,
+        o.goodput() + late,
+        "completions double- or under-counted under faults"
+    );
+    assert!(o.goodput() > 0, "faulty overload produced no goodput");
+
+    // The composition stays deterministic.
+    let again = simulate(&c);
+    assert_eq!(format!("{r:?}"), format!("{again:?}"));
+}
+
 /// Random overload configs: the pending queue never exceeds its bound,
 /// arrival accounting conserves, and randomly-drawn *inert* configs
 /// take the zero-overhead path.
 #[test]
 fn random_overload_configs_hold_invariants() {
-    let suite = Suite::new();
+    let suite = suite();
     let mode = Mode::Dmx(Placement::BumpInTheWire);
     let base = cfg(&suite, mode, None);
     let base_dbg = format!("{:?}", simulate(&base));

@@ -6,6 +6,9 @@
 use dmx_core::experiments::{self, Suite};
 
 fn suite() -> Suite {
+    // Arm the engine's no-progress watchdog: a simulation that stops
+    // advancing time aborts with an event dump instead of hanging.
+    dmx_sim::set_default_stall_limit(1_000_000);
     Suite::new()
 }
 

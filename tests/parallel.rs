@@ -10,6 +10,9 @@ use dmx_sim::{cases, par, run_cases};
 
 #[test]
 fn parallel_sweeps_are_byte_identical_to_serial() {
+    // Arm the engine's no-progress watchdog: a simulation that stops
+    // advancing time aborts with an event dump instead of hanging.
+    dmx_sim::set_default_stall_limit(1_000_000);
     let suite = Suite::new();
 
     // Serial references under the default seeds.

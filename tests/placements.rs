@@ -5,6 +5,9 @@ use dmx_core::placement::{Mode, Placement};
 use dmx_core::system::{simulate, SystemConfig};
 
 fn mix(n: usize) -> Vec<dmx_core::apps::BenchmarkRef> {
+    // Arm the engine's no-progress watchdog: a simulation that stops
+    // advancing time aborts with an event dump instead of hanging.
+    dmx_sim::set_default_stall_limit(1_000_000);
     let five: Vec<_> = BenchmarkId::FIVE.iter().map(|id| id.build()).collect();
     (0..n).map(|i| five[i % 5].clone()).collect()
 }
