@@ -14,7 +14,7 @@ pub mod bench;
 pub mod timing;
 
 /// All experiment identifiers `repro` accepts.
-pub const EXPERIMENTS: [&str; 18] = [
+pub const EXPERIMENTS: [&str; 19] = [
     "tab1",
     "fig3",
     "fig5",
@@ -32,6 +32,7 @@ pub const EXPERIMENTS: [&str; 18] = [
     "faults",
     "overload",
     "integrity",
+    "chaos",
     "summary",
 ];
 
@@ -55,8 +56,8 @@ pub fn run_experiment(suite: &Suite, id: &str) -> String {
 }
 
 /// Runs one experiment by id, threading `seed` into the experiments
-/// that take one (`faults`, `overload`, `integrity`; others ignore
-/// it), and reports
+/// that take one (`faults`, `overload`, `integrity`, `chaos`; others
+/// ignore it), and reports
 /// whether the experiment's embedded determinism/robustness checks
 /// passed.
 ///
@@ -93,6 +94,14 @@ pub fn run_experiment_checked(suite: &Suite, id: &str, seed: Option<u64>) -> Out
             Outcome {
                 ok: i.ok(),
                 report: i.render(),
+            }
+        }
+        "chaos" => {
+            let c =
+                experiments::chaos::run_with_seed(suite, seed.unwrap_or(experiments::chaos::SEED));
+            Outcome {
+                ok: c.ok(),
+                report: c.render(),
             }
         }
         other => Outcome {

@@ -149,7 +149,15 @@ impl Edge {
     /// Panics if an op fails to lower or execute — the benchmark suite
     /// is expected to fit every evaluated configuration.
     pub fn drx_cost(&self, config: &DrxConfig) -> DrxCost {
-        if let Some(c) = self.drx_cache.lock().expect("drx cache").get(config) {
+        // The cache memoizes pure measurements, so a lock poisoned by a
+        // panicking sibling thread still holds valid entries — recover
+        // the guard instead of propagating the panic.
+        if let Some(c) = self
+            .drx_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(config)
+        {
             return *c;
         }
         let mut total = DrxCost {
@@ -185,7 +193,7 @@ impl Edge {
         }
         self.drx_cache
             .lock()
-            .expect("drx cache")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(*config, total);
         total
     }

@@ -133,6 +133,15 @@ impl DriverState {
         }
     }
 
+    /// Resets adaptive state after a driver crash-restart: the arrival
+    /// history is forgotten and the EMA relaxes back to interrupt mode.
+    /// Lifetime event counts survive — they are accounting, not device
+    /// state.
+    pub fn restart(&mut self) {
+        self.last_event = None;
+        self.ema_interval_s = 1.0;
+    }
+
     /// (interrupt, polled) event counts so far.
     pub fn counts(&self) -> (u64, u64) {
         (self.irq_count, self.poll_count)

@@ -4,6 +4,7 @@
 //! `repro` binary and EXPERIMENTS.md).
 
 pub mod ablations;
+pub mod chaos;
 pub mod faults;
 pub mod fig11;
 pub mod fig12;

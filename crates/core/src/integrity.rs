@@ -149,7 +149,14 @@ impl IntegrityReport {
     /// The conservation invariant: every flip is accounted exactly
     /// once.
     pub fn conserved(&self) -> bool {
-        self.injected == self.detected + self.escaped
+        self.conserved_with_discarded(0)
+    }
+
+    /// The conservation invariant under crash-stop failures: flips can
+    /// also leave the system inside crash-killed requests (the crash
+    /// report's `flips_discarded` ledger).
+    pub fn conserved_with_discarded(&self, discarded: u64) -> bool {
+        self.injected == self.detected + self.escaped + discarded
     }
 
     /// Mean blast radius per poisoning incident (0 with none).

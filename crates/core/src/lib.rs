@@ -58,4 +58,4 @@ pub use overload::{
     ShedPolicy, TenantOverload, TokenBucket,
 };
 pub use placement::{Mode, Placement};
-pub use system::{simulate, Breakdown, EnergyReport, RunResult, SystemConfig};
+pub use system::{simulate, Breakdown, CrashReport, EnergyReport, RunResult, SystemConfig};

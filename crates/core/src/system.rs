@@ -32,8 +32,8 @@ use dmx_pcie::{
     PcieEnergyModel, ReplayParams,
 };
 use dmx_sim::{
-    ArrivalGen, BoundedQueue, EventQueue, FaultConfig, FaultPlan, FifoServer, Percentiles, PsJobId,
-    PsPool, SdcDomain, SplitMix64, Time,
+    ArrivalGen, BoundedQueue, CrashEvent, CrashTarget, EventQueue, FaultConfig, FaultPlan,
+    FifoServer, Percentiles, PsJobId, PsPool, SdcDomain, SplitMix64, Time,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -238,6 +238,42 @@ impl FaultReport {
     }
 }
 
+/// What the crash-stop layer did during a run: surprise removals,
+/// hot-plug re-admissions, checkpointed chain migrations, and the
+/// requests no surviving path could save. All-zero when the fault
+/// config schedules no crashes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrashReport {
+    /// Crash events that fired (device, subtree, or driver).
+    pub crashes: u64,
+    /// Outage windows that ended with the component re-admitted.
+    pub readmissions: u64,
+    /// Chain-hop checkpoints taken by the driver.
+    pub checkpoints: u64,
+    /// Requests torn off a crashed component and restarted from their
+    /// last checkpoint on surviving resources.
+    pub migrations: u64,
+    /// Work those migrations threw away (time since the checkpoint).
+    pub lost_progress: Time,
+    /// Requests whose data died with a permanently-removed component.
+    pub crash_killed: u64,
+    /// Requests parked waiting out a finite outage window.
+    pub crash_stalls: u64,
+    /// Total time requests spent parked on crashed components.
+    pub stall_time: Time,
+    /// Pending silent flips that left the system inside crash-killed
+    /// requests. Keeps the integrity ledger conserved under crashes:
+    /// injected = detected + escaped + discarded.
+    pub flips_discarded: u64,
+}
+
+impl CrashReport {
+    /// True if any crash fired or any recovery action ran.
+    pub fn any(&self) -> bool {
+        *self != CrashReport::default()
+    }
+}
+
 /// Where each request spent its time.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Breakdown {
@@ -315,6 +351,8 @@ pub struct RunResult {
     /// Silent-corruption and integrity accounting (all-zero without
     /// SDC faults and with the integrity layer off).
     pub integrity: IntegrityReport,
+    /// Crash-stop accounting (all-zero without a crash schedule).
+    pub crashes: CrashReport,
 }
 
 impl RunResult {
@@ -343,6 +381,96 @@ impl RunResult {
             restructure: b.restructure / n,
             movement: b.movement / n,
         }
+    }
+
+    /// One merged robustness table covering every enabled layer —
+    /// faults, overload, integrity, crash — as `layer / metric / value`
+    /// rows, instead of four disjoint report blocks. Layers that are
+    /// absent or never fired are skipped; the empty string means the
+    /// run was entirely clean.
+    pub fn robustness_summary(&self) -> String {
+        use crate::report::{ms, Table};
+        let mut t = Table::new(vec!["layer".into(), "metric".into(), "value".into()]);
+        let mut row = |layer: &str, metric: &str, value: String| {
+            t.row(vec![layer.into(), metric.into(), value]);
+        };
+        if self.faults.any() {
+            let f = &self.faults;
+            row("faults", "chunk replays", f.chunk_replays.to_string());
+            row("faults", "link retrains", f.link_retrains.to_string());
+            row("faults", "lost completions", f.lost_completions.to_string());
+            row("faults", "command timeouts", f.command_timeouts.to_string());
+            row("faults", "retries", f.retries.to_string());
+            row("faults", "unit deaths", f.unit_deaths.to_string());
+            row("faults", "rerouted batches", f.rerouted_batches.to_string());
+            row("faults", "fallback time", ms(f.fallback_time));
+        }
+        if let Some(o) = &self.overload {
+            row("overload", "offered", o.offered().to_string());
+            row("overload", "goodput", o.goodput().to_string());
+            row("overload", "shed", o.shed().to_string());
+            row(
+                "overload",
+                "late",
+                o.tenants.iter().map(|t| t.late).sum::<u64>().to_string(),
+            );
+            row("overload", "queue peak", o.queue_peak.to_string());
+            row(
+                "overload",
+                "breaker activations",
+                o.breaker_activations.to_string(),
+            );
+            row(
+                "overload",
+                "backpressure stalls",
+                o.backpressure_stalls.to_string(),
+            );
+            row(
+                "overload",
+                "backpressure stall time",
+                ms(o.backpressure_stall_time),
+            );
+        }
+        if self.integrity.any() {
+            let i = &self.integrity;
+            row("integrity", "flips injected", i.injected.to_string());
+            row("integrity", "flips detected", i.detected.to_string());
+            row("integrity", "flips escaped", i.escaped.to_string());
+            row(
+                "integrity",
+                "poisoned batches",
+                i.poisoned_batches.to_string(),
+            );
+            row("integrity", "checks", i.checks.to_string());
+            row("integrity", "re-executions", i.reexecs.to_string());
+            row(
+                "integrity",
+                "re-exec give-ups",
+                i.reexec_giveups.to_string(),
+            );
+            row("integrity", "quarantines", i.quarantines.to_string());
+            row(
+                "integrity",
+                "quarantine shed",
+                i.quarantine_shed.to_string(),
+            );
+        }
+        if self.crashes.any() {
+            let c = &self.crashes;
+            row("crash", "crashes", c.crashes.to_string());
+            row("crash", "readmissions", c.readmissions.to_string());
+            row("crash", "checkpoints", c.checkpoints.to_string());
+            row("crash", "migrations", c.migrations.to_string());
+            row("crash", "lost progress", ms(c.lost_progress));
+            row("crash", "crash-killed", c.crash_killed.to_string());
+            row("crash", "crash stalls", c.crash_stalls.to_string());
+            row("crash", "stall time", ms(c.stall_time));
+            row("crash", "flips discarded", c.flips_discarded.to_string());
+        }
+        if t.is_empty() {
+            return String::new();
+        }
+        t.render()
     }
 }
 
@@ -417,6 +545,15 @@ struct Req {
     /// Integrity checking disabled after `max_reexec` was exhausted;
     /// any further corruption escapes.
     unchecked: bool,
+    /// Step index of the last crash checkpoint (a chain-hop boundary);
+    /// a crash migration rewinds execution here.
+    ckpt_step: usize,
+    /// When that checkpoint was taken — work since then is what a
+    /// migration throws away.
+    ckpt_at: Time,
+    /// Crash migrations so far; keys SDC draws together with `reexecs`
+    /// so every restarted attempt re-rolls its exposure.
+    crash_rewinds: u32,
 }
 
 #[derive(Debug)]
@@ -437,6 +574,13 @@ enum Ev {
     /// A re-execution backoff elapsed; the request restarts from its
     /// last verified boundary.
     Reexec(u64, u32),
+    /// Crash event `i` of the schedule fires: surprise removal.
+    Crash(usize),
+    /// Crash event `i`'s outage window ends: hot-plug re-admission.
+    CrashRecover(usize),
+    /// A parked or migrated request resumes its chain (epoch-tagged
+    /// like `StepDone`, so teardown invalidates stale resumes).
+    Resume(u64, u32),
 }
 
 /// One open-loop tenant: its arrival stream, rate limiter, and
@@ -564,6 +708,21 @@ struct Sim<'a> {
     plan: Option<FaultPlan>,
     report: FaultReport,
     dead_units: HashSet<u64>,
+    /// The fault plan's crash schedule, sorted by fire time; empty
+    /// without crash events (so the no-crash path is exactly the
+    /// pre-crash-layer simulator).
+    crash_sched: Vec<CrashEvent>,
+    /// Open crash windows per down device — overlapping schedules stack
+    /// and the device revives only when every window has closed.
+    down_devices: HashMap<u64, u32>,
+    /// Units removed for non-crash reasons (MTTF deaths); hot-plug
+    /// recovery never revives these.
+    perma_dead: HashSet<u64>,
+    /// CPU/flow/pool jobs belonging to torn-down request attempts;
+    /// their completions are discarded instead of being misattributed
+    /// to the restarted attempt.
+    cancelled_jobs: HashSet<u64>,
+    creport: CrashReport,
     /// Integrity layer; `None` when disabled or inert (so the unchecked
     /// path is exactly the pre-integrity simulator).
     integ: Option<IntegrityConfig>,
@@ -605,6 +764,15 @@ impl<'a> Sim<'a> {
         };
         let steps = cfg.apps.iter().map(|a| steps_for(a, cfg.mode)).collect();
         let shared_jobs = shared.iter().map(|_| HashMap::new()).collect();
+        let plan = cfg
+            .faults
+            .as_ref()
+            .filter(|f| !f.is_inert())
+            .map(|f| FaultPlan::new(f.clone()));
+        let crash_sched = plan
+            .as_ref()
+            .map(|p| p.crash_schedule())
+            .unwrap_or_default();
         Sim {
             cfg,
             layout,
@@ -639,13 +807,14 @@ impl<'a> Sim<'a> {
                         .collect()
                 })
                 .collect(),
-            plan: cfg
-                .faults
-                .as_ref()
-                .filter(|f| !f.is_inert())
-                .map(|f| FaultPlan::new(f.clone())),
+            plan,
             report: FaultReport::default(),
             dead_units: HashSet::new(),
+            crash_sched,
+            down_devices: HashMap::new(),
+            perma_dead: HashSet::new(),
+            cancelled_jobs: HashSet::new(),
+            creport: CrashReport::default(),
             integ: cfg.integrity.filter(|i| !i.is_inert()),
             ireport: IntegrityReport::default(),
             quarantine_until: vec![Time::ZERO; cfg.apps.len()],
@@ -717,6 +886,11 @@ impl<'a> Sim<'a> {
     fn drain_cpu_finished(&mut self) -> Result<(), SimError> {
         let now = self.q.now();
         for jid in self.cpu.take_finished() {
+            if self.cancelled_jobs.remove(&jid) {
+                // A torn-down attempt's job: its owner restarted from a
+                // checkpoint, so this completion means nothing.
+                continue;
+            }
             let (req, lat) = self
                 .cpu_jobs
                 .remove(&jid)
@@ -819,8 +993,11 @@ impl<'a> Sim<'a> {
         // One sub-stream per (request, step); the re-execution attempt
         // is part of the key so retries re-roll their exposure.
         let batch = id.wrapping_mul(1_000_003).wrapping_add(r.step as u64);
+        // Crash migrations re-roll exposure too, without consuming the
+        // integrity layer's re-execution budget.
+        let attempt = r.reexecs.wrapping_add(r.crash_rewinds);
         let n = plan
-            .sdc_flips(domain, device, batch, r.reexecs, bytes, residency_secs)
+            .sdc_flips(domain, device, batch, attempt, bytes, residency_secs)
             .len() as u64;
         if n == 0 {
             return 0;
@@ -848,6 +1025,9 @@ impl<'a> Sim<'a> {
     fn drain_flow_finished(&mut self) -> Result<(), SimError> {
         let now = self.q.now();
         for fid in self.flows.take_finished() {
+            if self.cancelled_jobs.remove(&fid) {
+                continue;
+            }
             let (req, lat) = self
                 .flow_jobs
                 .remove(&fid)
@@ -1194,6 +1374,9 @@ impl<'a> Sim<'a> {
     fn drain_shared_finished(&mut self, pool: usize) -> Result<(), SimError> {
         let now = self.q.now();
         for jid in self.shared[pool].take_finished() {
+            if self.cancelled_jobs.remove(&jid) {
+                continue;
+            }
             match self.shared_jobs[pool].remove(&jid) {
                 Some(req) => self.schedule_step_done(now, req)?,
                 // A dead pool's jobs were rerouted; its residue drains
@@ -1209,6 +1392,9 @@ impl<'a> Sim<'a> {
     /// in-flight batch off it and resubmit on the host-CPU fallback
     /// path. Queued batches reroute naturally when the gate releases.
     fn unit_death(&mut self, unit: u64) -> Result<(), SimError> {
+        // Permanent: even if the unit is inside a crash outage window,
+        // hot-plug recovery must not revive it.
+        self.perma_dead.insert(unit);
         if !self.dead_units.insert(unit) {
             return Ok(());
         }
@@ -1281,9 +1467,12 @@ impl<'a> Sim<'a> {
                 verified_at: now,
                 reexecs: 0,
                 unchecked: false,
+                ckpt_step: 0,
+                ckpt_at: now,
+                crash_rewinds: 0,
             },
         );
-        self.begin_step(id)
+        self.begin_or_park(id)
     }
 
     /// One open-loop arrival of tenant `app`: count it, schedule the
@@ -1357,8 +1546,6 @@ impl<'a> Sim<'a> {
     /// the EDF queue — shedding (under `ShedPolicy::Reject`) requests
     /// whose deadlines already passed while they waited.
     fn open_loop_completion(&mut self, r: &Req, now: Time) -> Result<(), SimError> {
-        let mut to_start: Vec<(usize, Time, Time)> = Vec::new();
-        let mut shed = 0usize;
         {
             let ov = self.ov.as_mut().expect("open-loop completion");
             let ts = &mut ov.tenants[r.app];
@@ -1368,6 +1555,20 @@ impl<'a> Sim<'a> {
             } else {
                 ts.stats.late += 1;
             }
+        }
+        self.free_slot_and_dispatch(now)
+    }
+
+    /// Frees one inflight slot and dispatches from the EDF queue,
+    /// shedding (under `ShedPolicy::Reject`) requests whose deadlines
+    /// already passed while they waited.
+    fn free_slot_and_dispatch(&mut self, now: Time) -> Result<(), SimError> {
+        let mut to_start: Vec<(usize, Time, Time)> = Vec::new();
+        let mut shed = 0usize;
+        {
+            let Some(ov) = self.ov.as_mut() else {
+                return Ok(());
+            };
             ov.inflight = ov.inflight.saturating_sub(1);
             while ov.inflight < ov.cfg.admission.max_inflight {
                 let Some((_, p, _)) = ov.pending.pop_min(now) else {
@@ -1425,6 +1626,19 @@ impl<'a> Sim<'a> {
                 // Poison rides the chain: one more hop of blast radius.
                 r.poison_hops += 1;
             }
+            if !self.crash_sched.is_empty()
+                && matches!(prev_step, Step::ToNext(_))
+                && r.step < self.steps[r.app].len()
+            {
+                // Chain-hop boundary: the driver snapshots the
+                // inter-accelerator handoff so a crash rewinds here
+                // instead of to the chain start. Poison rides into the
+                // checkpoint — a snapshot cannot scrub what nothing has
+                // checked.
+                r.ckpt_step = r.step;
+                r.ckpt_at = now;
+                self.creport.checkpoints += 1;
+            }
             (
                 r.app,
                 prev_step,
@@ -1468,7 +1682,7 @@ impl<'a> Sim<'a> {
         if finished {
             self.complete_request(id)?;
         } else {
-            self.begin_step(id)?;
+            self.begin_or_park(id)?;
         }
         Ok(())
     }
@@ -1549,6 +1763,13 @@ impl<'a> Sim<'a> {
             let next = if r.flips == 0 {
                 r.verified_step = r.step;
                 r.verified_at = now;
+                if !self.crash_sched.is_empty() {
+                    // A verified boundary is the best possible crash
+                    // checkpoint: refresh it so a later migration
+                    // restarts from known-clean state.
+                    r.ckpt_step = r.step;
+                    r.ckpt_at = now;
+                }
                 if finished {
                     Next::Complete
                 } else {
@@ -1576,6 +1797,12 @@ impl<'a> Sim<'a> {
                     // Work since the verified boundary is thrown away.
                     self.ireport.reexec_time += now - r.verified_at;
                     r.step = r.verified_step;
+                    if r.ckpt_step > r.step {
+                        // The crash checkpoint cannot sit ahead of the
+                        // rewound cursor.
+                        r.ckpt_step = r.step;
+                        r.ckpt_at = now;
+                    }
                     // Invalidate anything still in flight for the
                     // discarded attempt.
                     r.epoch += 1;
@@ -1586,7 +1813,7 @@ impl<'a> Sim<'a> {
         };
         match next {
             Next::Complete => self.complete_request(id),
-            Next::Continue => self.begin_step(id),
+            Next::Continue => self.begin_or_park(id),
             Next::Rewind(delay) => {
                 self.quarantine_tenant(app, now);
                 if let Some(r) = self.reqs.get(&id) {
@@ -1620,7 +1847,417 @@ impl<'a> Sim<'a> {
         if r.epoch != epoch {
             return Ok(());
         }
+        self.begin_or_park(id)
+    }
+
+    // ------------------------------------------------------ crash-stop
+
+    /// True when crash event `i`'s outage window covers `now`.
+    fn crash_live(&self, i: usize, now: Time) -> bool {
+        let ev = &self.crash_sched[i];
+        ev.at <= now && ev.recovers_at().is_none_or(|r| now < r)
+    }
+
+    /// The crash event (if any) whose live outage window blocks `id`
+    /// from starting its next step: a down driver blocks everything, a
+    /// dark subtree blocks steps whose data would have to enter it.
+    /// Device crashes never block — their work reroutes to the host-CPU
+    /// fallback instead.
+    fn crash_block(&self, id: u64) -> Option<usize> {
+        if self.crash_sched.is_empty() {
+            return None;
+        }
+        let now = self.q.now();
+        let r = self.reqs.get(&id)?;
+        let step = *self.steps[r.app].get(r.step)?;
+        (0..self.crash_sched.len()).find(|&i| {
+            self.crash_live(i, now)
+                && match self.crash_sched[i].target {
+                    CrashTarget::Driver => true,
+                    CrashTarget::Subtree(s) => self.step_in_subtree(r.app, step, s),
+                    CrashTarget::Device(_) => false,
+                }
+        })
+    }
+
+    /// True when `step`'s work would have to enter the subtree of
+    /// switch `s`: a kernel or restructure resident there, or a DMA
+    /// with an endpoint inside it. Driver steps run on the host and
+    /// never enter a switch subtree.
+    fn step_in_subtree(&self, app: usize, step: Step, s: usize) -> bool {
+        let Some(&root) = self.layout.switches.get(s) else {
+            return false;
+        };
+        let within = |n: NodeId| self.layout.topo.in_subtree(n, root);
+        match step {
+            Step::Kernel(k) => within(self.layout.accel_nodes[app][k]),
+            Step::ToRestr(e) => {
+                within(self.layout.accel_nodes[app][e]) || self.restr_node(app, e).is_ok_and(within)
+            }
+            Step::Restr(e) => self.restr_node(app, e).is_ok_and(within),
+            Step::ToNext(e) => {
+                self.restr_node(app, e).is_ok_and(within)
+                    || within(self.layout.accel_nodes[app][e + 1])
+            }
+            Step::DriverPost(_) | Step::DriverPre(_) => false,
+        }
+    }
+
+    /// Starts `id`'s next step unless a live outage blocks it, in which
+    /// case the request parks until the window closes — or dies with a
+    /// permanent one.
+    fn begin_or_park(&mut self, id: u64) -> Result<(), SimError> {
+        if let Some(i) = self.crash_block(id) {
+            return self.park_or_kill(id, i);
+        }
         self.begin_step(id)
+    }
+
+    /// Parks `id` until crash event `i`'s outage ends; a permanent
+    /// outage that blocks the chain kills the request outright.
+    fn park_or_kill(&mut self, id: u64, i: usize) -> Result<(), SimError> {
+        let now = self.q.now();
+        match self.crash_sched[i].recovers_at() {
+            Some(at) => {
+                self.creport.crash_stalls += 1;
+                self.creport.stall_time += at.saturating_sub(now);
+                let Some(r) = self.reqs.get(&id) else {
+                    return Ok(());
+                };
+                let ep = r.epoch;
+                self.q
+                    .schedule_at(at + self.cfg.driver.irq_latency, Ev::Resume(id, ep));
+                Ok(())
+            }
+            None => self.crash_kill(id),
+        }
+    }
+
+    /// A parked or migrated request resumes. Re-checks the schedule:
+    /// another outage window may have opened meanwhile.
+    fn resume(&mut self, id: u64, epoch: u32) -> Result<(), SimError> {
+        let Some(r) = self.reqs.get(&id) else {
+            return Ok(());
+        };
+        if r.epoch != epoch {
+            return Ok(());
+        }
+        self.begin_or_park(id)
+    }
+
+    /// Crash event `i` fires: surprise removal of its target.
+    fn crash(&mut self, i: usize) -> Result<(), SimError> {
+        self.creport.crashes += 1;
+        match self.crash_sched[i].target {
+            CrashTarget::Device(u) => self.crash_device(u),
+            CrashTarget::Subtree(s) => self.crash_subtree(s),
+            CrashTarget::Driver => self.crash_driver(),
+        }
+    }
+
+    /// Surprise removal of DRX unit `unit`: it leaves routing, every
+    /// flow touching its point-to-point links dies, and in-flight
+    /// batches on it migrate to surviving resources from their last
+    /// checkpoint.
+    fn crash_device(&mut self, unit: u64) -> Result<(), SimError> {
+        *self.down_devices.entry(unit).or_insert(0) += 1;
+        if !self.dead_units.insert(unit) {
+            // Already out of routing (overlapping window or permanent
+            // death): nothing is running on it.
+            return Ok(());
+        }
+        let mut torn: Vec<u64> = Vec::new();
+        // Bump-in-the-wire engines and standalone cards own a fabric
+        // node; DMA over its links dies with the device. Pool units
+        // live on switches/root and keep the fabric.
+        if let Some(node) = self.unit_node(unit) {
+            let links = self.layout.topo.subtree_links(node);
+            torn.extend(self.abort_flows_on(&links));
+        }
+        for (&id, r) in &self.reqs {
+            if r.step >= self.steps[r.app].len() {
+                continue;
+            }
+            // Anything whose data sits in (or is headed into / parked
+            // for) the removed unit is torn; batches already rerouted
+            // to the host fallback are unaffected.
+            let on_unit = match self.steps[r.app][r.step] {
+                Step::ToRestr(e) | Step::DriverPre(e) => self.unit_for(r.app, e) == Some(unit),
+                Step::Restr(e) => !r.degraded && self.unit_for(r.app, e) == Some(unit),
+                _ => false,
+            };
+            if on_unit {
+                torn.push(id);
+            }
+        }
+        self.tear_requests(torn)
+    }
+
+    /// Power loss on switch subtree `s`: every unit under it goes down,
+    /// every flow crossing into it dies, and requests resident inside
+    /// migrate from their last checkpoint.
+    fn crash_subtree(&mut self, s: usize) -> Result<(), SimError> {
+        let Some(&root) = self.layout.switches.get(s) else {
+            // Schedules may name more subtrees than the layout has.
+            return Ok(());
+        };
+        for unit in self.units_in_subtree(root) {
+            *self.down_devices.entry(unit).or_insert(0) += 1;
+            self.dead_units.insert(unit);
+        }
+        let links = self.layout.topo.subtree_links(root);
+        let mut torn = self.abort_flows_on(&links);
+        for (&id, r) in &self.reqs {
+            if r.step >= self.steps[r.app].len() {
+                continue;
+            }
+            let step = self.steps[r.app][r.step];
+            if r.degraded && matches!(step, Step::Restr(_)) {
+                continue;
+            }
+            if self.step_in_subtree(r.app, step, s) {
+                torn.push(id);
+            }
+        }
+        self.tear_requests(torn)
+    }
+
+    /// Host driver crash-restart: descriptor rings and completion
+    /// queues are gone, so every in-flight request re-plans from its
+    /// last checkpoint once the restarted driver re-enumerates.
+    fn crash_driver(&mut self) -> Result<(), SimError> {
+        self.driver.restart();
+        let torn: Vec<u64> = self.reqs.keys().copied().collect();
+        self.tear_requests(torn)
+    }
+
+    /// The fabric node a DRX unit occupies, when it has one of its own.
+    fn unit_node(&self, unit: u64) -> Option<NodeId> {
+        match self.cfg.mode {
+            Mode::Dmx(Placement::BumpInTheWire) => {
+                for (app, bench) in self.cfg.apps.iter().enumerate() {
+                    for e in 0..bench.edges.len() {
+                        if units::bitw(app, e) == unit {
+                            return self.layout.drx_nodes[app][e];
+                        }
+                    }
+                }
+                None
+            }
+            Mode::Dmx(Placement::Standalone) => {
+                for app in 0..self.cfg.apps.len() {
+                    if units::card(app) == unit {
+                        return self.layout.card_nodes[app];
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Every deployed DRX unit living under `root` — node-owning units
+    /// by ancestry, shared pools by their switch.
+    fn units_in_subtree(&self, root: NodeId) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .deployed_units()
+            .into_iter()
+            .filter(|&u| {
+                self.unit_node(u)
+                    .is_some_and(|n| self.layout.topo.in_subtree(n, root))
+            })
+            .collect();
+        if self.cfg.mode == Mode::Dmx(Placement::PcieIntegrated) {
+            for (i, &sw) in self.layout.switches.iter().enumerate() {
+                if self.layout.topo.in_subtree(sw, root) {
+                    out.push(units::pool(i));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Kills every in-flight flow crossing `links` and returns the ids
+    /// of the requests that owned them.
+    fn abort_flows_on(&mut self, links: &[LinkId]) -> Vec<u64> {
+        let now = self.q.now();
+        let mut owners = Vec::new();
+        for fid in self.flows.abort_flows(now, links) {
+            if let Some((id, _)) = self.flow_jobs.remove(&fid) {
+                owners.push(id);
+            }
+        }
+        self.reschedule_flows();
+        owners
+    }
+
+    /// Migrates every request in `ids` off its crashed component. The
+    /// set is sorted and deduplicated first — teardown order must not
+    /// depend on map iteration order — and every torn request leaves
+    /// the restructure gates *before* any freed gate re-dispatches, so
+    /// a gate can never hand itself to a batch that is also being torn.
+    fn tear_requests(&mut self, mut ids: Vec<u64>) -> Result<(), SimError> {
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.is_empty() {
+            return Ok(());
+        }
+        let mut refill: Vec<(usize, usize)> = Vec::new();
+        for app in 0..self.restr_active.len() {
+            for e in 0..self.restr_active[app].len() {
+                if self.restr_active[app][e].is_some_and(|a| ids.binary_search(&a).is_ok()) {
+                    self.restr_active[app][e] = None;
+                    refill.push((app, e));
+                }
+                self.restr_queue[app][e].retain(|q| ids.binary_search(q).is_err());
+            }
+        }
+        for &id in &ids {
+            self.migrate_one(id)?;
+        }
+        for (app, e) in refill {
+            self.restr_active[app][e] = self.restr_queue[app][e].pop_front();
+            if let Some(next) = self.restr_active[app][e] {
+                self.submit_restr(next, app, e)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Tears one request off a crashed component: cancel its in-flight
+    /// work and held credit, rewind to the last checkpoint, and re-plan
+    /// onto surviving resources after the driver re-enumerates.
+    fn migrate_one(&mut self, id: u64) -> Result<(), SimError> {
+        let now = self.q.now();
+        // Jobs of the discarded attempt: completions that still arrive
+        // are dropped, never misattributed to the restarted attempt.
+        let jids: Vec<u64> = self
+            .cpu_jobs
+            .iter()
+            .filter(|(_, (r, _))| *r == id)
+            .map(|(&j, _)| j)
+            .collect();
+        for j in jids {
+            self.cpu_jobs.remove(&j);
+            self.cancelled_jobs.insert(j);
+        }
+        let jids: Vec<u64> = self
+            .flow_jobs
+            .iter()
+            .filter(|(_, (r, _))| *r == id)
+            .map(|(&j, _)| j)
+            .collect();
+        for j in jids {
+            self.flow_jobs.remove(&j);
+            self.cancelled_jobs.insert(j);
+        }
+        for pool in 0..self.shared_jobs.len() {
+            let jids: Vec<u64> = self.shared_jobs[pool]
+                .iter()
+                .filter(|(_, r)| **r == id)
+                .map(|(&j, _)| j)
+                .collect();
+            for j in jids {
+                self.shared_jobs[pool].remove(&j);
+                self.cancelled_jobs.insert(j);
+            }
+        }
+        // Held ingress credit — parked or granted — is cancelled; what
+        // now fits wakes.
+        let credit = self.reqs.get_mut(&id).and_then(|r| r.credit.take());
+        if let Some((unit, bytes)) = credit {
+            let woken = self
+                .ov
+                .as_mut()
+                .and_then(|ov| ov.gate.as_mut())
+                .map(|g| g.cancel(now, unit, id, bytes))
+                .unwrap_or_default();
+            for token in woken {
+                self.resume_to_restr(token)?;
+            }
+        }
+        let Some(r) = self.reqs.get_mut(&id) else {
+            return Ok(());
+        };
+        self.creport.migrations += 1;
+        self.creport.lost_progress += now.saturating_sub(r.ckpt_at);
+        r.epoch += 1;
+        r.crash_rewinds += 1;
+        r.degraded = false;
+        r.step = r.ckpt_step;
+        // The restored snapshot is materialized now; a second crash
+        // before the next checkpoint only loses work from here.
+        r.ckpt_at = now;
+        let ep = r.epoch;
+        self.q
+            .schedule_at(now + self.cfg.driver.irq_latency, Ev::Resume(id, ep));
+        Ok(())
+    }
+
+    /// Removes `id` outright: its data died with a permanently-removed
+    /// component and no surviving path can recreate it. The request is
+    /// fully accounted — its flips move to the discard ledger, its slot
+    /// frees, and closed-loop apps launch their next request.
+    fn crash_kill(&mut self, id: u64) -> Result<(), SimError> {
+        let now = self.q.now();
+        let Some(r) = self.reqs.remove(&id) else {
+            return Ok(());
+        };
+        self.creport.crash_killed += 1;
+        self.creport.flips_discarded += r.flips;
+        self.remaining = self.remaining.saturating_sub(1);
+        if let Some((unit, bytes)) = r.credit {
+            let woken = self
+                .ov
+                .as_mut()
+                .and_then(|ov| ov.gate.as_mut())
+                .map(|g| g.cancel(now, unit, id, bytes))
+                .unwrap_or_default();
+            for token in woken {
+                self.resume_to_restr(token)?;
+            }
+        }
+        if self.ov.as_ref().is_some_and(|o| o.open_loop) {
+            self.free_slot_and_dispatch(now)?;
+        } else if self.stats[r.app].launched < self.cfg.requests_per_app {
+            self.start_request(r.app)?;
+        }
+        Ok(())
+    }
+
+    /// Crash event `i`'s outage window ends: hot-plug re-admission.
+    /// Devices rejoin routing unless a permanent death also claimed
+    /// them; parked requests resume via their scheduled `Resume`s.
+    fn crash_recover(&mut self, i: usize) -> Result<(), SimError> {
+        self.creport.readmissions += 1;
+        match self.crash_sched[i].target {
+            CrashTarget::Device(u) => self.revive_unit(u),
+            CrashTarget::Subtree(s) => {
+                if let Some(&root) = self.layout.switches.get(s) {
+                    for u in self.units_in_subtree(root) {
+                        self.revive_unit(u);
+                    }
+                }
+            }
+            CrashTarget::Driver => {}
+        }
+        Ok(())
+    }
+
+    /// Closes one crash window on `unit`; at zero open windows it
+    /// rejoins routing — unless permanently dead.
+    fn revive_unit(&mut self, unit: u64) {
+        if let Some(n) = self.down_devices.get_mut(&unit) {
+            *n -= 1;
+            if *n == 0 {
+                self.down_devices.remove(&unit);
+                if !self.perma_dead.contains(&unit) {
+                    self.dead_units.remove(&unit);
+                }
+            }
+        }
     }
 
     /// Horizon past which scheduled unit deaths are ignored: far beyond
@@ -1634,6 +2271,18 @@ impl<'a> Sim<'a> {
                     if t <= Self::DEATH_HORIZON {
                         self.q.schedule_at(t, Ev::UnitDeath(unit));
                     }
+                }
+            }
+        }
+        for i in 0..self.crash_sched.len() {
+            let ev = self.crash_sched[i];
+            if ev.at <= Self::DEATH_HORIZON {
+                self.q.schedule_at(ev.at, Ev::Crash(i));
+                if let Some(at) = ev.recovers_at() {
+                    // Scheduled up front (the schedule is static); at
+                    // equal times the queue's FIFO order fires the
+                    // crash before its own recovery.
+                    self.q.schedule_at(at, Ev::CrashRecover(i));
                 }
             }
         }
@@ -1688,6 +2337,9 @@ impl<'a> Sim<'a> {
                 Ev::UnitDeath(unit) => self.unit_death(unit)?,
                 Ev::IntegrityDone(id, epoch) => self.integrity_done(id, epoch)?,
                 Ev::Reexec(id, epoch) => self.reexec_resume(id, epoch)?,
+                Ev::Crash(i) => self.crash(i)?,
+                Ev::CrashRecover(i) => self.crash_recover(i)?,
+                Ev::Resume(id, epoch) => self.resume(id, epoch)?,
                 Ev::LinkRestore(l) => {
                     self.flows.restore_link(self.q.now(), LinkId::from_index(l));
                     self.drain_flow_finished()?;
@@ -1817,6 +2469,7 @@ impl<'a> Sim<'a> {
             faults: self.report,
             overload,
             integrity: self.ireport,
+            crashes: self.creport,
         }
     }
 }
@@ -1958,6 +2611,188 @@ mod tests {
             "{} vs {}",
             rt.total_throughput(),
             rl.total_throughput()
+        );
+    }
+
+    fn crash_cfg(mode: Mode, n: usize, crashes: Vec<CrashEvent>) -> SystemConfig {
+        let mut cfg = SystemConfig::latency(mode, apps(n));
+        cfg.requests_per_app = 3;
+        cfg.faults = Some(FaultConfig {
+            crashes,
+            ..FaultConfig::none()
+        });
+        cfg
+    }
+
+    #[test]
+    fn device_crash_with_recovery_completes_everything() {
+        let clean = quick(Mode::Dmx(Placement::BumpInTheWire), 2);
+        let half = clean.makespan.scale(0.5);
+        let r = simulate(&crash_cfg(
+            Mode::Dmx(Placement::BumpInTheWire),
+            2,
+            vec![CrashEvent {
+                target: CrashTarget::Device(units::bitw(0, 0)),
+                at: half,
+                down_for: Some(clean.makespan),
+            }],
+        ));
+        for a in &r.apps {
+            assert_eq!(a.completed, 3, "{}", a.name);
+        }
+        assert_eq!(r.crashes.crashes, 1);
+        assert_eq!(r.crashes.crash_killed, 0);
+        // A surprise removal mid-run must cost something somewhere:
+        // either batches migrated off the unit or later batches ran on
+        // the host fallback path.
+        assert!(
+            r.crashes.migrations > 0 || r.faults.rerouted_batches > 0,
+            "crash had no observable effect: {:?}",
+            r.crashes
+        );
+        assert!(r.makespan >= clean.makespan);
+    }
+
+    #[test]
+    fn permanent_driver_crash_accounts_every_request() {
+        let clean = quick(Mode::Dmx(Placement::BumpInTheWire), 2);
+        let r = simulate(&crash_cfg(
+            Mode::Dmx(Placement::BumpInTheWire),
+            2,
+            vec![CrashEvent {
+                target: CrashTarget::Driver,
+                at: clean.makespan.scale(0.5),
+                down_for: None,
+            }],
+        ));
+        let completed: usize = r.apps.iter().map(|a| a.completed).sum();
+        // Conservation: every launched request either finished before
+        // the driver died or is accounted as crash-killed.
+        assert_eq!(completed as u64 + r.crashes.crash_killed, 6);
+        assert!(r.crashes.crash_killed > 0, "{:?}", r.crashes);
+        assert_eq!(r.crashes.readmissions, 0);
+    }
+
+    #[test]
+    fn driver_crash_restart_recovers() {
+        let clean = quick(Mode::Dmx(Placement::BumpInTheWire), 2);
+        let r = simulate(&crash_cfg(
+            Mode::Dmx(Placement::BumpInTheWire),
+            2,
+            vec![CrashEvent {
+                target: CrashTarget::Driver,
+                at: clean.makespan.scale(0.5),
+                down_for: Some(clean.makespan.scale(0.25)),
+            }],
+        ));
+        for a in &r.apps {
+            assert_eq!(a.completed, 3, "{}", a.name);
+        }
+        assert_eq!(r.crashes.crash_killed, 0);
+        assert!(r.crashes.migrations > 0, "{:?}", r.crashes);
+        assert_eq!(r.crashes.readmissions, 1);
+        assert!(r.makespan > clean.makespan);
+    }
+
+    #[test]
+    fn subtree_crash_blocks_then_recovers() {
+        let clean = quick(Mode::Dmx(Placement::PcieIntegrated), 2);
+        let r = simulate(&crash_cfg(
+            Mode::Dmx(Placement::PcieIntegrated),
+            2,
+            vec![CrashEvent {
+                target: CrashTarget::Subtree(0),
+                at: clean.makespan.scale(0.5),
+                down_for: Some(clean.makespan.scale(0.5)),
+            }],
+        ));
+        for a in &r.apps {
+            assert_eq!(a.completed, 3, "{}", a.name);
+        }
+        assert_eq!(r.crashes.crashes, 1);
+        assert_eq!(r.crashes.crash_killed, 0);
+        assert!(
+            r.crashes.migrations > 0 || r.crashes.crash_stalls > 0,
+            "dark subtree had no observable effect: {:?}",
+            r.crashes
+        );
+    }
+
+    #[test]
+    fn future_crash_never_fires() {
+        let clean = quick(Mode::Dmx(Placement::BumpInTheWire), 2);
+        let r = simulate(&crash_cfg(
+            Mode::Dmx(Placement::BumpInTheWire),
+            2,
+            vec![CrashEvent {
+                target: CrashTarget::Driver,
+                at: clean.makespan + Time::from_secs(1),
+                down_for: None,
+            }],
+        ));
+        // The run ends before the scheduled crash: timing matches the
+        // clean run exactly (checkpoints are bookkeeping, not time),
+        // and nothing beyond checkpointing happened.
+        assert_eq!(r.makespan, clean.makespan);
+        assert!(r.crashes.checkpoints > 0);
+        assert_eq!(r.crashes.crashes, 0);
+        assert_eq!(r.crashes.migrations, 0);
+        assert_eq!(r.crashes.crash_killed, 0);
+        assert_eq!(r.crashes.crash_stalls, 0);
+    }
+
+    #[test]
+    fn crash_runs_are_deterministic() {
+        let clean = quick(Mode::Dmx(Placement::BumpInTheWire), 2);
+        let cfg = crash_cfg(
+            Mode::Dmx(Placement::BumpInTheWire),
+            2,
+            vec![
+                CrashEvent {
+                    target: CrashTarget::Device(units::bitw(0, 0)),
+                    at: clean.makespan.scale(0.3),
+                    down_for: Some(clean.makespan.scale(0.2)),
+                },
+                CrashEvent {
+                    target: CrashTarget::Driver,
+                    at: clean.makespan.scale(0.6),
+                    down_for: Some(clean.makespan.scale(0.1)),
+                },
+            ],
+        );
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        assert_eq!(format!("{:?}", a.crashes), format!("{:?}", b.crashes));
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.mean_latency(), b.mean_latency());
+    }
+
+    #[test]
+    fn crash_discard_keeps_integrity_ledger_conserved() {
+        let clean = quick(Mode::Dmx(Placement::BumpInTheWire), 2);
+        let mut cfg = crash_cfg(
+            Mode::Dmx(Placement::BumpInTheWire),
+            2,
+            vec![CrashEvent {
+                target: CrashTarget::Driver,
+                at: clean.makespan.scale(0.4),
+                down_for: None,
+            }],
+        );
+        if let Some(f) = cfg.faults.as_mut() {
+            f.seed = 7;
+            f.sdc.spad_flip_rate = 2e-7;
+            f.sdc.dma_flip_rate = 1e-7;
+        }
+        cfg.integrity = Some(IntegrityConfig::checked(ChecksumMode::PerHop));
+        let r = simulate(&cfg);
+        let i = r.integrity;
+        assert!(i.injected > 0, "raise the rates: nothing injected");
+        assert_eq!(
+            i.injected,
+            i.detected + i.escaped + r.crashes.flips_discarded,
+            "ledger leak: {i:?} {:?}",
+            r.crashes
         );
     }
 

@@ -674,7 +674,7 @@ impl Machine {
                             VectorOp::Div => x / y,
                             VectorOp::Min => x.min(y),
                             VectorOp::Max => x.max(y),
-                            _ => unreachable!(),
+                            _ => unreachable!("arith subset matched above"),
                         };
                         self.write_elem(ad, dtype, r)?;
                     }
@@ -691,7 +691,7 @@ impl Machine {
                             VectorOp::And => x & y,
                             VectorOp::Or => x | y,
                             VectorOp::Xor => x ^ y,
-                            _ => unreachable!(),
+                            _ => unreachable!("bitwise subset matched above"),
                         };
                         self.write_int(ad, dtype, r)?;
                     }
@@ -709,7 +709,7 @@ impl Machine {
                                 };
                                 (((x as u64) & width_mask) >> sh) as i64
                             }
-                            _ => unreachable!(),
+                            _ => unreachable!("shift subset matched above"),
                         };
                         self.write_int(ad, dtype, r)?;
                     }
@@ -771,7 +771,7 @@ impl Machine {
                                 Dtype::I16 => x as i16 as i64,
                                 Dtype::U32 => x as u32 as i64,
                                 Dtype::I32 => x as i32 as i64,
-                                Dtype::F32 => unreachable!(),
+                                Dtype::F32 => unreachable!("guarded by to.is_float() above"),
                             };
                             self.write_int(ad, to, v)?;
                         } else if !dtype.is_float() {

@@ -146,6 +146,43 @@ impl CreditGate {
             return Vec::new();
         };
         ep.in_use = ep.in_use.saturating_sub(bytes);
+        self.wake_fitting(now, endpoint)
+    }
+
+    /// Cancels `token`'s reservation of `bytes` on `endpoint` (the
+    /// transfer's owner went away — e.g. a crashed request being
+    /// migrated). A still-parked transfer leaves the wait queue without
+    /// ever holding credit; a granted one returns its credit like
+    /// [`CreditGate::release`]. Either way, transfers that now fit are
+    /// woken and returned for the caller to start.
+    pub fn cancel(
+        &mut self,
+        now: Time,
+        endpoint: u64,
+        token: CreditToken,
+        bytes: u64,
+    ) -> Vec<CreditToken> {
+        let Some(ep) = self.endpoints.get_mut(&endpoint) else {
+            return Vec::new();
+        };
+        if let Some(pos) = ep.waiting.iter().position(|(t, _, _)| *t == token) {
+            let since = ep.waiting[pos].2;
+            ep.waiting.remove(pos);
+            self.stall_time += now.saturating_sub(since);
+            // Removing a parked head can unblock the transfers behind
+            // it (FIFO grant order no longer waits on the removed one).
+            self.wake_fitting(now, endpoint)
+        } else {
+            self.release(now, endpoint, bytes)
+        }
+    }
+
+    /// Grants credit to parked transfers (oldest first) while they fit;
+    /// returns the woken tokens.
+    fn wake_fitting(&mut self, now: Time, endpoint: u64) -> Vec<CreditToken> {
+        let Some(ep) = self.endpoints.get_mut(&endpoint) else {
+            return Vec::new();
+        };
         let mut woken = Vec::new();
         while let Some(&(token, need, since)) = ep.waiting.front() {
             if ep.in_use + need > self.capacity {
@@ -234,6 +271,23 @@ mod tests {
         let woken = g.release(Time::from_us(10), 1, 10);
         assert_eq!(woken, vec![1 + 1]);
         assert_eq!(g.stall_time(), Time::from_us(8));
+    }
+
+    #[test]
+    fn cancel_unparks_without_releasing_credit() {
+        let mut g = CreditGate::new(100);
+        assert!(g.try_acquire(Time::ZERO, 7, 1, 80));
+        assert!(!g.try_acquire(Time::ZERO, 7, 2, 50));
+        assert!(!g.try_acquire(Time::ZERO, 7, 3, 20));
+        // 2 never held credit: cancelling it must not change in_use,
+        // but 3 (parked behind it) now fits the 20 free bytes.
+        let woken = g.cancel(Time::from_us(1), 7, 2, 50);
+        assert_eq!(woken, vec![3]);
+        assert_eq!(g.in_use(7), 100);
+        // 1 was granted: cancelling it behaves like release.
+        let woken = g.cancel(Time::from_us(2), 7, 1, 80);
+        assert!(woken.is_empty());
+        assert_eq!(g.in_use(7), 20);
     }
 
     #[test]

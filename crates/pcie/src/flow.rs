@@ -391,6 +391,35 @@ impl FlowNet {
         Ok(())
     }
 
+    /// Kills every in-flight flow crossing any of `links` (surprise
+    /// device removal: the DMA engine on one side of the transfer no
+    /// longer exists). Accounting is advanced to `now` first, so bytes
+    /// already moved stay counted; the aborted flows are *not* reported
+    /// by [`FlowNet::take_finished`] — their ids are returned here for
+    /// the caller to unwind.
+    pub fn abort_flows(&mut self, now: Time, links: &[LinkId]) -> Vec<FlowId> {
+        self.advance(now);
+        let dead: Vec<usize> = links.iter().map(|l| l.index()).collect();
+        let link_flows = &mut self.link_flows;
+        let mut aborted: Vec<FlowId> = Vec::new();
+        self.flows.retain(|f| {
+            if f.links.iter().any(|l| dead.contains(l)) {
+                for &l in &f.links {
+                    link_flows[l] -= 1;
+                }
+                aborted.push(f.id);
+                false
+            } else {
+                true
+            }
+        });
+        if !aborted.is_empty() {
+            self.generation += 1;
+            self.invalidate_rates();
+        }
+        aborted
+    }
+
     /// Convenience: inserts a flow along a [`Route`].
     pub fn insert_route(&mut self, now: Time, id: FlowId, bytes: u64, route: &Route) {
         self.insert(now, id, bytes, &route.links);
@@ -552,6 +581,37 @@ mod tests {
         // Extra restore is a no-op, and rates stay exactly nominal.
         net.restore_link(Time::ZERO, lid(0));
         assert_eq!(net.rates(), vec![1_000_000_000.0]);
+    }
+
+    #[test]
+    fn abort_kills_crossing_flows_and_frees_bandwidth() {
+        let mut net = FlowNet::new(vec![1_000_000_000, 1_000_000_000]);
+        net.insert(Time::ZERO, 1, 1_000_000_000, &[lid(0)]);
+        net.insert(Time::ZERO, 2, 1_000_000_000, &[lid(0), lid(1)]);
+        net.insert(Time::ZERO, 3, 1_000_000_000, &[lid(1)]);
+        // Abort link 1 at t=0.5s: flows 2 and 3 die, flow 1 survives.
+        let gen_before = net.generation();
+        let mut dead = net.abort_flows(Time::from_ms(500), &[lid(1)]);
+        dead.sort_unstable();
+        assert_eq!(dead, vec![2, 3]);
+        assert_eq!(net.active_flows(), 1);
+        assert!(net.generation() > gen_before);
+        // Aborted flows never surface as finished.
+        assert!(net.take_finished().is_empty());
+        // Bytes moved before the abort stay accounted on every link.
+        assert!(net.link_bytes()[1] > 0.0);
+        // Flow 1 now runs alone at the full 1 GB/s: 750 MB left after
+        // sharing link 0 for 0.5s -> finishes at 1.25s.
+        assert_eq!(
+            net.next_event(Time::from_ms(500)),
+            Some(Time::from_ms(1250))
+        );
+        net.advance(Time::from_ms(1250));
+        assert_eq!(net.take_finished(), vec![1]);
+        // Aborting with no crossing flows is a clean no-op.
+        let g = net.generation();
+        assert!(net.abort_flows(Time::from_ms(1250), &[lid(1)]).is_empty());
+        assert_eq!(net.generation(), g);
     }
 
     #[test]

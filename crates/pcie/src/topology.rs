@@ -394,6 +394,33 @@ impl Topology {
         })
     }
 
+    /// True when `node` lies in the subtree rooted at `ancestor`
+    /// (inclusive: a node is in its own subtree).
+    pub fn in_subtree(&self, node: NodeId, ancestor: NodeId) -> bool {
+        let mut n = node;
+        loop {
+            if n == ancestor {
+                return true;
+            }
+            match self.nodes.get(n.0).and_then(|x| x.parent) {
+                Some((p, _)) => n = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Every link inside the subtree rooted at `node`, *including* the
+    /// subtree's own uplink: when a switch surprise-disappears, traffic
+    /// on its uplink dies with it. Returned in link-id order.
+    pub fn subtree_links(&self, node: NodeId) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| self.in_subtree(e.child, node))
+            .map(|(i, _)| LinkId(i))
+            .collect()
+    }
+
     /// Bottleneck (minimum) bandwidth along a route, in bytes/second.
     /// Returns `None` for an empty route.
     pub fn route_bottleneck(&self, route: &Route) -> Option<u64> {
@@ -577,6 +604,31 @@ mod tests {
         let r = t.route(a0, c0);
         assert_eq!(t.route(a0, c0), r);
         assert_eq!(r.via, vec![NodeId(1), root, sw2]);
+    }
+
+    #[test]
+    fn subtree_membership_and_links() {
+        let (t, root, sw0, sw1, a0, a1, b0) = two_switch_topo();
+        assert!(t.in_subtree(a0, sw0));
+        assert!(t.in_subtree(a1, sw0));
+        assert!(t.in_subtree(sw0, sw0), "subtrees are inclusive");
+        assert!(!t.in_subtree(b0, sw0));
+        assert!(!t.in_subtree(sw0, sw1));
+        assert!(t.in_subtree(b0, root), "everything is under the root");
+        assert!(!t.in_subtree(NodeId(999), sw0), "unknown nodes are nowhere");
+
+        // sw0's subtree: its own uplink plus the a0/a1 downlinks.
+        let links = t.subtree_links(sw0);
+        assert_eq!(links.len(), 3);
+        let uplink = t.parent(sw0).unwrap().1;
+        assert!(links.contains(&uplink), "uplink dies with the switch");
+        assert!(links.contains(&t.parent(a0).unwrap().1));
+        assert!(links.contains(&t.parent(a1).unwrap().1));
+        assert!(!links.contains(&t.parent(b0).unwrap().1));
+        // A leaf's subtree is exactly its own uplink.
+        assert_eq!(t.subtree_links(b0), vec![t.parent(b0).unwrap().1]);
+        // The root's subtree is every link.
+        assert_eq!(t.subtree_links(root).len(), t.link_count());
     }
 
     #[test]

@@ -92,6 +92,42 @@ pub struct SdcEvent {
     pub bit: u8,
 }
 
+/// What a crash-stop event takes down.
+///
+/// Unlike the `kills` schedule (a permanent *unit* death modelling a
+/// burned-out accelerator), a crash is a surprise removal at the PCIe
+/// level: in-flight DMA dies with the device, and a crash with a finite
+/// outage is later hot-plug re-admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashTarget {
+    /// One service unit (stable unit id, same namespace as `kills`).
+    Device(u64),
+    /// Every device under one PCIe switch (index into the server
+    /// layout's switch list): the whole subtree goes dark at once.
+    Subtree(usize),
+    /// The host driver process: every in-flight request loses its
+    /// doorbell/completion path and must be re-driven after restart.
+    Driver,
+}
+
+/// One crash-stop event in a deterministic schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashEvent {
+    /// What goes down.
+    pub target: CrashTarget,
+    /// When it goes down.
+    pub at: Time,
+    /// Outage length; `None` means the target never comes back.
+    pub down_for: Option<Time>,
+}
+
+impl CrashEvent {
+    /// When the target is re-admitted, if ever.
+    pub fn recovers_at(&self) -> Option<Time> {
+        self.down_for.map(|d| self.at + d)
+    }
+}
+
 /// Fault-injection configuration. All rates default to zero; a
 /// zero-rate config is *inert* — it must not perturb the simulation in
 /// any way (verified by integration tests).
@@ -115,6 +151,9 @@ pub struct FaultConfig {
     pub kills: Vec<(u64, Time)>,
     /// Silent-data-corruption rates (bit flips with no fault signal).
     pub sdc: SdcConfig,
+    /// Deterministic crash-stop schedule: surprise device/subtree/driver
+    /// removal, optionally hot-plug re-admitted after `down_for`.
+    pub crashes: Vec<CrashEvent>,
 }
 
 impl FaultConfig {
@@ -128,6 +167,7 @@ impl FaultConfig {
             death_mttf_secs: None,
             kills: Vec::new(),
             sdc: SdcConfig::none(),
+            crashes: Vec::new(),
         }
     }
 
@@ -139,6 +179,7 @@ impl FaultConfig {
             && self.death_mttf_secs.is_none()
             && self.kills.is_empty()
             && self.sdc.is_inert()
+            && self.crashes.is_empty()
     }
 }
 
@@ -278,6 +319,14 @@ impl FaultPlan {
             .collect()
     }
 
+    /// The crash-stop schedule, ordered by crash time (ties broken by
+    /// schedule position, so equal-time crashes apply in config order).
+    pub fn crash_schedule(&self) -> Vec<CrashEvent> {
+        let mut sched = self.cfg.crashes.clone();
+        sched.sort_by_key(|e| e.at);
+        sched
+    }
+
     /// When unit `unit` permanently dies, if ever: the earlier of its
     /// explicit kill entry and a seed-driven exponential draw.
     pub fn death_time(&self, unit: u64) -> Option<Time> {
@@ -316,6 +365,7 @@ mod tests {
                 dma_flip_rate: 1e-6,
                 ddr_flip_rate_per_sec: 1e-5,
             },
+            crashes: Vec::new(),
         })
     }
 
@@ -469,6 +519,35 @@ mod tests {
         assert!(p
             .sdc_flips(SdcDomain::Ddr, 2, 0, 0, 1 << 20, 0.0)
             .is_empty());
+    }
+
+    #[test]
+    fn crash_schedule_sorts_stably_and_flips_inertness() {
+        let late = CrashEvent {
+            target: CrashTarget::Driver,
+            at: Time::from_ms(9),
+            down_for: Some(Time::from_ms(2)),
+        };
+        let early_a = CrashEvent {
+            target: CrashTarget::Device(3),
+            at: Time::from_ms(1),
+            down_for: None,
+        };
+        let early_b = CrashEvent {
+            target: CrashTarget::Subtree(0),
+            at: Time::from_ms(1),
+            down_for: Some(Time::from_ms(4)),
+        };
+        let cfg = FaultConfig {
+            crashes: vec![late, early_a, early_b],
+            ..FaultConfig::none()
+        };
+        assert!(!cfg.is_inert(), "a crash schedule is not inert");
+        let plan = FaultPlan::new(cfg);
+        // Sorted by time; equal-time events keep config order.
+        assert_eq!(plan.crash_schedule(), vec![early_a, early_b, late]);
+        assert_eq!(late.recovers_at(), Some(Time::from_ms(11)));
+        assert_eq!(early_a.recovers_at(), None);
     }
 
     #[test]
