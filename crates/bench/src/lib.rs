@@ -14,7 +14,7 @@ pub mod bench;
 pub mod timing;
 
 /// All experiment identifiers `repro` accepts.
-pub const EXPERIMENTS: [&str; 19] = [
+pub const EXPERIMENTS: [&str; 20] = [
     "tab1",
     "fig3",
     "fig5",
@@ -33,6 +33,7 @@ pub const EXPERIMENTS: [&str; 19] = [
     "overload",
     "integrity",
     "chaos",
+    "failslow",
     "summary",
 ];
 
@@ -56,8 +57,8 @@ pub fn run_experiment(suite: &Suite, id: &str) -> String {
 }
 
 /// Runs one experiment by id, threading `seed` into the experiments
-/// that take one (`faults`, `overload`, `integrity`, `chaos`; others
-/// ignore it), and reports
+/// that take one (`faults`, `overload`, `integrity`, `chaos`,
+/// `failslow`; others ignore it), and reports
 /// whether the experiment's embedded determinism/robustness checks
 /// passed.
 ///
@@ -102,6 +103,16 @@ pub fn run_experiment_checked(suite: &Suite, id: &str, seed: Option<u64>) -> Out
             Outcome {
                 ok: c.ok(),
                 report: c.render(),
+            }
+        }
+        "failslow" => {
+            let f = experiments::failslow::run_with_seed(
+                suite,
+                seed.unwrap_or(experiments::failslow::SEED),
+            );
+            Outcome {
+                ok: f.ok(),
+                report: f.render(),
             }
         }
         other => Outcome {

@@ -27,15 +27,23 @@
 //!   [`CrashReport`];
 //! * an inert fault config reproduces the layer-absent run
 //!   byte-identically (the zero-overhead path);
-//! * two same-seed runs render byte-identically.
+//! * two same-seed runs render byte-identically;
+//! * a degrade → crash → hot-plug composition on one device (gray,
+//!   then removed, then back) balances the full extended conservation
+//!   ledger: requests, integrity flips with the crash discard account,
+//!   and hedges with their teardown cancellations.
 
 use super::Suite;
+use crate::failslow::{FailSlowConfig, FailSlowReport, HealthParams};
 use crate::integrity::{ChecksumMode, IntegrityConfig, IntegrityReport};
 use crate::overload::{AdmissionParams, OverloadConfig, OverloadReport, ShedPolicy};
 use crate::placement::{Mode, Placement};
 use crate::report::{ms, Table};
 use crate::system::{simulate, units, CrashReport, SystemConfig};
-use dmx_sim::{par_map, ArrivalProcess, CrashEvent, CrashTarget, FaultConfig, SplitMix64, Time};
+use dmx_sim::{
+    par_map, ArrivalProcess, CrashEvent, CrashTarget, DegradeEvent, DegradeTarget, FaultConfig,
+    SplitMix64, Time,
+};
 
 /// Default seed for every run in this experiment.
 pub const SEED: u64 = 0xC4A05;
@@ -93,6 +101,9 @@ pub struct Checks {
     pub inert_identity: bool,
     /// Two same-seed scenario runs rendered byte-identically.
     pub deterministic: bool,
+    /// The degrade → crash → hot-plug composition balanced its full
+    /// conservation ledger: requests, integrity flips, and hedges.
+    pub composed_ledger: bool,
 }
 
 impl Checks {
@@ -105,6 +116,7 @@ impl Checks {
             && self.no_crash_purity
             && self.inert_identity
             && self.deterministic
+            && self.composed_ledger
     }
 }
 
@@ -117,6 +129,11 @@ pub struct Chaos {
     pub clean_mean: Time,
     /// One entry per sampled crash schedule.
     pub scenarios: Vec<Scenario>,
+    /// Fail-slow accounting of the degrade → crash → hot-plug
+    /// composition (the same device goes gray, dies, and returns).
+    pub composed_failslow: FailSlowReport,
+    /// Crash accounting of that composition.
+    pub composed_crashes: CrashReport,
     /// Merged robustness table of the first scenario (all four layers
     /// in one block).
     pub merged_summary: String,
@@ -335,10 +352,63 @@ pub fn run_with_seed(suite: &Suite, seed: u64) -> Chaos {
         r.robustness_summary()
     };
 
+    // Degrade → crash → hot-plug on one device: tenant 0's edge-0 DRX
+    // goes gray early, is surprise-removed mid-run, and hot-plugs back
+    // later — with SDC, checksums, overload, and fail-slow mitigation
+    // all live. The full conservation ledger must balance: every
+    // request resolves exactly once, the integrity ledger closes with
+    // the crash discard account, and the hedge ledger closes with the
+    // teardown cancellations.
+    let horizon = mean * (ARRIVALS_PER_TENANT as u64);
+    let gray_unit = units::bitw(0, 0);
+    let mut gcfg = composed(
+        suite,
+        seed,
+        mean,
+        slowest,
+        vec![CrashEvent {
+            target: CrashTarget::Device(gray_unit),
+            at: horizon.scale(0.25),
+            down_for: Some(horizon.scale(0.20)),
+        }],
+    );
+    if let Some(f) = gcfg.faults.as_mut() {
+        f.degrades = vec![DegradeEvent {
+            target: DegradeTarget::Device(gray_unit),
+            at: Time::ZERO,
+            down_for: None,
+            slowdown: 4.0,
+            jitter: 0.0,
+            duty: None,
+        }];
+    }
+    gcfg.failslow = Some(FailSlowConfig {
+        scorer: HealthParams {
+            window: 8,
+            min_samples: 2,
+            outlier_factor: 2.0,
+            probation: mean,
+        },
+        demote: true,
+        hedge_multiplier: 1.2,
+        hedge_floor: Time::from_us(1),
+    });
+    let g = simulate(&gcfg);
+    let g_overload = g.overload.expect("open-loop run must report");
+    let composed_ledger = request_conservation(&g_overload, &g.integrity, &g.crashes)
+        && g.integrity
+            .conserved_with_discarded(g.crashes.flips_discarded)
+        && g.failslow.hedge_conserved()
+        && g.crashes.crashes > 0
+        && g.crashes.readmissions > 0
+        && g.failslow.slowed_batches > 0;
+
     Chaos {
         seed,
         clean_mean: mean,
         scenarios,
+        composed_failslow: g.failslow,
+        composed_crashes: g.crashes,
         merged_summary,
         checks: Checks {
             conserved,
@@ -348,6 +418,7 @@ pub fn run_with_seed(suite: &Suite, seed: u64) -> Chaos {
             no_crash_purity,
             inert_identity,
             deterministic,
+            composed_ledger,
         },
     }
 }
@@ -410,6 +481,10 @@ impl Chaos {
              of surprise device removal, dark subtrees, and driver\n\
              crash-restarts with checkpointed chain migration.\n\n\
              {table}\n\
+             Degrade → crash → hot-plug on one device (4x gray, then\n\
+             removed, then back): {slowed} batches slowed, {hedged}\n\
+             hedged ({cancelled} cancelled at teardown), {crashes}\n\
+             crash(es), {readmit} re-admission(s).\n\n\
              Merged robustness summary of scenario #0 (all layers, one\n\
              table):\n\n{merged}\n\
              checks:\n\
@@ -419,7 +494,8 @@ impl Chaos {
              crash recovery demonstrably exercised           {q4}\n\
              empty crash schedule leaves no trace            {q5}\n\
              inert config identical to no layer              {q6}\n\
-             same-seed runs byte-identical                   {q7}\n",
+             same-seed runs byte-identical                   {q7}\n\
+             degrade→crash→hot-plug ledger balances          {q8}\n",
             seed = self.seed,
             load = LOAD,
             mean = ms(self.clean_mean),
@@ -431,8 +507,14 @@ impl Chaos {
             q3 = yn(c.zero_escaped),
             q4 = yn(c.crash_effects),
             q5 = yn(c.no_crash_purity),
+            slowed = self.composed_failslow.slowed_batches,
+            hedged = self.composed_failslow.hedged,
+            cancelled = self.composed_failslow.cancelled,
+            crashes = self.composed_crashes.crashes,
+            readmit = self.composed_crashes.readmissions,
             q6 = yn(c.inert_identity),
             q7 = yn(c.deterministic),
+            q8 = yn(c.composed_ledger),
         )
     }
 }

@@ -5,6 +5,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod failslow;
 pub mod faults;
 pub mod fig11;
 pub mod fig12;

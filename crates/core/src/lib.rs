@@ -44,6 +44,7 @@ pub mod apps;
 pub mod collectives;
 pub mod driver;
 pub mod experiments;
+pub mod failslow;
 pub mod integrity;
 pub mod overload;
 pub mod params;
@@ -52,6 +53,7 @@ pub mod report;
 pub mod system;
 
 pub use apps::{Benchmark, BenchmarkId, BenchmarkRef};
+pub use failslow::{FailSlowConfig, FailSlowReport, HealthParams, HealthRoute, HealthScorer};
 pub use integrity::{ChecksumMode, IntegrityConfig, IntegrityReport};
 pub use overload::{
     AdmissionParams, Breaker, BreakerParams, BreakerRoute, OverloadConfig, OverloadReport,

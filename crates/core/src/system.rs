@@ -15,6 +15,7 @@
 
 use crate::apps::BenchmarkRef;
 use crate::driver::DriverState;
+use crate::failslow::{FailSlowConfig, FailSlowReport, HealthRoute, HealthScorer};
 use crate::integrity::{ChecksumMode, IntegrityConfig, IntegrityReport};
 use crate::overload::{
     tenant_skeletons, Breaker, BreakerRoute, OverloadConfig, OverloadReport, ShedPolicy,
@@ -26,14 +27,14 @@ use crate::params::{
 };
 use crate::placement::{build_layout, Mode, Placement, ServerLayout};
 use dmx_cpu::{CpuEnergyModel, HostCpuConfig};
-use dmx_drx::{DrxConfig, DrxEnergyModel};
+use dmx_drx::{Derate, DrxConfig, DrxEnergyModel};
 use dmx_pcie::{
     transfer_faults, CreditGate, FabricError, FlowId, FlowNet, Gen, LinkId, NodeId,
     PcieEnergyModel, ReplayParams,
 };
 use dmx_sim::{
-    ArrivalGen, BoundedQueue, CrashEvent, CrashTarget, EventQueue, FaultConfig, FaultPlan,
-    FifoServer, Percentiles, PsJobId, PsPool, SdcDomain, SplitMix64, Time,
+    ArrivalGen, BoundedQueue, CrashEvent, CrashTarget, DegradeEvent, DegradeTarget, EventQueue,
+    FaultConfig, FaultPlan, FifoServer, Percentiles, PsJobId, PsPool, SdcDomain, SplitMix64, Time,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -89,6 +90,15 @@ pub struct SystemConfig {
     /// ([`FaultConfig`]'s `sdc` rates) and never perturbs timing — only
     /// this layer's checks and recoveries do.
     pub integrity: Option<IntegrityConfig>,
+    /// Fail-slow (gray failure) detection and mitigation: per-device
+    /// health scoring against a fleet baseline, demotion of suspected
+    /// devices out of placement, and speculative hedged duplicates for
+    /// requests stuck past a threshold. `None` disables the layer
+    /// entirely; an inert config (`FailSlowConfig::none()`) must
+    /// produce results identical to `None`. Degrade *injection* is part
+    /// of the fault layer ([`FaultConfig`]'s `degrades`) and slows
+    /// devices/links whether or not this layer watches for it.
+    pub failslow: Option<FailSlowConfig>,
 }
 
 impl SystemConfig {
@@ -111,6 +121,7 @@ impl SystemConfig {
             recovery: RecoveryParams::default(),
             overload: None,
             integrity: None,
+            failslow: None,
         }
     }
 
@@ -200,6 +211,27 @@ pub mod units {
     /// switch index for PCIe-Integrated.
     pub fn pool(index: usize) -> u64 {
         0x0300_0000 + index as u64
+    }
+
+    /// Inverse of [`bitw`]: the `(app, stage)` a bump-in-the-wire unit
+    /// id names, or `None` for other unit kinds.
+    pub fn bitw_of(unit: u64) -> Option<(usize, usize)> {
+        if (0x0100_0000..0x0200_0000).contains(&unit) {
+            let v = unit - 0x0100_0000;
+            Some(((v / 256) as usize, (v % 256) as usize))
+        } else {
+            None
+        }
+    }
+
+    /// Inverse of [`card`]: the app whose standalone card this unit id
+    /// names, or `None` for other unit kinds.
+    pub fn card_of(unit: u64) -> Option<usize> {
+        if (0x0200_0000..0x0300_0000).contains(&unit) {
+            Some((unit - 0x0200_0000) as usize)
+        } else {
+            None
+        }
     }
 }
 
@@ -353,6 +385,9 @@ pub struct RunResult {
     pub integrity: IntegrityReport,
     /// Crash-stop accounting (all-zero without a crash schedule).
     pub crashes: CrashReport,
+    /// Fail-slow (gray failure) accounting (all-zero without a degrade
+    /// schedule and with the fail-slow layer off).
+    pub failslow: FailSlowReport,
 }
 
 impl RunResult {
@@ -384,10 +419,10 @@ impl RunResult {
     }
 
     /// One merged robustness table covering every enabled layer —
-    /// faults, overload, integrity, crash — as `layer / metric / value`
-    /// rows, instead of four disjoint report blocks. Layers that are
-    /// absent or never fired are skipped; the empty string means the
-    /// run was entirely clean.
+    /// faults, overload, integrity, crash, fail-slow — as
+    /// `layer / metric / value` rows, instead of five disjoint report
+    /// blocks. Layers that are absent or never fired are skipped; the
+    /// empty string means the run was entirely clean.
     pub fn robustness_summary(&self) -> String {
         use crate::report::{ms, Table};
         let mut t = Table::new(vec!["layer".into(), "metric".into(), "value".into()]);
@@ -466,6 +501,24 @@ impl RunResult {
             row("crash", "crash stalls", c.crash_stalls.to_string());
             row("crash", "stall time", ms(c.stall_time));
             row("crash", "flips discarded", c.flips_discarded.to_string());
+        }
+        if self.failslow.any() {
+            let fs = &self.failslow;
+            row("failslow", "slowed batches", fs.slowed_batches.to_string());
+            row("failslow", "injected slow time", ms(fs.slow_extra_time));
+            row("failslow", "link degrades", fs.link_degrades.to_string());
+            row("failslow", "gray flags", fs.gray_flags.to_string());
+            row("failslow", "probes", fs.probes.to_string());
+            row("failslow", "recoveries", fs.recoveries.to_string());
+            row(
+                "failslow",
+                "demoted batches",
+                fs.demoted_batches.to_string(),
+            );
+            row("failslow", "hedged", fs.hedged.to_string());
+            row("failslow", "won by primary", fs.won_primary.to_string());
+            row("failslow", "won by hedge", fs.won_hedge.to_string());
+            row("failslow", "hedges cancelled", fs.cancelled.to_string());
         }
         if t.is_empty() {
             return String::new();
@@ -554,6 +607,30 @@ struct Req {
     /// Crash migrations so far; keys SDC draws together with `reexecs`
     /// so every restarted attempt re-rolls its exposure.
     crash_rewinds: u32,
+    /// The DRX unit the in-flight restructure batch was dispatched on
+    /// (`None` when the batch runs on the host or a demoted peer — only
+    /// home-unit batches feed the health scorer).
+    restr_unit: Option<u64>,
+    /// When the in-flight restructure batch's *service* begins: the
+    /// engine-start instant for FIFO units (queue wait excluded, so
+    /// the health scorer's ratio and the hedge clock measure device
+    /// slowness, not backlog), submit time for shared pools
+    /// (processor sharing has no discrete start; the whole fleet
+    /// inflates equally under load, so baselines stay fair).
+    restr_submitted: Time,
+    /// The batch's nominal (fault-free) service time, the ratio's
+    /// denominator and the hedge threshold's base.
+    restr_nominal: Time,
+    /// Bumped every time a restructure batch is dispatched on a unit;
+    /// hedge timers carry the sequence they armed under, so timers for
+    /// batches that already completed or were torn down stay inert.
+    restr_seq: u32,
+    /// The in-flight restructure batch is a health probe: its outcome
+    /// goes to [`HealthScorer::probe_result`] instead of `record`.
+    fs_probe: bool,
+    /// A speculative hedge duplicate is in flight for the current
+    /// restructure batch; first completion wins.
+    hedge: bool,
 }
 
 #[derive(Debug)]
@@ -581,6 +658,22 @@ enum Ev {
     /// A parked or migrated request resumes its chain (epoch-tagged
     /// like `StepDone`, so teardown invalidates stale resumes).
     Resume(u64, u32),
+    /// Degrade event `i` of the schedule begins: its link/subtree
+    /// bandwidth drops (device targets are evaluated at batch submit
+    /// instead and need no events).
+    DegradeStart(usize),
+    /// Degrade event `i`'s duty cycle flips between its on and off
+    /// phases.
+    DegradeToggle(usize),
+    /// Degrade event `i`'s window ends: bandwidth returns to nominal.
+    DegradeEnd(usize),
+    /// A restructure batch dispatched under hedge sequence `seq` has
+    /// been in flight past its hedge threshold; launch a speculative
+    /// duplicate if it is still stuck.
+    HedgeCheck(u64, u32),
+    /// A hedge duplicate finishes (epoch-tagged like `StepDone`; losing
+    /// arms are invalidated by the winner's epoch bump).
+    HedgeDone(u64, u32),
 }
 
 /// One open-loop tenant: its arrival stream, rate limiter, and
@@ -738,6 +831,24 @@ struct Sim<'a> {
     /// mode every offered arrival resolves exactly once — completed,
     /// rejected, or shed — so the count still reaches zero.
     remaining: usize,
+    /// The fault plan's degrade schedule, sorted by start time; empty
+    /// without degrade events (so the no-degrade path is exactly the
+    /// pre-fail-slow simulator). Device targets are evaluated
+    /// functionally at batch submit; link/subtree targets run through
+    /// `DegradeStart`/`DegradeToggle`/`DegradeEnd` events.
+    degrade_sched: Vec<DegradeEvent>,
+    /// Per schedule entry: its link degradation is currently applied
+    /// (duty cycles flip this; `DegradeEnd` restores it).
+    degrade_on: Vec<bool>,
+    /// Fail-slow mitigation policy; `None` when disabled or inert (so
+    /// the unwatched path is exactly the pre-fail-slow simulator).
+    fs: Option<FailSlowConfig>,
+    /// Per-device health scorer; `Some` exactly when `fs` is.
+    scorer: Option<HealthScorer>,
+    fsreport: FailSlowReport,
+    /// Host-side hedge duplicates in flight: CPU job id → request id.
+    /// (Peer-DRX hedges schedule `HedgeDone` directly and need no map.)
+    hedge_jobs: HashMap<u64, u64>,
 }
 
 impl<'a> Sim<'a> {
@@ -773,6 +884,11 @@ impl<'a> Sim<'a> {
             .as_ref()
             .map(|p| p.crash_schedule())
             .unwrap_or_default();
+        let degrade_sched = plan
+            .as_ref()
+            .map(|p| p.degrade_schedule())
+            .unwrap_or_default();
+        let fs = cfg.failslow.filter(|f| !f.is_inert());
         Sim {
             cfg,
             layout,
@@ -824,6 +940,12 @@ impl<'a> Sim<'a> {
                 .filter(|o| !o.is_inert())
                 .map(|o| OvState::new(o, &cfg.apps, cfg.requests_per_app)),
             remaining: cfg.apps.len() * cfg.requests_per_app,
+            degrade_on: vec![false; degrade_sched.len()],
+            degrade_sched,
+            scorer: fs.map(|f| HealthScorer::new(f.scorer)),
+            fs,
+            fsreport: FailSlowReport::default(),
+            hedge_jobs: HashMap::new(),
         }
     }
 
@@ -889,6 +1011,15 @@ impl<'a> Sim<'a> {
             if self.cancelled_jobs.remove(&jid) {
                 // A torn-down attempt's job: its owner restarted from a
                 // checkpoint, so this completion means nothing.
+                continue;
+            }
+            if let Some(req) = self.hedge_jobs.remove(&jid) {
+                // A host-side hedge duplicate: race it against the
+                // primary via an epoch-tagged completion.
+                if let Some(r) = self.reqs.get(&req) {
+                    let ep = r.epoch;
+                    self.q.schedule_at(now, Ev::HedgeDone(req, ep));
+                }
                 continue;
             }
             let (req, lat) = self
@@ -1231,11 +1362,16 @@ impl<'a> Sim<'a> {
         // a deterministic proxy for wall residency, which would depend
         // on event order.
         self.inject_sdc(id, SdcDomain::Ddr, 0, edge.bytes_in, work);
-        if degraded {
-            self.report.rerouted_batches += 1;
-            if let Some(r) = self.reqs.get_mut(&id) {
+        if let Some(r) = self.reqs.get_mut(&id) {
+            // Host batches don't feed the health scorer or hedge.
+            r.restr_unit = None;
+            r.fs_probe = false;
+            if degraded {
                 r.degraded = true;
             }
+        }
+        if degraded {
+            self.report.rerouted_batches += 1;
         }
         self.cpu_job(id, work, cap, extra_latency)
     }
@@ -1277,6 +1413,38 @@ impl<'a> Sim<'a> {
             // Not `degraded`: breaker reroutes are overload-control
             // actions, accounted separately from fault recovery.
             return self.submit_restr_cpu(id, app, e, Time::ZERO, false);
+        }
+        // Fail-slow demotion: a suspected-gray unit's batches run on a
+        // healthy peer DRX of the same kind (host cores when none
+        // exists); after probation one probe batch tests the suspect.
+        let mut fs_probe = false;
+        if let (Some(u), Some(fs)) = (unit, self.fs) {
+            if fs.demote {
+                let route = self
+                    .scorer
+                    .as_mut()
+                    .expect("scorer exists whenever fs does")
+                    .route(now, u);
+                match route {
+                    HealthRoute::Fallback => {
+                        self.fsreport.demoted_batches += 1;
+                        if let Some(peer) = self.healthy_peer(u, id) {
+                            let done = self.peer_restr_done(id, app, e, peer, true);
+                            if let Some(r) = self.reqs.get_mut(&id) {
+                                r.restr_unit = None;
+                                r.fs_probe = false;
+                            }
+                            self.schedule_step_done(done, id)?;
+                            return Ok(());
+                        }
+                        // Not `degraded`: like breaker reroutes, scorer
+                        // demotions are policy, not fault recovery.
+                        return self.submit_restr_cpu(id, app, e, Time::ZERO, false);
+                    }
+                    HealthRoute::Probe => fs_probe = true,
+                    HealthRoute::Primary => {}
+                }
+            }
         }
         // Transient stalls: each stalled attempt costs the command
         // timeout plus exponential backoff before the retry; a batch
@@ -1340,18 +1508,47 @@ impl<'a> Sim<'a> {
             + cost.spad_bytes * energy_model.pj_per_spad_byte
             + cost.dram_bytes * energy_model.pj_per_dram_byte)
             * 1e-12;
-        let service = cost.time + stall_penalty;
+        // Nominal per-placement service; active degrade windows stretch
+        // it (gray devices complete work, just slower).
+        let nominal = match p {
+            Placement::Standalone => cost.time.scale(self.cfg.fleet.standalone_slowdown),
+            _ => cost.time,
+        };
+        let service = match unit {
+            Some(u) => self.derated_service(u, id, e, nominal),
+            None => nominal,
+        } + stall_penalty;
+        // Record the dispatch for the health scorer and arm the hedge
+        // timer: a batch whose *service* runs past the threshold gets
+        // a speculative duplicate. The clock starts when the engine
+        // starts, not at submit — a healthy unit finishes at exactly
+        // 1.0x nominal and never hedges, however deep its queue.
+        let hedge_after = self.fs.and_then(|fs| {
+            if fs.hedge_multiplier > 0.0 {
+                Some(stall_penalty + nominal.scale(fs.hedge_multiplier).max(fs.hedge_floor))
+            } else {
+                None
+            }
+        });
+        if let Some(r) = self.reqs.get_mut(&id) {
+            r.restr_unit = unit;
+            r.restr_nominal = nominal;
+            r.fs_probe = fs_probe;
+            r.restr_seq = r.restr_seq.wrapping_add(1);
+        }
         match p {
             Placement::BumpInTheWire => {
                 let done = self.bitw[app][e].submit(now, service);
+                self.arm_hedge(id, done.saturating_sub(service), hedge_after);
                 self.schedule_step_done(done, id)?;
             }
             Placement::Standalone => {
-                let slowed = cost.time.scale(self.cfg.fleet.standalone_slowdown) + stall_penalty;
-                let done = self.cards[app].submit(now, slowed);
+                let done = self.cards[app].submit(now, service);
+                self.arm_hedge(id, done.saturating_sub(service), hedge_after);
                 self.schedule_step_done(done, id)?;
             }
             Placement::Integrated => {
+                self.arm_hedge(id, now, hedge_after);
                 let jid = self.job_id();
                 self.shared_jobs[0].insert(jid, id);
                 self.shared[0].insert(now, jid, service, 1.0);
@@ -1359,6 +1556,7 @@ impl<'a> Sim<'a> {
                 self.reschedule_shared(0);
             }
             Placement::PcieIntegrated => {
+                self.arm_hedge(id, now, hedge_after);
                 let sw = self.layout.switch_of[app][e];
                 let pool = self.layout.switch_index(sw);
                 let jid = self.job_id();
@@ -1369,6 +1567,184 @@ impl<'a> Sim<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Anchors the in-flight batch's fail-slow clock at `start` (the
+    /// engine-start instant for FIFO units, submit time for shared
+    /// pools) and schedules its hedge timer from there.
+    fn arm_hedge(&mut self, id: u64, start: Time, hedge_after: Option<Time>) {
+        let Some(r) = self.reqs.get_mut(&id) else {
+            return;
+        };
+        r.restr_submitted = start;
+        if r.restr_unit.is_some() {
+            if let Some(after) = hedge_after {
+                let seq = r.restr_seq;
+                self.q.schedule_at(start + after, Ev::HedgeCheck(id, seq));
+            }
+        }
+    }
+
+    /// Composed device-target degrade factor on `unit` at the current
+    /// instant, applied to a nominal service time with fail-slow
+    /// accounting. Jitter draws come from the plan's dedicated
+    /// sub-stream keyed on (schedule index, batch), so they are
+    /// order-independent.
+    fn derated_service(&mut self, unit: u64, id: u64, e: usize, nominal: Time) -> Time {
+        if self.degrade_sched.is_empty() {
+            return nominal;
+        }
+        let Some(plan) = &self.plan else {
+            return nominal;
+        };
+        let now = self.q.now();
+        let key = id
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(e as u64);
+        let mut derate = Derate::none();
+        for (i, ev) in self.degrade_sched.iter().enumerate() {
+            if ev.target == DegradeTarget::Device(unit) && ev.active_at(now) {
+                let jitter = if ev.jitter > 0.0 {
+                    ev.jitter * plan.degrade_jitter(i as u64, key)
+                } else {
+                    0.0
+                };
+                derate.compose(ev.slowdown * (1.0 + jitter));
+            }
+        }
+        if derate.is_unity() {
+            return nominal;
+        }
+        let service = derate.apply(nominal);
+        self.fsreport.slowed_batches += 1;
+        self.fsreport.slow_extra_time += service.saturating_sub(nominal);
+        service
+    }
+
+    /// A healthy same-kind peer DRX that demoted/hedged batches of
+    /// `unit` can run on. Only node-owning kinds (bump-in-the-wire,
+    /// standalone cards) are redirect targets — shared pools already
+    /// spread load internally, so their batches fall back to the host.
+    /// The pick rotates deterministically by `key`.
+    fn healthy_peer(&self, unit: u64, key: u64) -> Option<u64> {
+        let kind = unit >> 24;
+        if kind != 1 && kind != 2 {
+            return None;
+        }
+        let peers: Vec<u64> = self
+            .deployed_units()
+            .into_iter()
+            .filter(|&u| u >> 24 == kind && u != unit)
+            .filter(|u| !self.dead_units.contains(u))
+            .filter(|&u| !self.scorer.as_ref().is_some_and(|s| s.suspected(u)))
+            .collect();
+        if peers.is_empty() {
+            None
+        } else {
+            Some(peers[(key % peers.len() as u64) as usize])
+        }
+    }
+
+    /// Services a restructure batch of `(app, e)` on peer DRX `peer`:
+    /// redirect handshake, the peer's own degrade factor, dynamic
+    /// energy, and (for demoted primaries, not hedge duplicates —
+    /// those re-read the checkpointed staging copy) scratchpad SDC
+    /// exposure. Returns the completion instant.
+    fn peer_restr_done(&mut self, id: u64, app: usize, e: usize, peer: u64, expose: bool) -> Time {
+        let now = self.q.now();
+        let edge = &self.cfg.apps[app].edges[e];
+        if expose {
+            let n = self.inject_sdc(id, SdcDomain::Scratchpad, peer, edge.bytes_in, 0.0);
+            if n > 0 && self.integ.is_some() {
+                self.breaker_faults(peer, app, n);
+            }
+        }
+        let cost = edge.drx_cost(&self.cfg.drx);
+        let energy_model = DrxEnergyModel::for_clock(self.cfg.drx.clock);
+        self.drx_dynamic_j += (cost.lane_ops * energy_model.pj_per_lane_op
+            + cost.spad_bytes * energy_model.pj_per_spad_byte
+            + cost.dram_bytes * energy_model.pj_per_dram_byte)
+            * 1e-12;
+        let nominal = if units::card_of(peer).is_some() {
+            cost.time.scale(self.cfg.fleet.standalone_slowdown)
+        } else {
+            cost.time
+        };
+        let service = self.derated_service(peer, id, e, nominal);
+        let done = if let Some((a2, e2)) = units::bitw_of(peer) {
+            self.bitw[a2][e2].submit(now, service)
+        } else if let Some(a2) = units::card_of(peer) {
+            self.cards[a2].submit(now, service)
+        } else {
+            unreachable!("healthy_peer only returns node-owning units")
+        };
+        done + self.cfg.driver.irq_latency
+    }
+
+    /// The hedge timer fired: if the batch dispatched under `seq` is
+    /// still stuck on its unit, launch a speculative duplicate on a
+    /// healthy peer DRX (host cores when none exists). First completion
+    /// wins; the loser is invalidated by the winner's epoch bump.
+    fn hedge_check(&mut self, id: u64, seq: u32) -> Result<(), SimError> {
+        let now = self.q.now();
+        let (app, e, unit, epoch) = {
+            let Some(r) = self.reqs.get(&id) else {
+                return Ok(());
+            };
+            if r.restr_seq != seq || r.hedge {
+                return Ok(());
+            }
+            let Some(u) = r.restr_unit else {
+                return Ok(());
+            };
+            let Step::Restr(e) = self.steps[r.app][r.step] else {
+                return Ok(());
+            };
+            (r.app, e, u, r.epoch)
+        };
+        if let Some(r) = self.reqs.get_mut(&id) {
+            r.hedge = true;
+        }
+        self.fsreport.hedged += 1;
+        if let Some(peer) = self.healthy_peer(unit, id) {
+            let done = self.peer_restr_done(id, app, e, peer, false);
+            self.q.schedule_at(done, Ev::HedgeDone(id, epoch));
+        } else {
+            // Host duplicate, re-reading the checkpointed staging copy
+            // (no fresh DDR exposure — the integrity ledger must not
+            // depend on which arm wins).
+            let edge = &self.cfg.apps[app].edges[e];
+            let work = self.cfg.cpu.restructure_core_seconds(&edge.profile);
+            let cap = self.cfg.cpu.restructure_core_cap(&edge.profile);
+            let jid = self.job_id();
+            self.hedge_jobs.insert(jid, id);
+            self.cpu.insert(now, jid, Time::from_secs_f64(work), cap);
+            self.drain_cpu_finished()?;
+            self.reschedule_cpu();
+        }
+        Ok(())
+    }
+
+    /// Cancels `id`'s live hedge (if any) on request teardown — crash
+    /// kill, migration, unit death — so the conservation law
+    /// `hedged == won_primary + won_hedge + cancelled` balances.
+    fn cancel_hedge(&mut self, id: u64) {
+        if let Some(r) = self.reqs.get_mut(&id) {
+            if r.hedge {
+                r.hedge = false;
+                self.fsreport.cancelled += 1;
+            }
+        }
+        let jids: Vec<u64> = self
+            .hedge_jobs
+            .iter()
+            .filter(|&(_, &req)| req == id)
+            .map(|(&j, _)| j)
+            .collect();
+        for j in jids {
+            self.hedge_jobs.remove(&j);
+            self.cancelled_jobs.insert(j);
+        }
     }
 
     fn drain_shared_finished(&mut self, pool: usize) -> Result<(), SimError> {
@@ -1421,8 +1797,10 @@ impl<'a> Sim<'a> {
             // Invalidate the completion scheduled by the dead unit,
             // then restart the batch on host cores. Time already spent
             // on the unit is wasted and lands in the fallback account.
+            self.cancel_hedge(id);
             let r = self.reqs.get_mut(&id).ok_or(SimError::UnknownRequest(id))?;
             r.epoch += 1;
+            r.restr_unit = None;
             self.shared_jobs
                 .iter_mut()
                 .for_each(|m| m.retain(|_, req| *req != id));
@@ -1470,6 +1848,12 @@ impl<'a> Sim<'a> {
                 ckpt_step: 0,
                 ckpt_at: now,
                 crash_rewinds: 0,
+                restr_unit: None,
+                restr_submitted: now,
+                restr_nominal: Time::ZERO,
+                restr_seq: 0,
+                fs_probe: false,
+                hedge: false,
             },
         );
         self.begin_or_park(id)
@@ -1591,7 +1975,21 @@ impl<'a> Sim<'a> {
     }
 
     fn step_done(&mut self, id: u64, epoch: u32) -> Result<(), SimError> {
+        self.step_advance(id, epoch, false)
+    }
+
+    /// A hedge duplicate finished. The request advances exactly as on a
+    /// primary completion — whichever arm lands first wins.
+    fn hedge_done(&mut self, id: u64, epoch: u32) -> Result<(), SimError> {
+        self.step_advance(id, epoch, true)
+    }
+
+    fn step_advance(&mut self, id: u64, epoch: u32, via_hedge: bool) -> Result<(), SimError> {
         let now = self.q.now();
+        // Home-unit observation for the health scorer, gathered in the
+        // restructure arm below: (unit, submitted, nominal, probe).
+        let mut fs_obs: Option<(u64, Time, Time, bool)> = None;
+        let mut hedge_resolved = false;
         let (app, prev_step, finished, release, credit) = {
             let Some(r) = self.reqs.get_mut(&id) else {
                 // A request can finish only once; any extra completion
@@ -1599,7 +1997,13 @@ impl<'a> Sim<'a> {
                 return Ok(());
             };
             if r.epoch != epoch {
-                // Stale completion from a unit that died mid-service.
+                // Stale completion from a unit that died mid-service —
+                // or a hedge's losing arm, invalidated by the winner.
+                return Ok(());
+            }
+            if via_hedge && !r.hedge {
+                // Defensive: a hedge completion can only win while its
+                // hedge is live.
                 return Ok(());
             }
             let elapsed = now - r.step_started;
@@ -1617,6 +2021,17 @@ impl<'a> Sim<'a> {
                     if r.degraded {
                         r.degraded = false;
                         self.report.fallback_time += elapsed;
+                    }
+                    if let Some(u) = r.restr_unit.take() {
+                        fs_obs = Some((u, r.restr_submitted, r.restr_nominal, r.fs_probe));
+                    }
+                    r.fs_probe = false;
+                    if r.hedge {
+                        // First completion wins: bump the epoch so the
+                        // losing arm's completion is stale.
+                        r.hedge = false;
+                        hedge_resolved = true;
+                        r.epoch += 1;
                     }
                 }
                 _ => r.breakdown.movement += elapsed,
@@ -1647,6 +2062,52 @@ impl<'a> Sim<'a> {
                 credit,
             )
         };
+        if hedge_resolved {
+            if via_hedge {
+                self.fsreport.won_hedge += 1;
+            } else {
+                self.fsreport.won_primary += 1;
+            }
+            // Scrub the losing arm's queued jobs so their completions
+            // can't be misattributed. (FIFO-server arms carry the old
+            // epoch and die on the guard above; pool and host-CPU arms
+            // are tracked in maps and must be cancelled explicitly.)
+            for jobs in self.shared_jobs.iter_mut() {
+                let jids: Vec<u64> = jobs
+                    .iter()
+                    .filter(|&(_, &req)| req == id)
+                    .map(|(&j, _)| j)
+                    .collect();
+                for j in jids {
+                    jobs.remove(&j);
+                    self.cancelled_jobs.insert(j);
+                }
+            }
+            let jids: Vec<u64> = self
+                .hedge_jobs
+                .iter()
+                .filter(|&(_, &req)| req == id)
+                .map(|(&j, _)| j)
+                .collect();
+            for j in jids {
+                self.hedge_jobs.remove(&j);
+                self.cancelled_jobs.insert(j);
+            }
+        }
+        // Feed the health scorer: the batch's observed/nominal service
+        // ratio on its home unit. A hedge-won batch reports its
+        // elapsed-so-far as a conservative lower bound — the unit never
+        // finished, which is itself evidence of slowness.
+        if let (Some(sc), Some((u, submitted, nominal, probe))) = (self.scorer.as_mut(), fs_obs) {
+            if !nominal.is_zero() {
+                let ratio = now.saturating_sub(submitted).ratio(nominal);
+                if probe {
+                    sc.probe_result(now, u, ratio);
+                } else {
+                    sc.record(now, u, ratio);
+                }
+            }
+        }
         if let Some((unit, bytes)) = credit {
             let woken = self
                 .ov
@@ -2131,6 +2592,8 @@ impl<'a> Sim<'a> {
     /// onto surviving resources after the driver re-enumerates.
     fn migrate_one(&mut self, id: u64) -> Result<(), SimError> {
         let now = self.q.now();
+        // A live hedge dies with the attempt — neither arm can win.
+        self.cancel_hedge(id);
         // Jobs of the discarded attempt: completions that still arrive
         // are dropped, never misattributed to the restarted attempt.
         let jids: Vec<u64> = self
@@ -2186,6 +2649,8 @@ impl<'a> Sim<'a> {
         r.epoch += 1;
         r.crash_rewinds += 1;
         r.degraded = false;
+        r.restr_unit = None;
+        r.fs_probe = false;
         r.step = r.ckpt_step;
         // The restored snapshot is materialized now; a second crash
         // before the next checkpoint only loses work from here.
@@ -2202,6 +2667,8 @@ impl<'a> Sim<'a> {
     /// frees, and closed-loop apps launch their next request.
     fn crash_kill(&mut self, id: u64) -> Result<(), SimError> {
         let now = self.q.now();
+        // The hedge dies with the request; its accounting survives.
+        self.cancel_hedge(id);
         let Some(r) = self.reqs.remove(&id) else {
             return Ok(());
         };
@@ -2260,6 +2727,104 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// The links degrade event `i` covers: one for a link target, the
+    /// whole subtree below a switch for a subtree target, none for
+    /// device targets (those derate service at submit instead).
+    fn degrade_links_of(&self, i: usize) -> Vec<LinkId> {
+        match self.degrade_sched[i].target {
+            DegradeTarget::Link(l) if l < self.layout.topo.link_count() => {
+                vec![LinkId::from_index(l)]
+            }
+            DegradeTarget::Link(_) => Vec::new(),
+            DegradeTarget::Subtree(s) => self
+                .layout
+                .switches
+                .get(s)
+                .map(|&root| self.layout.topo.subtree_links(root))
+                .unwrap_or_default(),
+            DegradeTarget::Device(_) => Vec::new(),
+        }
+    }
+
+    /// Applies degrade event `i`'s bandwidth cut to its links (stacking
+    /// with retrains and other degrades, like overlapping real faults).
+    fn degrade_apply(&mut self, i: usize) {
+        if self.degrade_on[i] {
+            return;
+        }
+        let now = self.q.now();
+        let scale = 1.0 / self.degrade_sched[i].slowdown;
+        for link in self.degrade_links_of(i) {
+            self.flows.degrade_link(now, link, scale);
+            self.fsreport.link_degrades += 1;
+        }
+        self.degrade_on[i] = true;
+        self.reschedule_flows();
+    }
+
+    /// Lifts degrade event `i`'s bandwidth cut.
+    fn degrade_lift(&mut self, i: usize) -> Result<(), SimError> {
+        if !self.degrade_on[i] {
+            return Ok(());
+        }
+        let now = self.q.now();
+        for link in self.degrade_links_of(i) {
+            self.flows.restore_link(now, link);
+        }
+        self.degrade_on[i] = false;
+        self.drain_flow_finished()?;
+        self.reschedule_flows();
+        Ok(())
+    }
+
+    /// Degrade event `i`'s window opens: cut bandwidth, start its duty
+    /// cycle (if any), and arm the window end.
+    fn degrade_start(&mut self, i: usize) {
+        let ev = self.degrade_sched[i];
+        self.degrade_apply(i);
+        if let Some(d) = ev.duty {
+            if !d.period.is_zero() && d.on_fraction < 1.0 {
+                let off_at = ev.at + d.period.scale(d.on_fraction);
+                if ev.ends_at().map(|end| off_at < end).unwrap_or(true) {
+                    self.q.schedule_at(off_at, Ev::DegradeToggle(i));
+                }
+            }
+        }
+        if let Some(end) = ev.ends_at() {
+            self.q.schedule_at(end, Ev::DegradeEnd(i));
+        }
+    }
+
+    /// Degrade event `i`'s duty cycle flips phase: lift or re-apply the
+    /// cut and arm the next flip (the window end wins ties).
+    fn degrade_toggle(&mut self, i: usize) -> Result<(), SimError> {
+        let now = self.q.now();
+        let ev = self.degrade_sched[i];
+        if let Some(end) = ev.ends_at() {
+            if now >= end {
+                // The window closed first; `DegradeEnd` owns cleanup.
+                return Ok(());
+            }
+        }
+        let Some(d) = ev.duty else {
+            return Ok(());
+        };
+        let next = if self.degrade_on[i] {
+            self.degrade_lift(i)?;
+            // Next on-phase starts at the next period boundary.
+            let elapsed = (now - ev.at).as_ps();
+            let k = elapsed / d.period.as_ps() + 1;
+            ev.at + Time::from_ps(k * d.period.as_ps())
+        } else {
+            self.degrade_apply(i);
+            now + d.period.scale(d.on_fraction)
+        };
+        if ev.ends_at().map(|end| next < end).unwrap_or(true) {
+            self.q.schedule_at(next, Ev::DegradeToggle(i));
+        }
+        Ok(())
+    }
+
     /// Horizon past which scheduled unit deaths are ignored: far beyond
     /// any experiment here, well inside the `Time` range.
     const DEATH_HORIZON: Time = Time::from_secs(600);
@@ -2284,6 +2849,15 @@ impl<'a> Sim<'a> {
                     // crash before its own recovery.
                     self.q.schedule_at(at, Ev::CrashRecover(i));
                 }
+            }
+        }
+        for i in 0..self.degrade_sched.len() {
+            // Only link/subtree degrades need events; device targets
+            // are evaluated functionally at batch submit.
+            let ev = self.degrade_sched[i];
+            let is_device = matches!(ev.target, DegradeTarget::Device(_));
+            if !is_device && ev.at <= Self::DEATH_HORIZON {
+                self.q.schedule_at(ev.at, Ev::DegradeStart(i));
             }
         }
         if self.ov.as_ref().is_some_and(|o| o.open_loop) {
@@ -2345,6 +2919,11 @@ impl<'a> Sim<'a> {
                     self.drain_flow_finished()?;
                     self.reschedule_flows();
                 }
+                Ev::DegradeStart(i) => self.degrade_start(i),
+                Ev::DegradeToggle(i) => self.degrade_toggle(i)?,
+                Ev::DegradeEnd(i) => self.degrade_lift(i)?,
+                Ev::HedgeCheck(id, seq) => self.hedge_check(id, seq)?,
+                Ev::HedgeDone(id, epoch) => self.hedge_done(id, epoch)?,
             }
             // Stop once every request has completed; remaining events
             // (scheduled deaths, retrain restores) cannot change stats.
@@ -2356,6 +2935,12 @@ impl<'a> Sim<'a> {
     }
 
     fn finish(mut self) -> RunResult {
+        // Detection counters live in the scorer until the run ends.
+        if let Some(sc) = &self.scorer {
+            self.fsreport.gray_flags = sc.gray_flags();
+            self.fsreport.probes = sc.probes();
+            self.fsreport.recoveries = sc.recoveries();
+        }
         let makespan = self
             .stats
             .iter()
@@ -2470,6 +3055,7 @@ impl<'a> Sim<'a> {
             overload,
             integrity: self.ireport,
             crashes: self.creport,
+            failslow: self.fsreport,
         }
     }
 }

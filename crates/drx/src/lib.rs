@@ -53,6 +53,7 @@
 pub mod asm;
 pub mod compiler;
 pub mod config;
+pub mod derate;
 pub mod energy;
 pub mod ir;
 pub mod isa;
@@ -61,6 +62,7 @@ pub mod optimize;
 
 pub use compiler::{compile, compile_unoptimized, BufPlacement, CompileError, Compiled, Layout};
 pub use config::{ClockDomain, DramConfig, DrxConfig};
+pub use derate::Derate;
 pub use energy::DrxEnergyModel;
 pub use machine::{ExecError, ExecStats, Machine};
 pub use optimize::{check_sync_hazards, optimize, OptStats, SyncHazard};

@@ -291,6 +291,85 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_park_cancel_grant_keeps_fifo_order() {
+        let mut g = CreditGate::new(100);
+        assert!(g.try_acquire(Time::ZERO, 7, 1, 70));
+        assert!(!g.try_acquire(Time::ZERO, 7, 2, 40));
+        // 3 would fit the 30 free bytes but parks behind 2.
+        assert!(!g.try_acquire(Time::ZERO, 7, 3, 20));
+        // Cancelling parked 2 unblocks 3 — and only 3.
+        let woken = g.cancel(Time::from_us(1), 7, 2, 40);
+        assert_eq!(woken, vec![3]);
+        assert_eq!(g.in_use(7), 90);
+        // A new arrival parks behind nothing but still lacks credit.
+        assert!(!g.try_acquire(Time::from_us(2), 7, 4, 20));
+        // Granted 1 cancels: like a release, oldest-first wakeup.
+        let woken = g.cancel(Time::from_us(3), 7, 1, 70);
+        assert_eq!(woken, vec![4]);
+        assert_eq!(g.in_use(7), 40);
+        assert_eq!(g.parked(7), 0);
+    }
+
+    #[test]
+    fn cancel_of_granted_credit_cannot_leapfrog_queue_head() {
+        let mut g = CreditGate::new(100);
+        assert!(g.try_acquire(Time::ZERO, 7, 1, 50));
+        assert!(g.try_acquire(Time::ZERO, 7, 2, 50));
+        assert!(!g.try_acquire(Time::ZERO, 7, 3, 60));
+        assert!(!g.try_acquire(Time::ZERO, 7, 4, 10));
+        // 1's credit comes back, but head-of-line 3 still does not fit;
+        // 4 must keep waiting behind it (no starvation of the big one).
+        let woken = g.cancel(Time::from_us(1), 7, 1, 50);
+        assert!(woken.is_empty());
+        assert_eq!(g.in_use(7), 50);
+        assert_eq!(g.parked(7), 2);
+        // 2's credit completes the picture: 3 then 4, in FIFO order.
+        let woken = g.release(Time::from_us(2), 7, 50);
+        assert_eq!(woken, vec![3, 4]);
+        assert_eq!(g.in_use(7), 70);
+    }
+
+    #[test]
+    fn cancelling_parked_head_unblocks_followers_in_order() {
+        let mut g = CreditGate::new(100);
+        assert!(g.try_acquire(Time::ZERO, 7, 1, 90));
+        assert!(!g.try_acquire(Time::ZERO, 7, 2, 80));
+        assert!(!g.try_acquire(Time::ZERO, 7, 3, 5));
+        assert!(!g.try_acquire(Time::ZERO, 7, 4, 5));
+        let woken = g.cancel(Time::from_us(1), 7, 2, 80);
+        assert_eq!(woken, vec![3, 4]);
+        assert_eq!(g.in_use(7), 100);
+    }
+
+    #[test]
+    fn cancelled_token_can_repark_and_regrant_once() {
+        let mut g = CreditGate::new(100);
+        assert!(g.try_acquire(Time::ZERO, 7, 1, 100));
+        assert!(!g.try_acquire(Time::ZERO, 7, 2, 50));
+        let woken = g.cancel(Time::from_us(1), 7, 2, 50);
+        assert!(woken.is_empty());
+        assert_eq!(g.parked(7), 0);
+        // The same token parks again (a migrated request retrying) and
+        // is granted exactly once.
+        assert!(!g.try_acquire(Time::from_us(2), 7, 2, 50));
+        let woken = g.release(Time::from_us(3), 7, 100);
+        assert_eq!(woken, vec![2]);
+        assert_eq!(g.in_use(7), 50);
+        assert!(g.release(Time::from_us(4), 7, 50).is_empty());
+        assert_eq!(g.in_use(7), 0);
+    }
+
+    #[test]
+    fn cancelled_parked_transfer_still_accounts_stall_time() {
+        let mut g = CreditGate::new(10);
+        assert!(g.try_acquire(Time::ZERO, 1, 1, 10));
+        assert!(!g.try_acquire(Time::from_us(3), 1, 2, 10));
+        g.cancel(Time::from_us(7), 1, 2, 10);
+        assert_eq!(g.stall_time(), Time::from_us(4));
+        assert_eq!(g.stalls(), 1);
+    }
+
+    #[test]
     fn release_on_unknown_endpoint_is_noop() {
         let mut g = CreditGate::new(10);
         assert!(g.release(Time::ZERO, 99, 10).is_empty());

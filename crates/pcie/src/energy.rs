@@ -1,6 +1,6 @@
 //! Energy model for PCIe data movement.
 //!
-//! The paper's energy evaluation "include[s] the energy consumption of
+//! The paper's energy evaluation "include\[s\] the energy consumption of
 //! the PCIe switch and the energy for data transfer over PCIe"
 //! (Sec. VI). We model both: a per-bit link-crossing energy and a static
 //! switch power drawn for the whole experiment.

@@ -18,6 +18,7 @@ const DOMAIN_COMPLETION: u64 = 0x02;
 const DOMAIN_STALL: u64 = 0x03;
 const DOMAIN_DEATH: u64 = 0x04;
 const DOMAIN_SDC: u64 = 0x05;
+const DOMAIN_DEGRADE: u64 = 0x06;
 
 /// Silent-data-corruption rates: bit flips that raise *no* fault
 /// signal — no LCRC NAK, no timeout, no interrupt — and can only be
@@ -128,6 +129,96 @@ impl CrashEvent {
     }
 }
 
+/// What a fail-slow (gray) degradation slows down.
+///
+/// Unlike a crash, nothing goes *offline*: the target keeps accepting
+/// and completing work, just slower than nominal. That is exactly what
+/// makes gray failures dangerous — no fault signal fires, only observed
+/// latency drifts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeTarget {
+    /// One service unit (stable unit id, same namespace as `kills` and
+    /// `CrashTarget::Device`): its compute/command service times
+    /// stretch by the slowdown factor.
+    Device(u64),
+    /// One PCIe link (index into the fabric's link list): effective
+    /// bandwidth drops by the slowdown factor, composing with any
+    /// retrain degradation already in effect.
+    Link(usize),
+    /// Every link under one PCIe switch (index into the server layout's
+    /// switch list): the whole subtree runs slow at once, modelling a
+    /// misbehaving switch or a shared clock/power domain.
+    Subtree(usize),
+}
+
+/// An intermittent on/off duty cycle within a degradation window.
+///
+/// The slowdown applies during the first `on_fraction` of every
+/// `period`, starting at the event's `at`, and lifts for the rest —
+/// the "sometimes slow" gray-failure mode that defeats naive
+/// threshold detectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycle {
+    /// Length of one on+off cycle.
+    pub period: Time,
+    /// Fraction of each period spent degraded, in `(0, 1]`.
+    pub on_fraction: f64,
+}
+
+/// One fail-slow event in a deterministic schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeEvent {
+    /// What runs slow.
+    pub target: DegradeTarget,
+    /// When the degradation window opens.
+    pub at: Time,
+    /// Window length; `None` means the target never recovers.
+    pub down_for: Option<Time>,
+    /// Service-time multiplier (device targets) or bandwidth divisor
+    /// (link/subtree targets). Must be `>= 1`.
+    pub slowdown: f64,
+    /// Extra multiplicative jitter amplitude on top of `slowdown`, as a
+    /// fraction: each affected batch draws `u in [0, 1)` from its own
+    /// sub-stream and is stretched by `slowdown * (1 + jitter * u)`.
+    /// Zero means a clean, constant slowdown. Device targets only —
+    /// link bandwidth changes are square waves.
+    pub jitter: f64,
+    /// Optional intermittent duty cycle within the window.
+    pub duty: Option<DutyCycle>,
+}
+
+impl DegradeEvent {
+    /// When the window closes, if ever.
+    pub fn ends_at(&self) -> Option<Time> {
+        self.down_for.map(|d| self.at + d)
+    }
+
+    /// True when `now` falls inside the degradation window (ignoring
+    /// the duty cycle).
+    pub fn window_covers(&self, now: Time) -> bool {
+        now >= self.at && self.ends_at().map(|e| now < e).unwrap_or(true)
+    }
+
+    /// True when the degradation is actually in effect at `now`:
+    /// inside the window *and*, if intermittent, inside the on-phase of
+    /// the duty cycle (phase-aligned to the window start).
+    pub fn active_at(&self, now: Time) -> bool {
+        if !self.window_covers(now) {
+            return false;
+        }
+        match self.duty {
+            None => true,
+            Some(d) => {
+                if d.period.is_zero() {
+                    return true;
+                }
+                let phase = (now - self.at).as_ps() % d.period.as_ps();
+                (phase as f64) < d.period.as_ps() as f64 * d.on_fraction
+            }
+        }
+    }
+}
+
 /// Fault-injection configuration. All rates default to zero; a
 /// zero-rate config is *inert* — it must not perturb the simulation in
 /// any way (verified by integration tests).
@@ -154,6 +245,10 @@ pub struct FaultConfig {
     /// Deterministic crash-stop schedule: surprise device/subtree/driver
     /// removal, optionally hot-plug re-admitted after `down_for`.
     pub crashes: Vec<CrashEvent>,
+    /// Deterministic fail-slow schedule: devices/links/subtrees run
+    /// slower than nominal for a window (or forever), with optional
+    /// jitter and intermittent duty cycles.
+    pub degrades: Vec<DegradeEvent>,
 }
 
 impl FaultConfig {
@@ -168,6 +263,7 @@ impl FaultConfig {
             kills: Vec::new(),
             sdc: SdcConfig::none(),
             crashes: Vec::new(),
+            degrades: Vec::new(),
         }
     }
 
@@ -180,6 +276,7 @@ impl FaultConfig {
             && self.kills.is_empty()
             && self.sdc.is_inert()
             && self.crashes.is_empty()
+            && self.degrades.is_empty()
     }
 }
 
@@ -327,6 +424,24 @@ impl FaultPlan {
         sched
     }
 
+    /// The fail-slow schedule, ordered by window-open time (ties broken
+    /// by schedule position, so equal-time degradations apply in config
+    /// order). The returned indices are positions in *this* sorted
+    /// order, which is what [`FaultPlan::degrade_jitter`] keys on.
+    pub fn degrade_schedule(&self) -> Vec<DegradeEvent> {
+        let mut sched = self.cfg.degrades.clone();
+        sched.sort_by_key(|e| e.at);
+        sched
+    }
+
+    /// Jitter draw in `[0, 1)` for batch `key` under degrade event
+    /// `event` (index into the sorted [`FaultPlan::degrade_schedule`]).
+    /// Order-independent like every other plan query, so a batch's
+    /// stretch does not depend on simulation order.
+    pub fn degrade_jitter(&self, event: u64, key: u64) -> f64 {
+        self.stream(DOMAIN_DEGRADE, event, key).next_f64()
+    }
+
     /// When unit `unit` permanently dies, if ever: the earlier of its
     /// explicit kill entry and a seed-driven exponential draw.
     pub fn death_time(&self, unit: u64) -> Option<Time> {
@@ -366,6 +481,7 @@ mod tests {
                 ddr_flip_rate_per_sec: 1e-5,
             },
             crashes: Vec::new(),
+            degrades: Vec::new(),
         })
     }
 
@@ -548,6 +664,98 @@ mod tests {
         assert_eq!(plan.crash_schedule(), vec![early_a, early_b, late]);
         assert_eq!(late.recovers_at(), Some(Time::from_ms(11)));
         assert_eq!(early_a.recovers_at(), None);
+    }
+
+    #[test]
+    fn degrade_schedule_sorts_stably_and_flips_inertness() {
+        let late = DegradeEvent {
+            target: DegradeTarget::Link(2),
+            at: Time::from_ms(8),
+            down_for: None,
+            slowdown: 2.0,
+            jitter: 0.0,
+            duty: None,
+        };
+        let early_a = DegradeEvent {
+            target: DegradeTarget::Device(5),
+            at: Time::from_ms(1),
+            down_for: Some(Time::from_ms(3)),
+            slowdown: 4.0,
+            jitter: 0.25,
+            duty: None,
+        };
+        let early_b = DegradeEvent {
+            target: DegradeTarget::Subtree(0),
+            at: Time::from_ms(1),
+            down_for: Some(Time::from_ms(2)),
+            slowdown: 1.5,
+            jitter: 0.0,
+            duty: Some(DutyCycle {
+                period: Time::from_us(100),
+                on_fraction: 0.5,
+            }),
+        };
+        let cfg = FaultConfig {
+            degrades: vec![late, early_a, early_b],
+            ..FaultConfig::none()
+        };
+        assert!(!cfg.is_inert(), "a degrade schedule is not inert");
+        let plan = FaultPlan::new(cfg);
+        assert_eq!(plan.degrade_schedule(), vec![early_a, early_b, late]);
+        assert_eq!(early_a.ends_at(), Some(Time::from_ms(4)));
+        assert_eq!(late.ends_at(), None);
+    }
+
+    #[test]
+    fn degrade_window_and_duty_phase() {
+        let permanent = DegradeEvent {
+            target: DegradeTarget::Device(1),
+            at: Time::from_ms(2),
+            down_for: None,
+            slowdown: 3.0,
+            jitter: 0.0,
+            duty: None,
+        };
+        assert!(!permanent.active_at(Time::from_ms(1)));
+        assert!(permanent.active_at(Time::from_ms(2)));
+        assert!(permanent.active_at(Time::from_secs(100)));
+
+        let windowed = DegradeEvent {
+            down_for: Some(Time::from_ms(4)),
+            ..permanent
+        };
+        assert!(windowed.active_at(Time::from_ms(5)));
+        assert!(!windowed.active_at(Time::from_ms(6)), "window end excl.");
+
+        // 50% duty at 1 ms period, phase-aligned to the window start:
+        // on during [2,2.5) ms, off during [2.5,3) ms, and so on.
+        let duty = DegradeEvent {
+            duty: Some(DutyCycle {
+                period: Time::from_ms(1),
+                on_fraction: 0.5,
+            }),
+            ..permanent
+        };
+        assert!(duty.active_at(Time::from_us(2100)));
+        assert!(!duty.active_at(Time::from_us(2700)));
+        assert!(duty.active_at(Time::from_us(3100)));
+        assert!(!duty.active_at(Time::from_us(3900)));
+    }
+
+    #[test]
+    fn degrade_jitter_deterministic_and_bounded() {
+        let p = lossy();
+        for ev in 0..4u64 {
+            for key in 0..100u64 {
+                let u = p.degrade_jitter(ev, key);
+                assert!((0.0..1.0).contains(&u), "{u}");
+                assert_eq!(u, lossy().degrade_jitter(ev, key));
+            }
+        }
+        // Distinct events draw distinct streams.
+        let a: Vec<f64> = (0..20).map(|k| p.degrade_jitter(0, k)).collect();
+        let b: Vec<f64> = (0..20).map(|k| p.degrade_jitter(1, k)).collect();
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub mod time;
 pub mod workload;
 
 pub use check::{cases, run_cases, Gen};
-pub use fault::{CrashEvent, CrashTarget, FaultConfig, FaultPlan, SdcConfig, SdcDomain, SdcEvent};
+pub use fault::{
+    CrashEvent, CrashTarget, DegradeEvent, DegradeTarget, DutyCycle, FaultConfig, FaultPlan,
+    SdcConfig, SdcDomain, SdcEvent,
+};
 pub use par::{par_map, par_map_with};
 pub use queue::{events_delivered, set_default_stall_limit, EventQueue};
 pub use resources::{water_fill, FifoServer, PsJobId, PsPool};

@@ -1,0 +1,215 @@
+//! Fail-slow acceptance tests: the inert-config identity invariant,
+//! deterministic gray-device injection with its accounting, duty-cycled
+//! and subtree (link) degradation windows, mitigation effectiveness,
+//! and the hedge conservation law under crash-teardown composition.
+
+use dmx_core::failslow::{FailSlowConfig, HealthParams};
+use dmx_core::placement::{Mode, Placement};
+use dmx_core::system::{simulate, units, SystemConfig};
+use dmx_sim::{CrashEvent, CrashTarget, DegradeEvent, DegradeTarget, DutyCycle, FaultConfig, Time};
+
+/// Builds the suite with the engine's no-progress watchdog armed.
+fn suite() -> dmx_core::experiments::Suite {
+    dmx_sim::set_default_stall_limit(1_000_000);
+    dmx_core::experiments::Suite::new()
+}
+
+/// Bump-in-the-wire config over five tenants with the given fault and
+/// fail-slow layers, everything else identical.
+fn cfg(
+    suite: &dmx_core::experiments::Suite,
+    faults: Option<FaultConfig>,
+    failslow: Option<FailSlowConfig>,
+) -> SystemConfig {
+    SystemConfig {
+        faults,
+        failslow,
+        ..SystemConfig::latency(Mode::Dmx(Placement::BumpInTheWire), suite.mix(5))
+    }
+}
+
+/// A permanent device-target degradation on tenant 0's edge-0 DRX.
+fn gray(slowdown: f64, jitter: f64, duty: Option<DutyCycle>) -> FaultConfig {
+    let mut f = FaultConfig::none();
+    f.seed = 11;
+    f.degrades = vec![DegradeEvent {
+        target: DegradeTarget::Device(units::bitw(0, 0)),
+        at: Time::ZERO,
+        down_for: None,
+        slowdown,
+        jitter,
+        duty,
+    }];
+    f
+}
+
+/// Mitigation tuned for short closed-loop runs: flag after two
+/// samples, hedge just past nominal, probation of one clean mean.
+fn mitigation(mean: Time) -> FailSlowConfig {
+    FailSlowConfig {
+        scorer: HealthParams {
+            window: 8,
+            min_samples: 2,
+            outlier_factor: 2.0,
+            probation: mean,
+        },
+        demote: true,
+        hedge_multiplier: 1.2,
+        hedge_floor: Time::from_us(1),
+    }
+}
+
+#[test]
+fn inert_failslow_layer_is_bit_identical_to_no_layer() {
+    let suite = suite();
+    let absent = simulate(&cfg(&suite, None, None));
+    let inert = simulate(&cfg(
+        &suite,
+        Some(FaultConfig::none()),
+        Some(FailSlowConfig::none()),
+    ));
+    assert_eq!(
+        format!("{absent:?}"),
+        format!("{inert:?}"),
+        "inert fail-slow layer perturbed the run"
+    );
+    assert!(!inert.failslow.any(), "inert layer reported activity");
+}
+
+#[test]
+fn gray_device_slows_batches_with_full_accounting() {
+    let suite = suite();
+    let clean = simulate(&cfg(&suite, None, None));
+    let slow = simulate(&cfg(&suite, Some(gray(4.0, 0.0, None)), None));
+    assert!(slow.failslow.slowed_batches > 0, "no batch saw the derate");
+    assert!(!slow.failslow.slow_extra_time.is_zero());
+    assert!(
+        slow.mean_latency() > clean.mean_latency(),
+        "a 4x gray device must cost latency"
+    );
+    // Injection without the mitigation layer leaves detection and
+    // mitigation counters untouched.
+    assert_eq!(slow.failslow.gray_flags, 0);
+    assert_eq!(slow.failslow.hedged, 0);
+    assert_eq!(slow.failslow.demoted_batches, 0);
+    let again = simulate(&cfg(&suite, Some(gray(4.0, 0.0, None)), None));
+    assert_eq!(
+        format!("{slow:?}"),
+        format!("{again:?}"),
+        "same-seed degraded runs must be byte-identical"
+    );
+}
+
+#[test]
+fn jittered_degrade_is_deterministic_and_costs_more_than_clean() {
+    let suite = suite();
+    let a = simulate(&cfg(&suite, Some(gray(2.0, 0.5, None)), None));
+    let b = simulate(&cfg(&suite, Some(gray(2.0, 0.5, None)), None));
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert!(a.failslow.slowed_batches > 0);
+    // Jitter only ever adds on top of the base slowdown.
+    let base = simulate(&cfg(&suite, Some(gray(2.0, 0.0, None)), None));
+    assert!(a.failslow.slow_extra_time >= base.failslow.slow_extra_time);
+}
+
+#[test]
+fn duty_cycle_slows_at_most_as_many_batches_as_continuous() {
+    let suite = suite();
+    let clean = simulate(&cfg(&suite, None, None));
+    let duty = DutyCycle {
+        period: clean.mean_latency(),
+        on_fraction: 0.5,
+    };
+    let cont = simulate(&cfg(&suite, Some(gray(4.0, 0.0, None)), None));
+    let cycled = simulate(&cfg(&suite, Some(gray(4.0, 0.0, Some(duty))), None));
+    assert!(
+        cycled.failslow.slowed_batches <= cont.failslow.slowed_batches,
+        "an intermittent device cannot slow more batches than a continuous one"
+    );
+    assert!(cycled.failslow.slow_extra_time <= cont.failslow.slow_extra_time);
+}
+
+#[test]
+fn subtree_degrade_applies_and_lifts_link_windows() {
+    let suite = suite();
+    let clean = simulate(&cfg(&suite, None, None));
+    let horizon = clean.makespan;
+    let mut f = FaultConfig::none();
+    f.seed = 13;
+    f.degrades = vec![DegradeEvent {
+        target: DegradeTarget::Subtree(0),
+        at: horizon.scale(0.1),
+        down_for: Some(horizon.scale(0.5)),
+        slowdown: 2.0,
+        jitter: 0.0,
+        duty: Some(DutyCycle {
+            period: horizon.scale(0.05),
+            on_fraction: 0.5,
+        }),
+    }];
+    let r = simulate(&cfg(&suite, Some(f.clone()), None));
+    assert!(
+        r.failslow.link_degrades > 0,
+        "the subtree window never touched a link"
+    );
+    // The window closes: the run completes and every request finishes.
+    assert_eq!(r.apps.len(), clean.apps.len());
+    let again = simulate(&cfg(&suite, Some(f), None));
+    assert_eq!(format!("{r:?}"), format!("{again:?}"));
+}
+
+#[test]
+fn mitigation_detects_demotes_hedges_and_conserves() {
+    let suite = suite();
+    let clean = simulate(&cfg(&suite, None, None));
+    let mean = clean.mean_latency();
+    let off = simulate(&cfg(&suite, Some(gray(4.0, 0.0, None)), None));
+    let on = simulate(&cfg(
+        &suite,
+        Some(gray(4.0, 0.0, None)),
+        Some(mitigation(mean)),
+    ));
+    assert!(on.failslow.gray_flags > 0, "the scorer never flagged");
+    assert!(
+        on.failslow.hedged > 0 || on.failslow.demoted_batches > 0,
+        "mitigation never acted: {:?}",
+        on.failslow
+    );
+    assert!(
+        on.failslow.hedge_conserved(),
+        "hedge ledger out of balance: {:?}",
+        on.failslow
+    );
+    assert!(
+        on.mean_latency() < off.mean_latency(),
+        "mitigation must beat the unwatched run: on {:?} vs off {:?}",
+        on.mean_latency(),
+        off.mean_latency()
+    );
+}
+
+#[test]
+fn hedge_ledger_survives_crash_teardown_of_the_gray_device() {
+    let suite = suite();
+    let clean = simulate(&cfg(&suite, None, None));
+    let mean = clean.mean_latency();
+    // The gray device is also surprise-removed mid-run: every hedge
+    // that was in flight at the teardown must be accounted cancelled,
+    // never completed twice and never leaked.
+    let mut f = gray(4.0, 0.0, None);
+    f.crashes = vec![CrashEvent {
+        target: CrashTarget::Device(units::bitw(0, 0)),
+        at: clean.makespan.scale(0.3),
+        down_for: None,
+    }];
+    let r = simulate(&cfg(&suite, Some(f.clone()), Some(mitigation(mean))));
+    assert!(r.crashes.crashes > 0, "the removal never fired");
+    assert!(
+        r.failslow.hedge_conserved(),
+        "hedge ledger out of balance under crash teardown: {:?}",
+        r.failslow
+    );
+    assert_eq!(r.apps.len(), clean.apps.len(), "requests were lost");
+    let again = simulate(&cfg(&suite, Some(f), Some(mitigation(mean))));
+    assert_eq!(format!("{r:?}"), format!("{again:?}"));
+}
