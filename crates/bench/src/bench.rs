@@ -9,8 +9,31 @@
 
 use crate::run_experiment_checked;
 use dmx_core::experiments::Suite;
-use dmx_sim::{events_delivered, par_map};
+use dmx_sim::{events_delivered, geomean, par_map};
 use std::time::Instant;
+
+/// The event-loop-dominated experiments scored by the `--check`
+/// regression gate. Setup-heavy runs (kernel characterization,
+/// schedule-space search, report mosaics) are excluded: their wall
+/// clock is dominated by one-time work, so their events/sec says
+/// nothing about the engine hot path.
+pub const HOT_EXPERIMENTS: [&str; 11] = [
+    "fig3",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig19",
+    "faults",
+    "overload",
+    "integrity",
+    "chaos",
+    "failslow",
+];
+
+/// Largest tolerated hot-geomean regression: the gate fails when
+/// `current < CHECK_FLOOR * baseline` (more than 15% slower).
+pub const CHECK_FLOOR: f64 = 0.85;
 
 /// One experiment's serial measurement.
 #[derive(Debug, Clone)]
@@ -233,6 +256,102 @@ impl Bench {
     }
 }
 
+/// Extracts `(id, events_per_sec)` pairs from a bench JSON report.
+///
+/// The report is this module's own output ([`Bench::to_json`]): one
+/// experiment row per line with `"id"` and `"events_per_sec"` on that
+/// line, so a line scanner is an exact parser for it (the tree carries
+/// no serde). Lines without both fields are skipped.
+pub fn parse_eps(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let (Some(id), Some(eps)) = (
+            field_str(line, "\"id\": \""),
+            field_num(line, "\"events_per_sec\": "),
+        ) else {
+            continue;
+        };
+        out.push((id, eps));
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Result of comparing a fresh bench against a committed baseline
+/// report, scored on the [`HOT_EXPERIMENTS`] events/sec geomean.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Hot-experiment events/sec geomean from the baseline file.
+    pub baseline: f64,
+    /// Hot-experiment events/sec geomean from this run.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+}
+
+impl Check {
+    /// True when the run is within the tolerated regression envelope.
+    pub fn pass(&self) -> bool {
+        self.ratio >= CHECK_FLOOR
+    }
+
+    /// Renders the one-screen gate verdict.
+    pub fn render(&self) -> String {
+        format!(
+            "\nbench --check — hot events/sec geomean vs baseline\n\
+             baseline {:>12.0}\ncurrent  {:>12.0}\nratio    {:>12.3}  (floor {:.2}: {})\n",
+            self.baseline,
+            self.current,
+            self.ratio,
+            CHECK_FLOOR,
+            if self.pass() { "pass" } else { "FAIL" },
+        )
+    }
+}
+
+impl Bench {
+    /// Compares this run's hot-experiment events/sec geomean against a
+    /// baseline JSON report (a previous run's `to_json`). `Err` if
+    /// either side is missing a hot experiment or carries a
+    /// non-positive events/sec for one.
+    pub fn check(&self, baseline_json: &str) -> Result<Check, String> {
+        let base = parse_eps(baseline_json);
+        let mut b = Vec::with_capacity(HOT_EXPERIMENTS.len());
+        let mut c = Vec::with_capacity(HOT_EXPERIMENTS.len());
+        for id in HOT_EXPERIMENTS {
+            let Some((_, eps)) = base.iter().find(|(i, _)| i == id) else {
+                return Err(format!("baseline is missing hot experiment `{id}`"));
+            };
+            b.push(*eps);
+            let Some(e) = self.experiments.iter().find(|e| e.id == id) else {
+                return Err(format!("this run did not measure hot experiment `{id}`"));
+            };
+            c.push(e.events_per_sec);
+        }
+        let baseline = geomean(&b)
+            .ok_or_else(|| "baseline has a non-positive events/sec in a hot row".to_string())?;
+        let current = geomean(&c)
+            .ok_or_else(|| "this run has a non-positive events/sec in a hot row".to_string())?;
+        Ok(Check {
+            baseline,
+            current,
+            ratio: current / baseline,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +375,65 @@ mod tests {
         if cfg!(target_os = "linux") {
             assert!(peak_rss_kb().expect("VmHWM") > 0);
         }
+    }
+
+    /// A synthetic Bench whose hot experiments all report `eps`.
+    fn synthetic(eps: f64) -> Bench {
+        Bench {
+            date: "2026-01-01".to_string(),
+            threads: 1,
+            seed: None,
+            experiments: HOT_EXPERIMENTS
+                .iter()
+                .map(|&id| ExperimentBench {
+                    id,
+                    wall_secs: 0.01,
+                    events: (eps / 100.0) as u64,
+                    events_per_sec: eps,
+                    peak_rss_kb: None,
+                })
+                .collect(),
+            serial_wall_secs: 0.1,
+            parallel_wall_secs: 0.1,
+            speedup: 1.0,
+            parallel_output_identical: true,
+        }
+    }
+
+    #[test]
+    fn parse_eps_round_trips_to_json() {
+        let b = synthetic(1.5e6);
+        let rows = parse_eps(&b.to_json());
+        assert_eq!(rows.len(), HOT_EXPERIMENTS.len());
+        for ((id, eps), want) in rows.iter().zip(HOT_EXPERIMENTS) {
+            assert_eq!(id, want);
+            assert!((eps - 1.5e6).abs() < 1.0, "{id}: {eps}");
+        }
+    }
+
+    #[test]
+    fn check_passes_within_envelope_and_fails_beyond() {
+        let base = synthetic(1.0e6).to_json();
+        // 10% slower: inside the 15% envelope.
+        let c = synthetic(0.9e6).check(&base).expect("check");
+        assert!(c.pass(), "ratio {:.3}", c.ratio);
+        assert!((c.ratio - 0.9).abs() < 1e-9);
+        // 20% slower: regression.
+        let c = synthetic(0.8e6).check(&base).expect("check");
+        assert!(!c.pass(), "ratio {:.3}", c.ratio);
+        assert!(c.render().contains("FAIL"));
+        // Faster is always fine.
+        assert!(synthetic(3.0e6).check(&base).expect("check").pass());
+    }
+
+    #[test]
+    fn check_rejects_incomplete_baselines() {
+        let b = synthetic(1.0e6);
+        let base = b.to_json().replace("\"fig16\"", "\"fig99\"");
+        let err = b.check(&base).expect_err("missing hot row");
+        assert!(err.contains("fig16"), "{err}");
+        let err = b.check("{}").expect_err("empty baseline");
+        assert!(err.contains("missing"), "{err}");
     }
 
     #[test]

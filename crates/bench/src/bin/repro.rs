@@ -13,9 +13,12 @@
 //! experiments across `N` worker threads; the output is byte-identical
 //! to a serial run regardless of `N`. `bench` times every experiment
 //! (serial and parallel), prints a wall-clock/events-per-second/RSS
-//! table, and writes `BENCH_<date>.json`. Exits nonzero if any
-//! experiment's embedded determinism/robustness checks fail, or if the
-//! bench's parallel pass diverges from serial.
+//! table, and writes `BENCH_<date>.json`. `bench --check BASELINE.json`
+//! additionally compares the hot-experiment events/sec geomean against
+//! a committed baseline report and fails on a >15% regression. Exits
+//! nonzero if any experiment's embedded determinism/robustness checks
+//! fail, if the bench's parallel pass diverges from serial, or if the
+//! regression gate trips.
 
 use dmx_bench::{bench, run_experiment_checked, EXPERIMENTS};
 use dmx_core::experiments::Suite;
@@ -23,7 +26,8 @@ use dmx_sim::par_map;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--seed N] [--threads N] <experiment>... | all | bench [experiment]..."
+        "usage: repro [--seed N] [--threads N] <experiment>... | all | \
+         bench [--check BASELINE.json] [experiment]..."
     );
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     std::process::exit(2);
@@ -34,6 +38,7 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut threads: Option<usize> = None;
     let mut do_bench = false;
+    let mut check: Option<String> = None;
     let mut ids: Vec<&'static str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -59,6 +64,13 @@ fn main() {
                 }));
             }
             "bench" => do_bench = true,
+            "--check" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--check needs a baseline BENCH_*.json path");
+                    usage()
+                });
+                check = Some(v.clone());
+            }
             "all" => ids.extend(EXPERIMENTS),
             other => {
                 // Canonicalize to the 'static id so the bench report can
@@ -82,6 +94,18 @@ fn main() {
     if ids.is_empty() {
         usage();
     }
+    if check.is_some() && !do_bench {
+        eprintln!("--check only applies to bench mode");
+        usage();
+    }
+    // Read the baseline before running: the fresh report may be written
+    // under the same BENCH_<date>.json name and would clobber it.
+    let baseline = check.map(|p| {
+        std::fs::read_to_string(&p).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {p}: {e}");
+            std::process::exit(2);
+        })
+    });
 
     eprintln!("building benchmark suite (compiling + executing DRX kernels)...");
     let suite = Suite::new();
@@ -101,6 +125,24 @@ fn main() {
         if !b.ok() {
             eprintln!("FAILED: parallel output diverged from serial");
             std::process::exit(1);
+        }
+        if let Some(base) = baseline {
+            match b.check(&base) {
+                Ok(c) => {
+                    print!("{}", c.render());
+                    if !c.pass() {
+                        eprintln!(
+                            "FAILED: hot events/sec geomean regressed more than {:.0}%",
+                            (1.0 - bench::CHECK_FLOOR) * 100.0
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("bench --check: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         return;
     }

@@ -12,19 +12,24 @@ pub struct Fig5 {
     pub ops: Vec<Characterization>,
 }
 
-/// Runs the experiment.
-pub fn run(suite: &Suite) -> Fig5 {
+/// Characterizes one benchmark's (first) restructuring op. Public so
+/// the `summary` experiment can fan individual ops across its worker
+/// pool (a nested `par_map` inside `run` would serialize there).
+pub fn characterize_one(b: &crate::apps::Benchmark) -> Characterization {
     let cache = CacheConfig::default();
-    let ops = suite
-        .benchmarks()
-        .iter()
-        .map(|b| {
-            let mut c = characterize_op(&b.edges[0].profile, &cache);
-            c.name = format!("{} ({})", b.name, b.edges[0].profile.name);
-            c
-        })
-        .collect();
-    Fig5 { ops }
+    let mut c = characterize_op(&b.edges[0].profile, &cache);
+    c.name = format!("{} ({})", b.name, b.edges[0].profile.name);
+    c
+}
+
+/// Runs the experiment. Each op's cache/pipeline characterization is
+/// independent, so the per-benchmark loop fans across the
+/// `dmx_sim::par` pool; results are collected in input order, so the
+/// rendered table is byte-identical for any `--threads N`.
+pub fn run(suite: &Suite) -> Fig5 {
+    Fig5 {
+        ops: dmx_sim::par_map(suite.benchmarks(), |_, b| characterize_one(b)),
+    }
 }
 
 impl Fig5 {

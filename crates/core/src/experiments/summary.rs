@@ -28,7 +28,35 @@ pub struct Summary {
     pub claims: Vec<Claim>,
 }
 
-/// Runs every experiment and assembles the summary.
+/// One figure's result, boxed for the parallel fan-out (the figures
+/// return distinct types, so the slot table needs a common carrier).
+/// Fig. 5 is split into one job per characterized op — as a single job
+/// it would dominate the pool's critical path, and its own inner
+/// `par_map` serializes when nested inside this fan-out.
+enum FigOut {
+    F3(fig3::Fig3),
+    F5Op(Box<dmx_cpu::Characterization>),
+    F11(fig11::Fig11),
+    F12(fig12::Fig12),
+    F13(fig13::Fig13),
+    F14(fig14::Fig14),
+    F15(fig15::Fig15),
+    F16(fig16::Fig16),
+    F17(fig17::Fig17),
+    F18(fig18::Fig18),
+}
+
+/// One unit of parallel work: a whole figure sweep or one Fig. 5 op.
+enum Job {
+    Fig(fn(&Suite) -> FigOut),
+    Op(usize),
+}
+
+/// Runs every experiment and assembles the summary. The ten figure
+/// sweeps are independent simulations, so they fan out across the
+/// `dmx_sim::par` worker pool; results are collected in input order
+/// and the claims assembled serially, so the rendered table is
+/// byte-identical for any `--threads N`.
 pub fn run(suite: &Suite) -> Summary {
     let mut claims = Vec::new();
     let mut push = |figure, what, paper: String, measured: String, ok: bool| {
@@ -41,7 +69,63 @@ pub fn run(suite: &Suite) -> Summary {
         });
     };
 
-    let f3 = fig3::run(suite);
+    let mut jobs: Vec<Job> = vec![
+        Job::Fig(|s| FigOut::F3(fig3::run(s))),
+        Job::Fig(|s| FigOut::F11(fig11::run(s))),
+        Job::Fig(|s| FigOut::F12(fig12::run(s))),
+        Job::Fig(|s| FigOut::F13(fig13::run(s))),
+        Job::Fig(|s| FigOut::F14(fig14::run(s))),
+        Job::Fig(|s| FigOut::F15(fig15::run(s))),
+        Job::Fig(|_| FigOut::F16(fig16::run())),
+        Job::Fig(|_| FigOut::F17(fig17::run())),
+        Job::Fig(|s| FigOut::F18(fig18::run(s))),
+    ];
+    let figs = jobs.len();
+    jobs.extend((0..suite.benchmarks().len()).map(Job::Op));
+    let mut outs: Vec<Option<FigOut>> = dmx_sim::par_map(&jobs, |_, job| match job {
+        Job::Fig(f) => Some(f(suite)),
+        Job::Op(i) => Some(FigOut::F5Op(Box::new(fig5::characterize_one(
+            &suite.benchmarks()[*i],
+        )))),
+    })
+    .into_iter()
+    .collect();
+    // Reassemble Fig. 5 from its per-op jobs, in benchmark order — the
+    // same order `fig5::run` produces.
+    let f5 = fig5::Fig5 {
+        ops: outs[figs..]
+            .iter_mut()
+            .map(|o| match o.take() {
+                Some(FigOut::F5Op(c)) => *c,
+                _ => unreachable!("op results arrive in input order"),
+            })
+            .collect(),
+    };
+    let mut take = |i: usize| outs[i].take().expect("figure result present");
+    let (f3, f11, f12, f13, f14, f15, f16, f17, f18) = match (
+        take(0),
+        take(1),
+        take(2),
+        take(3),
+        take(4),
+        take(5),
+        take(6),
+        take(7),
+        take(8),
+    ) {
+        (
+            FigOut::F3(a),
+            FigOut::F11(c),
+            FigOut::F12(d),
+            FigOut::F13(e),
+            FigOut::F14(f),
+            FigOut::F15(g),
+            FigOut::F16(h),
+            FigOut::F17(i),
+            FigOut::F18(j),
+        ) => (a, c, d, e, f, g, h, i, j),
+        _ => unreachable!("figure results arrive in input order"),
+    };
     push(
         "Fig.3",
         "Multi-Axl restructuring share @1 app",
@@ -57,7 +141,6 @@ pub fn run(suite: &Suite) -> Summary {
         (f3.kernel_geomean - 6.5).abs() < 1.0,
     );
 
-    let f5 = fig5::run(suite);
     let be_min = f5
         .ops
         .iter()
@@ -84,7 +167,6 @@ pub fn run(suite: &Suite) -> Summary {
         l1i < 8.0,
     );
 
-    let f11 = fig11::run(suite);
     push(
         "Fig.11",
         "end-to-end speedup geomean @1 app",
@@ -100,7 +182,6 @@ pub fn run(suite: &Suite) -> Summary {
         f11.rows[3].geomean > 5.5 && f11.rows[3].geomean < 11.0,
     );
 
-    let f12 = fig12::run(suite);
     push(
         "Fig.12",
         "DMX restructuring share @1 app",
@@ -109,7 +190,6 @@ pub fn run(suite: &Suite) -> Summary {
         f12.rows[0].dmx.1 < 0.35,
     );
 
-    let f13 = fig13::run(suite);
     push(
         "Fig.13",
         "throughput gain geomean @1 / @15 apps",
@@ -118,7 +198,6 @@ pub fn run(suite: &Suite) -> Summary {
         f13.rows[0].geomean > 1.5 && f13.rows[3].geomean > 6.0,
     );
 
-    let f14 = fig14::run(suite);
     let at15 = &f14.rows[3].speedups;
     let val = |p: Placement| at15.iter().find(|(q, _)| *q == p).expect("present").1;
     let ordered = val(Placement::Integrated) <= val(Placement::Standalone) * 1.02
@@ -145,7 +224,6 @@ pub fn run(suite: &Suite) -> Summary {
         (val(Placement::Integrated) - 4.4).abs() < 1.5,
     );
 
-    let f15 = fig15::run(suite);
     let red = |row: usize, p: Placement| {
         f15.rows[row]
             .reductions
@@ -166,7 +244,6 @@ pub fn run(suite: &Suite) -> Summary {
         red(3, Placement::Standalone) > red(3, Placement::BumpInTheWire),
     );
 
-    let f16 = fig16::run();
     push(
         "Fig.16",
         "PIR+NER speedup @1 -> @15 apps",
@@ -182,7 +259,6 @@ pub fn run(suite: &Suite) -> Summary {
         f16.rows[0].dmx.0 > 0.75,
     );
 
-    let f17 = fig17::run();
     let bmin = f17
         .rows
         .iter()
@@ -218,7 +294,6 @@ pub fn run(suite: &Suite) -> Summary {
         amin > 5.0 && amax < 13.0,
     );
 
-    let f18 = fig18::run(suite);
     let gain_to_128 = f18.rows[2].speedup / f18.rows[0].speedup;
     let gain_past_128 = f18.rows[3].speedup / f18.rows[2].speedup;
     push(

@@ -13,7 +13,7 @@
 //! restructures on host cores (Sec. II's S1–S4); All-CPU runs even the
 //! kernels on cores (Fig. 3).
 
-use crate::apps::BenchmarkRef;
+use crate::apps::{BenchmarkRef, DrxCost};
 use crate::driver::DriverState;
 use crate::failslow::{FailSlowConfig, FailSlowReport, HealthRoute, HealthScorer};
 use crate::integrity::{ChecksumMode, IntegrityConfig, IntegrityReport};
@@ -34,9 +34,9 @@ use dmx_pcie::{
 };
 use dmx_sim::{
     ArrivalGen, BoundedQueue, CrashEvent, CrashTarget, DegradeEvent, DegradeTarget, EventQueue,
-    FaultConfig, FaultPlan, FifoServer, Percentiles, PsJobId, PsPool, SdcDomain, SplitMix64, Time,
+    FastMap, FastSet, FaultConfig, FaultPlan, FifoServer, IdMap, Percentiles, PsJobId, PsPool,
+    SdcDomain, SplitMix64, Time,
 };
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Cores one All-CPU kernel can use (vendor kernels are threaded).
@@ -99,6 +99,15 @@ pub struct SystemConfig {
     /// of the fault layer ([`FaultConfig`]'s `degrades`) and slows
     /// devices/links whether or not this layer watches for it.
     pub failslow: Option<FailSlowConfig>,
+    /// Materialize one observation event per [`ReplayParams::chunk_bytes`]
+    /// of DMA progress instead of fast-forwarding a transfer to its
+    /// single closed-form completion event (the default). Chunk events
+    /// are pure observations — they never advance the fluid accounting,
+    /// so every result is bit-identical with the flag on or off; the
+    /// mode exists to validate the fast-forward invariant and to give
+    /// chunk-granular hooks (tracing, future per-chunk models) a place
+    /// to attach. Costs one event per 256 KB in flight.
+    pub chunk_exact: bool,
 }
 
 impl SystemConfig {
@@ -122,6 +131,7 @@ impl SystemConfig {
             overload: None,
             integrity: None,
             failslow: None,
+            chunk_exact: false,
         }
     }
 
@@ -638,6 +648,12 @@ enum Ev {
     StepDone(u64, u32),
     CpuTick(u64),
     FlowTick(u64),
+    /// Chunk-exact mode only: one in-flight transfer crossed a
+    /// `chunk_bytes` delivery boundary (generation-tagged like
+    /// `FlowTick`; stale ticks are dropped). Pure observation —
+    /// the handler never advances the fluid accounting, which is
+    /// what keeps chunk-exact runs bit-identical to fast ones.
+    ChunkTick(u64),
     SharedTick(usize, u64),
     /// A DRX unit permanently dies.
     UnitDeath(u64),
@@ -716,7 +732,7 @@ struct OvState {
     /// Requests currently dispatched into the chain.
     inflight: usize,
     /// Per-DRX-unit circuit breakers (created on first use).
-    breakers: HashMap<u64, Breaker>,
+    breakers: FastMap<u64, Breaker>,
     /// Ingress credit gate; `None` when backpressure is disabled.
     gate: Option<CreditGate>,
 }
@@ -751,20 +767,43 @@ impl OvState {
             tenants,
             pending: BoundedQueue::new(o.queue_capacity.max(1)),
             inflight: 0,
-            breakers: HashMap::new(),
+            breakers: FastMap::default(),
             gate: (o.ingress_queue_bytes > 0).then(|| CreditGate::new(o.ingress_queue_bytes)),
         }
     }
 }
 
+/// Struct-of-arrays per-app accumulators, one column per statistic
+/// indexed by app id. The completion hot path touches only the columns
+/// it writes, and the report pass streams one contiguous column per
+/// statistic instead of striding across an array of structs. The
+/// movement/kernel/restructure columns are the per-app aggregation of
+/// each request's [`Breakdown`].
 #[derive(Debug, Default)]
-struct AppStats {
-    completed: usize,
-    launched: usize,
-    latency_sum: f64,
-    latencies: dmx_sim::Percentiles,
-    breakdown: Breakdown,
-    last_done: Time,
+struct AppStatsCols {
+    completed: Vec<usize>,
+    launched: Vec<usize>,
+    latency_sum: Vec<f64>,
+    latencies: Vec<dmx_sim::Percentiles>,
+    kernel: Vec<Time>,
+    restructure: Vec<Time>,
+    movement: Vec<Time>,
+    last_done: Vec<Time>,
+}
+
+impl AppStatsCols {
+    fn new(apps: usize) -> AppStatsCols {
+        AppStatsCols {
+            completed: vec![0; apps],
+            launched: vec![0; apps],
+            latency_sum: vec![0.0; apps],
+            latencies: vec![dmx_sim::Percentiles::new(); apps],
+            kernel: vec![Time::ZERO; apps],
+            restructure: vec![Time::ZERO; apps],
+            movement: vec![Time::ZERO; apps],
+            last_done: vec![Time::ZERO; apps],
+        }
+    }
 }
 
 struct Sim<'a> {
@@ -781,15 +820,20 @@ struct Sim<'a> {
     /// Shared DRX pools (Integrated: one; PCIe-Integrated: per switch).
     shared: Vec<PsPool>,
     driver: DriverState,
-    reqs: HashMap<u64, Req>,
+    reqs: IdMap<Req>,
     steps: Vec<Vec<Step>>,
     next_req: u64,
     next_job: u64,
-    cpu_jobs: HashMap<PsJobId, (u64, Time)>,
-    flow_jobs: HashMap<FlowId, (u64, Time)>,
-    shared_jobs: Vec<HashMap<PsJobId, u64>>,
-    stats: Vec<AppStats>,
+    cpu_jobs: FastMap<PsJobId, (u64, Time)>,
+    flow_jobs: FastMap<FlowId, (u64, Time)>,
+    shared_jobs: Vec<FastMap<PsJobId, u64>>,
+    stats: AppStatsCols,
     drx_dynamic_j: f64,
+    /// Per-(app, edge) scaled DRX cost, filled on first submit. The
+    /// global `Edge::drx_cost` cache is keyed by `DrxConfig` behind a
+    /// mutex; within one run the config never changes, so this skips
+    /// the hash + lock on the hot restructuring path.
+    drx_costs: Vec<Vec<Option<DrxCost>>>,
     /// Per-(app, edge) in-order restructuring gate: the DRX/host data
     /// queues process one batch at a time, in arrival order (Sec. V).
     /// `Some(id)` is the request currently holding the gate.
@@ -800,21 +844,21 @@ struct Sim<'a> {
     /// pre-fault-layer simulator).
     plan: Option<FaultPlan>,
     report: FaultReport,
-    dead_units: HashSet<u64>,
+    dead_units: FastSet<u64>,
     /// The fault plan's crash schedule, sorted by fire time; empty
     /// without crash events (so the no-crash path is exactly the
     /// pre-crash-layer simulator).
     crash_sched: Vec<CrashEvent>,
     /// Open crash windows per down device — overlapping schedules stack
     /// and the device revives only when every window has closed.
-    down_devices: HashMap<u64, u32>,
+    down_devices: FastMap<u64, u32>,
     /// Units removed for non-crash reasons (MTTF deaths); hot-plug
     /// recovery never revives these.
-    perma_dead: HashSet<u64>,
+    perma_dead: FastSet<u64>,
     /// CPU/flow/pool jobs belonging to torn-down request attempts;
     /// their completions are discarded instead of being misattributed
     /// to the restarted attempt.
-    cancelled_jobs: HashSet<u64>,
+    cancelled_jobs: FastSet<u64>,
     creport: CrashReport,
     /// Integrity layer; `None` when disabled or inert (so the unchecked
     /// path is exactly the pre-integrity simulator).
@@ -848,7 +892,11 @@ struct Sim<'a> {
     fsreport: FailSlowReport,
     /// Host-side hedge duplicates in flight: CPU job id → request id.
     /// (Peer-DRX hedges schedule `HedgeDone` directly and need no map.)
-    hedge_jobs: HashMap<u64, u64>,
+    hedge_jobs: FastMap<u64, u64>,
+    /// Chunk-exact mode: the (time, generation) of the one
+    /// scheduled `ChunkTick`, so re-arming after observation-free
+    /// mutations cannot double-schedule the same boundary.
+    chunk_sched: Option<(Time, u64)>,
 }
 
 impl<'a> Sim<'a> {
@@ -874,7 +922,7 @@ impl<'a> Sim<'a> {
             _ => Vec::new(),
         };
         let steps = cfg.apps.iter().map(|a| steps_for(a, cfg.mode)).collect();
-        let shared_jobs = shared.iter().map(|_| HashMap::new()).collect();
+        let shared_jobs = shared.iter().map(|_| FastMap::default()).collect();
         let plan = cfg
             .faults
             .as_ref()
@@ -903,15 +951,16 @@ impl<'a> Sim<'a> {
                 Some(mode) => DriverState::forced(cfg.driver, mode),
                 None => DriverState::new(cfg.driver),
             },
-            reqs: HashMap::new(),
+            reqs: IdMap::default(),
             steps,
             next_req: 0,
             next_job: 0,
-            cpu_jobs: HashMap::new(),
-            flow_jobs: HashMap::new(),
+            cpu_jobs: FastMap::default(),
+            flow_jobs: FastMap::default(),
             shared_jobs,
-            stats: cfg.apps.iter().map(|_| AppStats::default()).collect(),
+            stats: AppStatsCols::new(cfg.apps.len()),
             drx_dynamic_j: 0.0,
+            drx_costs: cfg.apps.iter().map(|a| vec![None; a.edges.len()]).collect(),
             restr_active: cfg.apps.iter().map(|a| vec![None; a.edges.len()]).collect(),
             restr_queue: cfg
                 .apps
@@ -925,11 +974,11 @@ impl<'a> Sim<'a> {
                 .collect(),
             plan,
             report: FaultReport::default(),
-            dead_units: HashSet::new(),
+            dead_units: FastSet::default(),
             crash_sched,
-            down_devices: HashMap::new(),
-            perma_dead: HashSet::new(),
-            cancelled_jobs: HashSet::new(),
+            down_devices: FastMap::default(),
+            perma_dead: FastSet::default(),
+            cancelled_jobs: FastSet::default(),
             creport: CrashReport::default(),
             integ: cfg.integrity.filter(|i| !i.is_inert()),
             ireport: IntegrityReport::default(),
@@ -945,7 +994,8 @@ impl<'a> Sim<'a> {
             scorer: fs.map(|f| HealthScorer::new(f.scorer)),
             fs,
             fsreport: FailSlowReport::default(),
-            hedge_jobs: HashMap::new(),
+            hedge_jobs: FastMap::default(),
+            chunk_sched: None,
         }
     }
 
@@ -966,6 +1016,26 @@ impl<'a> Sim<'a> {
         if let Some(t) = self.flows.next_event(now) {
             self.q.schedule_at(t, Ev::FlowTick(self.flows.generation()));
         }
+        if self.cfg.chunk_exact {
+            self.reschedule_chunks();
+        }
+    }
+
+    /// Chunk-exact mode: arms the next chunk-boundary observation
+    /// event, unless the same (time, generation) tick is already in
+    /// the queue.
+    fn reschedule_chunks(&mut self) {
+        let now = self.q.now();
+        let gen = self.flows.generation();
+        if let Some(t) = self
+            .flows
+            .next_chunk_event(now, self.cfg.replay.chunk_bytes)
+        {
+            if self.chunk_sched != Some((t, gen)) {
+                self.chunk_sched = Some((t, gen));
+                self.q.schedule_at(t, Ev::ChunkTick(gen));
+            }
+        }
     }
 
     fn reschedule_shared(&mut self, pool: usize) {
@@ -980,7 +1050,7 @@ impl<'a> Sim<'a> {
     fn schedule_step_done(&mut self, at: Time, req: u64) -> Result<(), SimError> {
         let epoch = self
             .reqs
-            .get(&req)
+            .get(req)
             .ok_or(SimError::UnknownRequest(req))?
             .epoch;
         self.q.schedule_at(at, Ev::StepDone(req, epoch));
@@ -1007,7 +1077,7 @@ impl<'a> Sim<'a> {
 
     fn drain_cpu_finished(&mut self) -> Result<(), SimError> {
         let now = self.q.now();
-        for jid in self.cpu.take_finished() {
+        while let Some(jid) = self.cpu.pop_finished() {
             if self.cancelled_jobs.remove(&jid) {
                 // A torn-down attempt's job: its owner restarted from a
                 // checkpoint, so this completion means nothing.
@@ -1016,7 +1086,7 @@ impl<'a> Sim<'a> {
             if let Some(req) = self.hedge_jobs.remove(&jid) {
                 // A host-side hedge duplicate: race it against the
                 // primary via an epoch-tagged completion.
-                if let Some(r) = self.reqs.get(&req) {
+                if let Some(r) = self.reqs.get(req) {
                     let ep = r.epoch;
                     self.q.schedule_at(now, Ev::HedgeDone(req, ep));
                 }
@@ -1041,7 +1111,7 @@ impl<'a> Sim<'a> {
         fault_unit: Option<u64>,
     ) -> Result<(), SimError> {
         let now = self.q.now();
-        let route = self.layout.topo.try_route(from, to)?;
+        let route = self.layout.topo.try_route_shared(from, to)?;
         let fid = self.job_id();
         let mut bytes = bytes;
         let mut extra = extra_latency;
@@ -1069,7 +1139,7 @@ impl<'a> Sim<'a> {
                 // Replays on a transfer into a DRX count against that
                 // unit's circuit breaker.
                 if let Some(unit) = fault_unit {
-                    let app = self.reqs.get(&req).map(|r| r.app);
+                    let app = self.reqs.get(req).map(|r| r.app);
                     if let Some(app) = app {
                         self.breaker_faults(unit, app, tf.replays);
                     }
@@ -1118,7 +1188,7 @@ impl<'a> Sim<'a> {
         residency_secs: f64,
     ) -> u64 {
         let Some(plan) = &self.plan else { return 0 };
-        let Some(r) = self.reqs.get_mut(&id) else {
+        let Some(r) = self.reqs.get_mut(id) else {
             return 0;
         };
         // One sub-stream per (request, step); the re-execution attempt
@@ -1127,9 +1197,7 @@ impl<'a> Sim<'a> {
         // Crash migrations re-roll exposure too, without consuming the
         // integrity layer's re-execution budget.
         let attempt = r.reexecs.wrapping_add(r.crash_rewinds);
-        let n = plan
-            .sdc_flips(domain, device, batch, attempt, bytes, residency_secs)
-            .len() as u64;
+        let n = plan.sdc_flip_count(domain, device, batch, attempt, bytes, residency_secs);
         if n == 0 {
             return 0;
         }
@@ -1155,7 +1223,7 @@ impl<'a> Sim<'a> {
 
     fn drain_flow_finished(&mut self) -> Result<(), SimError> {
         let now = self.q.now();
-        for fid in self.flows.take_finished() {
+        while let Some(fid) = self.flows.pop_finished() {
             if self.cancelled_jobs.remove(&fid) {
                 continue;
             }
@@ -1235,7 +1303,7 @@ impl<'a> Sim<'a> {
     fn begin_step(&mut self, id: u64) -> Result<(), SimError> {
         let now = self.q.now();
         let (app, step, step_index) = {
-            let r = self.reqs.get_mut(&id).ok_or(SimError::UnknownRequest(id))?;
+            let r = self.reqs.get_mut(id).ok_or(SimError::UnknownRequest(id))?;
             r.step_started = now;
             (r.app, self.steps[r.app][r.step], r.step)
         };
@@ -1284,7 +1352,7 @@ impl<'a> Sim<'a> {
                 if let (Some(u), Some(ov)) = (unit, self.ov.as_mut()) {
                     if let Some(gate) = ov.gate.as_mut() {
                         let granted = gate.try_acquire(now, u, id, bytes);
-                        if let Some(r) = self.reqs.get_mut(&id) {
+                        if let Some(r) = self.reqs.get_mut(id) {
                             r.credit = Some((u, bytes));
                         }
                         parked = !granted;
@@ -1333,7 +1401,7 @@ impl<'a> Sim<'a> {
     /// granted. Ignores tokens whose request already moved on (e.g.
     /// finished another way) — they cannot regress.
     fn resume_to_restr(&mut self, id: u64) -> Result<(), SimError> {
-        let Some(r) = self.reqs.get(&id) else {
+        let Some(r) = self.reqs.get(id) else {
             return Ok(());
         };
         let app = r.app;
@@ -1362,7 +1430,7 @@ impl<'a> Sim<'a> {
         // a deterministic proxy for wall residency, which would depend
         // on event order.
         self.inject_sdc(id, SdcDomain::Ddr, 0, edge.bytes_in, work);
-        if let Some(r) = self.reqs.get_mut(&id) {
+        if let Some(r) = self.reqs.get_mut(id) {
             // Host batches don't feed the health scorer or hedge.
             r.restr_unit = None;
             r.fs_probe = false;
@@ -1430,7 +1498,7 @@ impl<'a> Sim<'a> {
                         self.fsreport.demoted_batches += 1;
                         if let Some(peer) = self.healthy_peer(u, id) {
                             let done = self.peer_restr_done(id, app, e, peer, true);
-                            if let Some(r) = self.reqs.get_mut(&id) {
+                            if let Some(r) = self.reqs.get_mut(id) {
                                 r.restr_unit = None;
                                 r.fs_probe = false;
                             }
@@ -1502,7 +1570,7 @@ impl<'a> Sim<'a> {
                 self.breaker_faults(u, app, n);
             }
         }
-        let cost = edge.drx_cost(&self.cfg.drx);
+        let cost = self.edge_drx_cost(app, e);
         let energy_model = DrxEnergyModel::for_clock(self.cfg.drx.clock);
         self.drx_dynamic_j += (cost.lane_ops * energy_model.pj_per_lane_op
             + cost.spad_bytes * energy_model.pj_per_spad_byte
@@ -1530,7 +1598,7 @@ impl<'a> Sim<'a> {
                 None
             }
         });
-        if let Some(r) = self.reqs.get_mut(&id) {
+        if let Some(r) = self.reqs.get_mut(id) {
             r.restr_unit = unit;
             r.restr_nominal = nominal;
             r.fs_probe = fs_probe;
@@ -1573,7 +1641,7 @@ impl<'a> Sim<'a> {
     /// engine-start instant for FIFO units, submit time for shared
     /// pools) and schedules its hedge timer from there.
     fn arm_hedge(&mut self, id: u64, start: Time, hedge_after: Option<Time>) {
-        let Some(r) = self.reqs.get_mut(&id) else {
+        let Some(r) = self.reqs.get_mut(id) else {
             return;
         };
         r.restr_submitted = start;
@@ -1648,6 +1716,16 @@ impl<'a> Sim<'a> {
     /// Services a restructure batch of `(app, e)` on peer DRX `peer`:
     /// redirect handshake, the peer's own degrade factor, dynamic
     /// energy, and (for demoted primaries, not hedge duplicates —
+    /// Scaled DRX cost of `(app, edge)`, memoized per run.
+    fn edge_drx_cost(&mut self, app: usize, e: usize) -> DrxCost {
+        if let Some(c) = self.drx_costs[app][e] {
+            return c;
+        }
+        let c = self.cfg.apps[app].edges[e].drx_cost(&self.cfg.drx);
+        self.drx_costs[app][e] = Some(c);
+        c
+    }
+
     /// those re-read the checkpointed staging copy) scratchpad SDC
     /// exposure. Returns the completion instant.
     fn peer_restr_done(&mut self, id: u64, app: usize, e: usize, peer: u64, expose: bool) -> Time {
@@ -1659,7 +1737,7 @@ impl<'a> Sim<'a> {
                 self.breaker_faults(peer, app, n);
             }
         }
-        let cost = edge.drx_cost(&self.cfg.drx);
+        let cost = self.edge_drx_cost(app, e);
         let energy_model = DrxEnergyModel::for_clock(self.cfg.drx.clock);
         self.drx_dynamic_j += (cost.lane_ops * energy_model.pj_per_lane_op
             + cost.spad_bytes * energy_model.pj_per_spad_byte
@@ -1688,7 +1766,7 @@ impl<'a> Sim<'a> {
     fn hedge_check(&mut self, id: u64, seq: u32) -> Result<(), SimError> {
         let now = self.q.now();
         let (app, e, unit, epoch) = {
-            let Some(r) = self.reqs.get(&id) else {
+            let Some(r) = self.reqs.get(id) else {
                 return Ok(());
             };
             if r.restr_seq != seq || r.hedge {
@@ -1702,7 +1780,7 @@ impl<'a> Sim<'a> {
             };
             (r.app, e, u, r.epoch)
         };
-        if let Some(r) = self.reqs.get_mut(&id) {
+        if let Some(r) = self.reqs.get_mut(id) {
             r.hedge = true;
         }
         self.fsreport.hedged += 1;
@@ -1729,7 +1807,7 @@ impl<'a> Sim<'a> {
     /// kill, migration, unit death — so the conservation law
     /// `hedged == won_primary + won_hedge + cancelled` balances.
     fn cancel_hedge(&mut self, id: u64) {
-        if let Some(r) = self.reqs.get_mut(&id) {
+        if let Some(r) = self.reqs.get_mut(id) {
             if r.hedge {
                 r.hedge = false;
                 self.fsreport.cancelled += 1;
@@ -1749,7 +1827,7 @@ impl<'a> Sim<'a> {
 
     fn drain_shared_finished(&mut self, pool: usize) -> Result<(), SimError> {
         let now = self.q.now();
-        for jid in self.shared[pool].take_finished() {
+        while let Some(jid) = self.shared[pool].pop_finished() {
             if self.cancelled_jobs.remove(&jid) {
                 continue;
             }
@@ -1784,7 +1862,7 @@ impl<'a> Sim<'a> {
                         // step ride on the unit.
                         let in_restr = self
                             .reqs
-                            .get(&id)
+                            .get(id)
                             .is_some_and(|r| matches!(self.steps[app][r.step], Step::Restr(_)));
                         if in_restr {
                             torn.push((id, app, e));
@@ -1798,7 +1876,7 @@ impl<'a> Sim<'a> {
             // then restart the batch on host cores. Time already spent
             // on the unit is wasted and lands in the fallback account.
             self.cancel_hedge(id);
-            let r = self.reqs.get_mut(&id).ok_or(SimError::UnknownRequest(id))?;
+            let r = self.reqs.get_mut(id).ok_or(SimError::UnknownRequest(id))?;
             r.epoch += 1;
             r.restr_unit = None;
             self.shared_jobs
@@ -1824,7 +1902,7 @@ impl<'a> Sim<'a> {
         deadline: Time,
     ) -> Result<(), SimError> {
         let now = self.q.now();
-        self.stats[app].launched += 1;
+        self.stats.launched[app] += 1;
         let id = self.next_req;
         self.next_req += 1;
         self.reqs.insert(
@@ -1991,7 +2069,7 @@ impl<'a> Sim<'a> {
         let mut fs_obs: Option<(u64, Time, Time, bool)> = None;
         let mut hedge_resolved = false;
         let (app, prev_step, finished, release, credit) = {
-            let Some(r) = self.reqs.get_mut(&id) else {
+            let Some(r) = self.reqs.get_mut(id) else {
                 // A request can finish only once; any extra completion
                 // must be a stale event from a torn-down unit.
                 return Ok(());
@@ -2133,7 +2211,7 @@ impl<'a> Sim<'a> {
             let t = integ.check_time(bytes);
             self.ireport.checks += 1;
             self.ireport.checksum_time += t;
-            if let Some(r) = self.reqs.get_mut(&id) {
+            if let Some(r) = self.reqs.get_mut(id) {
                 r.step_started = now;
                 let ep = r.epoch;
                 self.q.schedule_at(now + t, Ev::IntegrityDone(id, ep));
@@ -2153,7 +2231,7 @@ impl<'a> Sim<'a> {
     /// final result in both checking modes. `None` = no check here.
     fn check_bytes(&self, id: u64, app: usize, prev_step: Step, finished: bool) -> Option<u64> {
         let integ = self.integ.as_ref()?;
-        let r = self.reqs.get(&id)?;
+        let r = self.reqs.get(id)?;
         if r.unchecked {
             return None;
         }
@@ -2172,7 +2250,7 @@ impl<'a> Sim<'a> {
     /// closed-loop request or EDF queue pop).
     fn complete_request(&mut self, id: u64) -> Result<(), SimError> {
         let now = self.q.now();
-        let r = self.reqs.remove(&id).ok_or(SimError::UnknownRequest(id))?;
+        let r = self.reqs.remove(id).ok_or(SimError::UnknownRequest(id))?;
         if r.flips > 0 {
             // Silent corruption reached the final result undetected.
             self.ireport.escaped += r.flips;
@@ -2181,18 +2259,19 @@ impl<'a> Sim<'a> {
         }
         self.remaining = self.remaining.saturating_sub(1);
         {
-            let st = &mut self.stats[r.app];
-            st.completed += 1;
-            st.latency_sum += (now - r.start).as_secs_f64();
-            st.latencies.record((now - r.start).as_secs_f64());
-            st.breakdown.kernel += r.breakdown.kernel;
-            st.breakdown.restructure += r.breakdown.restructure;
-            st.breakdown.movement += r.breakdown.movement;
-            st.last_done = now;
+            let st = &mut self.stats;
+            let a = r.app;
+            st.completed[a] += 1;
+            st.latency_sum[a] += (now - r.start).as_secs_f64();
+            st.latencies[a].record((now - r.start).as_secs_f64());
+            st.kernel[a] += r.breakdown.kernel;
+            st.restructure[a] += r.breakdown.restructure;
+            st.movement[a] += r.breakdown.movement;
+            st.last_done[a] = now;
         }
         if self.ov.as_ref().is_some_and(|o| o.open_loop) {
             self.open_loop_completion(&r, now)?;
-        } else if self.stats[r.app].launched < self.cfg.requests_per_app {
+        } else if self.stats.launched[r.app] < self.cfg.requests_per_app {
             self.start_request(r.app)?;
         }
         Ok(())
@@ -2212,7 +2291,7 @@ impl<'a> Sim<'a> {
             Rewind(Time),
         }
         let (app, next) = {
-            let Some(r) = self.reqs.get_mut(&id) else {
+            let Some(r) = self.reqs.get_mut(id) else {
                 return Ok(());
             };
             if r.epoch != epoch {
@@ -2277,7 +2356,7 @@ impl<'a> Sim<'a> {
             Next::Continue => self.begin_or_park(id),
             Next::Rewind(delay) => {
                 self.quarantine_tenant(app, now);
-                if let Some(r) = self.reqs.get(&id) {
+                if let Some(r) = self.reqs.get(id) {
                     self.q.schedule_at(now + delay, Ev::Reexec(id, r.epoch));
                 }
                 Ok(())
@@ -2302,7 +2381,7 @@ impl<'a> Sim<'a> {
 
     /// Resumes a re-execution whose backoff elapsed.
     fn reexec_resume(&mut self, id: u64, epoch: u32) -> Result<(), SimError> {
-        let Some(r) = self.reqs.get(&id) else {
+        let Some(r) = self.reqs.get(id) else {
             return Ok(());
         };
         if r.epoch != epoch {
@@ -2329,7 +2408,7 @@ impl<'a> Sim<'a> {
             return None;
         }
         let now = self.q.now();
-        let r = self.reqs.get(&id)?;
+        let r = self.reqs.get(id)?;
         let step = *self.steps[r.app].get(r.step)?;
         (0..self.crash_sched.len()).find(|&i| {
             self.crash_live(i, now)
@@ -2382,7 +2461,7 @@ impl<'a> Sim<'a> {
             Some(at) => {
                 self.creport.crash_stalls += 1;
                 self.creport.stall_time += at.saturating_sub(now);
-                let Some(r) = self.reqs.get(&id) else {
+                let Some(r) = self.reqs.get(id) else {
                     return Ok(());
                 };
                 let ep = r.epoch;
@@ -2397,7 +2476,7 @@ impl<'a> Sim<'a> {
     /// A parked or migrated request resumes. Re-checks the schedule:
     /// another outage window may have opened meanwhile.
     fn resume(&mut self, id: u64, epoch: u32) -> Result<(), SimError> {
-        let Some(r) = self.reqs.get(&id) else {
+        let Some(r) = self.reqs.get(id) else {
             return Ok(());
         };
         if r.epoch != epoch {
@@ -2435,7 +2514,7 @@ impl<'a> Sim<'a> {
             let links = self.layout.topo.subtree_links(node);
             torn.extend(self.abort_flows_on(&links));
         }
-        for (&id, r) in &self.reqs {
+        for (id, r) in self.reqs.iter() {
             if r.step >= self.steps[r.app].len() {
                 continue;
             }
@@ -2468,7 +2547,7 @@ impl<'a> Sim<'a> {
         }
         let links = self.layout.topo.subtree_links(root);
         let mut torn = self.abort_flows_on(&links);
-        for (&id, r) in &self.reqs {
+        for (id, r) in self.reqs.iter() {
             if r.step >= self.steps[r.app].len() {
                 continue;
             }
@@ -2488,7 +2567,7 @@ impl<'a> Sim<'a> {
     /// last checkpoint once the restarted driver re-enumerates.
     fn crash_driver(&mut self) -> Result<(), SimError> {
         self.driver.restart();
-        let torn: Vec<u64> = self.reqs.keys().copied().collect();
+        let torn: Vec<u64> = self.reqs.keys().collect();
         self.tear_requests(torn)
     }
 
@@ -2629,7 +2708,7 @@ impl<'a> Sim<'a> {
         }
         // Held ingress credit — parked or granted — is cancelled; what
         // now fits wakes.
-        let credit = self.reqs.get_mut(&id).and_then(|r| r.credit.take());
+        let credit = self.reqs.get_mut(id).and_then(|r| r.credit.take());
         if let Some((unit, bytes)) = credit {
             let woken = self
                 .ov
@@ -2641,7 +2720,7 @@ impl<'a> Sim<'a> {
                 self.resume_to_restr(token)?;
             }
         }
-        let Some(r) = self.reqs.get_mut(&id) else {
+        let Some(r) = self.reqs.get_mut(id) else {
             return Ok(());
         };
         self.creport.migrations += 1;
@@ -2669,7 +2748,7 @@ impl<'a> Sim<'a> {
         let now = self.q.now();
         // The hedge dies with the request; its accounting survives.
         self.cancel_hedge(id);
-        let Some(r) = self.reqs.remove(&id) else {
+        let Some(r) = self.reqs.remove(id) else {
             return Ok(());
         };
         self.creport.crash_killed += 1;
@@ -2688,7 +2767,7 @@ impl<'a> Sim<'a> {
         }
         if self.ov.as_ref().is_some_and(|o| o.open_loop) {
             self.free_slot_and_dispatch(now)?;
-        } else if self.stats[r.app].launched < self.cfg.requests_per_app {
+        } else if self.stats.launched[r.app] < self.cfg.requests_per_app {
             self.start_request(r.app)?;
         }
         Ok(())
@@ -2883,7 +2962,37 @@ impl<'a> Sim<'a> {
                 }
             }
         }
+        let prof = std::env::var_os("DMX_EVPROF").is_some();
+        let mut prof_ns = [0u64; 16];
+        let mut prof_n = [0u64; 16];
         while let Some(ev) = self.q.pop() {
+            let pk = if prof {
+                let k = match &ev {
+                    Ev::StepDone(id, _) => match self
+                        .reqs
+                        .get(*id)
+                        .map(|r| self.steps[r.app].get(r.step).copied())
+                    {
+                        Some(Some(Step::Kernel(_))) => 8,
+                        Some(Some(Step::DriverPre(_) | Step::DriverPost(_))) => 9,
+                        Some(Some(Step::ToRestr(_))) => 10,
+                        Some(Some(Step::Restr(_))) => 11,
+                        Some(Some(Step::ToNext(_))) => 12,
+                        Some(None) => 13,
+                        None => 0,
+                    },
+                    Ev::Arrival(..) => 1,
+                    Ev::CpuTick(..) => 2,
+                    Ev::FlowTick(..) | Ev::ChunkTick(..) => 3,
+                    Ev::SharedTick(..) => 4,
+                    Ev::IntegrityDone(..) => 5,
+                    Ev::HedgeCheck(..) | Ev::HedgeDone(..) => 6,
+                    _ => 7,
+                };
+                Some((k, std::time::Instant::now()))
+            } else {
+                None
+            };
             match ev {
                 Ev::StepDone(id, epoch) => self.step_done(id, epoch)?,
                 Ev::Arrival(app) => self.arrival(app)?,
@@ -2899,6 +3008,14 @@ impl<'a> Sim<'a> {
                         self.flows.advance(self.q.now());
                         self.drain_flow_finished()?;
                         self.reschedule_flows();
+                    }
+                }
+                Ev::ChunkTick(gen) => {
+                    // Observation only: the fluid state is untouched, so
+                    // a chunk-exact run computes bit-identical results.
+                    if gen == self.flows.generation() {
+                        self.chunk_sched = None;
+                        self.reschedule_chunks();
                     }
                 }
                 Ev::SharedTick(pool, gen) => {
@@ -2925,10 +3042,42 @@ impl<'a> Sim<'a> {
                 Ev::HedgeCheck(id, seq) => self.hedge_check(id, seq)?,
                 Ev::HedgeDone(id, epoch) => self.hedge_done(id, epoch)?,
             }
+            if let Some((k, t0)) = pk {
+                prof_ns[k] += t0.elapsed().as_nanos() as u64;
+                prof_n[k] += 1;
+            }
             // Stop once every request has completed; remaining events
             // (scheduled deaths, retrain restores) cannot change stats.
             if self.remaining == 0 {
                 break;
+            }
+        }
+        if prof {
+            let names = [
+                "StepDone",
+                "Arrival",
+                "CpuTick",
+                "FlowTick",
+                "SharedTick",
+                "Integrity",
+                "Hedge",
+                "other",
+                "SD-Kernel",
+                "SD-Driver",
+                "SD-ToRestr",
+                "SD-Restr",
+                "SD-ToNext",
+                "SD-finish",
+            ];
+            for (i, n) in names.iter().enumerate() {
+                if prof_n[i] > 0 {
+                    eprintln!(
+                        "EVPROF {n:10} n={:8} total={:9}us mean={:5}ns",
+                        prof_n[i],
+                        prof_ns[i] / 1000,
+                        prof_ns[i] / prof_n[i]
+                    );
+                }
             }
         }
         Ok(self.finish())
@@ -2943,8 +3092,9 @@ impl<'a> Sim<'a> {
         }
         let makespan = self
             .stats
+            .last_done
             .iter()
-            .map(|s| s.last_done)
+            .copied()
             .max()
             .unwrap_or(Time::ZERO);
         let wall = makespan.as_secs_f64().max(1e-12);
@@ -2979,26 +3129,28 @@ impl<'a> Sim<'a> {
             }
         });
 
+        let st = &mut self.stats;
         let apps: Vec<AppResult> = self
             .cfg
             .apps
             .iter()
-            .zip(self.stats.iter_mut())
-            .map(|(bench, st)| {
-                let n = st.completed.max(1) as f64;
-                let nt = st.completed.max(1) as u64;
+            .enumerate()
+            .map(|(a, bench)| {
+                let n = st.completed[a].max(1) as f64;
+                let nt = st.completed[a].max(1) as u64;
                 AppResult {
                     name: bench.name,
-                    completed: st.completed,
-                    latency: Time::from_secs_f64(st.latency_sum / n),
-                    latency_p50: Time::from_secs_f64(st.latencies.p50().unwrap_or(0.0)),
-                    latency_p99: Time::from_secs_f64(st.latencies.p99().unwrap_or(0.0)),
+                    completed: st.completed[a],
+                    latency: Time::from_secs_f64(st.latency_sum[a] / n),
+                    latency_p50: Time::from_secs_f64(st.latencies[a].p50().unwrap_or(0.0)),
+                    latency_p99: Time::from_secs_f64(st.latencies[a].p99().unwrap_or(0.0)),
                     breakdown: Breakdown {
-                        kernel: st.breakdown.kernel / nt,
-                        restructure: st.breakdown.restructure / nt,
-                        movement: st.breakdown.movement / nt,
+                        kernel: st.kernel[a] / nt,
+                        restructure: st.restructure[a] / nt,
+                        movement: st.movement[a] / nt,
                     },
-                    throughput_rps: st.completed as f64 / st.last_done.as_secs_f64().max(1e-12),
+                    throughput_rps: st.completed[a] as f64
+                        / st.last_done[a].as_secs_f64().max(1e-12),
                 }
             })
             .collect();

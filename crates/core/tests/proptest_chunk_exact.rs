@@ -1,0 +1,137 @@
+//! Property suite of the chunked-transfer fast-forward invariant: a
+//! run that materializes one observation event per 256 KB of DMA
+//! progress (`chunk_exact`) must be byte-identical to the default run
+//! that fast-forwards every transfer to its single closed-form
+//! completion event — across random fault, degrade, and overload
+//! schedules. Runs on the in-tree deterministic harness
+//! (`dmx_sim::check`).
+
+use dmx_core::experiments::Suite;
+use dmx_core::overload::{AdmissionParams, OverloadConfig, ShedPolicy};
+use dmx_core::placement::{Mode, Placement};
+use dmx_core::system::{simulate, units, SystemConfig};
+use dmx_sim::{
+    cases, run_cases, ArrivalProcess, CrashEvent, CrashTarget, DegradeEvent, DegradeTarget,
+    FaultConfig, Gen, Time,
+};
+
+const TENANTS: usize = 3;
+const ARRIVALS_PER_TENANT: usize = 6;
+
+fn n_cases() -> usize {
+    cases(if cfg!(feature = "heavy-tests") { 24 } else { 8 })
+}
+
+/// A random mixed schedule of crash and degrade events; degrades hit
+/// devices, single links, and whole subtrees so link-bandwidth changes
+/// (which move the flow anchor mid-transfer) are well covered.
+fn gen_faults(g: &mut Gen, seed: u64, horizon: Time) -> FaultConfig {
+    let mut f = FaultConfig::none();
+    f.seed = seed;
+    for _ in 0..g.usize_in(0, 3) {
+        f.degrades.push(DegradeEvent {
+            target: match g.usize_in(0, 3) {
+                0 => DegradeTarget::Device(units::bitw(g.usize_in(0, TENANTS), 0)),
+                1 => DegradeTarget::Link(g.usize_in(0, 4)),
+                _ => DegradeTarget::Subtree(g.usize_in(0, 2)),
+            },
+            at: horizon.scale(g.f64_in(0.05, 0.5)),
+            down_for: Some(horizon.scale(g.f64_in(0.05, 0.3))),
+            slowdown: g.f64_in(1.2, 4.0),
+            jitter: 0.0,
+            duty: None,
+        });
+    }
+    if g.chance(0.4) {
+        f.crashes.push(CrashEvent {
+            target: CrashTarget::Device(units::bitw(g.usize_in(0, TENANTS), 0)),
+            at: horizon.scale(g.f64_in(0.1, 0.5)),
+            down_for: Some(horizon.scale(g.f64_in(0.05, 0.2))),
+        });
+    }
+    if g.chance(0.3) {
+        f.sdc.dma_flip_rate = g.f64_in(1e-8, 5e-7);
+    }
+    f
+}
+
+#[test]
+fn chunk_exact_runs_are_byte_identical_to_fast_forwarded() {
+    let suite = Suite::new();
+    let clean = simulate(&SystemConfig::latency(
+        Mode::Dmx(Placement::BumpInTheWire),
+        suite.mix(TENANTS),
+    ));
+    let mean = clean.mean_latency();
+    let slowest = clean.apps.iter().map(|a| a.latency).max().unwrap();
+    let horizon = mean * (ARRIVALS_PER_TENANT as u64);
+
+    run_cases("chunk_exact_equivalence", n_cases(), |g| {
+        let seed = g.u64_in(0, u64::MAX);
+        let faults = gen_faults(g, seed, horizon);
+        // Half the cases run open loop so arrivals land mid-transfer.
+        let overload = if g.chance(0.5) {
+            let rps = g.f64_in(0.6, 1.8) / mean.as_secs_f64();
+            Some(OverloadConfig {
+                seed,
+                arrivals: vec![ArrivalProcess::Poisson { rate_rps: rps }; TENANTS],
+                admission: AdmissionParams {
+                    tokens_per_sec: 1.3 * rps,
+                    burst: 4.0,
+                    max_inflight: 8,
+                },
+                deadline: slowest * 4,
+                shed: ShedPolicy::Reject,
+                queue_capacity: 8,
+                ..OverloadConfig::none()
+            })
+        } else {
+            None
+        };
+        let fast = SystemConfig {
+            requests_per_app: ARRIVALS_PER_TENANT,
+            faults: Some(faults),
+            overload,
+            ..SystemConfig::latency(Mode::Dmx(Placement::BumpInTheWire), suite.mix(TENANTS))
+        };
+        let exact = SystemConfig {
+            chunk_exact: true,
+            ..fast.clone()
+        };
+
+        let rf = simulate(&fast);
+        let re = simulate(&exact);
+        assert_eq!(
+            format!("{rf:?}"),
+            format!("{re:?}"),
+            "chunk-exact run diverged from fast-forwarded run (faults {:?})",
+            fast.faults
+        );
+    });
+}
+
+#[test]
+fn chunk_exact_multi_app_contention_is_identical() {
+    // Heavier contention, closed loop: many concurrent transfers share
+    // the upstream link, so rates (and chunk boundaries) shift on every
+    // arrival and retire.
+    let suite = Suite::new();
+    for mode in [
+        Mode::MultiAxl,
+        Mode::Dmx(Placement::BumpInTheWire),
+        Mode::Dmx(Placement::PcieIntegrated),
+    ] {
+        let fast = SystemConfig::throughput(mode, suite.mix(8));
+        let exact = SystemConfig {
+            chunk_exact: true,
+            ..fast.clone()
+        };
+        let rf = simulate(&fast);
+        let re = simulate(&exact);
+        assert_eq!(
+            format!("{rf:?}"),
+            format!("{re:?}"),
+            "chunk-exact diverged under contention ({mode:?})"
+        );
+    }
+}

@@ -22,7 +22,31 @@ pub type FlowId = u64;
 struct Flow {
     id: FlowId,
     remaining: f64, // bytes
+    total: f64,     // bytes at insert, for chunk-boundary observation
     links: Vec<usize>,
+}
+
+/// Reusable solver state: the memoized max-min rates plus the scratch
+/// buffers `solve_rates_into` works in. Keeping them together means a
+/// steady-state advance/next_event cycle allocates nothing — buffers
+/// are cleared and refilled in place on each re-solve.
+#[derive(Debug, Clone, Default)]
+struct RateScratch {
+    /// Whether `rates` reflects the current flow set and bandwidths.
+    valid: bool,
+    rates: Vec<f64>,
+    frozen: Vec<bool>,
+    cap: Vec<f64>,
+    counts: Vec<u32>,
+    /// Flow indices crossing each link, rebuilt per solve (ascending).
+    link_members: Vec<Vec<u32>>,
+    /// Cached per-link fair share (`cap / counts`, infinite when idle).
+    shares: Vec<f64>,
+    /// Links touched in the current round whose share needs a refresh.
+    dirty: Vec<u32>,
+    /// Links with unfrozen flows, ascending; compacted as counts hit
+    /// zero so the per-round bottleneck scan touches only live links.
+    active: Vec<u32>,
 }
 
 /// Max-min fair fluid flow network over a set of capacitated links.
@@ -54,14 +78,20 @@ pub struct FlowNet {
     /// Active flows crossing each link, maintained incrementally on
     /// insert/retire so the max-min solver never rebuilds it.
     link_flows: Vec<u32>,
-    /// Memoized max-min rates; valid until the flow set or a link
-    /// bandwidth changes. The allocation itself depends only on which
-    /// flows cross which links, not on remaining bytes, so it is
-    /// constant between such changes.
-    rates_cache: RefCell<Option<Vec<f64>>>,
+    /// Memoized max-min rates plus solver scratch; valid until the flow
+    /// set or a link bandwidth changes. The allocation itself depends
+    /// only on which flows cross which links, not on remaining bytes,
+    /// so it is constant between such changes.
+    scratch: RefCell<RateScratch>,
+    /// Retired flows' route vecs, recycled by `try_insert` so starting
+    /// a flow in steady state does not allocate.
+    links_pool: Vec<Vec<usize>>,
     last: Time,
     generation: u64,
     finished: Vec<FlowId>,
+    /// Read cursor into `finished` for [`FlowNet::pop_finished`]; the
+    /// buffer is recycled once drained instead of reallocated.
+    finished_head: usize,
     link_bytes: Vec<f64>, // cumulative bytes crossing each link
     flows_completed: u64,
 }
@@ -86,19 +116,37 @@ impl FlowNet {
             degradations: vec![Vec::new(); n],
             flows: Vec::new(),
             link_flows: vec![0; n],
-            rates_cache: RefCell::new(None),
+            scratch: RefCell::new(RateScratch::default()),
+            links_pool: Vec::new(),
             last: Time::ZERO,
             generation: 0,
             finished: Vec::new(),
+            finished_head: 0,
             link_bytes: vec![0.0; n],
             flows_completed: 0,
         }
     }
 
     /// Drops the memoized rates; call after any change to the flow set
-    /// or link bandwidths.
+    /// or link bandwidths. The scratch buffers keep their capacity.
     fn invalidate_rates(&self) {
-        self.rates_cache.borrow_mut().take();
+        self.scratch.borrow_mut().valid = false;
+    }
+
+    /// Re-solves into the shared scratch if the memo is stale. After
+    /// this returns, `scratch.rates` holds the current allocation.
+    fn ensure_rates(&self) {
+        let mut s = self.scratch.borrow_mut();
+        if s.valid {
+            return;
+        }
+        self.solve_rates_into(&mut s);
+        s.valid = true;
+        debug_assert_eq!(
+            s.rates,
+            self.solve_rates_reference(),
+            "incremental max-min solver diverged from reference"
+        );
     }
 
     /// Current generation, bumped on every state change.
@@ -132,17 +180,17 @@ impl FlowNet {
     /// incrementally from the maintained per-link flow counts; debug
     /// builds cross-check the result against the from-scratch solver.
     pub fn rates(&self) -> Vec<f64> {
-        if let Some(r) = self.rates_cache.borrow().as_ref() {
-            return r.clone();
-        }
-        let rates = self.solve_rates();
-        debug_assert_eq!(
-            rates,
-            self.solve_rates_reference(),
-            "incremental max-min solver diverged from reference"
-        );
-        *self.rates_cache.borrow_mut() = Some(rates.clone());
-        rates
+        self.ensure_rates();
+        self.scratch.borrow().rates.clone()
+    }
+
+    /// Standalone incremental solve into a fresh scratch (tests and the
+    /// debug cross-check drive this directly).
+    #[cfg(test)]
+    fn solve_rates(&self) -> Vec<f64> {
+        let mut s = RateScratch::default();
+        self.solve_rates_into(&mut s);
+        s.rates
     }
 
     /// Incremental water-fill: starts from the maintained per-link flow
@@ -150,48 +198,112 @@ impl FlowNet {
     /// the count table from every flow on every bottleneck level. The
     /// arithmetic (order of subtractions, clamping) is identical to
     /// [`FlowNet::solve_rates_reference`], so the two agree bit-for-bit.
-    fn solve_rates(&self) -> Vec<f64> {
+    /// Works entirely inside `s`'s buffers — no allocation once they
+    /// have grown to the network's size.
+    fn solve_rates_into(&self, s: &mut RateScratch) {
         let nf = self.flows.len();
-        let mut rate = vec![f64::INFINITY; nf];
-        let mut frozen = vec![false; nf];
-        let mut cap = self.link_bw.clone();
-        let mut counts = self.link_flows.clone();
+        let nl = self.link_bw.len();
+        s.rates.clear();
+        s.rates.resize(nf, f64::INFINITY);
+        s.frozen.clear();
+        s.frozen.resize(nf, false);
+        s.cap.clear();
+        s.cap.extend_from_slice(&self.link_bw);
+        s.counts.clear();
+        s.counts.extend_from_slice(&self.link_flows);
+        let RateScratch {
+            rates,
+            frozen,
+            cap,
+            counts,
+            link_members,
+            shares,
+            dirty,
+            active,
+            ..
+        } = s;
+        // Per-link flow lists, ascending flow index (freeze order within
+        // a round is the reference's iteration order; the float result
+        // is order-independent within a round anyway, since every freeze
+        // subtracts the same share).
+        for list in link_members.iter_mut() {
+            list.clear();
+        }
+        link_members.resize_with(nl, Vec::new);
+        for (fi, f) in self.flows.iter().enumerate() {
+            for &l in &f.links {
+                link_members[l].push(fi as u32);
+            }
+        }
+        // Cached fair share per link; recomputed only for links whose
+        // cap/count changed last round. The shares a round observes are
+        // exactly `cap[l] / counts[l]` with the same operands as the
+        // reference, so the bottleneck choice and rates match bit-
+        // for-bit.
+        shares.clear();
+        shares.resize(nl, f64::INFINITY);
+        active.clear();
+        for l in 0..nl {
+            if counts[l] > 0 {
+                shares[l] = cap[l] / counts[l] as f64;
+                active.push(l as u32);
+            }
+        }
+        dirty.clear();
         let mut remaining = nf;
         while remaining > 0 {
-            // Most contended link among the unfrozen flows.
+            // Most contended link among the unfrozen flows: lowest index
+            // wins ties, as in the reference's forward scan. The active
+            // list is compacted in the same pass — it stays ascending,
+            // so the tie-break matches the reference's full scan.
             let mut bottleneck: Option<(usize, f64)> = None;
-            for (l, &c) in counts.iter().enumerate() {
-                if c > 0 {
-                    let share = cap[l] / c as f64;
+            let mut w = 0;
+            for r in 0..active.len() {
+                let l = active[r] as usize;
+                if counts[l] > 0 {
+                    active[w] = active[r];
+                    w += 1;
+                    let share = shares[l];
                     if bottleneck.is_none_or(|(_, s)| share < s) {
                         bottleneck = Some((l, share));
                     }
                 }
             }
+            active.truncate(w);
             let Some((bl, share)) = bottleneck else {
                 // Remaining flows cross no links at all; they are not
                 // allowed by `insert`, so this cannot happen.
                 unreachable!("unfrozen flow with empty route");
             };
-            for (fi, f) in self.flows.iter().enumerate() {
-                if !frozen[fi] && f.links.contains(&bl) {
+            for &fi in &link_members[bl] {
+                let fi = fi as usize;
+                if !frozen[fi] {
                     frozen[fi] = true;
-                    rate[fi] = share;
+                    rates[fi] = share;
                     remaining -= 1;
-                    for &l in &f.links {
+                    for &l in &self.flows[fi].links {
                         cap[l] -= share;
                         counts[l] -= 1;
+                        dirty.push(l as u32);
                     }
                 }
             }
-            // Guard against negative drift from float subtraction.
-            for c in &mut cap {
-                if *c < 0.0 {
-                    *c = 0.0;
+            // Guard against negative drift from float subtraction, and
+            // refresh the cached shares of the links this round touched
+            // (untouched links kept their cap, count, and share).
+            for &l in dirty.iter() {
+                let l = l as usize;
+                if cap[l] < 0.0 {
+                    cap[l] = 0.0;
                 }
+                shares[l] = if counts[l] > 0 {
+                    cap[l] / counts[l] as f64
+                } else {
+                    f64::INFINITY
+                };
             }
+            dirty.clear();
         }
-        rate
     }
 
     /// The original from-scratch solver, kept as the debug-build
@@ -256,7 +368,11 @@ impl FlowNet {
         if dt == 0.0 || self.flows.is_empty() {
             return;
         }
-        let rates = self.rates();
+        // Borrow the memoized rates out of the scratch cell for the
+        // duration of the fluid update (no clone), then hand the buffer
+        // back. Nothing can observe the cell in between.
+        self.ensure_rates();
+        let rates = std::mem::take(&mut self.scratch.borrow_mut().rates);
         for (f, r) in self.flows.iter_mut().zip(&rates) {
             let moved = (r * dt).min(f.remaining);
             f.remaining -= moved;
@@ -264,25 +380,32 @@ impl FlowNet {
                 self.link_bytes[l] += moved;
             }
         }
+        self.scratch.borrow_mut().rates = rates;
         // Finished when less than one byte remains: completion events
         // are rounded up to whole picoseconds, which absorbs float error.
-        let flows = &mut self.flows;
+        // Retired ids go straight onto `finished` (same FIFO order as
+        // the retain visit) and their route vecs back into the pool.
+        let before = self.flows.len();
         let link_flows = &mut self.link_flows;
-        let mut done: Vec<FlowId> = Vec::new();
-        flows.retain(|f| {
+        let finished = &mut self.finished;
+        let pool = &mut self.links_pool;
+        self.flows.retain_mut(|f| {
             if f.remaining < 1.0 {
                 for &l in &f.links {
                     link_flows[l] -= 1;
                 }
-                done.push(f.id);
+                finished.push(f.id);
+                let mut links = std::mem::take(&mut f.links);
+                links.clear();
+                pool.push(links);
                 false
             } else {
                 true
             }
         });
-        if !done.is_empty() {
-            self.flows_completed += done.len() as u64;
-            self.finished.extend(done);
+        let retired = before - self.flows.len();
+        if retired > 0 {
+            self.flows_completed += retired as u64;
             self.generation += 1;
             self.invalidate_rates();
         }
@@ -366,14 +489,19 @@ impl FlowNet {
         if route_links.is_empty() {
             return Err(FabricError::EmptyRoute);
         }
-        let links: Vec<usize> = route_links.iter().map(|l| l.index()).collect();
+        let mut links = self.links_pool.pop().unwrap_or_default();
+        links.extend(route_links.iter().map(|l| l.index()));
         for (&l, &lid) in links.iter().zip(route_links) {
             if l >= self.link_bw.len() {
+                links.clear();
+                self.links_pool.push(links);
                 return Err(FabricError::UnknownLink(lid));
             }
         }
         self.advance(now);
         if bytes == 0 {
+            links.clear();
+            self.links_pool.push(links);
             self.finished.push(id);
             self.flows_completed += 1;
         } else {
@@ -383,6 +511,7 @@ impl FlowNet {
             self.flows.push(Flow {
                 id,
                 remaining: bytes as f64,
+                total: bytes as f64,
                 links,
             });
             self.invalidate_rates();
@@ -401,13 +530,17 @@ impl FlowNet {
         self.advance(now);
         let dead: Vec<usize> = links.iter().map(|l| l.index()).collect();
         let link_flows = &mut self.link_flows;
+        let pool = &mut self.links_pool;
         let mut aborted: Vec<FlowId> = Vec::new();
-        self.flows.retain(|f| {
+        self.flows.retain_mut(|f| {
             if f.links.iter().any(|l| dead.contains(l)) {
                 for &l in &f.links {
                     link_flows[l] -= 1;
                 }
                 aborted.push(f.id);
+                let mut route = std::mem::take(&mut f.links);
+                route.clear();
+                pool.push(route);
                 false
             } else {
                 true
@@ -427,7 +560,26 @@ impl FlowNet {
 
     /// Drains flows that completed since the last call.
     pub fn take_finished(&mut self) -> Vec<FlowId> {
-        std::mem::take(&mut self.finished)
+        let out = self.finished.split_off(self.finished_head);
+        self.finished.clear();
+        self.finished_head = 0;
+        out
+    }
+
+    /// Pops the next completed flow in completion (FIFO) order, or
+    /// `None` when the pending set is drained. The allocation-free
+    /// equivalent of [`FlowNet::take_finished`]: the completion buffer
+    /// is recycled once empty, so steady-state draining never allocates.
+    pub fn pop_finished(&mut self) -> Option<FlowId> {
+        if self.finished_head < self.finished.len() {
+            let id = self.finished[self.finished_head];
+            self.finished_head += 1;
+            Some(id)
+        } else {
+            self.finished.clear();
+            self.finished_head = 0;
+            None
+        }
     }
 
     /// Absolute time of the next flow completion at current rates, or
@@ -436,9 +588,10 @@ impl FlowNet {
         if self.flows.is_empty() {
             return None;
         }
-        let rates = self.rates();
+        self.ensure_rates();
+        let s = self.scratch.borrow();
         let mut best = f64::INFINITY;
-        for (f, r) in self.flows.iter().zip(&rates) {
+        for (f, r) in self.flows.iter().zip(&s.rates) {
             if *r > 0.0 {
                 best = best.min(f.remaining / r);
             }
@@ -448,6 +601,55 @@ impl FlowNet {
         }
         let dt = Time::from_secs_f64(best).max(Time::from_ps(1));
         Some((self.last + dt).max(now))
+    }
+
+    /// Absolute time strictly after `now` at which any active flow
+    /// crosses its next `chunk_bytes` delivery boundary, or `None`
+    /// when no crossing is pending.
+    ///
+    /// This is a *pure observation*: it mutates nothing, and in
+    /// particular does not advance the fluid accounting, so a caller
+    /// materializing per-chunk progress events observes exactly the
+    /// state the fast-forwarded (single completion event) run computes.
+    /// Each flow's delivery position is derived in closed form from the
+    /// anchor state of the last real mutation (`advance`/insert/retire/
+    /// degrade): `delivered(t) = (total - remaining) + rate * (t -
+    /// last)`. Any flow-set or bandwidth change moves the anchor and
+    /// bumps [`FlowNet::generation`], so chunk events scheduled against
+    /// a stale anchor can be recognized and dropped.
+    pub fn next_chunk_event(&self, now: Time, chunk_bytes: u64) -> Option<Time> {
+        if self.flows.is_empty() || chunk_bytes == 0 {
+            return None;
+        }
+        let chunk = chunk_bytes as f64;
+        let horizon = (now - self.last).as_secs_f64();
+        self.ensure_rates();
+        let s = self.scratch.borrow();
+        let mut best = f64::INFINITY;
+        for (f, r) in self.flows.iter().zip(&s.rates) {
+            if *r <= 0.0 {
+                continue;
+            }
+            // First whole-chunk boundary still ahead of the flow's
+            // position at `now` (delivery is linear between anchors).
+            let delivered_now = (f.total - f.remaining) + r * horizon;
+            let k = (delivered_now / chunk).floor() + 1.0;
+            let target = k * chunk;
+            if target >= f.total {
+                // The tail is the completion event's job, not a chunk's.
+                continue;
+            }
+            let dt = (target - (f.total - f.remaining)) / r;
+            best = best.min(dt);
+        }
+        if !best.is_finite() {
+            return None;
+        }
+        let dt = Time::from_secs_f64(best).max(Time::from_ps(1));
+        let t = self.last + dt;
+        // Strictly-after guarantee: a tick delivered exactly on a
+        // boundary must not reschedule itself at the same instant.
+        Some(t.max(now + Time::from_ps(1)))
     }
 }
 
@@ -634,6 +836,22 @@ mod tests {
     }
 
     #[test]
+    fn pop_finished_matches_take_finished_order() {
+        let mut net = FlowNet::new(vec![1_000_000_000]);
+        net.insert(Time::ZERO, 7, 0, &[lid(0)]);
+        net.insert(Time::ZERO, 8, 0, &[lid(0)]);
+        net.insert(Time::ZERO, 9, 500_000_000, &[lid(0)]);
+        assert_eq!(net.pop_finished(), Some(7));
+        assert_eq!(net.pop_finished(), Some(8));
+        assert_eq!(net.pop_finished(), None);
+        let t = net.next_event(Time::ZERO).unwrap();
+        net.advance(t);
+        // Mixing the two drain styles stays consistent.
+        assert_eq!(net.take_finished(), vec![9]);
+        assert_eq!(net.pop_finished(), None);
+    }
+
+    #[test]
     fn incremental_solver_matches_reference_on_random_histories() {
         use dmx_sim::{cases, run_cases};
         // Drive random arrival / completion / degrade / restore
@@ -714,6 +932,51 @@ mod tests {
                 assert_eq!(net.link_flows, recount, "link counts drifted");
             }
         });
+    }
+
+    #[test]
+    fn chunk_events_walk_boundaries_without_mutation() {
+        // 1 MB over a 1 MB/s link with 256 KB chunks: boundaries at
+        // 0.25s, 0.5s, 0.75s; the 1.0s tail belongs to the completion.
+        let chunk = 256 * 1024;
+        let mut net = FlowNet::new(vec![1_048_576]);
+        net.insert(Time::ZERO, 1, 1_048_576, &[lid(0)]);
+        let gen = net.generation();
+        let mut now = Time::ZERO;
+        let mut ticks = Vec::new();
+        while let Some(t) = net.next_chunk_event(now, chunk) {
+            ticks.push(t);
+            now = t;
+            assert!(ticks.len() < 10, "chunk ticks must terminate");
+        }
+        assert_eq!(ticks.len(), 3);
+        assert_eq!(ticks[0], Time::from_ms(250));
+        assert_eq!(ticks[1], Time::from_ms(500));
+        assert_eq!(ticks[2], Time::from_ms(750));
+        // Observation only: no state moved, no generation bump.
+        assert_eq!(net.generation(), gen);
+        assert_eq!(net.active_flows(), 1);
+        assert_eq!(net.next_event(now), Some(Time::from_secs(1)));
+    }
+
+    #[test]
+    fn chunk_events_follow_rate_changes() {
+        // Two flows share the link: boundaries land at half speed.
+        let chunk = 500_000;
+        let mut net = FlowNet::new(vec![1_000_000]);
+        net.insert(Time::ZERO, 1, 1_000_000, &[lid(0)]);
+        net.insert(Time::ZERO, 2, 2_000_000, &[lid(0)]);
+        // Each runs at 500 KB/s; flow 1's 500 KB boundary is its only
+        // interior one (total 1 MB), reached at t=1s.
+        assert_eq!(
+            net.next_chunk_event(Time::ZERO, chunk),
+            Some(Time::from_secs(1))
+        );
+        // Sub-chunk transfers produce no chunk events at all.
+        let mut small = FlowNet::new(vec![1_000_000]);
+        small.insert(Time::ZERO, 1, 100_000, &[lid(0)]);
+        assert_eq!(small.next_chunk_event(Time::ZERO, chunk), None);
+        assert_eq!(small.next_chunk_event(Time::ZERO, 0), None);
     }
 
     #[test]

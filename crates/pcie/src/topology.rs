@@ -5,7 +5,7 @@ use crate::link::{Gen, LinkSpec};
 use dmx_sim::Time;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Errors the fabric model can report instead of panicking.
 ///
@@ -175,7 +175,9 @@ pub struct Topology {
     /// never re-parented and traversal latencies are fixed per kind —
     /// so memoized routes never go stale; no eviction is needed. Behind
     /// a mutex so `route(&self)` stays shareable across sweep workers.
-    route_memo: Mutex<HashMap<(usize, usize), Route>>,
+    /// Entries are `Arc`'d so hot callers ([`Topology::try_route_shared`])
+    /// get a handle bump instead of cloning two vecs per flow start.
+    route_memo: Mutex<HashMap<(usize, usize), Arc<Route>>>,
 }
 
 impl Clone for Topology {
@@ -312,13 +314,21 @@ impl Topology {
 
     /// Fallible variant of [`Topology::route`].
     pub fn try_route(&self, src: NodeId, dst: NodeId) -> Result<Route, FabricError> {
+        self.try_route_shared(src, dst).map(|r| (*r).clone())
+    }
+
+    /// Like [`Topology::try_route`] but returns the memoized route by
+    /// shared handle: a cache hit is a lock + refcount bump, with no
+    /// per-call vec clones. The hot flow-start path in `dmx-core` goes
+    /// through this.
+    pub fn try_route_shared(&self, src: NodeId, dst: NodeId) -> Result<Arc<Route>, FabricError> {
         for n in [src, dst] {
             if n.0 >= self.nodes.len() {
                 return Err(FabricError::UnknownNode(n));
             }
         }
         if src == dst {
-            return Ok(Route::empty());
+            return Ok(Arc::new(Route::empty()));
         }
         // A poisoned memo is still a valid cache (entries are written
         // whole); recover it rather than cascading another panic.
@@ -328,13 +338,13 @@ impl Topology {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&(src.0, dst.0))
         {
-            return Ok(r.clone());
+            return Ok(Arc::clone(r));
         }
-        let route = self.walk_route(src, dst)?;
+        let route = Arc::new(self.walk_route(src, dst)?);
         self.route_memo
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert((src.0, dst.0), route.clone());
+            .insert((src.0, dst.0), Arc::clone(&route));
         Ok(route)
     }
 

@@ -378,6 +378,51 @@ impl FaultPlan {
         bytes: u64,
         residency_secs: f64,
     ) -> Vec<SdcEvent> {
+        let Some((count, mut rng)) =
+            self.sdc_flip_draw(domain, device, batch, attempt, bytes, residency_secs)
+        else {
+            return Vec::new();
+        };
+        (0..count)
+            .map(|_| SdcEvent {
+                offset: rng.next_below(bytes),
+                bit: (rng.next_u64() & 7) as u8,
+            })
+            .collect()
+    }
+
+    /// Count-only variant of [`FaultPlan::sdc_flips`]: same Poisson draw
+    /// on the same sub-stream, so `sdc_flip_count(..) == sdc_flips(..).len()`
+    /// always — but without materializing per-flip positions. The hot
+    /// integrity path only needs the count, and the per-flip draws were
+    /// the allocation it paid for.
+    pub fn sdc_flip_count(
+        &self,
+        domain: SdcDomain,
+        device: u64,
+        batch: u64,
+        attempt: u32,
+        bytes: u64,
+        residency_secs: f64,
+    ) -> u64 {
+        self.sdc_flip_draw(domain, device, batch, attempt, bytes, residency_secs)
+            .map_or(0, |(count, _)| count)
+    }
+
+    /// The shared Poisson count draw behind [`FaultPlan::sdc_flips`] and
+    /// [`FaultPlan::sdc_flip_count`]. Returns the count and the stream
+    /// positioned just past it (where per-flip draws continue), or
+    /// `None` without touching any stream when the exposure cannot fire
+    /// (zero rate or empty batch) — the common case on hot paths.
+    fn sdc_flip_draw(
+        &self,
+        domain: SdcDomain,
+        device: u64,
+        batch: u64,
+        attempt: u32,
+        bytes: u64,
+        residency_secs: f64,
+    ) -> Option<(u64, SplitMix64)> {
         let rate = match domain {
             SdcDomain::Scratchpad => self.cfg.sdc.spad_flip_rate,
             SdcDomain::DmaStaging => self.cfg.sdc.dma_flip_rate,
@@ -385,7 +430,7 @@ impl FaultPlan {
         };
         let mean = bytes as f64 * rate;
         if mean <= 0.0 || bytes == 0 {
-            return Vec::new();
+            return None;
         }
         let mut rng = self.stream(
             DOMAIN_SDC ^ (domain.tag() << 8),
@@ -408,12 +453,7 @@ impl FaultPlan {
             }
             count += 1;
         }
-        (0..count)
-            .map(|_| SdcEvent {
-                offset: rng.next_below(bytes),
-                bit: (rng.next_u64() & 7) as u8,
-            })
-            .collect()
+        Some((count, rng))
     }
 
     /// The crash-stop schedule, ordered by crash time (ties broken by
@@ -589,6 +629,23 @@ mod tests {
         for f in &a {
             assert!(f.offset < 1 << 20);
             assert!(f.bit < 8);
+        }
+    }
+
+    #[test]
+    fn sdc_flip_count_matches_flips_len() {
+        let p = lossy();
+        for b in 0..200 {
+            for (dom, res) in [
+                (SdcDomain::Scratchpad, 0.0),
+                (SdcDomain::DmaStaging, 0.0),
+                (SdcDomain::Ddr, 0.5),
+            ] {
+                assert_eq!(
+                    p.sdc_flip_count(dom, 3, b, 1, 1 << 20, res),
+                    p.sdc_flips(dom, 3, b, 1, 1 << 20, res).len() as u64,
+                );
+            }
         }
     }
 

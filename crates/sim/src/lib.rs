@@ -46,7 +46,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod check;
+pub mod fastmap;
 pub mod fault;
+pub mod idmap;
 pub mod par;
 pub mod queue;
 pub mod resources;
@@ -56,14 +58,16 @@ pub mod time;
 pub mod workload;
 
 pub use check::{cases, run_cases, Gen};
+pub use fastmap::{FastHasher, FastMap, FastSet};
 pub use fault::{
     CrashEvent, CrashTarget, DegradeEvent, DegradeTarget, DutyCycle, FaultConfig, FaultPlan,
     SdcConfig, SdcDomain, SdcEvent,
 };
+pub use idmap::IdMap;
 pub use par::{par_map, par_map_with};
 pub use queue::{events_delivered, set_default_stall_limit, EventQueue};
 pub use resources::{water_fill, FifoServer, PsJobId, PsPool};
 pub use rng::SplitMix64;
-pub use stats::{geomean, BusyTracker, Percentiles, Summary, TimeWeighted};
+pub use stats::{geomean, BusyTracker, Percentiles, Summary, SummaryCols, TimeWeighted};
 pub use time::{transfer_time, Time};
 pub use workload::{ArrivalGen, ArrivalProcess, BoundedQueue};

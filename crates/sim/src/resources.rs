@@ -13,6 +13,7 @@
 //!   Fig. 5 characterization shows.
 
 use crate::time::Time;
+use std::cell::RefCell;
 
 /// A bank of `k` identical FIFO servers with deterministic service times.
 ///
@@ -148,8 +149,24 @@ pub struct PsPool {
     last: Time,
     generation: u64,
     finished: Vec<PsJobId>,
+    /// Read cursor into `finished` for [`PsPool::pop_finished`].
+    finished_head: usize,
+    /// Reusable water-fill buffers so steady-state advance/next_event
+    /// cycles allocate nothing.
+    scratch: RefCell<PsScratch>,
     busy_core_ps: f64,
     jobs_completed: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PsScratch {
+    /// Whether `rates` matches the current job set. Rates are a pure
+    /// function of (capacity, per-job caps), so they stay valid until a
+    /// job joins or retires — advancing time alone never changes them.
+    valid: bool,
+    caps: Vec<f64>,
+    order: Vec<usize>,
+    rates: Vec<f64>,
 }
 
 impl PsPool {
@@ -169,6 +186,8 @@ impl PsPool {
             last: Time::ZERO,
             generation: 0,
             finished: Vec::new(),
+            finished_head: 0,
+            scratch: RefCell::new(PsScratch::default()),
             busy_core_ps: 0.0,
             jobs_completed: 0,
         }
@@ -200,14 +219,19 @@ impl PsPool {
         self.busy_core_ps / 1e12
     }
 
-    /// Water-filling rate allocation: every job gets
-    /// `min(cap, fair share)` cores where the shares of uncapped jobs are
-    /// raised until capacity is exhausted.
-    fn rates(&self) -> Vec<f64> {
-        water_fill(
-            self.capacity,
-            &self.jobs.iter().map(|j| j.cap).collect::<Vec<_>>(),
-        )
+    /// Water-filling rate allocation into the shared scratch: every job
+    /// gets `min(cap, fair share)` cores where the shares of uncapped
+    /// jobs are raised until capacity is exhausted. After this returns,
+    /// `scratch.rates[i]` is the allocation of `jobs[i]`.
+    fn fill_rates(&self, s: &mut PsScratch) {
+        if s.valid {
+            return;
+        }
+        s.caps.clear();
+        s.caps.extend(self.jobs.iter().map(|j| j.cap));
+        let (caps, order, rates) = (&s.caps, &mut s.order, &mut s.rates);
+        water_fill_into(self.capacity, caps, order, rates);
+        s.valid = true;
     }
 
     /// Advances internal accounting to `now`, depleting remaining work at
@@ -223,25 +247,36 @@ impl PsPool {
         if dt == 0.0 || self.jobs.is_empty() {
             return;
         }
-        let rates = self.rates();
-        for (job, rate) in self.jobs.iter_mut().zip(&rates) {
+        // Borrow the scratch buffers out of the cell while jobs are
+        // mutated, then hand them back; nothing observes the cell in
+        // between.
+        let mut s = self.scratch.take();
+        self.fill_rates(&mut s);
+        for (job, rate) in self.jobs.iter_mut().zip(&s.rates) {
             job.remaining -= rate * dt;
             self.busy_core_ps += rate * dt;
         }
+        *self.scratch.borrow_mut() = s;
         // A job is finished when less than one picosecond of dedicated
         // single-core time remains; completion events are rounded up to
-        // whole picoseconds so this absorbs float error.
-        let finished: Vec<PsJobId> = self
-            .jobs
-            .iter()
-            .filter(|j| j.remaining < 1.0)
-            .map(|j| j.id)
-            .collect();
-        if !finished.is_empty() {
-            self.jobs.retain(|j| j.remaining >= 1.0);
-            self.jobs_completed += finished.len() as u64;
-            self.finished.extend(finished);
+        // whole picoseconds so this absorbs float error. Ids go straight
+        // onto `finished` in the same order the old collect-then-extend
+        // produced.
+        let before = self.jobs.len();
+        let finished = &mut self.finished;
+        self.jobs.retain(|j| {
+            if j.remaining < 1.0 {
+                finished.push(j.id);
+                false
+            } else {
+                true
+            }
+        });
+        let retired = before - self.jobs.len();
+        if retired > 0 {
+            self.jobs_completed += retired as u64;
             self.generation += 1;
+            self.scratch.get_mut().valid = false;
         }
     }
 
@@ -262,13 +297,32 @@ impl PsPool {
             self.jobs_completed += 1;
         } else {
             self.jobs.push(PsJob { id, remaining, cap });
+            self.scratch.get_mut().valid = false;
         }
         self.generation += 1;
     }
 
     /// Drains the set of jobs that completed since the last call.
     pub fn take_finished(&mut self) -> Vec<PsJobId> {
-        std::mem::take(&mut self.finished)
+        let out = self.finished.split_off(self.finished_head);
+        self.finished.clear();
+        self.finished_head = 0;
+        out
+    }
+
+    /// Pops the next completed job in completion (FIFO) order, or `None`
+    /// when drained. The allocation-free equivalent of
+    /// [`PsPool::take_finished`]: the buffer is recycled once empty.
+    pub fn pop_finished(&mut self) -> Option<PsJobId> {
+        if self.finished_head < self.finished.len() {
+            let id = self.finished[self.finished_head];
+            self.finished_head += 1;
+            Some(id)
+        } else {
+            self.finished.clear();
+            self.finished_head = 0;
+            None
+        }
     }
 
     /// Absolute time of the next job completion given the current
@@ -278,9 +332,10 @@ impl PsPool {
         if self.jobs.is_empty() {
             return None;
         }
-        let rates = self.rates();
+        let mut s = self.scratch.borrow_mut();
+        self.fill_rates(&mut s);
         let mut best = f64::INFINITY;
-        for (job, rate) in self.jobs.iter().zip(&rates) {
+        for (job, rate) in self.jobs.iter().zip(&s.rates) {
             if *rate > 0.0 {
                 best = best.min(job.remaining / rate);
             }
@@ -300,23 +355,69 @@ impl PsPool {
 /// Returns the per-job rates. Jobs with small caps get their cap; the
 /// rest split the leftover evenly (never exceeding their own cap).
 pub fn water_fill(capacity: f64, caps: &[f64]) -> Vec<f64> {
+    let mut order = Vec::new();
+    let mut rates = Vec::new();
+    water_fill_into(capacity, caps, &mut order, &mut rates);
+    rates
+}
+
+/// [`water_fill`] into caller-provided buffers (cleared and refilled),
+/// so repeated allocations inside the event loop reuse capacity.
+///
+/// The sort is unstable, which cannot change the result: two jobs with
+/// equal caps always receive equal rates (if the fair share exceeds the
+/// tied cap once it exceeds it for both; if it does not, both freeze at
+/// the identical fair share), so tie order is unobservable.
+fn water_fill_into(capacity: f64, caps: &[f64], order: &mut Vec<usize>, rates: &mut Vec<f64>) {
     let n = caps.len();
+    rates.clear();
+    rates.resize(n, 0.0);
     if n == 0 {
-        return Vec::new();
+        return;
     }
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| caps[a].total_cmp(&caps[b]));
-    let mut rates = vec![0.0; n];
+    order.clear();
+    // Common case in steady state: every job has the same cap (or caps
+    // already ascend), so skip the sort. The fill loop below is exactly
+    // the same arithmetic either way. Otherwise, pools see only a
+    // handful of distinct cap values (driver vs kernel vs restructure
+    // classes), so an O(n·d) bucket pass beats a comparison sort; with
+    // many distinct values, fall back to sorting. Order within an equal-
+    // cap group is unobservable (equal caps always yield bitwise-equal
+    // rates), so every branch produces the same result.
+    if caps.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()) {
+        order.extend(0..n);
+    } else {
+        let mut distinct: [f64; 8] = [0.0; 8];
+        let mut nd = 0usize;
+        for &c in caps {
+            if !distinct[..nd].contains(&c) {
+                if nd == distinct.len() {
+                    nd = usize::MAX;
+                    break;
+                }
+                distinct[nd] = c;
+                nd += 1;
+            }
+        }
+        if nd == usize::MAX {
+            order.extend(0..n);
+            order.sort_unstable_by(|&a, &b| caps[a].total_cmp(&caps[b]));
+        } else {
+            distinct[..nd].sort_unstable_by(|a, b| a.total_cmp(b));
+            for &v in &distinct[..nd] {
+                order.extend((0..n).filter(|&i| caps[i] == v));
+            }
+        }
+    }
     let mut remaining_cap = capacity;
     let mut remaining_jobs = n as f64;
-    for &i in &order {
+    for &i in order.iter() {
         let fair = remaining_cap / remaining_jobs;
         let r = caps[i].min(fair);
         rates[i] = r;
         remaining_cap -= r;
         remaining_jobs -= 1.0;
     }
-    rates
 }
 
 #[cfg(test)]

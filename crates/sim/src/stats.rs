@@ -101,6 +101,106 @@ impl Summary {
     }
 }
 
+/// Struct-of-arrays [`Summary`]: one running scalar summary per series,
+/// stored as parallel columns indexed by series id.
+///
+/// Hot simulation loops record into one series per sample; keeping each
+/// statistic in its own contiguous column means a per-sample update
+/// touches exactly the cache lines of the statistics it writes, and a
+/// report pass over all series of one statistic streams a single array
+/// instead of striding over an array of structs.
+///
+/// ```
+/// use dmx_sim::SummaryCols;
+/// let mut s = SummaryCols::new(2);
+/// s.record(0, 1.0);
+/// s.record(0, 3.0);
+/// s.record(1, 10.0);
+/// assert_eq!(s.mean(0), 2.0);
+/// assert_eq!(s.count(1), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SummaryCols {
+    count: Vec<u64>,
+    sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+    min: Vec<f64>,
+    max: Vec<f64>,
+}
+
+impl SummaryCols {
+    /// Creates `n` empty series.
+    pub fn new(n: usize) -> Self {
+        SummaryCols {
+            count: vec![0; n],
+            sum: vec![0.0; n],
+            sum_sq: vec![0.0; n],
+            min: vec![f64::INFINITY; n],
+            max: vec![f64::NEG_INFINITY; n],
+        }
+    }
+
+    /// Number of series.
+    pub fn series(&self) -> usize {
+        self.count.len()
+    }
+
+    /// Records one sample into series `i`.
+    pub fn record(&mut self, i: usize, v: f64) {
+        self.count[i] += 1;
+        self.sum[i] += v;
+        self.sum_sq[i] += v * v;
+        self.min[i] = self.min[i].min(v);
+        self.max[i] = self.max[i].max(v);
+    }
+
+    /// Number of samples in series `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.count[i]
+    }
+
+    /// Sum of series `i`.
+    pub fn sum(&self, i: usize) -> f64 {
+        self.sum[i]
+    }
+
+    /// Mean of series `i`; zero when empty.
+    pub fn mean(&self, i: usize) -> f64 {
+        if self.count[i] == 0 {
+            0.0
+        } else {
+            self.sum[i] / self.count[i] as f64
+        }
+    }
+
+    /// Population variance of series `i`; zero below two samples.
+    pub fn variance(&self, i: usize) -> f64 {
+        if self.count[i] < 2 {
+            return 0.0;
+        }
+        let n = self.count[i] as f64;
+        (self.sum_sq[i] / n - (self.sum[i] / n).powi(2)).max(0.0)
+    }
+
+    /// Smallest sample of series `i`; zero when empty.
+    pub fn min(&self, i: usize) -> f64 {
+        if self.count[i] == 0 {
+            0.0
+        } else {
+            self.min[i]
+        }
+    }
+
+    /// Largest sample of series `i`; zero when empty.
+    pub fn max(&self, i: usize) -> f64 {
+        if self.count[i] == 0 {
+            0.0
+        } else {
+            self.max[i]
+        }
+    }
+}
+
 /// Geometric mean of a slice of positive values; `None` when empty or
 /// when any value is non-positive.
 ///
@@ -255,6 +355,39 @@ mod tests {
     fn geomean_of_identical_values() {
         let g = geomean(&[6.5; 5]).unwrap();
         assert!((g - 6.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_cols_match_row_summaries() {
+        // The columnar form must agree with N independent `Summary`s.
+        let mut cols = SummaryCols::new(3);
+        let mut rows = [Summary::new(), Summary::new(), Summary::new()];
+        let mut x = 7u64;
+        for k in 0..200 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let i = (x >> 33) as usize % 3;
+            let v = (k as f64) - 100.0;
+            cols.record(i, v);
+            rows[i].record(v);
+        }
+        assert_eq!(cols.series(), 3);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(cols.count(i), row.count());
+            assert_eq!(cols.sum(i), row.sum());
+            assert_eq!(cols.mean(i), row.mean());
+            assert_eq!(cols.variance(i), row.variance());
+            assert_eq!(cols.min(i), row.min());
+            assert_eq!(cols.max(i), row.max());
+        }
+    }
+
+    #[test]
+    fn summary_cols_empty_series_are_zero() {
+        let s = SummaryCols::new(1);
+        assert_eq!(s.count(0), 0);
+        assert_eq!(s.mean(0), 0.0);
+        assert_eq!(s.min(0), 0.0);
+        assert_eq!(s.max(0), 0.0);
     }
 
     #[test]
