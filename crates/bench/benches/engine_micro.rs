@@ -5,6 +5,7 @@
 
 use dmx_bench::timing::bench;
 use dmx_pcie::{FlowNet, Gen, Lanes, LinkId, LinkSpec, NodeKind, Topology};
+use dmx_sim::partition::{run_conservative, Outbox, Partition, XMsg};
 use dmx_sim::{EventQueue, Percentiles, Time};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -13,6 +14,61 @@ use std::hint::black_box;
 fn lcg(x: u64) -> u64 {
     x.wrapping_mul(6364136223846793005)
         .wrapping_add(1442695040888963407)
+}
+
+/// Token-ring partition for the barrier rows: each received token is
+/// folded into a checksum and forwarded one hop with `LINK_NS` link
+/// latency, so with lookahead == link latency every conservative
+/// window carries exactly one hop of real work.
+const LINK_NS: u64 = 10;
+
+struct BenchRing {
+    id: usize,
+    n: usize,
+    q: EventQueue<u64>,
+    sum: u64,
+    bound: u64,
+}
+
+impl BenchRing {
+    fn new(id: usize, n: usize, bound: u64) -> BenchRing {
+        let mut q = EventQueue::new();
+        if id == 0 {
+            q.schedule_at(Time::from_ns(1), 0);
+        }
+        BenchRing {
+            id,
+            n,
+            q,
+            sum: 0,
+            bound,
+        }
+    }
+}
+
+impl Partition for BenchRing {
+    type Msg = u64;
+
+    fn next_time(&self) -> Option<Time> {
+        self.q.peek_time()
+    }
+
+    fn advance(&mut self, horizon: Time, inbox: Vec<XMsg<u64>>, out: &mut Outbox<u64>) {
+        for m in inbox {
+            self.q.schedule_at(m.time, m.payload);
+        }
+        while self.q.peek_time().is_some_and(|t| t < horizon) {
+            let v = self.q.pop().expect("peeked");
+            self.sum = self.sum.wrapping_add(v);
+            if v < self.bound {
+                out.send(
+                    (self.id + 1) % self.n,
+                    self.q.now() + Time::from_ns(LINK_NS),
+                    v + 1,
+                );
+            }
+        }
+    }
 }
 
 fn main() {
@@ -147,6 +203,28 @@ fn main() {
         }
         black_box(hops)
     });
+
+    // Conservative-window barrier overhead: an n-partition token ring
+    // where each window moves exactly one token one hop, so the work
+    // per window is negligible and the row times the synchronization
+    // machinery itself — global-min reduction, horizon publication,
+    // channel collection, inbox sorting, and (sharded rows) two
+    // `std::sync::Barrier` waits per window. `serial` runs the same
+    // window loop inline on one thread; the sharded row pays the real
+    // cross-thread barrier cost, so serial-vs-sharded is the per-window
+    // price of parallelism and `2p`→`8p` scales the reduction width.
+    const TOKENS: u64 = 5_000;
+    for n in [2usize, 4, 8] {
+        for (mode, shards) in [("serial", 1usize), ("sharded", n)] {
+            bench(&format!("barrier_ring{n}p_{mode}"), || {
+                let mut parts: Vec<BenchRing> =
+                    (0..n).map(|id| BenchRing::new(id, n, TOKENS)).collect();
+                let stats = run_conservative(&mut parts, Time::from_ns(LINK_NS), shards);
+                let sum: u64 = parts.iter().map(|p| p.sum).sum();
+                black_box((stats.windows, stats.messages, sum))
+            });
+        }
+    }
 
     // Quantile snapshot: 10k samples, the three tail queries per
     // snapshot the overload report makes.

@@ -6,6 +6,13 @@
 //! regressions can be compared across commits. The parallel pass must
 //! render byte-identically to the serial pass; `ok()` (and the repro
 //! exit code) reflect that check.
+//!
+//! System construction (`setup_secs`, from the process-global counter
+//! fed by `Sim` constructors) and report rendering (`render_secs`)
+//! are reported separately and subtracted from the events/sec
+//! denominator, so the score measures the event loop, not setup or
+//! formatting. Experiments with no event loop at all
+//! ([`NON_EVENT_EXPERIMENTS`]) carry an explanatory note in the JSON.
 
 use crate::run_experiment_checked;
 use dmx_core::experiments::Suite;
@@ -35,16 +42,33 @@ pub const HOT_EXPERIMENTS: [&str; 11] = [
 /// `current < CHECK_FLOOR * baseline` (more than 15% slower).
 pub const CHECK_FLOOR: f64 = 0.85;
 
+/// Experiments that run no event loop at all — functional or analytic
+/// models (DRX compilation, CPU cache characterization, closed-form
+/// collectives). Their `events`/`events_per_sec` are genuinely zero,
+/// not a measurement bug; the JSON row carries this note and the
+/// `--check` geomean never includes them (none are hot).
+pub const NON_EVENT_EXPERIMENTS: [&str; 4] = ["tab1", "fig5", "fig8", "fig17"];
+
+/// The JSON note attached to [`NON_EVENT_EXPERIMENTS`] rows.
+pub const NON_EVENT_NOTE: &str = "functional/analytic model, no event loop; excluded from --check";
+
 /// One experiment's serial measurement.
 #[derive(Debug, Clone)]
 pub struct ExperimentBench {
     /// Experiment id (a member of [`crate::EXPERIMENTS`]).
     pub id: &'static str,
-    /// Serial wall-clock seconds.
+    /// Serial wall-clock seconds, all phases included.
     pub wall_secs: f64,
+    /// Seconds of the wall spent constructing simulations
+    /// (`Sim` setup, sampled from the process-global counter).
+    pub setup_secs: f64,
+    /// Seconds of the wall spent rendering the report.
+    pub render_secs: f64,
     /// Simulated events delivered by the experiment's runs.
     pub events: u64,
-    /// Events per wall-clock second.
+    /// Events per second of *event-loop* wall clock — setup and render
+    /// are subtracted from the denominator, so small experiments are
+    /// no longer distorted by construction/formatting cost.
     pub events_per_sec: f64,
     /// Process peak RSS (VmHWM, kB) sampled after the experiment; the
     /// kernel reports a lifetime high-water mark, so this is monotone
@@ -120,15 +144,23 @@ pub fn run(suite: &Suite, ids: &[&'static str], seed: Option<u64>, threads: usiz
     let serial_start = Instant::now();
     for &id in ids {
         let ev0 = events_delivered();
+        let su0 = dmx_sim::setup_nanos();
         let t0 = Instant::now();
         let out = run_experiment_checked(suite, id, seed);
         let wall_secs = t0.elapsed().as_secs_f64();
         let events = events_delivered() - ev0;
+        let setup_secs = (dmx_sim::setup_nanos() - su0) as f64 / 1e9;
+        // Score events/sec on the event-loop window alone: system
+        // construction and report rendering are real cost (still in
+        // wall_secs) but say nothing about the engine hot path.
+        let loop_secs = (wall_secs - setup_secs - out.render_secs).max(1e-9);
         experiments.push(ExperimentBench {
             id,
             wall_secs,
+            setup_secs,
+            render_secs: out.render_secs,
             events,
-            events_per_sec: events as f64 / wall_secs.max(1e-9),
+            events_per_sec: events as f64 / loop_secs,
             peak_rss_kb: peak_rss_kb(),
         });
         serial_reports.push(out.report);
@@ -189,11 +221,19 @@ impl Bench {
             .experiments
             .iter()
             .map(|e| {
+                let note = if NON_EVENT_EXPERIMENTS.contains(&e.id) {
+                    format!(", \"note\": {}", json_str(NON_EVENT_NOTE))
+                } else {
+                    String::new()
+                };
                 format!(
-                    "    {{\"id\": {id}, \"wall_secs\": {w:.6}, \"events\": {ev}, \
-                     \"events_per_sec\": {eps:.1}, \"peak_rss_kb\": {rss}}}",
+                    "    {{\"id\": {id}, \"wall_secs\": {w:.6}, \"setup_secs\": {su:.6}, \
+                     \"render_secs\": {re:.6}, \"events\": {ev}, \
+                     \"events_per_sec\": {eps:.1}, \"peak_rss_kb\": {rss}{note}}}",
                     id = json_str(e.id),
                     w = e.wall_secs,
+                    su = e.setup_secs,
+                    re = e.render_secs,
                     ev = e.events,
                     eps = e.events_per_sec,
                     rss = e.peak_rss_kb.map_or("null".to_string(), |v| v.to_string()),
@@ -226,16 +266,23 @@ impl Bench {
             if self.threads == 1 { "" } else { "s" },
         ));
         out.push_str(&format!(
-            "{:<12} {:>10} {:>12} {:>14} {:>12}\n",
-            "experiment", "wall (s)", "events", "events/sec", "rss (kB)"
+            "{:<12} {:>10} {:>10} {:>10} {:>12} {:>14} {:>12}\n",
+            "experiment", "wall (s)", "setup (s)", "render (s)", "events", "events/sec", "rss (kB)"
         ));
         for e in &self.experiments {
+            let eps = if NON_EVENT_EXPERIMENTS.contains(&e.id) {
+                "n/a".to_string()
+            } else {
+                format!("{:.0}", e.events_per_sec)
+            };
             out.push_str(&format!(
-                "{:<12} {:>10.3} {:>12} {:>14.0} {:>12}\n",
+                "{:<12} {:>10.3} {:>10.3} {:>10.3} {:>12} {:>14} {:>12}\n",
                 e.id,
                 e.wall_secs,
+                e.setup_secs,
+                e.render_secs,
                 e.events,
-                e.events_per_sec,
+                eps,
                 e.peak_rss_kb.map_or("n/a".to_string(), |v| v.to_string()),
             ));
         }
@@ -388,6 +435,8 @@ mod tests {
                 .map(|&id| ExperimentBench {
                     id,
                     wall_secs: 0.01,
+                    setup_secs: 0.0,
+                    render_secs: 0.0,
                     events: (eps / 100.0) as u64,
                     events_per_sec: eps,
                     peak_rss_kb: None,
@@ -445,7 +494,21 @@ mod tests {
         assert!(b.serial_wall_secs > 0.0);
         let j = b.to_json();
         assert!(j.contains("\"fig8\""));
+        assert!(j.contains("\"setup_secs\""));
+        assert!(j.contains("\"render_secs\""));
         assert!(j.contains("\"parallel_output_identical\": true"));
+        // fig8 is functional-only: its zero events carry the explicit
+        // exclusion note; fig16 runs the event loop and must not.
+        let fig8_row = j.lines().find(|l| l.contains("\"fig8\"")).expect("row");
+        assert!(fig8_row.contains(NON_EVENT_NOTE), "{fig8_row}");
+        let fig16_row = j.lines().find(|l| l.contains("\"fig16\"")).expect("row");
+        assert!(!fig16_row.contains("note"), "{fig16_row}");
+        let fig16 = b
+            .experiments
+            .iter()
+            .find(|e| e.id == "fig16")
+            .expect("fig16");
+        assert!(fig16.events > 0, "fig16 runs the event loop");
         assert!(b.json_filename().starts_with("BENCH_"));
         assert!(b.render().contains("speedup"));
     }

@@ -14,7 +14,7 @@ pub mod bench;
 pub mod timing;
 
 /// All experiment identifiers `repro` accepts.
-pub const EXPERIMENTS: [&str; 20] = [
+pub const EXPERIMENTS: [&str; 21] = [
     "tab1",
     "fig3",
     "fig5",
@@ -34,6 +34,7 @@ pub const EXPERIMENTS: [&str; 20] = [
     "integrity",
     "chaos",
     "failslow",
+    "fleet",
     "summary",
 ];
 
@@ -45,6 +46,23 @@ pub struct Outcome {
     pub report: String,
     /// Whether every embedded acceptance check passed.
     pub ok: bool,
+    /// Seconds spent rendering the report, separate from the run
+    /// itself so `repro bench` can keep rendering out of the
+    /// events/sec window. Zero for experiments whose run and render
+    /// are fused (tab1, fig8).
+    pub render_secs: f64,
+}
+
+/// Runs `render` under a timer and packages the result, so report
+/// rendering is accounted separately from the simulation it reports on.
+fn rendered(ok: bool, render: impl FnOnce() -> String) -> Outcome {
+    let t0 = std::time::Instant::now();
+    let report = render();
+    Outcome {
+        report,
+        ok,
+        render_secs: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// Runs one experiment by id and returns its rendered report.
@@ -58,7 +76,7 @@ pub fn run_experiment(suite: &Suite, id: &str) -> String {
 
 /// Runs one experiment by id, threading `seed` into the experiments
 /// that take one (`faults`, `overload`, `integrity`, `chaos`,
-/// `failslow`; others ignore it), and reports
+/// `failslow`, `fleet`; others ignore it), and reports
 /// whether the experiment's embedded determinism/robustness checks
 /// passed.
 ///
@@ -72,79 +90,118 @@ pub fn run_experiment_checked(suite: &Suite, id: &str, seed: Option<u64>) -> Out
                 suite,
                 seed.unwrap_or(experiments::faults::SEED),
             );
-            Outcome {
-                ok: f.ok(),
-                report: f.render(),
-            }
+            rendered(f.ok(), || f.render())
         }
         "overload" => {
             let o = experiments::overload::run_with_seed(
                 suite,
                 seed.unwrap_or(experiments::overload::SEED),
             );
-            Outcome {
-                ok: o.ok(),
-                report: o.render(),
-            }
+            rendered(o.ok(), || o.render())
         }
         "integrity" => {
             let i = experiments::integrity::run_with_seed(
                 suite,
                 seed.unwrap_or(experiments::integrity::SEED),
             );
-            Outcome {
-                ok: i.ok(),
-                report: i.render(),
-            }
+            rendered(i.ok(), || i.render())
         }
         "chaos" => {
             let c =
                 experiments::chaos::run_with_seed(suite, seed.unwrap_or(experiments::chaos::SEED));
-            Outcome {
-                ok: c.ok(),
-                report: c.render(),
-            }
+            rendered(c.ok(), || c.render())
         }
         "failslow" => {
             let f = experiments::failslow::run_with_seed(
                 suite,
                 seed.unwrap_or(experiments::failslow::SEED),
             );
-            Outcome {
-                ok: f.ok(),
-                report: f.render(),
-            }
+            rendered(f.ok(), || f.render())
         }
-        other => Outcome {
-            report: run_unchecked(suite, other),
-            ok: true,
-        },
+        "fleet" => {
+            let f =
+                experiments::fleet::run_with_seed(suite, seed.unwrap_or(experiments::fleet::SEED));
+            rendered(f.ok(), || f.render())
+        }
+        other => run_unchecked(suite, other),
     }
 }
 
-fn run_unchecked(suite: &Suite, id: &str) -> String {
+fn run_unchecked(suite: &Suite, id: &str) -> Outcome {
     match id {
-        "tab1" => experiments::tab1::run(suite),
-        "fig3" => experiments::fig3::run(suite).render(),
-        "fig5" => experiments::fig5::run(suite).render(),
-        "fig8" => experiments::fig8::run(),
-        "fig11" => experiments::fig11::run(suite).render(),
-        "fig12" => experiments::fig12::run(suite).render(),
-        "fig13" => experiments::fig13::run(suite).render(),
-        "fig14" => experiments::fig14::run(suite).render(),
-        "fig15" => experiments::fig15::run(suite).render(),
-        "fig16" => experiments::fig16::run().render(),
-        "fig17" => experiments::fig17::run().render(),
-        "fig18" => experiments::fig18::run(suite).render(),
-        "fig19" => experiments::fig19::run(suite).render(),
-        "summary" => experiments::summary::run(suite).render(),
-        "ablations" => format!(
-            "{}\n{}\n{}\n{}",
-            experiments::ablations::irq(suite).render(),
-            experiments::ablations::spad(suite).render(),
-            experiments::ablations::queue().render(),
-            experiments::ablations::partition().render()
-        ),
+        "tab1" => Outcome {
+            report: experiments::tab1::run(suite),
+            ok: true,
+            render_secs: 0.0,
+        },
+        "fig3" => {
+            let r = experiments::fig3::run(suite);
+            rendered(true, || r.render())
+        }
+        "fig5" => {
+            let r = experiments::fig5::run(suite);
+            rendered(true, || r.render())
+        }
+        "fig8" => Outcome {
+            report: experiments::fig8::run(),
+            ok: true,
+            render_secs: 0.0,
+        },
+        "fig11" => {
+            let r = experiments::fig11::run(suite);
+            rendered(true, || r.render())
+        }
+        "fig12" => {
+            let r = experiments::fig12::run(suite);
+            rendered(true, || r.render())
+        }
+        "fig13" => {
+            let r = experiments::fig13::run(suite);
+            rendered(true, || r.render())
+        }
+        "fig14" => {
+            let r = experiments::fig14::run(suite);
+            rendered(true, || r.render())
+        }
+        "fig15" => {
+            let r = experiments::fig15::run(suite);
+            rendered(true, || r.render())
+        }
+        "fig16" => {
+            let r = experiments::fig16::run();
+            rendered(true, || r.render())
+        }
+        "fig17" => {
+            let r = experiments::fig17::run();
+            rendered(true, || r.render())
+        }
+        "fig18" => {
+            let r = experiments::fig18::run(suite);
+            rendered(true, || r.render())
+        }
+        "fig19" => {
+            let r = experiments::fig19::run(suite);
+            rendered(true, || r.render())
+        }
+        "summary" => {
+            let r = experiments::summary::run(suite);
+            rendered(true, || r.render())
+        }
+        "ablations" => {
+            let irq = experiments::ablations::irq(suite);
+            let spad = experiments::ablations::spad(suite);
+            let queue = experiments::ablations::queue();
+            let partition = experiments::ablations::partition();
+            rendered(true, || {
+                format!(
+                    "{}\n{}\n{}\n{}",
+                    irq.render(),
+                    spad.render(),
+                    queue.render(),
+                    partition.render()
+                )
+            })
+        }
         other => panic!("unknown experiment `{other}`; expected one of {EXPERIMENTS:?}"),
     }
 }

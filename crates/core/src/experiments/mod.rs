@@ -19,6 +19,7 @@ pub mod fig19;
 pub mod fig3;
 pub mod fig5;
 pub mod fig8;
+pub mod fleet;
 pub mod integrity;
 pub mod overload;
 pub mod summary;

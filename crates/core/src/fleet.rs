@@ -1,0 +1,577 @@
+//! A fleet of DMX servers behind a front-end load balancer.
+//!
+//! One [`FleetConfig`] replicates a [`SystemConfig`] across `servers`
+//! identical machines and puts a load balancer in front: the open-loop
+//! multi-tenant workload arrives at the LB, a dispatch policy picks a
+//! server, the request crosses the inter-node fabric
+//! ([`InterNodeFabric`]), runs through the server's full engine —
+//! admission, EDF dispatch, chains, every robustness layer — and its
+//! resolution travels back to the LB, which records end-to-end latency
+//! and goodput.
+//!
+//! The whole fleet is **one** simulation, executed on the conservative
+//! partitioned engine (`dmx_sim::partition`): each server is a
+//! partition wrapping a [`Stepped`] engine, the LB is one more
+//! partition, and the fabric's base latency is the lookahead bounding
+//! every safe window. Output is byte-identical for any shard count —
+//! `run_fleet(cfg, 1)` and `run_fleet(cfg, 8)` render the same report.
+//!
+//! ## Load-balancing policies
+//!
+//! * [`LbPolicy::RoundRobin`] — rotate through servers per dispatch.
+//! * [`LbPolicy::LeastLoaded`] — fewest outstanding dispatches, ties
+//!   to the lowest index. "Outstanding" is the LB's own view —
+//!   dispatches minus resolutions *received* — so the signal lags by
+//!   the fabric round trip, exactly like a real L7 balancer's.
+//! * [`LbPolicy::TenantAffinity`] — tenant `t` always lands on server
+//!   `t % servers` (session stickiness: warm caches, but no load
+//!   spreading within a tenant).
+
+use crate::overload::TenantOverload;
+use crate::system::{Outcome, RunResult, SimError, Stepped, SystemConfig};
+use dmx_pcie::InterNodeFabric;
+use dmx_sim::partition::{run_conservative, Outbox, Partition, WindowStats, XMsg};
+use dmx_sim::{ArrivalGen, ArrivalProcess, EventQueue, Percentiles, SplitMix64, Time};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of identical servers behind the load balancer.
+    pub servers: usize,
+    /// The per-server system; must carry a non-inert overload section
+    /// (its admission machinery receives the dispatched requests).
+    pub server: SystemConfig,
+    /// Dispatch policy.
+    pub policy: LbPolicy,
+    /// The LB↔server network; its base latency is the conservative
+    /// lookahead.
+    pub fabric: InterNodeFabric,
+    /// Seed of the LB-side arrival streams (tenant `i` draws from a
+    /// sub-seed).
+    pub seed: u64,
+    /// Arrival process per tenant, cycled if shorter than the tenant
+    /// count (one tenant per server app, as in the single-server
+    /// open-loop mode).
+    pub arrivals: Vec<ArrivalProcess>,
+    /// Arrivals each tenant offers at the LB.
+    pub requests_per_tenant: usize,
+    /// Request body carried LB→server (serialization on the fabric).
+    pub request_bytes: u64,
+    /// Response body carried server→LB.
+    pub response_bytes: u64,
+}
+
+/// Front-end dispatch policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LbPolicy {
+    /// Rotate through servers.
+    RoundRobin,
+    /// Fewest outstanding dispatches (delayed feedback), ties to the
+    /// lowest server index.
+    LeastLoaded,
+    /// Tenant `t` pins to server `t % servers`.
+    TenantAffinity,
+}
+
+impl fmt::Display for LbPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LbPolicy::RoundRobin => write!(f, "round-robin"),
+            LbPolicy::LeastLoaded => write!(f, "least-loaded"),
+            LbPolicy::TenantAffinity => write!(f, "tenant-affinity"),
+        }
+    }
+}
+
+/// Cross-partition traffic: requests out, resolutions back.
+#[derive(Debug, Clone, Copy)]
+enum FleetMsg {
+    /// LB → server: one request of `tenant` arrives.
+    Dispatch { tenant: usize },
+    /// Server → LB: one request of `tenant` resolved.
+    Done { tenant: usize, outcome: Outcome },
+}
+
+/// Load-balancer local events, time-ordered on its own queue so
+/// arrivals and returning resolutions interleave correctly.
+#[derive(Debug)]
+enum LbEv {
+    Arrival(usize),
+    Done {
+        server: usize,
+        tenant: usize,
+        outcome: Outcome,
+    },
+}
+
+/// One LB-side tenant: its arrival stream and offer budget.
+#[derive(Debug)]
+struct LbTenant {
+    gen: ArrivalGen,
+    to_offer: usize,
+}
+
+/// The load-balancer partition.
+struct LbPart {
+    q: EventQueue<LbEv>,
+    tenants: Vec<LbTenant>,
+    policy: LbPolicy,
+    fabric: InterNodeFabric,
+    request_bytes: u64,
+    servers: usize,
+    rr_next: usize,
+    /// LB's view of per-server outstanding work (dispatch minus
+    /// received resolution) — the delayed least-loaded signal.
+    outstanding: Vec<usize>,
+    /// Dispatch times per (server, tenant), matched FIFO against
+    /// resolutions of the same pair to form end-to-end samples.
+    in_flight: Vec<Vec<VecDeque<Time>>>,
+    /// Accounting.
+    offered: u64,
+    dispatched: Vec<u64>,
+    goodput: u64,
+    late: u64,
+    shed: u64,
+    e2e: Percentiles,
+}
+
+impl LbPart {
+    fn new(cfg: &FleetConfig, tenant_count: usize) -> LbPart {
+        let mut root = SplitMix64::new(cfg.seed);
+        let mut q = EventQueue::new();
+        let mut tenants: Vec<LbTenant> = (0..tenant_count)
+            .map(|i| {
+                let sub = root.next_u64();
+                LbTenant {
+                    gen: ArrivalGen::new(
+                        cfg.arrivals[i % cfg.arrivals.len()],
+                        SplitMix64::new(sub),
+                    ),
+                    to_offer: cfg.requests_per_tenant,
+                }
+            })
+            .collect();
+        // Seed each tenant's first arrival, as the single-server
+        // open-loop mode does.
+        for (t, ts) in tenants.iter_mut().enumerate() {
+            if ts.to_offer > 0 {
+                let gap = ts.gen.next_gap();
+                q.schedule_at(gap, LbEv::Arrival(t));
+            }
+        }
+        LbPart {
+            q,
+            tenants,
+            policy: cfg.policy,
+            fabric: cfg.fabric,
+            request_bytes: cfg.request_bytes,
+            servers: cfg.servers,
+            rr_next: 0,
+            outstanding: vec![0; cfg.servers],
+            in_flight: vec![vec![VecDeque::new(); tenant_count]; cfg.servers],
+            offered: 0,
+            dispatched: vec![0; cfg.servers],
+            goodput: 0,
+            late: 0,
+            shed: 0,
+            e2e: Percentiles::new(),
+        }
+    }
+
+    fn pick_server(&mut self, tenant: usize) -> usize {
+        match self.policy {
+            LbPolicy::RoundRobin => {
+                let s = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.servers;
+                s
+            }
+            LbPolicy::LeastLoaded => self
+                .outstanding
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, &o)| (o, *i))
+                .map(|(i, _)| i)
+                .expect("at least one server"),
+            LbPolicy::TenantAffinity => tenant % self.servers,
+        }
+    }
+
+    fn arrival(&mut self, tenant: usize, out: &mut Outbox<FleetMsg>) {
+        let now = self.q.now();
+        self.offered += 1;
+        let ts = &mut self.tenants[tenant];
+        ts.to_offer -= 1;
+        if ts.to_offer > 0 {
+            let gap = ts.gen.next_gap();
+            self.q.schedule_at(now + gap, LbEv::Arrival(tenant));
+        }
+        let s = self.pick_server(tenant);
+        self.outstanding[s] += 1;
+        self.dispatched[s] += 1;
+        self.in_flight[s][tenant].push_back(now);
+        out.send(
+            s,
+            now + self.fabric.delivery_time(self.request_bytes),
+            FleetMsg::Dispatch { tenant },
+        );
+    }
+
+    fn done(&mut self, server: usize, tenant: usize, outcome: Outcome) {
+        let now = self.q.now();
+        self.outstanding[server] = self.outstanding[server].saturating_sub(1);
+        let started = self.in_flight[server][tenant]
+            .pop_front()
+            .expect("resolution without a matching dispatch");
+        match outcome {
+            Outcome::Completed { within_deadline } => {
+                if within_deadline {
+                    self.goodput += 1;
+                    self.e2e.record((now - started).as_secs_f64());
+                } else {
+                    self.late += 1;
+                }
+            }
+            Outcome::Shed => self.shed += 1,
+        }
+    }
+}
+
+impl Partition for LbPart {
+    type Msg = FleetMsg;
+
+    fn next_time(&self) -> Option<Time> {
+        self.q.peek_time()
+    }
+
+    fn advance(&mut self, horizon: Time, inbox: Vec<XMsg<FleetMsg>>, out: &mut Outbox<FleetMsg>) {
+        // Returning resolutions join the local queue so they interleave
+        // with arrivals in timestamp order.
+        for m in inbox {
+            let FleetMsg::Done { tenant, outcome } = m.payload else {
+                unreachable!("the LB only receives resolutions");
+            };
+            self.q.schedule_at(
+                m.time,
+                LbEv::Done {
+                    server: m.src,
+                    tenant,
+                    outcome,
+                },
+            );
+        }
+        while self.q.peek_time().is_some_and(|t| t < horizon) {
+            match self.q.pop().expect("peeked event") {
+                LbEv::Arrival(t) => self.arrival(t, out),
+                LbEv::Done {
+                    server,
+                    tenant,
+                    outcome,
+                } => self.done(server, tenant, outcome),
+            }
+        }
+    }
+}
+
+/// One server partition: a stepped engine plus its return path.
+struct ServerPart<'a> {
+    sim: Stepped<'a>,
+    lb: usize,
+    fabric: InterNodeFabric,
+    response_bytes: u64,
+}
+
+impl Partition for ServerPart<'_> {
+    type Msg = FleetMsg;
+
+    fn next_time(&self) -> Option<Time> {
+        self.sim.next_time()
+    }
+
+    fn advance(&mut self, horizon: Time, inbox: Vec<XMsg<FleetMsg>>, out: &mut Outbox<FleetMsg>) {
+        for m in inbox {
+            let FleetMsg::Dispatch { tenant } = m.payload else {
+                unreachable!("servers only receive dispatches");
+            };
+            self.sim.inject_arrival(tenant, m.time);
+        }
+        self.sim
+            .pump_until(horizon)
+            .expect("fleet server simulation failed");
+        for r in self.sim.drain_resolutions() {
+            out.send(
+                self.lb,
+                r.at + self.fabric.delivery_time(self.response_bytes),
+                FleetMsg::Done {
+                    tenant: r.app,
+                    outcome: r.outcome,
+                },
+            );
+        }
+    }
+}
+
+/// Fleet partitions are heterogeneous (servers + one LB); this enum
+/// gives `run_conservative` its homogeneous slice.
+enum FleetPart<'a> {
+    Server(Box<ServerPart<'a>>),
+    Lb(Box<LbPart>),
+}
+
+impl Partition for FleetPart<'_> {
+    type Msg = FleetMsg;
+
+    fn next_time(&self) -> Option<Time> {
+        match self {
+            FleetPart::Server(s) => s.next_time(),
+            FleetPart::Lb(l) => l.next_time(),
+        }
+    }
+
+    fn advance(&mut self, horizon: Time, inbox: Vec<XMsg<FleetMsg>>, out: &mut Outbox<FleetMsg>) {
+        match self {
+            FleetPart::Server(s) => s.advance(horizon, inbox, out),
+            FleetPart::Lb(l) => l.advance(horizon, inbox, out),
+        }
+    }
+}
+
+/// Results of one fleet run. Every field is a pure function of the
+/// config — wall-clock measurements live outside, next to the caller's
+/// stopwatch — so rendering it is byte-identical across shard counts.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Arrivals offered at the LB.
+    pub offered: u64,
+    /// Dispatches per server (the balance of the policy).
+    pub dispatched: Vec<u64>,
+    /// Completions within deadline.
+    pub goodput: u64,
+    /// Completions past deadline.
+    pub late: u64,
+    /// Sheds (admission, queue-full, deadline-expiry, crash kills).
+    pub shed: u64,
+    /// End-to-end goodput latency (LB arrival to resolution received),
+    /// p50/p99/p999 in that order.
+    pub e2e_p50: Time,
+    /// 99th percentile end-to-end goodput latency.
+    pub e2e_p99: Time,
+    /// 99.9th percentile end-to-end goodput latency.
+    pub e2e_p999: Time,
+    /// Conservative-engine counters (windows, cross-partition messages).
+    pub windows: WindowStats,
+    /// Engine events processed across every partition (LB included).
+    pub events: u64,
+    /// Per-server run results (per-tenant overload accounting, energy,
+    /// robustness reports).
+    pub servers: Vec<RunResult>,
+}
+
+impl FleetResult {
+    /// Requests resolved (goodput + late + shed).
+    pub fn resolved(&self) -> u64 {
+        self.goodput + self.late + self.shed
+    }
+
+    /// Every offered request resolved exactly once.
+    pub fn conserved(&self) -> bool {
+        self.offered == self.resolved()
+    }
+
+    /// Dispatch balance: max/min per-server dispatches (1.0 = perfect).
+    pub fn balance(&self) -> f64 {
+        let max = self.dispatched.iter().copied().max().unwrap_or(0);
+        let min = self.dispatched.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+
+    /// Per-tenant accounting summed across the fleet's servers.
+    pub fn tenant_totals(&self) -> Vec<TenantOverload> {
+        let mut out: Vec<TenantOverload> = Vec::new();
+        for r in &self.servers {
+            let Some(ov) = &r.overload else { continue };
+            for (i, t) in ov.tenants.iter().enumerate() {
+                if out.len() <= i {
+                    out.push(t.clone());
+                } else {
+                    let o = &mut out[i];
+                    o.offered += t.offered;
+                    o.admitted += t.admitted;
+                    o.goodput += t.goodput;
+                    o.late += t.late;
+                    o.rejected_admission += t.rejected_admission;
+                    o.rejected_queue_full += t.rejected_queue_full;
+                    o.shed_deadline += t.shed_deadline;
+                    o.breaker_activations += t.breaker_activations;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs a fleet simulation on `shards` worker threads. Output is
+/// byte-identical for any `shards` (the logical partition structure —
+/// `servers + 1` partitions, lookahead windows, channel order — never
+/// depends on it).
+///
+/// # Errors
+///
+/// `NoApps` / `NoOverload` from server construction; fleet configs with
+/// zero servers, zero tenants, or an empty arrival list are rejected as
+/// `NoApps`.
+pub fn try_run_fleet(cfg: &FleetConfig, shards: usize) -> Result<FleetResult, SimError> {
+    if cfg.servers == 0 || cfg.arrivals.is_empty() || cfg.requests_per_tenant == 0 {
+        return Err(SimError::NoApps);
+    }
+    let tenant_count = cfg.server.apps.len();
+    let mut parts: Vec<FleetPart> = Vec::with_capacity(cfg.servers + 1);
+    for _ in 0..cfg.servers {
+        parts.push(FleetPart::Server(Box::new(ServerPart {
+            sim: Stepped::new(&cfg.server)?,
+            lb: cfg.servers,
+            fabric: cfg.fabric,
+            response_bytes: cfg.response_bytes,
+        })));
+    }
+    parts.push(FleetPart::Lb(Box::new(LbPart::new(cfg, tenant_count))));
+
+    let windows = run_conservative(&mut parts, cfg.fabric.lookahead(), shards);
+
+    let mut servers = Vec::with_capacity(cfg.servers);
+    let mut lb = None;
+    let mut events = 0;
+    for p in parts {
+        match p {
+            FleetPart::Server(s) => {
+                events += s.sim.events_processed();
+                servers.push(s.sim.finish());
+            }
+            FleetPart::Lb(l) => {
+                events += l.q.events_processed();
+                lb = Some(l);
+            }
+        }
+    }
+    let mut lb = *lb.expect("one LB partition");
+    Ok(FleetResult {
+        offered: lb.offered,
+        dispatched: lb.dispatched.clone(),
+        goodput: lb.goodput,
+        late: lb.late,
+        shed: lb.shed,
+        e2e_p50: Time::from_secs_f64(lb.e2e.p50().unwrap_or(0.0)),
+        e2e_p99: Time::from_secs_f64(lb.e2e.p99().unwrap_or(0.0)),
+        e2e_p999: Time::from_secs_f64(lb.e2e.p999().unwrap_or(0.0)),
+        windows,
+        events,
+        servers,
+    })
+}
+
+/// Panicking variant of [`try_run_fleet`].
+pub fn run_fleet(cfg: &FleetConfig, shards: usize) -> FleetResult {
+    match try_run_fleet(cfg, shards) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::BenchmarkId;
+    use crate::overload::{AdmissionParams, OverloadConfig, ShedPolicy};
+    use crate::placement::{Mode, Placement};
+
+    fn small_fleet(servers: usize, policy: LbPolicy, rate: f64) -> FleetConfig {
+        let apps: Vec<_> = (0..3).map(|i| BenchmarkId::FIVE[i].build()).collect();
+        let server = SystemConfig {
+            overload: Some(OverloadConfig {
+                admission: AdmissionParams {
+                    tokens_per_sec: f64::INFINITY,
+                    burst: 1.0,
+                    max_inflight: 4,
+                },
+                deadline: Time::from_ms(40),
+                shed: ShedPolicy::Reject,
+                queue_capacity: 16,
+                ..OverloadConfig::none()
+            }),
+            ..SystemConfig::latency(Mode::Dmx(Placement::BumpInTheWire), apps)
+        };
+        FleetConfig {
+            servers,
+            server,
+            policy,
+            fabric: InterNodeFabric::default(),
+            seed: 0xF1EE7,
+            arrivals: vec![ArrivalProcess::Poisson { rate_rps: rate }],
+            requests_per_tenant: 8,
+            request_bytes: 16 << 10,
+            response_bytes: 4 << 10,
+        }
+    }
+
+    #[test]
+    fn fleet_conserves_and_balances() {
+        let r = run_fleet(&small_fleet(3, LbPolicy::RoundRobin, 2000.0), 1);
+        assert!(
+            r.conserved(),
+            "offered {} resolved {}",
+            r.offered,
+            r.resolved()
+        );
+        assert_eq!(r.offered, 3 * 8);
+        assert!(r.goodput > 0, "no goodput at moderate load");
+        assert_eq!(r.dispatched.iter().sum::<u64>(), r.offered);
+        // Round-robin over 24 arrivals and 3 servers is perfectly even.
+        assert_eq!(r.dispatched, vec![8, 8, 8]);
+        assert!(r.windows.windows > 0);
+        assert!(
+            r.windows.messages >= 2 * r.offered,
+            "a dispatch and a done per request"
+        );
+        assert_eq!(r.servers.len(), 3);
+    }
+
+    #[test]
+    fn shard_counts_are_byte_identical() {
+        let cfg = small_fleet(4, LbPolicy::LeastLoaded, 4000.0);
+        let serial = format!("{:?}", run_fleet(&cfg, 1));
+        for shards in [2, 4, 8] {
+            let sharded = format!("{:?}", run_fleet(&cfg, shards));
+            assert_eq!(sharded, serial, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn policies_differ_and_affinity_pins() {
+        let rr = run_fleet(&small_fleet(2, LbPolicy::RoundRobin, 3000.0), 1);
+        let aff = run_fleet(&small_fleet(2, LbPolicy::TenantAffinity, 3000.0), 1);
+        assert!(rr.conserved() && aff.conserved());
+        // Three tenants on two servers: affinity puts tenants 0 and 2
+        // (16 requests) on server 0, tenant 1 (8) on server 1.
+        assert_eq!(aff.dispatched, vec![16, 8]);
+        assert_ne!(rr.dispatched, aff.dispatched);
+    }
+
+    #[test]
+    fn single_server_fleet_runs() {
+        let r = run_fleet(&small_fleet(1, LbPolicy::LeastLoaded, 1000.0), 1);
+        assert!(r.conserved());
+        assert_eq!(r.dispatched, vec![24]);
+    }
+
+    #[test]
+    fn zero_servers_rejected() {
+        let mut cfg = small_fleet(1, LbPolicy::RoundRobin, 100.0);
+        cfg.servers = 0;
+        assert!(try_run_fleet(&cfg, 1).is_err());
+    }
+}

@@ -45,6 +45,7 @@ pub mod collectives;
 pub mod driver;
 pub mod experiments;
 pub mod failslow;
+pub mod fleet;
 pub mod integrity;
 pub mod overload;
 pub mod params;
@@ -54,10 +55,14 @@ pub mod system;
 
 pub use apps::{Benchmark, BenchmarkId, BenchmarkRef};
 pub use failslow::{FailSlowConfig, FailSlowReport, HealthParams, HealthRoute, HealthScorer};
+pub use fleet::{run_fleet, try_run_fleet, FleetConfig, FleetResult, LbPolicy};
 pub use integrity::{ChecksumMode, IntegrityConfig, IntegrityReport};
 pub use overload::{
     AdmissionParams, Breaker, BreakerParams, BreakerRoute, OverloadConfig, OverloadReport,
     ShedPolicy, TenantOverload, TokenBucket,
 };
 pub use placement::{Mode, Placement};
-pub use system::{simulate, Breakdown, CrashReport, EnergyReport, RunResult, SystemConfig};
+pub use system::{
+    simulate, Breakdown, CrashReport, EnergyReport, Outcome, Resolution, RunResult, Stepped,
+    SystemConfig,
+};

@@ -169,6 +169,9 @@ pub enum SimError {
     },
     /// A routing or flow-network error from the PCIe fabric.
     Fabric(FabricError),
+    /// A stepped (externally-driven) simulation needs a live overload
+    /// section: the admission machinery is what accepts injections.
+    NoOverload,
 }
 
 impl fmt::Display for SimError {
@@ -178,6 +181,9 @@ impl fmt::Display for SimError {
             SimError::NoRequests => write!(f, "at least one request required"),
             SimError::NoInflight => write!(f, "at least one in-flight request required"),
             SimError::UnknownRequest(id) => write!(f, "event references unknown request {id}"),
+            SimError::NoOverload => {
+                write!(f, "stepped simulation requires a non-inert overload config")
+            }
             SimError::UntrackedJob(id) => write!(f, "finished job {id} was never tracked"),
             SimError::MissingDrxUnit { app, stage } => {
                 write!(f, "layout has no DRX unit for app {app} edge {stage}")
@@ -738,8 +744,16 @@ struct OvState {
 }
 
 impl OvState {
-    fn new(o: &OverloadConfig, apps: &[BenchmarkRef], requests_per_app: usize) -> OvState {
-        let open_loop = !o.arrivals.is_empty();
+    fn new(
+        o: &OverloadConfig,
+        apps: &[BenchmarkRef],
+        requests_per_app: usize,
+        external: bool,
+    ) -> OvState {
+        // Externally-driven simulations (fleet servers) receive every
+        // arrival by injection: the admission/EDF/shed machinery runs,
+        // but no tenant generates its own stream.
+        let open_loop = external || !o.arrivals.is_empty();
         // Independent per-tenant sub-streams drawn from the root seed.
         let mut root = SplitMix64::new(o.seed);
         let tenants =
@@ -749,13 +763,13 @@ impl OvState {
                 .map(|(i, stats)| {
                     let sub = root.next_u64();
                     TenantState {
-                        arrivals: open_loop.then(|| {
+                        arrivals: (open_loop && !external).then(|| {
                             ArrivalGen::new(o.arrivals[i % o.arrivals.len()], SplitMix64::new(sub))
                         }),
                         bucket: o.admission.tokens_per_sec.is_finite().then(|| {
                             TokenBucket::new(o.admission.tokens_per_sec, o.admission.burst)
                         }),
-                        to_offer: requests_per_app,
+                        to_offer: if external { 0 } else { requests_per_app },
                         stats,
                         goodput_lat: Percentiles::new(),
                     }
@@ -897,10 +911,59 @@ struct Sim<'a> {
     /// scheduled `ChunkTick`, so re-arming after observation-free
     /// mutations cannot double-schedule the same boundary.
     chunk_sched: Option<(Time, u64)>,
+    /// Externally-driven mode (fleet servers): arrivals come from
+    /// [`Stepped::inject_arrival`] instead of per-tenant generators,
+    /// and every request resolution is recorded in `resolutions` for
+    /// the caller to drain.
+    external: bool,
+    /// Resolutions recorded since the last drain; only populated in
+    /// external mode.
+    resolutions: Vec<Resolution>,
+}
+
+/// The final disposition of one injected request, reported by
+/// [`Stepped::drain_resolutions`] so a fleet front end can close the
+/// loop (free load-balancer slots, record end-to-end latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// Simulation time the request resolved.
+    pub at: Time,
+    /// Tenant (app index) it belonged to.
+    pub app: usize,
+    /// What happened to it.
+    pub outcome: Outcome,
+}
+
+/// How an injected request resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to completion; `within_deadline` is the server-side SLO
+    /// verdict.
+    Completed {
+        /// Completed at or before its admission deadline.
+        within_deadline: bool,
+    },
+    /// Shed: rejected at admission, dropped from a full queue, expired
+    /// in the EDF queue, or killed by a crash.
+    Shed,
 }
 
 impl<'a> Sim<'a> {
     fn new(cfg: &'a SystemConfig) -> Sim<'a> {
+        Sim::new_ext(cfg, false)
+    }
+
+    /// Timed wrapper around [`Sim::build`]: construction cost feeds the
+    /// process-global setup counter so `repro bench` can report the
+    /// event loop's events/sec undistorted by system setup.
+    fn new_ext(cfg: &'a SystemConfig, external: bool) -> Sim<'a> {
+        let t0 = std::time::Instant::now();
+        let sim = Sim::build(cfg, external);
+        dmx_sim::record_setup_nanos(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        sim
+    }
+
+    fn build(cfg: &'a SystemConfig, external: bool) -> Sim<'a> {
         let layout = build_layout(cfg.mode, &cfg.apps, cfg.gen);
         let flows = FlowNet::new(layout.topo.link_bandwidths());
         let accel = cfg
@@ -987,8 +1050,14 @@ impl<'a> Sim<'a> {
                 .overload
                 .as_ref()
                 .filter(|o| !o.is_inert())
-                .map(|o| OvState::new(o, &cfg.apps, cfg.requests_per_app)),
-            remaining: cfg.apps.len() * cfg.requests_per_app,
+                .map(|o| OvState::new(o, &cfg.apps, cfg.requests_per_app, external)),
+            // External mode counts outstanding injected arrivals
+            // instead of a fixed request budget.
+            remaining: if external {
+                0
+            } else {
+                cfg.apps.len() * cfg.requests_per_app
+            },
             degrade_on: vec![false; degrade_sched.len()],
             degrade_sched,
             scorer: fs.map(|f| HealthScorer::new(f.scorer)),
@@ -996,6 +1065,17 @@ impl<'a> Sim<'a> {
             fsreport: FailSlowReport::default(),
             hedge_jobs: FastMap::default(),
             chunk_sched: None,
+            external,
+            resolutions: Vec::new(),
+        }
+    }
+
+    /// Records a resolution for the fleet front end (external mode
+    /// only; a no-op otherwise, keeping single-server runs untouched).
+    fn resolve(&mut self, app: usize, outcome: Outcome) {
+        if self.external {
+            let at = self.q.now();
+            self.resolutions.push(Resolution { at, app, outcome });
         }
     }
 
@@ -1948,15 +2028,23 @@ impl<'a> Sim<'a> {
         }
         let now = self.q.now();
         let quarantined = now < self.quarantine_until[app];
+        let external = self.external;
         let (next_gap, verdict) = {
             let ov = self.ov.as_mut().expect("arrival without overload state");
             let ts = &mut ov.tenants[app];
             ts.stats.offered += 1;
-            ts.to_offer -= 1;
-            let next_gap = if ts.to_offer > 0 {
-                Some(ts.arrivals.as_mut().expect("open-loop tenant").next_gap())
-            } else {
+            // Externally-injected arrivals have no generator stream or
+            // offer budget; the front end decides when the next one
+            // lands.
+            let next_gap = if external {
                 None
+            } else {
+                ts.to_offer -= 1;
+                if ts.to_offer > 0 {
+                    Some(ts.arrivals.as_mut().expect("open-loop tenant").next_gap())
+                } else {
+                    None
+                }
             };
             let admitted = !quarantined && ts.bucket.as_mut().is_none_or(|b| b.try_take(now));
             let verdict = if quarantined {
@@ -1998,7 +2086,10 @@ impl<'a> Sim<'a> {
         match verdict {
             Verdict::Start(deadline) => self.start_request_at(app, now, deadline)?,
             Verdict::Queued => {}
-            Verdict::Shed => self.remaining = self.remaining.saturating_sub(1),
+            Verdict::Shed => {
+                self.remaining = self.remaining.saturating_sub(1);
+                self.resolve(app, Outcome::Shed);
+            }
         }
         Ok(())
     }
@@ -2026,7 +2117,7 @@ impl<'a> Sim<'a> {
     /// already passed while they waited.
     fn free_slot_and_dispatch(&mut self, now: Time) -> Result<(), SimError> {
         let mut to_start: Vec<(usize, Time, Time)> = Vec::new();
-        let mut shed = 0usize;
+        let mut shed_apps: Vec<usize> = Vec::new();
         {
             let Some(ov) = self.ov.as_mut() else {
                 return Ok(());
@@ -2038,14 +2129,17 @@ impl<'a> Sim<'a> {
                 };
                 if now > p.deadline && ov.cfg.shed == ShedPolicy::Reject {
                     ov.tenants[p.app].stats.shed_deadline += 1;
-                    shed += 1;
+                    shed_apps.push(p.app);
                     continue;
                 }
                 ov.inflight += 1;
                 to_start.push((p.app, p.arrived, p.deadline));
             }
         }
-        self.remaining = self.remaining.saturating_sub(shed);
+        self.remaining = self.remaining.saturating_sub(shed_apps.len());
+        for app in shed_apps {
+            self.resolve(app, Outcome::Shed);
+        }
         for (app, arrived, deadline) in to_start {
             self.start_request_at(app, arrived, deadline)?;
         }
@@ -2258,6 +2352,12 @@ impl<'a> Sim<'a> {
             self.ireport.max_blast = self.ireport.max_blast.max(r.poison_hops);
         }
         self.remaining = self.remaining.saturating_sub(1);
+        self.resolve(
+            r.app,
+            Outcome::Completed {
+                within_deadline: now <= r.deadline,
+            },
+        );
         {
             let st = &mut self.stats;
             let a = r.app;
@@ -2754,6 +2854,7 @@ impl<'a> Sim<'a> {
         self.creport.crash_killed += 1;
         self.creport.flips_discarded += r.flips;
         self.remaining = self.remaining.saturating_sub(1);
+        self.resolve(r.app, Outcome::Shed);
         if let Some((unit, bytes)) = r.credit {
             let woken = self
                 .ov
@@ -2908,7 +3009,10 @@ impl<'a> Sim<'a> {
     /// any experiment here, well inside the `Time` range.
     const DEATH_HORIZON: Time = Time::from_secs(600);
 
-    fn run(mut self) -> Result<RunResult, SimError> {
+    /// Seeds the event queue: fault/crash/degrade schedules, then
+    /// either the open-loop arrival streams or the closed-loop initial
+    /// requests (external mode seeds neither — arrivals are injected).
+    fn seed(&mut self) -> Result<(), SimError> {
         if let Some(plan) = &self.plan {
             for unit in self.deployed_units() {
                 if let Some(t) = plan.death_time(unit) {
@@ -2939,7 +3043,10 @@ impl<'a> Sim<'a> {
                 self.q.schedule_at(ev.at, Ev::DegradeStart(i));
             }
         }
-        if self.ov.as_ref().is_some_and(|o| o.open_loop) {
+        if self.external {
+            // Arrivals come from the fleet front end via
+            // `Stepped::inject_arrival`; nothing to seed.
+        } else if self.ov.as_ref().is_some_and(|o| o.open_loop) {
             // Open loop: tenants submit on their own schedule — seed
             // each arrival stream instead of pre-launching requests.
             for app in 0..self.cfg.apps.len() {
@@ -2962,6 +3069,66 @@ impl<'a> Sim<'a> {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Dispatches one popped event — the engine's single step, shared
+    /// by [`Sim::run`] and the stepped (fleet-partition) driver.
+    fn handle(&mut self, ev: Ev) -> Result<(), SimError> {
+        match ev {
+            Ev::StepDone(id, epoch) => self.step_done(id, epoch)?,
+            Ev::Arrival(app) => self.arrival(app)?,
+            Ev::CpuTick(gen) => {
+                if gen == self.cpu.generation() {
+                    self.cpu.advance(self.q.now());
+                    self.drain_cpu_finished()?;
+                    self.reschedule_cpu();
+                }
+            }
+            Ev::FlowTick(gen) => {
+                if gen == self.flows.generation() {
+                    self.flows.advance(self.q.now());
+                    self.drain_flow_finished()?;
+                    self.reschedule_flows();
+                }
+            }
+            Ev::ChunkTick(gen) => {
+                // Observation only: the fluid state is untouched, so
+                // a chunk-exact run computes bit-identical results.
+                if gen == self.flows.generation() {
+                    self.chunk_sched = None;
+                    self.reschedule_chunks();
+                }
+            }
+            Ev::SharedTick(pool, gen) => {
+                if gen == self.shared[pool].generation() {
+                    self.shared[pool].advance(self.q.now());
+                    self.drain_shared_finished(pool)?;
+                    self.reschedule_shared(pool);
+                }
+            }
+            Ev::UnitDeath(unit) => self.unit_death(unit)?,
+            Ev::IntegrityDone(id, epoch) => self.integrity_done(id, epoch)?,
+            Ev::Reexec(id, epoch) => self.reexec_resume(id, epoch)?,
+            Ev::Crash(i) => self.crash(i)?,
+            Ev::CrashRecover(i) => self.crash_recover(i)?,
+            Ev::Resume(id, epoch) => self.resume(id, epoch)?,
+            Ev::LinkRestore(l) => {
+                self.flows.restore_link(self.q.now(), LinkId::from_index(l));
+                self.drain_flow_finished()?;
+                self.reschedule_flows();
+            }
+            Ev::DegradeStart(i) => self.degrade_start(i),
+            Ev::DegradeToggle(i) => self.degrade_toggle(i)?,
+            Ev::DegradeEnd(i) => self.degrade_lift(i)?,
+            Ev::HedgeCheck(id, seq) => self.hedge_check(id, seq)?,
+            Ev::HedgeDone(id, epoch) => self.hedge_done(id, epoch)?,
+        }
+        Ok(())
+    }
+
+    fn run(mut self) -> Result<RunResult, SimError> {
+        self.seed()?;
         let prof = std::env::var_os("DMX_EVPROF").is_some();
         let mut prof_ns = [0u64; 16];
         let mut prof_n = [0u64; 16];
@@ -2993,55 +3160,7 @@ impl<'a> Sim<'a> {
             } else {
                 None
             };
-            match ev {
-                Ev::StepDone(id, epoch) => self.step_done(id, epoch)?,
-                Ev::Arrival(app) => self.arrival(app)?,
-                Ev::CpuTick(gen) => {
-                    if gen == self.cpu.generation() {
-                        self.cpu.advance(self.q.now());
-                        self.drain_cpu_finished()?;
-                        self.reschedule_cpu();
-                    }
-                }
-                Ev::FlowTick(gen) => {
-                    if gen == self.flows.generation() {
-                        self.flows.advance(self.q.now());
-                        self.drain_flow_finished()?;
-                        self.reschedule_flows();
-                    }
-                }
-                Ev::ChunkTick(gen) => {
-                    // Observation only: the fluid state is untouched, so
-                    // a chunk-exact run computes bit-identical results.
-                    if gen == self.flows.generation() {
-                        self.chunk_sched = None;
-                        self.reschedule_chunks();
-                    }
-                }
-                Ev::SharedTick(pool, gen) => {
-                    if gen == self.shared[pool].generation() {
-                        self.shared[pool].advance(self.q.now());
-                        self.drain_shared_finished(pool)?;
-                        self.reschedule_shared(pool);
-                    }
-                }
-                Ev::UnitDeath(unit) => self.unit_death(unit)?,
-                Ev::IntegrityDone(id, epoch) => self.integrity_done(id, epoch)?,
-                Ev::Reexec(id, epoch) => self.reexec_resume(id, epoch)?,
-                Ev::Crash(i) => self.crash(i)?,
-                Ev::CrashRecover(i) => self.crash_recover(i)?,
-                Ev::Resume(id, epoch) => self.resume(id, epoch)?,
-                Ev::LinkRestore(l) => {
-                    self.flows.restore_link(self.q.now(), LinkId::from_index(l));
-                    self.drain_flow_finished()?;
-                    self.reschedule_flows();
-                }
-                Ev::DegradeStart(i) => self.degrade_start(i),
-                Ev::DegradeToggle(i) => self.degrade_toggle(i)?,
-                Ev::DegradeEnd(i) => self.degrade_lift(i)?,
-                Ev::HedgeCheck(id, seq) => self.hedge_check(id, seq)?,
-                Ev::HedgeDone(id, epoch) => self.hedge_done(id, epoch)?,
-            }
+            self.handle(ev)?;
             if let Some((k, t0)) = pk {
                 prof_ns[k] += t0.elapsed().as_nanos() as u64;
                 prof_n[k] += 1;
@@ -3241,6 +3360,110 @@ pub fn try_simulate(cfg: &SystemConfig) -> Result<RunResult, SimError> {
         return Err(SimError::NoInflight);
     }
     Sim::new(cfg).run()
+}
+
+/// An externally-driven simulation of one server: the same engine as
+/// [`simulate`] — every layer included — but arrivals are *injected*
+/// by the caller and events are pumped horizon by horizon instead of
+/// run to completion. This is the partition-facing form of the engine:
+/// a fleet run wraps one `Stepped` per server inside a
+/// `dmx_sim::partition::Partition` and drives them all under
+/// conservative synchronization.
+///
+/// The caller's obligations mirror the engine's lookahead promise:
+/// injections must be timestamped at or after every horizon already
+/// pumped past (cross-partition messages delivered at window barriers
+/// satisfy this by construction).
+pub struct Stepped<'a> {
+    sim: Sim<'a>,
+}
+
+impl fmt::Debug for Stepped<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stepped")
+            .field("now", &self.sim.q.now())
+            .field("outstanding", &self.sim.remaining)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Stepped<'a> {
+    /// Builds the server simulation and seeds its fault/crash/degrade
+    /// schedules. Arrivals are not seeded — inject them.
+    ///
+    /// # Errors
+    ///
+    /// `NoApps` without applications; `NoOverload` unless the config
+    /// carries a non-inert overload section (the admission machinery
+    /// is what receives injected arrivals).
+    pub fn new(cfg: &'a SystemConfig) -> Result<Stepped<'a>, SimError> {
+        if cfg.apps.is_empty() {
+            return Err(SimError::NoApps);
+        }
+        let mut sim = Sim::new_ext(cfg, true);
+        if sim.ov.is_none() {
+            return Err(SimError::NoOverload);
+        }
+        sim.seed()?;
+        Ok(Stepped { sim })
+    }
+
+    /// Timestamp of the next pending event while work is outstanding;
+    /// `None` when every injected arrival has resolved (mirroring
+    /// [`simulate`]'s early stop, so far-future bookkeeping events —
+    /// scheduled deaths, retrain restores — don't keep a fleet alive).
+    pub fn next_time(&self) -> Option<Time> {
+        if self.sim.remaining > 0 {
+            self.sim.q.peek_time()
+        } else {
+            None
+        }
+    }
+
+    /// Current local simulation time.
+    pub fn now(&self) -> Time {
+        self.sim.q.now()
+    }
+
+    /// Schedules one arrival of tenant `app` at absolute time `at`
+    /// (which must not precede any horizon already pumped past). The
+    /// arrival runs the full admission path and will resolve exactly
+    /// once — as a completion or a shed — in [`drain_resolutions`].
+    ///
+    /// [`drain_resolutions`]: Stepped::drain_resolutions
+    pub fn inject_arrival(&mut self, app: usize, at: Time) {
+        self.sim.remaining += 1;
+        self.sim.q.schedule_at(at, Ev::Arrival(app));
+    }
+
+    /// Processes every pending event strictly before `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors ([`SimError`]) from event handlers.
+    pub fn pump_until(&mut self, horizon: Time) -> Result<(), SimError> {
+        while self.sim.q.peek_time().is_some_and(|t| t < horizon) {
+            let ev = self.sim.q.pop().expect("peeked event");
+            self.sim.handle(ev)?;
+        }
+        Ok(())
+    }
+
+    /// Takes the resolutions recorded since the last call, in
+    /// resolution (time) order.
+    pub fn drain_resolutions(&mut self) -> Vec<Resolution> {
+        std::mem::take(&mut self.sim.resolutions)
+    }
+
+    /// Engine events this server has processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.q.events_processed()
+    }
+
+    /// Finishes the run and produces the server's [`RunResult`].
+    pub fn finish(self) -> RunResult {
+        self.sim.finish()
+    }
 }
 
 #[cfg(test)]

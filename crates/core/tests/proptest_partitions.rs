@@ -1,0 +1,240 @@
+//! Property suite of the partitioned parallel engine: a fleet run must
+//! be byte-identical for any shard count and any worker-thread count,
+//! under any composition of the fault layers — crash-stop schedules,
+//! fail-slow degrades, and silent-data-corruption rates with per-hop
+//! integrity checking — and must conserve every dispatched request.
+//! Runs on the in-tree deterministic harness (`dmx_sim::check`).
+
+use dmx_core::experiments::Suite;
+use dmx_core::fleet::{run_fleet, FleetConfig, LbPolicy};
+use dmx_core::integrity::{ChecksumMode, IntegrityConfig};
+use dmx_core::overload::{AdmissionParams, OverloadConfig, ShedPolicy};
+use dmx_core::placement::{Mode, Placement};
+use dmx_core::system::{simulate, units, SystemConfig};
+use dmx_pcie::InterNodeFabric;
+use dmx_sim::{
+    cases, run_cases, ArrivalProcess, CrashEvent, CrashTarget, DegradeEvent, DegradeTarget,
+    FaultConfig, Gen, Time,
+};
+
+const TENANTS: usize = 3;
+
+fn n_cases() -> usize {
+    cases(if cfg!(feature = "heavy-tests") { 24 } else { 8 })
+}
+
+/// A random crash-stop schedule: up to two outages over the horizon.
+fn gen_crashes(g: &mut Gen, horizon: Time) -> Vec<CrashEvent> {
+    let n = g.usize_in(0, 3);
+    (0..n)
+        .map(|_| {
+            let at = horizon.scale(g.f64_in(0.05, 0.5));
+            let down_for = Some(horizon.scale(g.f64_in(0.02, 0.2)));
+            match g.usize_in(0, 3) {
+                0 => CrashEvent {
+                    target: CrashTarget::Driver,
+                    at,
+                    down_for,
+                },
+                1 => CrashEvent {
+                    target: CrashTarget::Subtree(g.usize_in(0, 2)),
+                    at,
+                    down_for,
+                },
+                _ => CrashEvent {
+                    target: CrashTarget::Device(units::bitw(g.usize_in(0, TENANTS), 0)),
+                    at,
+                    down_for,
+                },
+            }
+        })
+        .collect()
+}
+
+/// A random fail-slow schedule: up to two degrade windows.
+fn gen_degrades(g: &mut Gen, horizon: Time) -> Vec<DegradeEvent> {
+    let n = g.usize_in(0, 3);
+    (0..n)
+        .map(|_| DegradeEvent {
+            target: if g.chance(0.5) {
+                DegradeTarget::Device(units::bitw(g.usize_in(0, TENANTS), 0))
+            } else {
+                DegradeTarget::Subtree(g.usize_in(0, 2))
+            },
+            at: horizon.scale(g.f64_in(0.05, 0.4)),
+            down_for: Some(horizon.scale(g.f64_in(0.05, 0.3))),
+            slowdown: g.f64_in(1.5, 6.0),
+            jitter: if g.chance(0.5) {
+                g.f64_in(0.0, 0.5)
+            } else {
+                0.0
+            },
+            duty: None,
+        })
+        .collect()
+}
+
+/// A per-server system with the full fault stack composed in: crashes,
+/// degrades, SDC injection with per-hop integrity checks, admission
+/// and EDF shedding.
+fn server_cfg(
+    suite: &Suite,
+    seed: u64,
+    slowest: Time,
+    sdc_rate: f64,
+    crashes: Vec<CrashEvent>,
+    degrades: Vec<DegradeEvent>,
+) -> SystemConfig {
+    let mut faults = FaultConfig::none();
+    faults.seed = seed;
+    faults.sdc.spad_flip_rate = sdc_rate;
+    faults.sdc.dma_flip_rate = sdc_rate / 2.0;
+    faults.crashes = crashes;
+    faults.degrades = degrades;
+    let mut integ = IntegrityConfig::checked(ChecksumMode::PerHop);
+    integ.max_reexec = 4;
+    SystemConfig {
+        faults: Some(faults),
+        integrity: Some(integ),
+        overload: Some(OverloadConfig {
+            admission: AdmissionParams {
+                tokens_per_sec: f64::INFINITY,
+                burst: 1.0,
+                max_inflight: 6,
+            },
+            deadline: slowest * 4,
+            shed: ShedPolicy::Reject,
+            queue_capacity: 6,
+            ..OverloadConfig::none()
+        }),
+        ..SystemConfig::latency(Mode::Dmx(Placement::BumpInTheWire), suite.mix(TENANTS))
+    }
+}
+
+#[test]
+fn fleet_byte_identical_across_shards_threads_and_faults() {
+    let suite = Suite::new();
+    let clean = simulate(&SystemConfig::latency(
+        Mode::Dmx(Placement::BumpInTheWire),
+        suite.mix(TENANTS),
+    ));
+    let mean = clean.mean_latency();
+    let slowest = clean.apps.iter().map(|a| a.latency).max().unwrap();
+
+    run_cases("partition::fleet_identity_under_chaos", n_cases(), |g| {
+        let seed = g.u64_in(0, u64::MAX);
+        let servers = g.usize_in(1, 4);
+        let per_tenant = g.usize_in(3, 6);
+        let load = g.f64_in(0.5, 2.5);
+        let sdc_rate = if g.chance(0.3) {
+            0.0
+        } else {
+            g.f64_in(1e-8, 5e-7)
+        };
+        // The schedule horizon covers the per-server request stream.
+        let horizon = mean * (per_tenant as u64 * 3);
+        let crashes = gen_crashes(g, horizon);
+        let degrades = gen_degrades(g, horizon);
+        let rate = load * 6.0 / (mean.as_secs_f64() * TENANTS as f64) * servers as f64;
+        let policy = *g.pick(&[
+            LbPolicy::RoundRobin,
+            LbPolicy::LeastLoaded,
+            LbPolicy::TenantAffinity,
+        ]);
+        let cfg = FleetConfig {
+            servers,
+            server: server_cfg(&suite, seed, slowest, sdc_rate, crashes.clone(), degrades),
+            policy,
+            fabric: InterNodeFabric::default(),
+            seed,
+            arrivals: vec![ArrivalProcess::Poisson { rate_rps: rate }; TENANTS],
+            requests_per_tenant: per_tenant * servers,
+            request_bytes: 64 << 10,
+            response_bytes: 16 << 10,
+        };
+
+        // Baseline: serial shards, serial workers.
+        let prev = dmx_sim::par::set_threads(1);
+        let base = run_fleet(&cfg, 1);
+        let base_dbg = format!("{base:?}");
+
+        // Conservation under the full fault stack: every arrival the
+        // LB offered resolves exactly once, even when crash-stop kills
+        // requests mid-flight and integrity quarantines poisoned
+        // tenants.
+        assert!(
+            base.conserved(),
+            "conservation violated: offered {} goodput {} late {} shed {} \
+             (servers {servers}, load {load:.2}, crashes {crashes:?})",
+            base.offered,
+            base.goodput,
+            base.late,
+            base.shed
+        );
+
+        // Byte-identity across random shard counts (may exceed the
+        // partition count; excess shards idle).
+        let shards = g.usize_in(2, 8);
+        assert_eq!(
+            format!("{:?}", run_fleet(&cfg, shards)),
+            base_dbg,
+            "shards {shards} diverged from serial (servers {servers}, seed {seed:#x})"
+        );
+
+        // Byte-identity with the worker pool active: the partitioned
+        // engine must not couple to the `--threads` knob.
+        let threads = g.usize_in(2, 4);
+        dmx_sim::par::set_threads(threads);
+        let shards2 = g.usize_in(1, 8);
+        assert_eq!(
+            format!("{:?}", run_fleet(&cfg, shards2)),
+            base_dbg,
+            "threads {threads} x shards {shards2} diverged (servers {servers}, seed {seed:#x})"
+        );
+        dmx_sim::par::set_threads(prev);
+    });
+}
+
+#[test]
+fn fleet_identity_composes_with_par_map() {
+    // The partitioned engine inside the sweep worker pool: each task
+    // runs its own multi-shard fleet; nested parallelism collapses to
+    // serial windows and results stay byte-identical with the pool on
+    // or off.
+    let suite = Suite::new();
+    let clean = simulate(&SystemConfig::latency(
+        Mode::Dmx(Placement::BumpInTheWire),
+        suite.mix(TENANTS),
+    ));
+    let mean = clean.mean_latency();
+    let slowest = clean.apps.iter().map(|a| a.latency).max().unwrap();
+    let rate = 6.0 / (mean.as_secs_f64() * TENANTS as f64);
+    let cfg = |servers: usize| FleetConfig {
+        servers,
+        server: server_cfg(&suite, 7, slowest, 0.0, Vec::new(), Vec::new()),
+        policy: LbPolicy::LeastLoaded,
+        fabric: InterNodeFabric::default(),
+        seed: 7,
+        arrivals: vec![
+            ArrivalProcess::Poisson {
+                rate_rps: rate * servers as f64
+            };
+            TENANTS
+        ],
+        requests_per_tenant: 4 * servers,
+        request_bytes: 64 << 10,
+        response_bytes: 16 << 10,
+    };
+
+    let prev = dmx_sim::par::set_threads(1);
+    let serial: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&s| format!("{:?}", run_fleet(&cfg(s), 4)))
+        .collect();
+    dmx_sim::par::set_threads(4);
+    let pooled = dmx_sim::par_map(&[1usize, 2, 4], |_, &s| {
+        format!("{:?}", run_fleet(&cfg(s), 4))
+    });
+    dmx_sim::par::set_threads(prev);
+    assert_eq!(serial, pooled);
+}

@@ -1,0 +1,165 @@
+//! Inter-node links: the network hop between DMX servers in a fleet.
+//!
+//! Inside one server, chains ride the PCIe tree modeled by
+//! [`Topology`](crate::topology::Topology) / [`FlowNet`](crate::flow::FlowNet).
+//! Between servers — load balancer to server, server to server — traffic
+//! crosses a datacenter network link instead. This module models that hop
+//! just precisely enough for fleet simulation:
+//!
+//! * a fixed one-way **base latency** (propagation + NIC + switch
+//!   traversal + kernel/NIC doorbell overhead), and
+//! * a **serialization** term, `bytes / bandwidth`, for the message body.
+//!
+//! The base latency doubles as the **lookahead** of conservative
+//! partitioned execution (`dmx_sim::partition`): no message between two
+//! nodes can arrive sooner than the smallest base latency in the fleet,
+//! so every partition may safely advance `min_base_latency` past the
+//! global minimum event time. [`InterNodeFabric::lookahead`] extracts
+//! exactly that bound; it deliberately ignores the serialization term
+//! (a zero-byte message is still a legal message).
+
+use crate::link::LinkSpec;
+use dmx_sim::{transfer_time, Time};
+
+/// One direction of a network link between two fleet nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterNodeLink {
+    /// One-way base latency applied to every message regardless of size.
+    pub base_latency: Time,
+    /// Body bandwidth in bytes per second.
+    pub bytes_per_sec: u64,
+}
+
+impl InterNodeLink {
+    /// A software-load-balancer hop over 25GbE inside one rack:
+    /// ~25 µs one way (kernel network stack + ToR switch), 25 Gb/s of
+    /// body bandwidth. The default fleet fabric.
+    pub fn rack_25g() -> InterNodeLink {
+        InterNodeLink {
+            base_latency: Time::from_us(25),
+            bytes_per_sec: 25_000_000_000 / 8,
+        }
+    }
+
+    /// A kernel-bypass RDMA-class hop: ~3 µs one way, 100 Gb/s.
+    pub fn rdma_100g() -> InterNodeLink {
+        InterNodeLink {
+            base_latency: Time::from_us(3),
+            bytes_per_sec: 100_000_000_000 / 8,
+        }
+    }
+
+    /// A custom link.
+    pub fn new(base_latency: Time, bytes_per_sec: u64) -> InterNodeLink {
+        InterNodeLink {
+            base_latency,
+            bytes_per_sec,
+        }
+    }
+
+    /// One-way delivery time for a `bytes`-byte message: base latency
+    /// plus serialization.
+    pub fn delivery_time(&self, bytes: u64) -> Time {
+        self.base_latency + transfer_time(bytes, self.bytes_per_sec)
+    }
+
+    /// An inter-node hop carrying PCIe-attached traffic can never beat
+    /// the host's own root link; clamp bandwidth to it (latency is
+    /// unaffected — the network hop dominates).
+    pub fn capped_by(&self, root: LinkSpec) -> InterNodeLink {
+        InterNodeLink {
+            base_latency: self.base_latency,
+            bytes_per_sec: self.bytes_per_sec.min(root.bytes_per_sec()),
+        }
+    }
+}
+
+/// The inter-node fabric of a fleet: a star — every server connects to
+/// the front-end load balancer over the same link class. (A star is the
+/// topology software load balancers induce; per-pair links can be added
+/// later without changing the lookahead contract.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterNodeFabric {
+    /// The LB↔server link, both directions.
+    pub link: InterNodeLink,
+}
+
+impl InterNodeFabric {
+    /// A fabric where every hop uses `link`.
+    pub fn uniform(link: InterNodeLink) -> InterNodeFabric {
+        InterNodeFabric { link }
+    }
+
+    /// The conservative-execution lookahead: the minimum base latency
+    /// over every inter-node hop. Any cross-partition message sent at
+    /// local time `t` arrives no earlier than `t + lookahead`, which is
+    /// the promise `dmx_sim::partition::run_conservative` verifies at
+    /// every window barrier.
+    pub fn lookahead(&self) -> Time {
+        self.link.base_latency
+    }
+
+    /// Delivery time of a `bytes`-byte message on the LB↔server hop.
+    pub fn delivery_time(&self, bytes: u64) -> Time {
+        self.link.delivery_time(bytes)
+    }
+}
+
+impl Default for InterNodeFabric {
+    fn default() -> InterNodeFabric {
+        InterNodeFabric::uniform(InterNodeLink::rack_25g())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{Gen, Lanes};
+
+    #[test]
+    fn delivery_time_is_latency_plus_serialization() {
+        let l = InterNodeLink::new(Time::from_us(10), 1_000_000_000);
+        assert_eq!(l.delivery_time(0), Time::from_us(10));
+        // 1 MB at 1 GB/s = 1 ms on top of the base 10 µs.
+        assert_eq!(
+            l.delivery_time(1_000_000),
+            Time::from_us(10) + Time::from_ms(1)
+        );
+    }
+
+    #[test]
+    fn rack_hop_dominates_rdma_hop() {
+        let rack = InterNodeLink::rack_25g();
+        let rdma = InterNodeLink::rdma_100g();
+        assert!(rack.base_latency > rdma.base_latency);
+        assert!(rack.bytes_per_sec < rdma.bytes_per_sec);
+        assert!(rack.delivery_time(4096) > rdma.delivery_time(4096));
+    }
+
+    #[test]
+    fn lookahead_is_base_latency_not_serialization() {
+        let fab = InterNodeFabric::uniform(InterNodeLink::new(Time::from_us(7), 1));
+        // Bandwidth of 1 B/s would make serialization enormous, but
+        // lookahead only promises the size-independent floor.
+        assert_eq!(fab.lookahead(), Time::from_us(7));
+    }
+
+    #[test]
+    fn capped_by_root_link() {
+        let fat = InterNodeLink::new(Time::from_us(5), u64::MAX);
+        let root = LinkSpec::new(Gen::Gen3, Lanes::X16);
+        let capped = fat.capped_by(root);
+        assert_eq!(capped.bytes_per_sec, root.bytes_per_sec());
+        assert_eq!(capped.base_latency, Time::from_us(5));
+        // A slim link is unaffected.
+        let slim = InterNodeLink::new(Time::from_us(5), 1_000);
+        assert_eq!(slim.capped_by(root).bytes_per_sec, 1_000);
+    }
+
+    #[test]
+    fn default_fabric_is_rack_star() {
+        let fab = InterNodeFabric::default();
+        assert_eq!(fab.lookahead(), Time::from_us(25));
+        assert_eq!(fab.delivery_time(0), Time::from_us(25));
+    }
+}

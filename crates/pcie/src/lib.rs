@@ -42,6 +42,7 @@
 pub mod backpressure;
 pub mod energy;
 pub mod flow;
+pub mod internode;
 pub mod link;
 pub mod replay;
 pub mod topology;
@@ -49,6 +50,7 @@ pub mod topology;
 pub use backpressure::{CreditGate, CreditToken};
 pub use energy::{Joules, PcieEnergyModel};
 pub use flow::{FlowId, FlowNet};
+pub use internode::{InterNodeFabric, InterNodeLink};
 pub use link::{Gen, InvalidLanes, Lanes, LinkSpec};
 pub use replay::{transfer_faults, ReplayParams, TransferFaults};
 pub use topology::{FabricError, LinkId, NodeId, NodeKind, Route, Topology};

@@ -50,6 +50,7 @@ pub mod fastmap;
 pub mod fault;
 pub mod idmap;
 pub mod par;
+pub mod partition;
 pub mod queue;
 pub mod resources;
 pub mod rng;
@@ -65,7 +66,10 @@ pub use fault::{
 };
 pub use idmap::IdMap;
 pub use par::{par_map, par_map_with};
-pub use queue::{events_delivered, set_default_stall_limit, EventQueue};
+pub use partition::{run_conservative, Outbox, Partition, WindowStats, XMsg};
+pub use queue::{
+    events_delivered, record_setup_nanos, set_default_stall_limit, setup_nanos, EventQueue,
+};
 pub use resources::{water_fill, FifoServer, PsJobId, PsPool};
 pub use rng::SplitMix64;
 pub use stats::{geomean, BusyTracker, Percentiles, Summary, SummaryCols, TimeWeighted};

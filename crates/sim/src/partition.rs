@@ -1,0 +1,580 @@
+//! Conservative parallel discrete-event execution across partitions.
+//!
+//! A partitioned run splits one simulation into N logical partitions —
+//! one per server of a fleet, or per PCIe subtree — each owning its own
+//! event queue and advancing its own clock. Partitions interact only
+//! through explicit cross-partition messages carried on deterministic
+//! per-(src, dst) channels, which is exactly the structure conservative
+//! ("Chandy–Misra style") synchronization exploits: if every message
+//! sent at local time `t` arrives no earlier than `t + lookahead`
+//! (the minimum inter-partition link latency), then every partition may
+//! safely advance to `t_min + lookahead` — the *safe window* — where
+//! `t_min` is the global minimum over all pending local events and
+//! in-flight messages. Nothing anywhere in the system can affect a
+//! partition before that horizon.
+//!
+//! The engine loop alternates windows and barriers:
+//!
+//! 1. compute `t_min` over every partition's next event time and every
+//!    undelivered channel message (`None` everywhere → the run is done);
+//! 2. deliver all messages with `time < t_min + lookahead` to their
+//!    destination partitions, sorted by `(time, src, seq)`;
+//! 3. advance every partition — possibly in parallel, one shard of
+//!    partitions per worker — up to the exclusive horizon
+//!    `t_min + lookahead`;
+//! 4. barrier: collect newly sent messages into the channels.
+//!
+//! ## Determinism contract
+//!
+//! Output is byte-identical for any shard count, the same contract
+//! [`par_map`](crate::par::par_map) holds for `--threads`:
+//!
+//! * the horizon is a pure function of global simulation state, never
+//!   of execution order;
+//! * each partition is internally sequential and deterministic given
+//!   its inbox sequence;
+//! * inboxes are sorted by `(time, src, seq)` where `seq` counts sends
+//!   per source partition in send order — a total order independent of
+//!   which worker ran which partition when;
+//! * with one shard the exact same window/barrier loop runs inline on
+//!   the caller's thread.
+//!
+//! The engine *verifies* the lookahead promise at every barrier: a
+//! message timestamped before the window horizon is a causality
+//! violation and panics rather than silently corrupting the run.
+
+use crate::time::Time;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Process-global default shard count used by fleet runs (the
+/// `--partitions` knob); 1 = serial execution of the window loop.
+static PARTITIONS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-global shard count used by partitioned runs that
+/// ask for [`partitions`]. Zero is clamped to one. Returns the
+/// previous value.
+pub fn set_partitions(n: usize) -> usize {
+    PARTITIONS.swap(n.max(1), Ordering::Relaxed)
+}
+
+/// The current process-global shard count.
+pub fn partitions() -> usize {
+    PARTITIONS.load(Ordering::Relaxed)
+}
+
+/// One cross-partition message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XMsg<M> {
+    /// Arrival time at the destination partition.
+    pub time: Time,
+    /// Source partition index.
+    pub src: usize,
+    /// Per-source send sequence number; with `time` and `src` this
+    /// totally orders every message in the run.
+    pub seq: u64,
+    /// The payload.
+    pub payload: M,
+}
+
+/// Per-partition send buffer. Sequence numbers are assigned in send
+/// order per source partition, so the `(time, src, seq)` delivery
+/// order is a pure function of each partition's deterministic
+/// execution, never of scheduling.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    src: usize,
+    next_seq: u64,
+    msgs: Vec<(usize, XMsg<M>)>,
+}
+
+impl<M> Outbox<M> {
+    fn new(src: usize) -> Outbox<M> {
+        Outbox {
+            src,
+            next_seq: 0,
+            msgs: Vec::new(),
+        }
+    }
+
+    /// Queues `payload` for partition `dst`, arriving at absolute time
+    /// `at`. The engine checks `at` against the window horizon at the
+    /// barrier — senders must respect the lookahead promise.
+    pub fn send(&mut self, dst: usize, at: Time, payload: M) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.msgs.push((
+            dst,
+            XMsg {
+                time: at,
+                src: self.src,
+                seq,
+                payload,
+            },
+        ));
+    }
+
+    /// Messages queued since the last barrier.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+/// One logical partition of a conservative run: a sequential
+/// deterministic simulation that can advance to a horizon and exchange
+/// timestamped messages with its peers.
+pub trait Partition: Send {
+    /// Cross-partition message payload.
+    type Msg: Send;
+
+    /// Timestamp of this partition's next pending local event, or
+    /// `None` when it is quiescent (it may still be woken by an
+    /// inbound message).
+    fn next_time(&self) -> Option<Time>;
+
+    /// Advances local simulation strictly below `horizon`. `inbox`
+    /// holds every message addressed here with `time < horizon`,
+    /// sorted by `(time, src, seq)`; implementations must interleave
+    /// them with local events in timestamp order (scheduling them into
+    /// the local event queue before popping does exactly that).
+    /// Messages to peers go through `out`; each must be timestamped at
+    /// or after `horizon` — local now plus at least the lookahead.
+    fn advance(&mut self, horizon: Time, inbox: Vec<XMsg<Self::Msg>>, out: &mut Outbox<Self::Msg>);
+}
+
+/// Counters from one conservative run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Safe windows executed (== barriers).
+    pub windows: u64,
+    /// Cross-partition messages delivered.
+    pub messages: u64,
+    /// Largest single-window inbox seen by any partition.
+    pub max_inbox: usize,
+}
+
+/// Runs `parts` to quiescence under conservative synchronization with
+/// the given `lookahead`, executing each window's partitions on
+/// `shards` worker threads (partition `i` belongs to shard
+/// `i % shards`). Output is byte-identical for any `shards`.
+///
+/// # Panics
+///
+/// Panics if `lookahead` is zero (windows could not advance), or if a
+/// partition violates the lookahead promise by sending a message
+/// timestamped before the window horizon.
+pub fn run_conservative<P: Partition>(
+    parts: &mut [P],
+    lookahead: Time,
+    shards: usize,
+) -> WindowStats {
+    assert!(
+        !lookahead.is_zero(),
+        "conservative execution needs a positive lookahead"
+    );
+    let n = parts.len();
+    let mut stats = WindowStats::default();
+    if n == 0 {
+        return stats;
+    }
+    // Nested inside a par_map fan-out the pool is already saturated;
+    // collapse to the serial window loop, mirroring par_map's own
+    // nested-call rule. Output is identical either way.
+    let shards = if crate::par::in_parallel() {
+        1
+    } else {
+        shards.clamp(1, n)
+    };
+
+    // Undelivered messages per destination partition.
+    let mut chan: Vec<Vec<XMsg<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+
+    if shards <= 1 {
+        let mut outboxes: Vec<Outbox<P::Msg>> = (0..n).map(Outbox::new).collect();
+        while let Some(t_min) = global_min(parts.iter().map(|p| p.next_time()), &chan) {
+            let horizon = safe_horizon(t_min, lookahead);
+            for (i, p) in parts.iter_mut().enumerate() {
+                let inbox = take_inbox(&mut chan[i], horizon);
+                stats.messages += inbox.len() as u64;
+                stats.max_inbox = stats.max_inbox.max(inbox.len());
+                p.advance(horizon, inbox, &mut outboxes[i]);
+            }
+            for ob in &mut outboxes {
+                collect_outbox(ob, horizon, &mut chan);
+            }
+            stats.windows += 1;
+        }
+        return stats;
+    }
+
+    // Parallel path: persistent shard workers under std::thread::scope,
+    // two barrier crossings per window (release + join). The main
+    // thread computes horizons and owns the channels; workers own their
+    // partitions for the whole run and publish next-event times at
+    // every join.
+    let barrier = Barrier::new(shards + 1);
+    let done = AtomicBool::new(false);
+    // Horizon in ps, published before the release barrier.
+    let horizon_ps = AtomicU64::new(0);
+    let next_times: Vec<Mutex<Option<Time>>> =
+        parts.iter().map(|p| Mutex::new(p.next_time())).collect();
+    let inboxes: Vec<Mutex<Vec<XMsg<P::Msg>>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    let outboxes: Vec<Mutex<Outbox<P::Msg>>> = (0..n).map(|i| Mutex::new(Outbox::new(i))).collect();
+
+    // Hand each shard its partitions. Round-robin keeps heterogeneous
+    // partitions (one hot LB, many servers) spread across workers.
+    let mut shard_parts: Vec<Vec<(usize, &mut P)>> = (0..shards).map(|_| Vec::new()).collect();
+    for (i, p) in parts.iter_mut().enumerate() {
+        shard_parts[i % shards].push((i, p));
+    }
+
+    std::thread::scope(|scope| {
+        for mine in shard_parts {
+            let barrier = &barrier;
+            let done = &done;
+            let horizon_ps = &horizon_ps;
+            let next_times = &next_times;
+            let inboxes = &inboxes;
+            let outboxes = &outboxes;
+            let mut mine = mine;
+            scope.spawn(move || loop {
+                barrier.wait(); // release: horizon + inboxes are ready
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                let horizon = Time::from_ps(horizon_ps.load(Ordering::Acquire));
+                for (i, p) in &mut mine {
+                    let inbox = std::mem::take(
+                        &mut *inboxes[*i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner),
+                    );
+                    {
+                        let mut ob = outboxes[*i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        p.advance(horizon, inbox, &mut ob);
+                    }
+                    *next_times[*i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = p.next_time();
+                }
+                barrier.wait(); // join: window complete
+            });
+        }
+
+        loop {
+            let nexts = next_times
+                .iter()
+                .map(|m| *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
+            let Some(t_min) = global_min(nexts, &chan) else {
+                done.store(true, Ordering::Release);
+                barrier.wait(); // release workers into their exit path
+                break;
+            };
+            let horizon = safe_horizon(t_min, lookahead);
+            horizon_ps.store(horizon.as_ps(), Ordering::Release);
+            for (i, pending) in chan.iter_mut().enumerate() {
+                let inbox = take_inbox(pending, horizon);
+                stats.messages += inbox.len() as u64;
+                stats.max_inbox = stats.max_inbox.max(inbox.len());
+                *inboxes[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = inbox;
+            }
+            barrier.wait(); // release
+            barrier.wait(); // join
+            for ob in &outboxes {
+                let mut ob = ob.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                collect_outbox(&mut ob, horizon, &mut chan);
+            }
+            stats.windows += 1;
+        }
+    });
+    stats
+}
+
+/// Earliest pending instant across local events and in-flight messages.
+fn global_min<M>(
+    next_times: impl Iterator<Item = Option<Time>>,
+    chan: &[Vec<XMsg<M>>],
+) -> Option<Time> {
+    let local = next_times.flatten().min();
+    let msgs = chan.iter().flatten().map(|m| m.time).min();
+    match (local, msgs) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// The exclusive window horizon: `t_min + lookahead`, saturating at
+/// the top of the clock.
+fn safe_horizon(t_min: Time, lookahead: Time) -> Time {
+    t_min.checked_add(lookahead).unwrap_or(Time::MAX)
+}
+
+/// Splits off every pending message with `time < horizon`, sorted by
+/// `(time, src, seq)` — the channel determinism rule.
+fn take_inbox<M>(pending: &mut Vec<XMsg<M>>, horizon: Time) -> Vec<XMsg<M>> {
+    let mut inbox = Vec::new();
+    let mut i = 0;
+    while i < pending.len() {
+        if pending[i].time < horizon {
+            inbox.push(pending.swap_remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    inbox.sort_by(|a, b| {
+        a.time
+            .cmp(&b.time)
+            .then(a.src.cmp(&b.src))
+            .then(a.seq.cmp(&b.seq))
+    });
+    inbox
+}
+
+/// Moves a barrier's sends into the channels, enforcing the lookahead
+/// promise.
+fn collect_outbox<M>(ob: &mut Outbox<M>, horizon: Time, chan: &mut [Vec<XMsg<M>>]) {
+    for (dst, msg) in ob.msgs.drain(..) {
+        assert!(
+            msg.time >= horizon,
+            "lookahead violation: partition {} sent a message for t={:?} \
+             inside the safe window ending at {:?}",
+            msg.src,
+            msg.time,
+            horizon,
+        );
+        chan[dst].push(msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::run_cases;
+    use crate::queue::EventQueue;
+
+    /// A partition that relays a token around a ring: on receiving
+    /// value `v` it waits a deterministic local delay, then forwards
+    /// `v + 1` to the next partition with `LAT` link latency, until the
+    /// token value reaches a bound. Each hop also logs `(time, value)`.
+    struct Ring {
+        id: usize,
+        n: usize,
+        q: EventQueue<u64>,
+        log: Vec<(Time, u64)>,
+        bound: u64,
+        lat: Time,
+    }
+
+    impl Ring {
+        fn new(id: usize, n: usize, bound: u64, lat: Time) -> Ring {
+            let mut q = EventQueue::new();
+            if id == 0 {
+                q.schedule_at(Time::from_ns(1), 0);
+            }
+            Ring {
+                id,
+                n,
+                q,
+                log: Vec::new(),
+                bound,
+                lat,
+            }
+        }
+    }
+
+    impl Partition for Ring {
+        type Msg = u64;
+
+        fn next_time(&self) -> Option<Time> {
+            self.q.peek_time()
+        }
+
+        fn advance(&mut self, horizon: Time, inbox: Vec<XMsg<u64>>, out: &mut Outbox<u64>) {
+            for m in inbox {
+                self.q.schedule_at(m.time, m.payload);
+            }
+            while self.q.peek_time().is_some_and(|t| t < horizon) {
+                let v = self.q.pop().expect("peeked");
+                self.log.push((self.q.now(), v));
+                if v < self.bound {
+                    out.send((self.id + 1) % self.n, self.q.now() + self.lat, v + 1);
+                }
+            }
+        }
+    }
+
+    fn run_ring(n: usize, bound: u64, shards: usize) -> (Vec<Vec<(Time, u64)>>, WindowStats) {
+        let lat = Time::from_us(3);
+        let mut parts: Vec<Ring> = (0..n).map(|i| Ring::new(i, n, bound, lat)).collect();
+        let stats = run_conservative(&mut parts, lat, shards);
+        (parts.into_iter().map(|p| p.log).collect(), stats)
+    }
+
+    #[test]
+    fn ring_token_visits_every_partition_in_order() {
+        let (logs, stats) = run_ring(4, 10, 1);
+        // Token 0..=10: partition i sees values i, i+4, ...
+        assert_eq!(
+            logs[0].iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![0, 4, 8]
+        );
+        assert_eq!(
+            logs[1].iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![1, 5, 9]
+        );
+        assert_eq!(
+            logs[2].iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![2, 6, 10]
+        );
+        assert!(stats.windows >= 10, "one window per hop at minimum");
+        assert_eq!(stats.messages, 10);
+    }
+
+    #[test]
+    fn shard_counts_are_byte_identical() {
+        let (serial, _) = run_ring(5, 40, 1);
+        for shards in [2, 3, 5, 8] {
+            let (par, _) = run_ring(5, 40, shards);
+            assert_eq!(par, serial, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn empty_partition_set_terminates() {
+        let mut parts: Vec<Ring> = Vec::new();
+        let stats = run_conservative(&mut parts, Time::from_ns(1), 4);
+        assert_eq!(stats, WindowStats::default());
+    }
+
+    #[test]
+    fn quiescent_partitions_terminate_immediately() {
+        let mut parts: Vec<Ring> = (1..3)
+            .map(|i| Ring::new(i, 4, 0, Time::from_us(1)))
+            .collect();
+        // No partition 0, so nothing is ever scheduled.
+        let stats = run_conservative(&mut parts, Time::from_us(1), 2);
+        assert_eq!(stats.windows, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_lookahead_is_rejected() {
+        let mut parts = vec![Ring::new(0, 1, 1, Time::from_us(1))];
+        run_conservative(&mut parts, Time::ZERO, 1);
+    }
+
+    /// A partition that (incorrectly) sends with less latency than the
+    /// lookahead it promised.
+    struct Cheater {
+        fired: bool,
+    }
+
+    impl Partition for Cheater {
+        type Msg = ();
+
+        fn next_time(&self) -> Option<Time> {
+            (!self.fired).then(|| Time::from_ns(5))
+        }
+
+        fn advance(&mut self, _horizon: Time, _inbox: Vec<XMsg<()>>, out: &mut Outbox<()>) {
+            self.fired = true;
+            out.send(0, Time::from_ns(6), ()); // horizon is 5ns + 1us
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn lookahead_violations_are_caught() {
+        let mut parts = vec![Cheater { fired: false }];
+        run_conservative(&mut parts, Time::from_us(1), 1);
+    }
+
+    #[test]
+    fn inbox_sorted_by_time_src_seq() {
+        let mut pending = vec![
+            XMsg {
+                time: Time::from_ns(10),
+                src: 2,
+                seq: 0,
+                payload: 'c',
+            },
+            XMsg {
+                time: Time::from_ns(5),
+                src: 3,
+                seq: 1,
+                payload: 'b',
+            },
+            XMsg {
+                time: Time::from_ns(5),
+                src: 1,
+                seq: 7,
+                payload: 'a',
+            },
+            XMsg {
+                time: Time::from_ns(5),
+                src: 1,
+                seq: 9,
+                payload: 'd',
+            },
+            XMsg {
+                time: Time::from_ns(50),
+                src: 0,
+                seq: 0,
+                payload: 'z',
+            },
+        ];
+        let inbox = take_inbox(&mut pending, Time::from_ns(20));
+        let order: Vec<char> = inbox.iter().map(|m| m.payload).collect();
+        assert_eq!(order, vec!['a', 'd', 'b', 'c']);
+        assert_eq!(pending.len(), 1, "future messages stay queued");
+        assert_eq!(pending[0].payload, 'z');
+    }
+
+    #[test]
+    fn outbox_sequences_in_send_order() {
+        let mut ob: Outbox<u32> = Outbox::new(3);
+        ob.send(0, Time::from_ns(100), 11);
+        ob.send(1, Time::from_ns(100), 22);
+        assert_eq!(ob.len(), 2);
+        let mut chan: Vec<Vec<XMsg<u32>>> = vec![Vec::new(), Vec::new()];
+        collect_outbox(&mut ob, Time::from_ns(100), &mut chan);
+        assert!(ob.is_empty());
+        assert_eq!(chan[0][0].seq, 0);
+        assert_eq!(chan[1][0].seq, 1);
+        assert_eq!(chan[1][0].src, 3);
+        // Sequence numbers keep counting across barriers.
+        ob.send(0, Time::from_ns(200), 33);
+        collect_outbox(&mut ob, Time::from_ns(150), &mut chan);
+        assert_eq!(chan[0][1].seq, 2);
+    }
+
+    #[test]
+    fn partitions_knob_roundtrip() {
+        let prev = set_partitions(4);
+        assert_eq!(partitions(), 4);
+        assert_eq!(set_partitions(0), 4); // clamped to 1
+        assert_eq!(partitions(), 1);
+        set_partitions(prev.max(1));
+    }
+
+    #[test]
+    fn ring_property_vs_serial_reference() {
+        run_cases("partition::ring_vs_serial", crate::check::cases(30), |g| {
+            let n = g.usize_in(2, 6);
+            let bound = g.u64_in(1, 60);
+            let shards = g.usize_in(1, 8);
+            let (serial, _) = run_ring(n, bound, 1);
+            let (par, _) = run_ring(n, bound, shards);
+            assert_eq!(par, serial, "n={n} bound={bound} shards={shards}");
+        });
+    }
+}

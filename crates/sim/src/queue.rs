@@ -27,6 +27,26 @@ pub fn events_delivered() -> u64 {
     DELIVERED.load(AtomicOrdering::Relaxed)
 }
 
+/// Process-global nanoseconds spent in simulation *setup* (system
+/// construction before the event loop starts), accumulated by
+/// [`record_setup_nanos`]. The `repro bench` harness samples this
+/// around each timed experiment so events/sec can be computed over the
+/// event-loop window alone.
+static SETUP_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Total nanoseconds recorded as simulation setup so far, process-wide.
+/// Sample before and after a run and subtract.
+pub fn setup_nanos() -> u64 {
+    SETUP_NANOS.load(AtomicOrdering::Relaxed)
+}
+
+/// Adds `nanos` to the process-global setup-time counter. Called by
+/// simulator constructors (one add per system built, nothing on the
+/// event hot path).
+pub fn record_setup_nanos(nanos: u64) {
+    SETUP_NANOS.fetch_add(nanos, AtomicOrdering::Relaxed);
+}
+
 /// Process-global default for the no-progress watchdog, read once by
 /// each [`EventQueue::new`]. 0 = disabled (the library default).
 static DEFAULT_STALL_LIMIT: AtomicU64 = AtomicU64::new(0);
