@@ -24,7 +24,7 @@ use std::time::Instant;
 /// schedule-space search, report mosaics) are excluded: their wall
 /// clock is dominated by one-time work, so their events/sec says
 /// nothing about the engine hot path.
-pub const HOT_EXPERIMENTS: [&str; 11] = [
+pub const HOT_EXPERIMENTS: [&str; 12] = [
     "fig3",
     "fig13",
     "fig14",
@@ -36,6 +36,7 @@ pub const HOT_EXPERIMENTS: [&str; 11] = [
     "integrity",
     "chaos",
     "failslow",
+    "failover",
 ];
 
 /// Largest tolerated hot-geomean regression: the gate fails when

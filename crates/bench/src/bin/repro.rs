@@ -13,9 +13,12 @@
 //! one (`faults`, `overload`). `--threads N` fans independent
 //! experiments across `N` worker threads; the output is byte-identical
 //! to a serial run regardless of `N`. `--partitions N` shards each
-//! partitioned simulation (the `fleet` experiment) across `N` OS
-//! threads synchronized at conservative window barriers; output is
-//! byte-identical for any `N`. `bench` times every experiment
+//! partitioned simulation (the `fleet` and `failover` experiments)
+//! across `N` OS threads synchronized at conservative window barriers;
+//! output is byte-identical for any `N`. `--force-speedup-probe` makes
+//! the `fleet` experiment run its wall-clock speedup probe even on
+//! hosts with fewer than 4 cores (the probe then only requires
+//! byte-identity, not a speedup). `bench` times every experiment
 //! (serial and parallel), prints a wall-clock/events-per-second/RSS
 //! table, and writes `BENCH_<date>.json`. `bench --check BASELINE.json`
 //! additionally compares the hot-experiment events/sec geomean against
@@ -30,8 +33,8 @@ use dmx_sim::par_map;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--seed N] [--threads N] [--partitions N] <experiment>... | all | \
-         bench [--check BASELINE.json] [experiment]..."
+        "usage: repro [--seed N] [--threads N] [--partitions N] [--force-speedup-probe] \
+         <experiment>... | all | bench [--check BASELINE.json] [experiment]..."
     );
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     std::process::exit(2);
@@ -77,6 +80,9 @@ fn main() {
                     usage()
                 });
                 dmx_sim::partition::set_partitions(n);
+            }
+            "--force-speedup-probe" => {
+                dmx_core::experiments::fleet::set_force_speedup_probe(true);
             }
             "bench" => do_bench = true,
             "--check" => {

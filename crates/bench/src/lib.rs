@@ -14,7 +14,7 @@ pub mod bench;
 pub mod timing;
 
 /// All experiment identifiers `repro` accepts.
-pub const EXPERIMENTS: [&str; 21] = [
+pub const EXPERIMENTS: [&str; 22] = [
     "tab1",
     "fig3",
     "fig5",
@@ -35,6 +35,7 @@ pub const EXPERIMENTS: [&str; 21] = [
     "chaos",
     "failslow",
     "fleet",
+    "failover",
     "summary",
 ];
 
@@ -76,7 +77,7 @@ pub fn run_experiment(suite: &Suite, id: &str) -> String {
 
 /// Runs one experiment by id, threading `seed` into the experiments
 /// that take one (`faults`, `overload`, `integrity`, `chaos`,
-/// `failslow`, `fleet`; others ignore it), and reports
+/// `failslow`, `fleet`, `failover`; others ignore it), and reports
 /// whether the experiment's embedded determinism/robustness checks
 /// passed.
 ///
@@ -121,6 +122,13 @@ pub fn run_experiment_checked(suite: &Suite, id: &str, seed: Option<u64>) -> Out
         "fleet" => {
             let f =
                 experiments::fleet::run_with_seed(suite, seed.unwrap_or(experiments::fleet::SEED));
+            rendered(f.ok(), || f.render())
+        }
+        "failover" => {
+            let f = experiments::failover::run_with_seed(
+                suite,
+                seed.unwrap_or(experiments::failover::SEED),
+            );
             rendered(f.ok(), || f.render())
         }
         other => run_unchecked(suite, other),

@@ -40,6 +40,7 @@ use crate::report::{ms, pct, Table};
 use crate::system::{simulate, SystemConfig};
 use dmx_pcie::InterNodeFabric;
 use dmx_sim::{par_map, ArrivalProcess, Time};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Default seed for every run in this experiment.
 pub const SEED: u64 = 0xF1EE;
@@ -207,7 +208,24 @@ pub fn fleet_cfg(
         requests_per_tenant: arrivals_per_tenant_per_server * servers,
         request_bytes: 64 << 10,
         response_bytes: 16 << 10,
+        failover: None,
+        fault_plan: None,
     }
+}
+
+/// When set, the wall-clock speedup probe runs even on hosts with
+/// fewer than 4 cores (`repro fleet --force-speedup-probe`). The
+/// probe's byte-identity check still applies; the speedup *floor* does
+/// not — a 2-core host legitimately cannot show a 4-shard speedup.
+static FORCE_PROBE: AtomicBool = AtomicBool::new(false);
+
+/// Forces the speedup probe on (or back off) regardless of core count.
+pub fn set_force_speedup_probe(on: bool) {
+    FORCE_PROBE.store(on, Ordering::Relaxed);
+}
+
+fn force_probe() -> bool {
+    FORCE_PROBE.load(Ordering::Relaxed)
 }
 
 /// Runs the sweep under the default [`SEED`] with the process-global
@@ -335,7 +353,7 @@ pub fn run_with_seed(suite: &Suite, seed: u64) -> FleetSweep {
 
     // ---- wall-clock speedup probe (host-dependent; stderr only) ------
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let speedup = (cores >= 4).then(|| {
+    let speedup = (cores >= 4 || force_probe()).then(|| {
         let probe_cfg = fleet_cfg(
             suite,
             seed,
@@ -393,11 +411,18 @@ impl FleetSweep {
     /// the host had the cores to measure it, the 4-shard probe ran
     /// byte-identically and beat the serial run (≥3x on hosts with
     /// headroom beyond the 4 worker threads, ≥2x at exactly 4 cores,
-    /// where the main thread contends with the shard workers).
+    /// where the main thread contends with the shard workers). A probe
+    /// *forced* onto a smaller host (`--force-speedup-probe`) must
+    /// still be byte-identical, but no speedup floor applies — the
+    /// cores to beat serial aren't there.
     pub fn ok(&self) -> bool {
         let speedup_ok = self.speedup.is_none_or(|s| {
             let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-            let floor = if cores >= 6 { 3.0 } else { 2.0 };
+            let floor = match cores {
+                _ if cores >= 6 => 3.0,
+                _ if cores >= 4 => 2.0,
+                _ => 0.0,
+            };
             s.identical && s.ratio() >= floor
         });
         self.checks.all() && speedup_ok

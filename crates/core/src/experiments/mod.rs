@@ -5,6 +5,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod failover;
 pub mod failslow;
 pub mod faults;
 pub mod fig11;

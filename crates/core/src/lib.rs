@@ -55,7 +55,11 @@ pub mod system;
 
 pub use apps::{Benchmark, BenchmarkId, BenchmarkRef};
 pub use failslow::{FailSlowConfig, FailSlowReport, HealthParams, HealthRoute, HealthScorer};
-pub use fleet::{run_fleet, try_run_fleet, FleetConfig, FleetResult, LbPolicy};
+pub use fleet::{
+    run_fleet, try_run_fleet, ClassPolicy, ClassTotals, FailoverConfig, FailoverReport,
+    FleetConfig, FleetFaultPlan, FleetResult, LbHealthParams, LbPolicy, RequestClass, ServerGray,
+    ServerKill, ServerOutage,
+};
 pub use integrity::{ChecksumMode, IntegrityConfig, IntegrityReport};
 pub use overload::{
     AdmissionParams, Breaker, BreakerParams, BreakerRoute, OverloadConfig, OverloadReport,

@@ -647,6 +647,10 @@ struct Req {
     /// A speculative hedge duplicate is in flight for the current
     /// restructure batch; first completion wins.
     hedge: bool,
+    /// Caller's opaque arrival tag, echoed in the resolution so a
+    /// fleet front end can match resolutions to dispatch attempts
+    /// exactly (zero for internally generated arrivals).
+    tag: u64,
 }
 
 #[derive(Debug)]
@@ -665,8 +669,10 @@ enum Ev {
     UnitDeath(u64),
     /// A link retrain completes; bandwidth returns to nominal.
     LinkRestore(usize),
-    /// An open-loop request of tenant `app` arrives.
-    Arrival(usize),
+    /// An open-loop request of tenant `app` arrives, carrying the
+    /// caller's opaque tag (zero for internally generated arrivals;
+    /// fleet front ends stamp attempt tags for exact dedup).
+    Arrival(usize, u64),
     /// A chain-boundary checksum finishes (epoch-tagged like
     /// `StepDone`); the request then advances, or rewinds on mismatch.
     IntegrityDone(u64, u32),
@@ -721,6 +727,8 @@ struct Pending {
     app: usize,
     arrived: Time,
     deadline: Time,
+    /// Caller's opaque arrival tag, echoed in the resolution.
+    tag: u64,
 }
 
 /// Live state of the overload-control layer; `None` on `Sim` when the
@@ -930,6 +938,11 @@ pub struct Resolution {
     pub at: Time,
     /// Tenant (app index) it belonged to.
     pub app: usize,
+    /// The opaque tag the caller stamped on the injected arrival
+    /// ([`Stepped::inject_arrival_tagged`]); zero for untagged
+    /// arrivals. Lets a front end match this resolution to the exact
+    /// dispatch attempt it answers, instead of pairing FIFO.
+    pub tag: u64,
     /// What happened to it.
     pub outcome: Outcome,
 }
@@ -1072,10 +1085,15 @@ impl<'a> Sim<'a> {
 
     /// Records a resolution for the fleet front end (external mode
     /// only; a no-op otherwise, keeping single-server runs untouched).
-    fn resolve(&mut self, app: usize, outcome: Outcome) {
+    fn resolve(&mut self, app: usize, tag: u64, outcome: Outcome) {
         if self.external {
             let at = self.q.now();
-            self.resolutions.push(Resolution { at, app, outcome });
+            self.resolutions.push(Resolution {
+                at,
+                app,
+                tag,
+                outcome,
+            });
         }
     }
 
@@ -1969,7 +1987,7 @@ impl<'a> Sim<'a> {
 
     fn start_request(&mut self, app: usize) -> Result<(), SimError> {
         let now = self.q.now();
-        self.start_request_at(app, now, Time::MAX)
+        self.start_request_at(app, now, Time::MAX, 0)
     }
 
     /// Dispatches a request whose latency clock started at `start`
@@ -1980,6 +1998,7 @@ impl<'a> Sim<'a> {
         app: usize,
         start: Time,
         deadline: Time,
+        tag: u64,
     ) -> Result<(), SimError> {
         let now = self.q.now();
         self.stats.launched[app] += 1;
@@ -2012,6 +2031,7 @@ impl<'a> Sim<'a> {
                 restr_seq: 0,
                 fs_probe: false,
                 hedge: false,
+                tag,
             },
         );
         self.begin_or_park(id)
@@ -2020,7 +2040,7 @@ impl<'a> Sim<'a> {
     /// One open-loop arrival of tenant `app`: count it, schedule the
     /// next one, then run it through admission — token bucket, inflight
     /// slot, bounded EDF queue — shedding it if every stage refuses.
-    fn arrival(&mut self, app: usize) -> Result<(), SimError> {
+    fn arrival(&mut self, app: usize, tag: u64) -> Result<(), SimError> {
         enum Verdict {
             Start(Time),
             Queued,
@@ -2070,6 +2090,7 @@ impl<'a> Sim<'a> {
                         app,
                         arrived: now,
                         deadline,
+                        tag,
                     },
                 ) {
                     Verdict::Queued
@@ -2081,14 +2102,14 @@ impl<'a> Sim<'a> {
             (next_gap, verdict)
         };
         if let Some(gap) = next_gap {
-            self.q.schedule_at(now + gap, Ev::Arrival(app));
+            self.q.schedule_at(now + gap, Ev::Arrival(app, 0));
         }
         match verdict {
-            Verdict::Start(deadline) => self.start_request_at(app, now, deadline)?,
+            Verdict::Start(deadline) => self.start_request_at(app, now, deadline, tag)?,
             Verdict::Queued => {}
             Verdict::Shed => {
                 self.remaining = self.remaining.saturating_sub(1);
-                self.resolve(app, Outcome::Shed);
+                self.resolve(app, tag, Outcome::Shed);
             }
         }
         Ok(())
@@ -2116,8 +2137,8 @@ impl<'a> Sim<'a> {
     /// shedding (under `ShedPolicy::Reject`) requests whose deadlines
     /// already passed while they waited.
     fn free_slot_and_dispatch(&mut self, now: Time) -> Result<(), SimError> {
-        let mut to_start: Vec<(usize, Time, Time)> = Vec::new();
-        let mut shed_apps: Vec<usize> = Vec::new();
+        let mut to_start: Vec<(usize, Time, Time, u64)> = Vec::new();
+        let mut shed_apps: Vec<(usize, u64)> = Vec::new();
         {
             let Some(ov) = self.ov.as_mut() else {
                 return Ok(());
@@ -2129,19 +2150,19 @@ impl<'a> Sim<'a> {
                 };
                 if now > p.deadline && ov.cfg.shed == ShedPolicy::Reject {
                     ov.tenants[p.app].stats.shed_deadline += 1;
-                    shed_apps.push(p.app);
+                    shed_apps.push((p.app, p.tag));
                     continue;
                 }
                 ov.inflight += 1;
-                to_start.push((p.app, p.arrived, p.deadline));
+                to_start.push((p.app, p.arrived, p.deadline, p.tag));
             }
         }
         self.remaining = self.remaining.saturating_sub(shed_apps.len());
-        for app in shed_apps {
-            self.resolve(app, Outcome::Shed);
+        for (app, tag) in shed_apps {
+            self.resolve(app, tag, Outcome::Shed);
         }
-        for (app, arrived, deadline) in to_start {
-            self.start_request_at(app, arrived, deadline)?;
+        for (app, arrived, deadline, tag) in to_start {
+            self.start_request_at(app, arrived, deadline, tag)?;
         }
         Ok(())
     }
@@ -2354,6 +2375,7 @@ impl<'a> Sim<'a> {
         self.remaining = self.remaining.saturating_sub(1);
         self.resolve(
             r.app,
+            r.tag,
             Outcome::Completed {
                 within_deadline: now <= r.deadline,
             },
@@ -2854,7 +2876,7 @@ impl<'a> Sim<'a> {
         self.creport.crash_killed += 1;
         self.creport.flips_discarded += r.flips;
         self.remaining = self.remaining.saturating_sub(1);
-        self.resolve(r.app, Outcome::Shed);
+        self.resolve(r.app, r.tag, Outcome::Shed);
         if let Some((unit, bytes)) = r.credit {
             let woken = self
                 .ov
@@ -3059,7 +3081,7 @@ impl<'a> Sim<'a> {
                     }
                 });
                 if let Some(gap) = gap {
-                    self.q.schedule_at(gap, Ev::Arrival(app));
+                    self.q.schedule_at(gap, Ev::Arrival(app, 0));
                 }
             }
         } else {
@@ -3077,7 +3099,7 @@ impl<'a> Sim<'a> {
     fn handle(&mut self, ev: Ev) -> Result<(), SimError> {
         match ev {
             Ev::StepDone(id, epoch) => self.step_done(id, epoch)?,
-            Ev::Arrival(app) => self.arrival(app)?,
+            Ev::Arrival(app, tag) => self.arrival(app, tag)?,
             Ev::CpuTick(gen) => {
                 if gen == self.cpu.generation() {
                     self.cpu.advance(self.q.now());
@@ -3432,8 +3454,17 @@ impl<'a> Stepped<'a> {
     ///
     /// [`drain_resolutions`]: Stepped::drain_resolutions
     pub fn inject_arrival(&mut self, app: usize, at: Time) {
+        self.inject_arrival_tagged(app, at, 0);
+    }
+
+    /// [`inject_arrival`](Stepped::inject_arrival) with an opaque
+    /// caller tag, echoed verbatim in the matching [`Resolution`]. A
+    /// failover-aware load balancer stamps each dispatch attempt with
+    /// a unique tag so late resolutions of superseded attempts are
+    /// recognized exactly, not paired FIFO.
+    pub fn inject_arrival_tagged(&mut self, app: usize, at: Time, tag: u64) {
         self.sim.remaining += 1;
-        self.sim.q.schedule_at(at, Ev::Arrival(app));
+        self.sim.q.schedule_at(at, Ev::Arrival(app, tag));
     }
 
     /// Processes every pending event strictly before `horizon`.

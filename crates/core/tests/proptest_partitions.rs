@@ -6,7 +6,10 @@
 //! Runs on the in-tree deterministic harness (`dmx_sim::check`).
 
 use dmx_core::experiments::Suite;
-use dmx_core::fleet::{run_fleet, FleetConfig, LbPolicy};
+use dmx_core::fleet::{
+    run_fleet, ClassPolicy, FailoverConfig, FleetConfig, FleetFaultPlan, LbHealthParams, LbPolicy,
+    RequestClass, ServerGray, ServerKill, ServerOutage,
+};
 use dmx_core::integrity::{ChecksumMode, IntegrityConfig};
 use dmx_core::overload::{AdmissionParams, OverloadConfig, ShedPolicy};
 use dmx_core::placement::{Mode, Placement};
@@ -151,6 +154,8 @@ fn fleet_byte_identical_across_shards_threads_and_faults() {
             requests_per_tenant: per_tenant * servers,
             request_bytes: 64 << 10,
             response_bytes: 16 << 10,
+            failover: None,
+            fault_plan: None,
         };
 
         // Baseline: serial shards, serial workers.
@@ -224,6 +229,8 @@ fn fleet_identity_composes_with_par_map() {
         requests_per_tenant: 4 * servers,
         request_bytes: 64 << 10,
         response_bytes: 16 << 10,
+        failover: None,
+        fault_plan: None,
     };
 
     let prev = dmx_sim::par::set_threads(1);
@@ -237,4 +244,136 @@ fn fleet_identity_composes_with_par_map() {
     });
     dmx_sim::par::set_threads(prev);
     assert_eq!(serial, pooled);
+}
+
+/// A random fleet-level fault plan: up to two server kills, one gray
+/// window, and one network cut, all inside the horizon.
+fn gen_fleet_plan(g: &mut Gen, servers: usize, horizon: Time) -> FleetFaultPlan {
+    let mut plan = FleetFaultPlan::none();
+    for _ in 0..g.usize_in(0, 3) {
+        plan.kills.push(ServerKill {
+            server: g.usize_in(0, servers),
+            at: horizon.scale(g.f64_in(0.05, 0.5)),
+            down_for: g.chance(0.5).then(|| horizon.scale(g.f64_in(0.05, 0.3))),
+        });
+    }
+    if g.chance(0.5) {
+        plan.grays.push(ServerGray {
+            server: g.usize_in(0, servers),
+            at: horizon.scale(g.f64_in(0.0, 0.4)),
+            down_for: g.chance(0.7).then(|| horizon.scale(g.f64_in(0.1, 0.4))),
+            slowdown: g.f64_in(2.0, 30.0),
+        });
+    }
+    if g.chance(0.5) {
+        plan.outages.push(ServerOutage {
+            server: g.usize_in(0, servers),
+            at: horizon.scale(g.f64_in(0.0, 0.4)),
+            down_for: g.chance(0.7).then(|| horizon.scale(g.f64_in(0.1, 0.4))),
+        });
+    }
+    plan
+}
+
+/// A random per-class SLO/retry policy set. Timeouts sit well above
+/// healthy resolution latency so they fire only on genuinely lost or
+/// crawling attempts; sim time is free.
+fn gen_failover(g: &mut Gen) -> FailoverConfig {
+    let retries = g.usize_in(0, 4) as u32;
+    FailoverConfig {
+        health: LbHealthParams::default(),
+        classes: vec![
+            ClassPolicy {
+                class: RequestClass::LatencySensitive,
+                slo: Time::from_secs_f64(g.f64_in(60.0, 200.0)),
+                timeout: Time::from_secs_f64(g.f64_in(10.0, 40.0)),
+                retries,
+                hedge_after: g.chance(0.5).then(|| Time::from_ms(g.u64_in(5, 50))),
+            },
+            ClassPolicy {
+                class: RequestClass::Batch,
+                slo: Time::from_secs_f64(g.f64_in(200.0, 500.0)),
+                timeout: Time::from_secs_f64(g.f64_in(40.0, 80.0)),
+                retries: g.usize_in(0, 4) as u32,
+                hedge_after: None,
+            },
+        ],
+    }
+}
+
+#[test]
+fn failover_fleet_byte_identical_and_ledger_conserved() {
+    // The failover property suite: random server counts x kill/gray/cut
+    // schedules x retry budgets x hedge coins. Every draw must (a) be
+    // byte-identical across random shard and thread counts, (b) keep
+    // the duplicates-aware conservation ledger, and (c) strand nothing.
+    let suite = Suite::new();
+    let clean = simulate(&SystemConfig::latency(
+        Mode::Dmx(Placement::BumpInTheWire),
+        suite.mix(TENANTS),
+    ));
+    let mean = clean.mean_latency();
+    let slowest = clean.apps.iter().map(|a| a.latency).max().unwrap();
+
+    run_cases("partition::failover_identity_and_ledger", n_cases(), |g| {
+        let seed = g.u64_in(0, u64::MAX);
+        let servers = g.usize_in(2, 4);
+        let per_tenant = g.usize_in(3, 6);
+        let load = g.f64_in(0.3, 1.5);
+        let horizon = mean * (per_tenant as u64 * 3);
+        let rate = load * 6.0 / (mean.as_secs_f64() * TENANTS as f64) * servers as f64;
+        let policy = *g.pick(&[
+            LbPolicy::RoundRobin,
+            LbPolicy::LeastLoaded,
+            LbPolicy::TenantAffinity,
+        ]);
+        let cfg = FleetConfig {
+            servers,
+            server: server_cfg(&suite, seed, slowest, 0.0, Vec::new(), Vec::new()),
+            policy,
+            fabric: InterNodeFabric::default(),
+            seed,
+            arrivals: vec![ArrivalProcess::Poisson { rate_rps: rate }; TENANTS],
+            requests_per_tenant: per_tenant * servers,
+            request_bytes: 64 << 10,
+            response_bytes: 16 << 10,
+            failover: Some(gen_failover(g)),
+            fault_plan: Some(gen_fleet_plan(g, servers, horizon)),
+        };
+
+        let prev = dmx_sim::par::set_threads(1);
+        let base = run_fleet(&cfg, 1);
+        let base_dbg = format!("{base:?}");
+
+        let f = base.failover.as_ref().expect("failover report");
+        assert!(
+            base.conserved_with_duplicates(),
+            "ledger violated: offered {} goodput {} late {} shed {} report {f:?} \
+             (servers {servers}, seed {seed:#x})",
+            base.offered,
+            base.goodput,
+            base.late,
+            base.shed,
+        );
+        assert_eq!(
+            f.stranded, 0,
+            "stranded requests under re-dispatch (servers {servers}, seed {seed:#x}): {f:?}"
+        );
+
+        let shards = g.usize_in(2, 8);
+        assert_eq!(
+            format!("{:?}", run_fleet(&cfg, shards)),
+            base_dbg,
+            "shards {shards} diverged from serial (servers {servers}, seed {seed:#x})"
+        );
+        let threads = g.usize_in(2, 4);
+        dmx_sim::par::set_threads(threads);
+        let shards2 = g.usize_in(1, 8);
+        assert_eq!(
+            format!("{:?}", run_fleet(&cfg, shards2)),
+            base_dbg,
+            "threads {threads} x shards {shards2} diverged (servers {servers}, seed {seed:#x})"
+        );
+        dmx_sim::par::set_threads(prev);
+    });
 }

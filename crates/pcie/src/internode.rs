@@ -74,6 +74,34 @@ impl InterNodeLink {
     }
 }
 
+/// A scheduled window during which one fleet node's network hop is
+/// *dark*: messages handed to the link while the window covers their
+/// send instant are lost in both directions — dispatches never reach
+/// the server, resolutions never reach the load balancer. Unlike a
+/// server crash, the server itself keeps running; only the LB's view
+/// of it goes silent, which is exactly the failure a per-request LB
+/// timeout plus cross-server re-dispatch exists to cover.
+///
+/// Losing a message never shrinks the conservative lookahead — a lost
+/// message is one that arrives never, which trivially satisfies
+/// "no earlier than `t + lookahead`" — so outage schedules compose
+/// with `dmx_sim::partition` unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkOutage {
+    /// When the hop goes dark.
+    pub at: Time,
+    /// Outage length; `None` means the hop never recovers.
+    pub down_for: Option<Time>,
+}
+
+impl LinkOutage {
+    /// True when the window covers instant `t` (a message *sent* at
+    /// `t` is lost; delivery-side checks would double-drop).
+    pub fn covers(&self, t: Time) -> bool {
+        t >= self.at && self.down_for.map(|d| t < self.at + d).unwrap_or(true)
+    }
+}
+
 /// The inter-node fabric of a fleet: a star — every server connects to
 /// the front-end load balancer over the same link class. (A star is the
 /// topology software load balancers induce; per-pair links can be added
@@ -154,6 +182,23 @@ mod tests {
         // A slim link is unaffected.
         let slim = InterNodeLink::new(Time::from_us(5), 1_000);
         assert_eq!(slim.capped_by(root).bytes_per_sec, 1_000);
+    }
+
+    #[test]
+    fn outage_window_covers_send_instants() {
+        let w = LinkOutage {
+            at: Time::from_ms(10),
+            down_for: Some(Time::from_ms(5)),
+        };
+        assert!(!w.covers(Time::from_ms(9)));
+        assert!(w.covers(Time::from_ms(10)));
+        assert!(w.covers(Time::from_us(14_999)));
+        assert!(!w.covers(Time::from_ms(15)));
+        let forever = LinkOutage {
+            at: Time::from_ms(10),
+            down_for: None,
+        };
+        assert!(forever.covers(Time::from_secs_f64(1e6)));
     }
 
     #[test]

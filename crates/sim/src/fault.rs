@@ -127,6 +127,19 @@ impl CrashEvent {
     pub fn recovers_at(&self) -> Option<Time> {
         self.down_for.map(|d| self.at + d)
     }
+
+    /// A whole-host crash-stop: the driver process dies at `at` and —
+    /// with `down_for` — restarts after the outage. This is the event
+    /// a fleet-level fault plan folds into a server's schedule to kill
+    /// the *entire server* (every in-flight request re-plans from its
+    /// checkpoint on restart; a permanent outage sheds them all).
+    pub fn host(at: Time, down_for: Option<Time>) -> CrashEvent {
+        CrashEvent {
+            target: CrashTarget::Driver,
+            at,
+            down_for,
+        }
+    }
 }
 
 /// What a fail-slow (gray) degradation slows down.
@@ -188,6 +201,23 @@ pub struct DegradeEvent {
 }
 
 impl DegradeEvent {
+    /// A clean (jitter-free, always-on) subtree slowdown: every link
+    /// under switch `s` runs at `1/slowdown` bandwidth for the window.
+    /// Fleet-level fault plans gray out a whole server by emitting one
+    /// of these per switch — schedules naming more subtrees than the
+    /// server layout has are ignored gracefully, so a plan need not
+    /// know each server's switch count.
+    pub fn subtree(s: usize, at: Time, down_for: Option<Time>, slowdown: f64) -> DegradeEvent {
+        DegradeEvent {
+            target: DegradeTarget::Subtree(s),
+            at,
+            down_for,
+            slowdown,
+            jitter: 0.0,
+            duty: None,
+        }
+    }
+
     /// When the window closes, if ever.
     pub fn ends_at(&self) -> Option<Time> {
         self.down_for.map(|d| self.at + d)
